@@ -1,0 +1,205 @@
+//! Top-level accelerator parameters.
+//!
+//! Defaults follow the paper's evaluation methodology (§VI-A): the same
+//! compute/memory budget as PREMA and the TPU — 128×128 PEs, 12 MB of
+//! on-chip activation/output buffering, 700 MHz — organized as 16
+//! omni-directional 32×32 subarrays in 4 Fission Pods with one off-chip
+//! channel per pod.
+
+/// Accelerator resource budget and organization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Total PE rows of the (logical) monolithic array.
+    pub pe_rows: u32,
+    /// Total PE columns.
+    pub pe_cols: u32,
+    /// Side length of one square fission granule (subarray), in PEs.
+    pub subarray_dim: u32,
+    /// Subarrays per Fission Pod.
+    pub subarrays_per_pod: u32,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Total on-chip activation + output buffer capacity, bytes.
+    pub onchip_buffer_bytes: u64,
+    /// Per-PE weight buffer capacity, bytes.
+    pub weight_buffer_per_pe: u64,
+    /// Number of off-chip memory channels (one per pod).
+    pub dram_channels: u32,
+    /// Bandwidth per off-chip channel, bytes/second.
+    pub dram_bw_per_channel: f64,
+    /// SIMD vector lanes attached to each subarray.
+    pub simd_lanes_per_subarray: u32,
+    /// Pipeline registers on each global ring bus (§IV-B: 12).
+    pub ring_pipeline_regs: u32,
+    /// Per-subarray instruction buffer, bytes (§IV-C: 4 KB).
+    pub instr_buffer_bytes: u64,
+    /// Whether the omni-directional switching network is present.
+    /// Disabling it restricts arrangements to intra-pod chains
+    /// (the ablation of §IV-A).
+    pub omnidirectional: bool,
+}
+
+impl AcceleratorConfig {
+    /// The paper's Planaria configuration (§VI-A).
+    pub fn planaria() -> Self {
+        Self {
+            pe_rows: 128,
+            pe_cols: 128,
+            subarray_dim: 32,
+            subarrays_per_pod: 4,
+            freq_hz: 700e6,
+            onchip_buffer_bytes: 12 * 1024 * 1024,
+            weight_buffer_per_pe: 256,
+            dram_channels: 4,
+            dram_bw_per_channel: 25e9,
+            simd_lanes_per_subarray: 32,
+            ring_pipeline_regs: 12,
+            instr_buffer_bytes: 4 * 1024,
+            omnidirectional: true,
+        }
+    }
+
+    /// The monolithic baseline with the same budget (PREMA's hardware): one
+    /// 128×128 array, no fission.
+    pub fn monolithic() -> Self {
+        Self {
+            subarray_dim: 128,
+            subarrays_per_pod: 1,
+            simd_lanes_per_subarray: 128,
+            omnidirectional: false,
+            ..Self::planaria()
+        }
+    }
+
+    /// A Planaria variant with a different fission granule (the Fig. 18
+    /// design-space exploration sweeps 16, 32, 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` does not evenly divide the array sides.
+    pub fn with_granularity(dim: u32) -> Self {
+        let base = Self::planaria();
+        assert!(
+            base.pe_rows.is_multiple_of(dim) && base.pe_cols.is_multiple_of(dim),
+            "granularity {dim} must divide the {}x{} array",
+            base.pe_rows,
+            base.pe_cols
+        );
+        // Pods always group the subarrays into 4 quadrants of the chip.
+        let per_pod = ((base.pe_rows / dim) * (base.pe_cols / dim) / 4).max(1);
+        // High-radix pod crossbars land on the critical path (§III-C: they
+        // "can seriously curtail scaling up the compute resources"); a
+        // radix-16 crossbar costs the design its 700 MHz clock even with
+        // pipelining.
+        let derate = if per_pod > 4 { 0.85 } else { 1.0 };
+        Self {
+            subarray_dim: dim,
+            subarrays_per_pod: per_pod,
+            simd_lanes_per_subarray: dim,
+            freq_hz: base.freq_hz * derate,
+            ..base
+        }
+    }
+
+    /// Total number of fission granules (subarrays).
+    pub fn num_subarrays(&self) -> u32 {
+        (self.pe_rows / self.subarray_dim) * (self.pe_cols / self.subarray_dim)
+    }
+
+    /// Number of Fission Pods.
+    pub fn num_pods(&self) -> u32 {
+        (self.num_subarrays() / self.subarrays_per_pod).max(1)
+    }
+
+    /// Total MAC units.
+    pub fn total_pes(&self) -> u64 {
+        u64::from(self.pe_rows) * u64::from(self.pe_cols)
+    }
+
+    /// Aggregate off-chip bandwidth, bytes/second.
+    pub fn total_dram_bw(&self) -> f64 {
+        f64::from(self.dram_channels) * self.dram_bw_per_channel
+    }
+
+    /// Off-chip bytes transferable per clock cycle across `channels` channels.
+    pub fn dram_bytes_per_cycle(&self, channels: u32) -> f64 {
+        let ch = channels.min(self.dram_channels).max(1);
+        f64::from(ch) * self.dram_bw_per_channel / self.freq_hz
+    }
+
+    /// On-chip buffer capacity available to a logical accelerator owning
+    /// `subarrays` granules (Pod Memory is partitioned pro-rata).
+    pub fn buffer_share(&self, subarrays: u32) -> u64 {
+        let total = self.num_subarrays();
+        self.onchip_buffer_bytes * u64::from(subarrays.min(total)) / u64::from(total)
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::planaria()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planaria_matches_paper_budget() {
+        let c = AcceleratorConfig::planaria();
+        assert_eq!(c.total_pes(), 16_384);
+        assert_eq!(c.num_subarrays(), 16);
+        assert_eq!(c.num_pods(), 4);
+        assert_eq!(c.onchip_buffer_bytes, 12 * 1024 * 1024);
+        assert!((c.freq_hz - 700e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn monolithic_is_one_big_array() {
+        let c = AcceleratorConfig::monolithic();
+        assert_eq!(c.num_subarrays(), 1);
+        assert_eq!(c.total_pes(), 16_384);
+        assert_eq!(c.simd_lanes_per_subarray, 128);
+    }
+
+    #[test]
+    fn granularity_sweep_preserves_pe_budget() {
+        for dim in [16, 32, 64] {
+            let c = AcceleratorConfig::with_granularity(dim);
+            assert_eq!(c.total_pes(), 16_384, "dim {dim}");
+            assert_eq!(c.num_subarrays() * dim * dim, 16_384, "dim {dim}");
+        }
+        assert_eq!(AcceleratorConfig::with_granularity(16).num_subarrays(), 64);
+        assert_eq!(AcceleratorConfig::with_granularity(64).num_subarrays(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_granularity_panics() {
+        let _ = AcceleratorConfig::with_granularity(48);
+    }
+
+    #[test]
+    fn buffer_share_is_pro_rata() {
+        let c = AcceleratorConfig::planaria();
+        assert_eq!(c.buffer_share(16), c.onchip_buffer_bytes);
+        assert_eq!(c.buffer_share(4), c.onchip_buffer_bytes / 4);
+        assert_eq!(c.buffer_share(1), c.onchip_buffer_bytes / 16);
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_scales_with_channels() {
+        let c = AcceleratorConfig::planaria();
+        let one = c.dram_bytes_per_cycle(1);
+        let four = c.dram_bytes_per_cycle(4);
+        assert!((four / one - 4.0).abs() < 1e-9);
+        // 25 GB/s at 700 MHz ≈ 35.7 B/cycle.
+        assert!((one - 25e9 / 700e6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Fission arrangements and chip-level fission scenarios.
+//!
+//! A *logical accelerator* owns `s` subarrays and shapes them, per layer, as
+//! `g` independent clusters, each cluster a logical systolic array of
+//! `r × c` subarrays (`g·r·c = s`). For `s = 16` this yields exactly the 15
+//! cluster arrangements of Table II, from the monolithic `(128×128)-1` to
+//! the fully fissioned `(32×32)-16`.
+//!
+//! Arrangements whose chain exceeds one Fission Pod's span in a single
+//! direction (`r > 4` or `c > 4`) must snake activations or partial sums
+//! back through the array and therefore require the omni-directional
+//! switching network — matching the "OD-SA Used" rows of Table II.
+
+use crate::config::AcceleratorConfig;
+use std::fmt;
+
+/// Span (in subarrays) beyond which a straight chain must serpentine and
+/// thus needs omni-directional flow. Equal to the pod side of the physical
+/// 4×4 subarray floorplan.
+pub const OD_FREE_SPAN: u32 = 4;
+
+/// One way to shape a logical accelerator: `clusters` independent logical
+/// arrays, each `rows × cols` subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Arrangement {
+    /// Number of independent clusters (`P` — coarse-grain parallelism).
+    pub clusters: u32,
+    /// Subarray rows per cluster (`PSR` — partial-sum reuse multiplier).
+    pub rows: u32,
+    /// Subarray columns per cluster (`IAR` — input-activation reuse
+    /// multiplier).
+    pub cols: u32,
+}
+
+impl Arrangement {
+    /// Creates an arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is zero.
+    pub fn new(clusters: u32, rows: u32, cols: u32) -> Self {
+        assert!(
+            clusters > 0 && rows > 0 && cols > 0,
+            "arrangement components must be non-zero"
+        );
+        Self {
+            clusters,
+            rows,
+            cols,
+        }
+    }
+
+    /// Total subarrays consumed.
+    pub fn subarrays(&self) -> u32 {
+        self.clusters * self.rows * self.cols
+    }
+
+    /// Logical array height in PEs for granule side `dim`.
+    pub fn height(&self, dim: u32) -> u64 {
+        u64::from(self.rows) * u64::from(dim)
+    }
+
+    /// Logical array width in PEs for granule side `dim`.
+    pub fn width(&self, dim: u32) -> u64 {
+        u64::from(self.cols) * u64::from(dim)
+    }
+
+    /// Whether realizing this arrangement requires the omni-directional
+    /// switching network (a chain longer than [`OD_FREE_SPAN`] in either
+    /// direction).
+    pub fn uses_omnidirectional(&self) -> bool {
+        self.rows > OD_FREE_SPAN || self.cols > OD_FREE_SPAN
+    }
+
+    /// All arrangements of exactly `s` subarrays (every ordered
+    /// factorization `g·r·c = s`), sorted for determinism.
+    pub fn enumerate(s: u32) -> Vec<Arrangement> {
+        assert!(s > 0, "cannot arrange zero subarrays");
+        let mut out = Vec::new();
+        for g in 1..=s {
+            if !s.is_multiple_of(g) {
+                continue;
+            }
+            let per = s / g;
+            for r in 1..=per {
+                if !per.is_multiple_of(r) {
+                    continue;
+                }
+                out.push(Arrangement::new(g, r, per / r));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Arrangements of `s` subarrays realizable on `cfg` (filters
+    /// OD-requiring shapes when the switching network is absent).
+    pub fn enumerate_for(cfg: &AcceleratorConfig, s: u32) -> Vec<Arrangement> {
+        Arrangement::enumerate(s)
+            .into_iter()
+            .filter(|a| cfg.omnidirectional || !a.uses_omnidirectional())
+            .collect()
+    }
+
+    /// The monolithic arrangement of `s` subarrays closest to square
+    /// (used as the no-fission reference shape).
+    pub fn monolithic(s: u32) -> Arrangement {
+        let mut best = Arrangement::new(1, 1, s);
+        for r in 1..=s {
+            if s.is_multiple_of(r) {
+                let c = s / r;
+                let d = r.abs_diff(c);
+                let bd = best.rows.abs_diff(best.cols);
+                if d < bd {
+                    best = Arrangement::new(1, r, c);
+                }
+            }
+        }
+        best
+    }
+
+    /// Table II label for granule side `dim`, e.g. `"(64x256)-1"`.
+    pub fn label(&self, dim: u32) -> String {
+        format!(
+            "({}x{})-{}",
+            self.height(dim),
+            self.width(dim),
+            self.clusters
+        )
+    }
+}
+
+impl fmt::Display for Arrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x({}x{})", self.clusters, self.rows, self.cols)
+    }
+}
+
+/// A chip-level fission scenario: a partition of the chip's subarrays among
+/// co-located logical accelerators (each entry is one tenant's subarray
+/// count, sorted descending).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Scenario(Vec<u32>);
+
+impl Scenario {
+    /// Subarray counts per tenant, descending.
+    pub fn tenants(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of co-located tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Enumerates all chip-level fission scenarios for `total` subarrays:
+/// the integer partitions of `total`.
+///
+/// For the paper's 16 subarrays this yields 231 partitions; the paper quotes
+/// "65 total fission scenarios" without a derivation — see DESIGN.md. Every
+/// experiment in the evaluation depends only on per-allocation arrangement
+/// choices (which we match exactly), not on this census.
+pub fn scenarios(total: u32) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(remaining: u32, max: u32, cur: &mut Vec<u32>, out: &mut Vec<Scenario>) {
+        if remaining == 0 {
+            out.push(Scenario(cur.clone()));
+            return;
+        }
+        let mut part = max.min(remaining);
+        while part >= 1 {
+            cur.push(part);
+            rec(remaining - part, part, cur, out);
+            cur.pop();
+            part -= 1;
+        }
+    }
+    rec(total, total, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_subarrays_have_fifteen_arrangements() {
+        // Table II lists 15 cluster arrangements for the full chip.
+        let all = Arrangement::enumerate(16);
+        assert_eq!(all.len(), 15);
+        for a in &all {
+            assert_eq!(a.subarrays(), 16);
+        }
+    }
+
+    #[test]
+    fn table2_od_usage_matches_paper() {
+        // The six OD-SA-"Used" arrangements of Table II.
+        let used: Vec<String> = Arrangement::enumerate(16)
+            .into_iter()
+            .filter(Arrangement::uses_omnidirectional)
+            .map(|a| a.label(32))
+            .collect();
+        for expect in [
+            "(32x512)-1",
+            "(512x32)-1",
+            "(64x256)-1",
+            "(256x64)-1",
+            "(32x256)-2",
+            "(256x32)-2",
+        ] {
+            assert!(used.contains(&expect.to_string()), "missing {expect}");
+        }
+        assert_eq!(used.len(), 6);
+    }
+
+    #[test]
+    fn monolithic_16_is_square() {
+        let m = Arrangement::monolithic(16);
+        assert_eq!((m.clusters, m.rows, m.cols), (1, 4, 4));
+        assert_eq!(m.label(32), "(128x128)-1");
+        assert!(!m.uses_omnidirectional());
+    }
+
+    #[test]
+    fn table2_attributes() {
+        // (64x256)-1: P=1, IAR=8, PSR=2 per Table II.
+        let a = Arrangement::new(1, 2, 8);
+        assert_eq!(a.label(32), "(64x256)-1");
+        assert_eq!(a.clusters, 1);
+        assert_eq!(a.cols, 8); // IAR
+        assert_eq!(a.rows, 2); // PSR
+    }
+
+    #[test]
+    fn od_disabled_config_filters_serpentine_shapes() {
+        let mut cfg = AcceleratorConfig::planaria();
+        cfg.omnidirectional = false;
+        let shapes = Arrangement::enumerate_for(&cfg, 16);
+        assert_eq!(shapes.len(), 9);
+        assert!(shapes.iter().all(|a| !a.uses_omnidirectional()));
+    }
+
+    #[test]
+    fn partition_census() {
+        assert_eq!(scenarios(1).len(), 1);
+        assert_eq!(scenarios(4).len(), 5);
+        assert_eq!(scenarios(16).len(), 231);
+        // Extremes: one tenant with everything .. 16 single-subarray tenants.
+        let all = scenarios(16);
+        assert!(all.iter().any(|s| s.num_tenants() == 1));
+        assert!(all.iter().any(|s| s.num_tenants() == 16));
+    }
+
+    #[test]
+    fn enumerate_small_counts() {
+        // s = 1: only 1x(1x1).
+        assert_eq!(Arrangement::enumerate(1).len(), 1);
+        // s = 4: (g,r,c) ∈ {1x1x4,1x2x2,1x4x1,2x1x2,2x2x1,4x1x1} = 6.
+        assert_eq!(Arrangement::enumerate(4).len(), 6);
+        // s = 6 (non power of two allocations occur under Algorithm 1).
+        let six = Arrangement::enumerate(6);
+        assert!(six.contains(&Arrangement::new(2, 3, 1)));
+        assert!(six.iter().all(|a| a.subarrays() == 6));
+    }
+}

@@ -1,0 +1,44 @@
+//! Hardware description of the Planaria accelerator.
+//!
+//! This crate is the structural substrate of the reproduction: it describes
+//! the chip the paper builds in §III–IV without simulating it (timing lives
+//! in `planaria-timing`, energy in `planaria-energy`).
+//!
+//! The hierarchy mirrors the paper exactly:
+//!
+//! * a **PE** is a MAC unit with a private weight buffer; omni-directional
+//!   movement adds a mux/demux pair per axis ([`pe`]);
+//! * a **systolic subarray** is the 32×32 fission granule with a 6-bit
+//!   reconfiguration register pair ([`subarray`]);
+//! * a **Fission Pod** groups four subarrays around a Pod Memory through two
+//!   4×4 crossbars and two bi-directional ring buses ([`pod`]);
+//! * the **chip** is four pods (16 subarrays) chained by global activation /
+//!   partial-sum ring buses, one DRAM channel per pod ([`chip`]);
+//! * a **logical accelerator** is an allocation of subarrays running one DNN,
+//!   shaped by an [`fission::Arrangement`] (g clusters of r×c subarrays).
+//!
+//! # Example
+//!
+//! ```
+//! use planaria_arch::fission::Arrangement;
+//!
+//! // All ways to shape 16 subarrays; Table II of the paper lists these 15.
+//! let shapes = Arrangement::enumerate(16);
+//! assert_eq!(shapes.len(), 15);
+//! // The serpentine (32x512) shape needs omni-directional data flow.
+//! let fat = Arrangement::new(1, 1, 16);
+//! assert!(fat.uses_omnidirectional());
+//! ```
+
+pub mod chip;
+pub mod config;
+pub mod fission;
+pub mod floorplan;
+pub mod pe;
+pub mod pod;
+pub mod subarray;
+
+pub use chip::{Allocation, Chip, SubarrayId};
+pub use config::AcceleratorConfig;
+pub use fission::Arrangement;
+pub use floorplan::{Floorplan, GridPos};

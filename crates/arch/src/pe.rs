@@ -1,0 +1,138 @@
+//! Processing-element level description (Fig. 8 of the paper).
+//!
+//! A PE multiplies an input activation by a stationary weight and adds the
+//! product to a partial sum flowing through it. The omni-directional
+//! extension wraps the PE with a mux/demux pair on the horizontal axis
+//! (activation direction) and one on the vertical axis (partial-sum
+//! direction); each pair is steered by a single direction bit.
+
+/// Horizontal flow of input activations through a PE row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivationFlow {
+    /// West → east (the conventional direction).
+    #[default]
+    Eastward,
+    /// East → west (enabled by the omni-directional switching network).
+    Westward,
+}
+
+/// Vertical flow of partial sums through a PE column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartialSumFlow {
+    /// North → south (the conventional direction).
+    #[default]
+    Southward,
+    /// South → north (enabled by the omni-directional switching network).
+    Northward,
+}
+
+/// Static description of one processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeDescriptor {
+    /// Operand width in bits (8-bit quantized inference).
+    pub operand_bits: u32,
+    /// Accumulator width in bits.
+    pub accumulator_bits: u32,
+    /// Private weight-buffer capacity in bytes.
+    pub weight_buffer_bytes: u64,
+    /// Whether the omni-directional mux/demux pairs are instantiated.
+    pub omnidirectional: bool,
+}
+
+impl PeDescriptor {
+    /// The paper's PE: 8-bit multiply, 32-bit accumulate, omni-directional.
+    pub fn planaria() -> Self {
+        Self {
+            operand_bits: 8,
+            accumulator_bits: 32,
+            weight_buffer_bytes: 256,
+            omnidirectional: true,
+        }
+    }
+
+    /// A conventional (uni-directional) PE with the same datapath.
+    pub fn conventional() -> Self {
+        Self {
+            omnidirectional: false,
+            ..Self::planaria()
+        }
+    }
+
+    /// Number of 2:1 mux/demux pairs added by omni-directional support
+    /// (one horizontal pair + one vertical pair per PE; Fig. 8).
+    pub fn switch_pairs(&self) -> u32 {
+        if self.omnidirectional {
+            2
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for PeDescriptor {
+    fn default() -> Self {
+        Self::planaria()
+    }
+}
+
+/// Steering state of one PE's switching network — the realization of the
+/// two direction bits in the subarray's configuration register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PeSteering {
+    /// Horizontal activation direction.
+    pub activations: ActivationFlow,
+    /// Vertical partial-sum direction.
+    pub partial_sums: PartialSumFlow,
+}
+
+impl PeSteering {
+    /// Encodes the steering as the two direction bits of §IV-C
+    /// (bit 0 = activations westward, bit 1 = partial sums northward).
+    pub fn encode(&self) -> u8 {
+        let a = matches!(self.activations, ActivationFlow::Westward) as u8;
+        let p = matches!(self.partial_sums, PartialSumFlow::Northward) as u8;
+        a | (p << 1)
+    }
+
+    /// Decodes two direction bits.
+    pub fn decode(bits: u8) -> Self {
+        Self {
+            activations: if bits & 1 != 0 {
+                ActivationFlow::Westward
+            } else {
+                ActivationFlow::Eastward
+            },
+            partial_sums: if bits & 2 != 0 {
+                PartialSumFlow::Northward
+            } else {
+                PartialSumFlow::Southward
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steering_roundtrips() {
+        for bits in 0..4u8 {
+            assert_eq!(PeSteering::decode(bits).encode(), bits);
+        }
+    }
+
+    #[test]
+    fn default_steering_is_conventional_waterfall() {
+        let s = PeSteering::default();
+        assert_eq!(s.activations, ActivationFlow::Eastward);
+        assert_eq!(s.partial_sums, PartialSumFlow::Southward);
+        assert_eq!(s.encode(), 0);
+    }
+
+    #[test]
+    fn omnidirectional_pe_adds_two_switch_pairs() {
+        assert_eq!(PeDescriptor::planaria().switch_pairs(), 2);
+        assert_eq!(PeDescriptor::conventional().switch_pairs(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Fission Pod (§IV-B, Fig. 9): four omni-directional subarrays
+//! organized around a shared Pod Memory.
+//!
+//! Pod Memory holds four independent multi-bank Activation Buffers and four
+//! Output Buffers — the monolithic accelerator's unified buffers, fissioned.
+//! Two 4×4 crossbars (one read-side for activations, one write-side for
+//! outputs) connect any buffer to any subarray, and two bi-directional ring
+//! buses chain the subarrays for activation and partial-sum forwarding.
+//! Keeping the crossbar radix at 4 — instead of the chip-wide high-radix
+//! crossbars of the Fig. 7 strawman — is what makes fission affordable.
+
+use crate::config::AcceleratorConfig;
+
+/// A low-radix crossbar connecting Pod Memory buffers to subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossbar {
+    /// Number of input and output ports (paper: 4).
+    pub radix: u32,
+    /// Port width in bits.
+    pub port_bits: u32,
+}
+
+impl Crossbar {
+    /// Crosspoint count (`radix²`) — the quantity that makes high-radix
+    /// chip-wide crossbars (Fig. 7) prohibitively expensive.
+    pub fn crosspoints(&self) -> u32 {
+        self.radix * self.radix
+    }
+}
+
+/// A bi-directional ring bus chaining subarrays (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingBus {
+    /// Data width in bits.
+    pub width_bits: u32,
+    /// Pipeline registers along the ring (paper: 12) that keep the added
+    /// connectivity off the critical path.
+    pub pipeline_regs: u32,
+}
+
+/// One pod-private buffer pair inside Pod Memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodBuffer {
+    /// Activation buffer capacity, bytes.
+    pub activation_bytes: u64,
+    /// Output buffer capacity, bytes.
+    pub output_bytes: u64,
+}
+
+/// Static description of one Fission Pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FissionPod {
+    /// Subarrays grouped in this pod (paper: 4).
+    pub subarrays: u32,
+    /// Per-subarray buffer pair in the Pod Memory.
+    pub buffer: PodBuffer,
+    /// Read-side (activation) crossbar.
+    pub read_xbar: Crossbar,
+    /// Write-side (output) crossbar.
+    pub write_xbar: Crossbar,
+    /// Activation-forwarding ring bus.
+    pub act_ring: RingBus,
+    /// Partial-sum-forwarding ring bus.
+    pub psum_ring: RingBus,
+}
+
+impl FissionPod {
+    /// Derives the pod organization from a chip configuration, splitting the
+    /// chip's unified buffer budget evenly over pods and subarrays (2/3
+    /// activations, 1/3 outputs — the TPU-like split).
+    pub fn from_config(cfg: &AcceleratorConfig) -> Self {
+        let per_sub = cfg.onchip_buffer_bytes / u64::from(cfg.num_subarrays());
+        let n = cfg.subarrays_per_pod;
+        // Activation stream: one byte-wide lane per PE row; partial sums are
+        // 32-bit per PE column.
+        let act_bits = cfg.subarray_dim * 8;
+        let psum_bits = cfg.subarray_dim * 32;
+        Self {
+            subarrays: n,
+            buffer: PodBuffer {
+                activation_bytes: per_sub * 2 / 3,
+                output_bytes: per_sub - per_sub * 2 / 3,
+            },
+            read_xbar: Crossbar {
+                radix: n,
+                port_bits: act_bits,
+            },
+            write_xbar: Crossbar {
+                radix: n,
+                port_bits: psum_bits,
+            },
+            act_ring: RingBus {
+                width_bits: act_bits,
+                pipeline_regs: cfg.ring_pipeline_regs,
+            },
+            psum_ring: RingBus {
+                width_bits: psum_bits,
+                pipeline_regs: cfg.ring_pipeline_regs,
+            },
+        }
+    }
+
+    /// Total Pod Memory capacity, bytes.
+    pub fn pod_memory_bytes(&self) -> u64 {
+        u64::from(self.subarrays) * (self.buffer.activation_bytes + self.buffer.output_bytes)
+    }
+
+    /// The 8 connectivity bits of §IV-C that bind Pod Memory buffers to
+    /// subarrays: one read-enable and one write-enable bit per subarray.
+    pub fn memory_connectivity_bits(&self) -> u32 {
+        2 * self.subarrays
+    }
+}
+
+/// The Fig. 7 strawman for comparison: connecting every buffer to every
+/// subarray chip-wide requires two crossbars of radix `num_subarrays`.
+/// Returns `(pod_design_crosspoints, strawman_crosspoints)` for the chip.
+pub fn crossbar_cost_versus_strawman(cfg: &AcceleratorConfig) -> (u64, u64) {
+    let pod = FissionPod::from_config(cfg);
+    let pods = u64::from(cfg.num_pods());
+    let pod_total = pods * 2 * u64::from(pod.read_xbar.crosspoints());
+    let n = u64::from(cfg.num_subarrays());
+    let strawman = 2 * n * n;
+    (pod_total, strawman)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_memory_sums_to_chip_share() {
+        let cfg = AcceleratorConfig::planaria();
+        let pod = FissionPod::from_config(&cfg);
+        assert_eq!(pod.subarrays, 4);
+        // 4 pods x pod memory = chip buffer budget (within rounding).
+        let total = pod.pod_memory_bytes() * u64::from(cfg.num_pods());
+        assert!(cfg.onchip_buffer_bytes - total < 64);
+    }
+
+    #[test]
+    fn eight_connectivity_bits_per_pod() {
+        let cfg = AcceleratorConfig::planaria();
+        let pod = FissionPod::from_config(&cfg);
+        // §IV-C: "another eight bits determine the connectivity of the Pod
+        // Memory buffers to the subarrays in the same Fission Pod".
+        assert_eq!(pod.memory_connectivity_bits(), 8);
+    }
+
+    #[test]
+    fn pod_crossbars_are_four_times_cheaper_than_strawman() {
+        let cfg = AcceleratorConfig::planaria();
+        let (pod, strawman) = crossbar_cost_versus_strawman(&cfg);
+        // 4 pods x 2 xbars x 16 crosspoints = 128 vs 2 x 256 = 512.
+        assert_eq!(pod, 128);
+        assert_eq!(strawman, 512);
+        assert!(pod * 4 == strawman);
+    }
+
+    #[test]
+    fn ring_buses_are_pipelined() {
+        let cfg = AcceleratorConfig::planaria();
+        let pod = FissionPod::from_config(&cfg);
+        assert_eq!(pod.act_ring.pipeline_regs, 12);
+        assert_eq!(pod.act_ring.width_bits, 32 * 8);
+        assert_eq!(pod.psum_ring.width_bits, 32 * 32);
+    }
+}

@@ -1,0 +1,172 @@
+//! The systolic subarray: Planaria's fission granule (§IV-A, §IV-C).
+//!
+//! Each subarray carries a pair of 6-bit configuration registers (current +
+//! pre-loaded next state), its own program counter, and a 4 KB instruction
+//! buffer, making it a stand-alone sequencing unit once fissioned.
+
+use crate::pe::PeSteering;
+
+/// The 6-bit per-subarray reconfiguration word of §IV-C:
+///
+/// * bits `[1:0]` — activation / partial-sum direction ([`PeSteering`]),
+/// * bits `[5:2]` — connectivity to the four neighbouring subarrays
+///   (north, east, south, west ring-bus links on/off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ConfigWord {
+    /// Dataflow direction of the subarray's PEs.
+    pub steering: PeSteering,
+    /// Northern ring link enabled.
+    pub north: bool,
+    /// Eastern ring link enabled.
+    pub east: bool,
+    /// Southern ring link enabled.
+    pub south: bool,
+    /// Western ring link enabled.
+    pub west: bool,
+}
+
+impl ConfigWord {
+    /// Encodes into the 6-bit register format.
+    pub fn encode(&self) -> u8 {
+        self.steering.encode()
+            | (self.north as u8) << 2
+            | (self.east as u8) << 3
+            | (self.south as u8) << 4
+            | (self.west as u8) << 5
+    }
+
+    /// Decodes a 6-bit register value (upper two bits ignored).
+    pub fn decode(bits: u8) -> Self {
+        Self {
+            steering: PeSteering::decode(bits & 0b11),
+            north: bits & (1 << 2) != 0,
+            east: bits & (1 << 3) != 0,
+            south: bits & (1 << 4) != 0,
+            west: bits & (1 << 5) != 0,
+        }
+    }
+
+    /// Number of enabled neighbour links.
+    pub fn fanout(&self) -> u32 {
+        u32::from(self.north) + u32::from(self.east) + u32::from(self.south) + u32::from(self.west)
+    }
+
+    /// Fully isolated subarray (all links off, conventional dataflow).
+    pub fn isolated() -> Self {
+        Self::default()
+    }
+}
+
+/// The double-buffered configuration register pair of §IV-C: `current`
+/// drives the datapath while `next` is pre-loaded so a reconfiguration
+/// commits in a single cycle at a tile boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigRegs {
+    current: ConfigWord,
+    next: Option<ConfigWord>,
+}
+
+impl ConfigRegs {
+    /// Creates registers holding `initial` as the active configuration.
+    pub fn new(initial: ConfigWord) -> Self {
+        Self {
+            current: initial,
+            next: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn current(&self) -> ConfigWord {
+        self.current
+    }
+
+    /// Pre-loads the next configuration without disturbing execution.
+    pub fn preload(&mut self, next: ConfigWord) {
+        self.next = Some(next);
+    }
+
+    /// Whether a reconfiguration is pending.
+    pub fn pending(&self) -> bool {
+        self.next.is_some()
+    }
+
+    /// Commits the pre-loaded configuration (a no-op when none is pending);
+    /// returns the now-active word.
+    pub fn commit(&mut self) -> ConfigWord {
+        if let Some(n) = self.next.take() {
+            self.current = n;
+        }
+        self.current
+    }
+}
+
+/// Static description of one subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubarrayDescriptor {
+    /// Side length in PEs.
+    pub dim: u32,
+    /// Instruction buffer capacity in bytes (§IV-C: 4 KB).
+    pub instr_buffer_bytes: u64,
+    /// SIMD vector lanes paired with this subarray.
+    pub simd_lanes: u32,
+}
+
+impl SubarrayDescriptor {
+    /// The paper's 32×32 subarray with a 4 KB instruction buffer.
+    pub fn planaria() -> Self {
+        Self {
+            dim: 32,
+            instr_buffer_bytes: 4 * 1024,
+            simd_lanes: 32,
+        }
+    }
+
+    /// PEs in this subarray.
+    pub fn pes(&self) -> u64 {
+        u64::from(self.dim) * u64::from(self.dim)
+    }
+}
+
+impl Default for SubarrayDescriptor {
+    fn default() -> Self {
+        Self::planaria()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_word_roundtrips_all_64_values() {
+        for bits in 0..64u8 {
+            assert_eq!(ConfigWord::decode(bits).encode(), bits);
+        }
+    }
+
+    #[test]
+    fn isolated_word_is_zero() {
+        assert_eq!(ConfigWord::isolated().encode(), 0);
+        assert_eq!(ConfigWord::isolated().fanout(), 0);
+    }
+
+    #[test]
+    fn config_regs_double_buffer() {
+        let mut regs = ConfigRegs::default();
+        assert!(!regs.pending());
+        let next = ConfigWord::decode(0b101011);
+        regs.preload(next);
+        assert!(regs.pending());
+        // Execution still sees the old word until the tile boundary.
+        assert_eq!(regs.current(), ConfigWord::isolated());
+        assert_eq!(regs.commit(), next);
+        assert!(!regs.pending());
+        // Commit with nothing pending keeps the current word.
+        assert_eq!(regs.commit(), next);
+    }
+
+    #[test]
+    fn subarray_has_1024_pes() {
+        assert_eq!(SubarrayDescriptor::planaria().pes(), 1024);
+    }
+}

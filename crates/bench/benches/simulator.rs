@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the simulator's own kernels: per-layer
+//! timing evaluation, whole-network compilation, scheduler decisions, and
+//! the multi-tenant event loop. These quantify the cost of regenerating
+//! the paper's experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use planaria_arch::{AcceleratorConfig, Arrangement};
+use planaria_compiler::compile;
+use planaria_core::{schedule_tasks_spatially, PlanariaEngine, SchedTask};
+use planaria_model::{ConvSpec, DnnId, LayerOp};
+use planaria_prema::PremaEngine;
+use planaria_timing::{time_layer, ExecContext};
+use planaria_workload::{QosLevel, Scenario, TraceConfig};
+use std::hint::black_box;
+
+fn bench_layer_timing(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::planaria();
+    let ctx = ExecContext::full_chip(&cfg);
+    let conv = LayerOp::Conv(ConvSpec::new(256, 512, 3, 3, 1, 1, 28, 28));
+    c.bench_function("timing/conv_layer_all_arrangements", |b| {
+        b.iter(|| {
+            for arr in Arrangement::enumerate(16) {
+                black_box(time_layer(&ctx, black_box(&conv), arr));
+            }
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::planaria();
+    let net = DnnId::ResNet50.build();
+    c.bench_function("compiler/resnet50_16_tables", |b| {
+        b.iter(|| black_box(compile(&cfg, black_box(&net))))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::planaria();
+    let nets: Vec<_> = DnnId::ALL.iter().map(|id| compile(&cfg, &id.build())).collect();
+    let tasks: Vec<SchedTask<'_>> = nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| SchedTask {
+            priority: (i as u32 % 11) + 1,
+            slack: 0.005 + 0.001 * i as f64,
+            done: 0.1 * i as f64 / 9.0,
+            compiled: n,
+        })
+        .collect();
+    c.bench_function("scheduler/algorithm1_nine_tasks", |b| {
+        b.iter(|| black_box(schedule_tasks_spatially(black_box(&tasks), 16, cfg.freq_hz)))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let planaria = PlanariaEngine::new(AcceleratorConfig::planaria());
+    let prema = PremaEngine::new_default();
+    let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 100.0, 200, 1).generate();
+    c.bench_function("engine/planaria_200_requests", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| black_box(planaria.run(&t)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("engine/prema_200_requests", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| black_box(prema.run(&t)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_layer_timing, bench_compile, bench_scheduler, bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! §IV-A ablation — what omni-directional data movement buys: isolated
+//! latency and energy with the switching network enabled vs disabled
+//! (disabling filters out every arrangement whose chain exceeds a pod span;
+//! the six "OD-SA Used" configurations of Table II disappear).
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_energy::EnergyModel;
+use planaria_model::DnnId;
+
+fn main() {
+    let od_cfg = AcceleratorConfig::planaria();
+    let mut no_od_cfg = AcceleratorConfig::planaria();
+    no_od_cfg.omnidirectional = false;
+    let with_od = library(od_cfg);
+    let without = library(no_od_cfg);
+    let em_od = EnergyModel::for_config(&od_cfg);
+    let em_no = EnergyModel::for_config(&no_od_cfg);
+
+    let mut table = ResultTable::new(
+        "Ablation: omni-directional systolic movement on/off (isolated, 16 subarrays)",
+        &["dnn", "no-OD ms", "OD ms", "speedup", "energy ratio"],
+    );
+    let (mut log_s, mut n) = (0.0f64, 0.0f64);
+    for id in DnnId::ALL {
+        let t_od = with_od.get(id).table(16);
+        let t_no = without.get(id).table(16);
+        let s_od = t_od.total_cycles() as f64 / od_cfg.freq_hz;
+        let s_no = t_no.total_cycles() as f64 / no_od_cfg.freq_hz;
+        let e_od = t_od.total_energy_j() + em_od.static_energy(s_od);
+        let e_no = t_no.total_energy_j() + em_no.static_energy(s_no);
+        let speedup = s_no / s_od;
+        log_s += speedup.ln();
+        n += 1.0;
+        table.row(vec![
+            id.to_string(),
+            format!("{:.3}", s_no * 1e3),
+            format!("{:.3}", s_od * 1e3),
+            format!("{speedup:.3}x"),
+            format!("{:.3}x", e_no / e_od),
+        ]);
+    }
+    table.row(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.3}x", (log_s / n).exp()),
+        "-".into(),
+    ]);
+    table.emit("ablation_omnidirectional");
+}

@@ -1,0 +1,44 @@
+//! §III-C ablation — why fission requires reorganizing the memory system.
+//!
+//! Three design points for a 16-granule chip:
+//! * **Fission Pods** (Planaria): pod-local 4×4 crossbars — full performance
+//!   at 128 crosspoints chip-wide;
+//! * **no reorganization** (Fig. 6): the unified buffers reach only the
+//!   corner subarray, so a fissioned tenant effectively uses one granule;
+//! * **global crossbars** (Fig. 7): same performance as pods but through
+//!   two 16×16 crossbars — 4× the crosspoints, which is what "can seriously
+//!   curtail scaling up the compute resources".
+
+use planaria_arch::pod::crossbar_cost_versus_strawman;
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_model::DnnId;
+
+fn main() {
+    let cfg = AcceleratorConfig::planaria();
+    let lib = library(cfg);
+    let (pod_xpoints, strawman_xpoints) = crossbar_cost_versus_strawman(&cfg);
+
+    let mut table = ResultTable::new(
+        "Ablation: memory organization for fission (isolated latency, ms)",
+        &["dnn", "fission pods", "no reorganization (Fig.6)", "global xbar (Fig.7)"],
+    );
+    for id in DnnId::ALL {
+        let pods_ms = lib.get(id).table(16).total_cycles() as f64 / cfg.freq_hz * 1e3;
+        // Without reorganization only the buffer-adjacent granule computes.
+        let naive_ms = lib.get(id).table(1).total_cycles() as f64 / cfg.freq_hz * 1e3;
+        table.row(vec![
+            id.to_string(),
+            format!("{pods_ms:.3}"),
+            format!("{naive_ms:.3}"),
+            format!("{pods_ms:.3}"),
+        ]);
+    }
+    table.row(vec![
+        "crossbar crosspoints".into(),
+        pod_xpoints.to_string(),
+        "0".into(),
+        strawman_xpoints.to_string(),
+    ]);
+    table.emit("ablation_pod_memory");
+}

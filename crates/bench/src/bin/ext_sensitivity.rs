@@ -1,0 +1,44 @@
+//! Extension study (beyond the paper): sensitivity of the isolated-DNN
+//! speedup to the chip's DRAM bandwidth and on-chip buffer budget —
+//! identifies which resource the fission advantage actually depends on.
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_model::DnnId;
+
+fn geomean_speedup(pl_cfg: AcceleratorConfig, mono_cfg: AcceleratorConfig) -> f64 {
+    let pl = library(pl_cfg);
+    let mono = library(mono_cfg);
+    let mut log = 0.0;
+    for id in DnnId::ALL {
+        let p = pl.get(id).table(pl_cfg.num_subarrays()).total_cycles() as f64 / pl_cfg.freq_hz;
+        let m = mono.get(id).table(1).total_cycles() as f64 / mono_cfg.freq_hz;
+        log += (m / p).ln();
+    }
+    (log / DnnId::ALL.len() as f64).exp()
+}
+
+fn main() {
+    let mut table = ResultTable::new(
+        "Extension: geomean isolated speedup vs resource scaling",
+        &["dram bw (GB/s)", "buffer (MB)", "geomean speedup"],
+    );
+    for bw_scale in [0.5f64, 1.0, 2.0, 4.0] {
+        for buf_scale in [0.5f64, 1.0, 2.0] {
+            let scale = |mut cfg: AcceleratorConfig| {
+                cfg.dram_bw_per_channel *= bw_scale;
+                cfg.onchip_buffer_bytes =
+                    (cfg.onchip_buffer_bytes as f64 * buf_scale) as u64;
+                cfg
+            };
+            let pl = scale(AcceleratorConfig::planaria());
+            let mono = scale(AcceleratorConfig::monolithic());
+            table.row(vec![
+                format!("{:.0}", pl.total_dram_bw() / 1e9),
+                format!("{:.0}", pl.onchip_buffer_bytes as f64 / 1e6),
+                format!("{:.2}x", geomean_speedup(pl, mono)),
+            ]);
+        }
+    }
+    table.emit("ext_sensitivity");
+}

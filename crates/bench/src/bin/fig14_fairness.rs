@@ -1,0 +1,60 @@
+//! Fig. 14 — Fairness (PREMA's min-ratio progress metric), Planaria
+//! normalized to PREMA, both systems observed at the same arrival rate.
+//!
+//! Paper headline: 2.1× / 2.3× / 1.9× improvements on Workload-C.
+
+use planaria_bench::{
+    planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+};
+use planaria_workload::{fairness, QosLevel, Scenario};
+
+fn main() {
+    let sys = Systems::new();
+    let iso_p = sys.planaria.library().isolated_latencies();
+    let iso_r = sys.prema.library().isolated_latencies();
+    let seeds: Vec<u64> = (200..210).collect();
+    let mut table = ResultTable::new(
+        "Fig. 14: fairness (min-ratio), normalized to PREMA",
+        &["workload", "qos", "lambda", "planaria", "prema", "normalized"],
+    );
+    for scenario in Scenario::ALL {
+        for qos in QosLevel::ALL {
+            let lambda = probe_rate(
+                planaria_throughput(&sys, scenario, qos),
+                prema_throughput(&sys, scenario, qos),
+            );
+            let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
+            let fp = mean(
+                seeds
+                    .iter()
+                    .map(|&s| {
+                        fairness(
+                            &sys.planaria.run(&trace(scenario, qos, lambda, s)).completions,
+                            &iso_p,
+                        )
+                    })
+                    .collect(),
+            );
+            let fr = mean(
+                seeds
+                    .iter()
+                    .map(|&s| {
+                        fairness(
+                            &sys.prema.run(&trace(scenario, qos, lambda, s)).completions,
+                            &iso_r,
+                        )
+                    })
+                    .collect(),
+            );
+            table.row(vec![
+                scenario.to_string(),
+                qos.to_string(),
+                format!("{lambda:.1}"),
+                format!("{fp:.4}"),
+                format!("{fr:.4}"),
+                format!("{:.2}x", fp / fr.max(1e-9)),
+            ]);
+        }
+    }
+    table.emit("fig14_fairness");
+}

@@ -1,0 +1,43 @@
+//! Fig. 15 — Total energy to run each multi-tenant workload, both systems
+//! at the same arrival rate.
+//!
+//! Paper shape: Planaria consumes *slightly more* on the traditional
+//! Workload-A (multi-tenancy trades individual efficiency for throughput),
+//! but wins by 3.3–12.1× on the depthwise-heavy Workloads B/C where the
+//! monolithic baseline burns leakage on underutilized runs.
+
+use planaria_bench::{
+    planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+};
+use planaria_workload::{QosLevel, Scenario};
+
+fn main() {
+    let sys = Systems::new();
+    let seeds: Vec<u64> = (300..306).collect();
+    let mut table = ResultTable::new(
+        "Fig. 15: workload energy (J), same arrival rate",
+        &["workload", "qos", "lambda", "planaria", "prema", "reduction"],
+    );
+    for scenario in Scenario::ALL {
+        for qos in QosLevel::ALL {
+            let lambda = probe_rate(
+                planaria_throughput(&sys, scenario, qos),
+                prema_throughput(&sys, scenario, qos),
+            );
+            let mean = |f: &dyn Fn(u64) -> f64| {
+                seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
+            };
+            let ep = mean(&|s| sys.planaria.run(&trace(scenario, qos, lambda, s)).total_energy_j);
+            let er = mean(&|s| sys.prema.run(&trace(scenario, qos, lambda, s)).total_energy_j);
+            table.row(vec![
+                scenario.to_string(),
+                qos.to_string(),
+                format!("{lambda:.1}"),
+                format!("{ep:.2}"),
+                format!("{er:.2}"),
+                format!("{:.2}x", er / ep),
+            ]);
+        }
+    }
+    table.emit("fig15_energy");
+}

@@ -1,0 +1,43 @@
+//! Fig. 16 — Scale-out: the minimum number of Planaria nodes needed to
+//! reach 99 % SLA satisfaction at one constant arrival rate shared by all
+//! workloads and QoS levels.
+//!
+//! Paper shape: node count grows from QoS-S to QoS-H; Workload-B (tightest
+//! relative bounds) needs the most nodes (2 → 7); Workload-A QoS-S fits on
+//! a single node.
+
+use planaria_bench::{trace, ResultTable, Systems};
+use planaria_core::{min_nodes_for_sla, run_cluster};
+use planaria_workload::{meets_sla, QosLevel, Scenario};
+
+/// One constant rate across all workloads and QoS levels (§VI-B1).
+const LAMBDA: f64 = 350.0;
+const MAX_NODES: usize = 12;
+
+fn main() {
+    let sys = Systems::new();
+    let seeds: Vec<u64> = (400..405).collect();
+    let mut table = ResultTable::new(
+        format!("Fig. 16: min Planaria nodes for SLA at {LAMBDA} q/s"),
+        &["workload", "qos", "nodes"],
+    );
+    for scenario in Scenario::ALL {
+        for qos in QosLevel::ALL {
+            let nodes = min_nodes_for_sla(
+                |n| {
+                    seeds.iter().all(|&s| {
+                        let t = trace(scenario, qos, LAMBDA, s);
+                        meets_sla(&run_cluster(&sys.planaria, n, &t).completions)
+                    })
+                },
+                MAX_NODES,
+            );
+            table.row(vec![
+                scenario.to_string(),
+                qos.to_string(),
+                nodes.map_or_else(|| format!(">{MAX_NODES}"), |n| n.to_string()),
+            ]);
+        }
+    }
+    table.emit("fig16_scaleout");
+}

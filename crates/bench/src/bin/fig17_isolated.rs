@@ -1,0 +1,55 @@
+//! Fig. 17 — Single-DNN inference in isolation: Planaria's speedup and
+//! energy reduction over a conventional monolithic systolic accelerator
+//! with the same compute/memory budget.
+//!
+//! Paper headline: geometric means of 3.5× speedup and 6.3× energy
+//! reduction; depthwise networks (EfficientNet-B0, MobileNet-v1, SSD-M)
+//! gain the most, GNMT the least.
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_energy::EnergyModel;
+use planaria_model::DnnId;
+
+fn main() {
+    let pl_cfg = AcceleratorConfig::planaria();
+    let mono_cfg = AcceleratorConfig::monolithic();
+    let pl = library(pl_cfg);
+    let mono = library(mono_cfg);
+    let em_pl = EnergyModel::for_config(&pl_cfg);
+    let em_mono = EnergyModel::for_config(&mono_cfg);
+
+    let mut table = ResultTable::new(
+        "Fig. 17: isolated speedup & energy reduction vs monolithic",
+        &["dnn", "mono ms", "planaria ms", "speedup", "energy reduction"],
+    );
+    let (mut log_speed, mut log_energy) = (0.0f64, 0.0f64);
+    for id in DnnId::ALL {
+        let tp = pl.get(id).table(pl_cfg.num_subarrays());
+        let tm = mono.get(id).table(1);
+        let sp = tp.total_cycles() as f64 / pl_cfg.freq_hz;
+        let sm = tm.total_cycles() as f64 / mono_cfg.freq_hz;
+        let ep = tp.total_energy_j() + em_pl.static_energy(sp);
+        let em = tm.total_energy_j() + em_mono.static_energy(sm);
+        let speedup = sm / sp;
+        let ereduce = em / ep;
+        log_speed += speedup.ln();
+        log_energy += ereduce.ln();
+        table.row(vec![
+            id.to_string(),
+            format!("{:.3}", sm * 1e3),
+            format!("{:.3}", sp * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{ereduce:.2}x"),
+        ]);
+    }
+    let n = DnnId::ALL.len() as f64;
+    table.row(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.2}x", (log_speed / n).exp()),
+        format!("{:.2}x", (log_energy / n).exp()),
+    ]);
+    table.emit("fig17_isolated");
+}

@@ -1,0 +1,59 @@
+//! Fig. 18 — Design-space exploration of the fission granularity: relative
+//! Energy-Delay-Product averaged over the nine benchmarks run in isolation
+//! for 16×16, 32×32, and 64×64 subarrays.
+//!
+//! Paper result: 32×32 minimizes EDP — fine granularity buys flexibility
+//! but pays mux/crossbar/instruction-buffer overhead; coarse granularity is
+//! cheap but cannot fission enough (depthwise layers cap at 4-way
+//! parallelism).
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_energy::{edp, EnergyModel};
+use planaria_model::DnnId;
+
+fn main() {
+    let mut table = ResultTable::new(
+        "Fig. 18: relative EDP vs fission granularity (geomean over DNNs)",
+        &["granularity", "subarrays", "geomean EDP (norm)", "geomean latency (norm)", "geomean energy (norm)"],
+    );
+    let dims = [16u32, 32, 64];
+    let mut rows: Vec<(u32, u32, f64, f64, f64)> = Vec::new();
+    for dim in dims {
+        let cfg = AcceleratorConfig::with_granularity(dim);
+        let lib = library(cfg);
+        let em = EnergyModel::for_config(&cfg);
+        let mut log_edp = 0.0f64;
+        let mut log_lat = 0.0f64;
+        let mut log_en = 0.0f64;
+        for id in DnnId::ALL {
+            let t = lib.get(id).table(cfg.num_subarrays());
+            let secs = t.total_cycles() as f64 / cfg.freq_hz;
+            let joules = t.total_energy_j() + em.static_energy(secs);
+            log_edp += edp(joules, secs).ln();
+            log_lat += secs.ln();
+            log_en += joules.ln();
+        }
+        let n = DnnId::ALL.len() as f64;
+        rows.push((
+            dim,
+            cfg.num_subarrays(),
+            (log_edp / n).exp(),
+            (log_lat / n).exp(),
+            (log_en / n).exp(),
+        ));
+    }
+    // Normalize to the 32x32 design point (the paper's winner).
+    let base = rows.iter().find(|r| r.0 == 32).expect("32x32 present");
+    let (b_edp, b_lat, b_en) = (base.2, base.3, base.4);
+    for (dim, subs, e, l, en) in rows {
+        table.row(vec![
+            format!("{dim}x{dim}"),
+            subs.to_string(),
+            format!("{:.3}", e / b_edp),
+            format!("{:.3}", l / b_lat),
+            format!("{:.3}", en / b_en),
+        ]);
+    }
+    table.emit("fig18_granularity");
+}

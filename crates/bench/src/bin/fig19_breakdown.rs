@@ -1,0 +1,30 @@
+//! Fig. 19 — Planaria area/power breakdown and the fission overhead
+//! bottom line: +12.6 % area and +20.6 % power over a conventional design
+//! with the same compute resources.
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::ResultTable;
+use planaria_energy::AreaPowerBreakdown;
+
+fn main() {
+    let cfg = AcceleratorConfig::planaria();
+    let b = AreaPowerBreakdown::for_config(&cfg);
+    let mut table = ResultTable::new(
+        "Fig. 19: area/power breakdown (fission overheads marked *)",
+        &["component", "area %", "power %"],
+    );
+    for c in b.components() {
+        let mark = if c.fission_overhead { "*" } else { "" };
+        table.row(vec![
+            format!("{}{mark}", c.name),
+            format!("{:.1}%", c.area / b.total_area() * 100.0),
+            format!("{:.1}%", c.power / b.total_power() * 100.0),
+        ]);
+    }
+    table.row(vec![
+        "TOTAL fission overhead".into(),
+        format!("{:.1}%", b.area_overhead() * 100.0),
+        format!("{:.1}%", b.power_overhead() * 100.0),
+    ]);
+    table.emit("fig19_breakdown");
+}

@@ -1,0 +1,34 @@
+//! Table II — Layer sensitivity to fission configurations: for each DNN
+//! compiled at the full 16-subarray allocation, the fraction of its
+//! systolic layers selecting each cluster arrangement, with the
+//! arrangement's architectural attributes (parallelism P, input-activation
+//! reuse IAR, partial-sum reuse PSR, omni-directional usage).
+
+use planaria_arch::AcceleratorConfig;
+use planaria_bench::{library, ResultTable};
+use planaria_compiler::config_histogram;
+use planaria_model::DnnId;
+
+fn main() {
+    let cfg = AcceleratorConfig::planaria();
+    let lib = library(cfg);
+    let mut table = ResultTable::new(
+        "Table II: layer -> fission-configuration histogram (16 subarrays)",
+        &["dnn", "config", "P", "IAR", "PSR", "OD-SA", "% of layers"],
+    );
+    for id in DnnId::ALL {
+        let t = lib.get(id).table(cfg.num_subarrays());
+        for u in config_histogram(t, cfg.subarray_dim) {
+            table.row(vec![
+                id.to_string(),
+                u.label.clone(),
+                format!("{}x", u.arrangement.clusters),
+                format!("{}x", u.arrangement.cols),
+                format!("{}x", u.arrangement.rows),
+                if u.uses_od { "Used" } else { "Unused" }.into(),
+                format!("{:.1}%", u.fraction * 100.0),
+            ]);
+        }
+    }
+    table.emit("table2_sensitivity");
+}

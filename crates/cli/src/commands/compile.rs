@@ -1,0 +1,72 @@
+//! `planaria-cli compile` — compile a network and summarize (or emit) one
+//! configuration table / binary.
+
+use crate::args::{parse_dnn, ArgError, Args};
+use planaria_arch::AcceleratorConfig;
+use planaria_compiler::compile_for_allocation;
+use planaria_isa::generate;
+
+/// Compiles `<net>` for `--subarrays N` (default: full chip) and prints a
+/// per-layer summary; `--emit-binary PATH` also writes the assembled
+/// program.
+pub fn compile(args: &Args) -> Result<(), ArgError> {
+    let id = parse_dnn(
+        args.positional(0)
+            .ok_or_else(|| ArgError("compile expects a network name".into()))?,
+    )?;
+    let cfg = AcceleratorConfig::planaria();
+    let subarrays: u32 = args.flag_or("subarrays", cfg.num_subarrays())?;
+    if subarrays == 0 || subarrays > cfg.num_subarrays() {
+        return Err(ArgError(format!(
+            "--subarrays must be in 1..={}",
+            cfg.num_subarrays()
+        )));
+    }
+    let table = compile_for_allocation(&cfg, &id.build(), subarrays);
+    println!(
+        "{} on {} subarrays: {:.3} ms, {} tiles, {:.2} mJ dynamic",
+        id,
+        subarrays,
+        table.total_cycles() as f64 / cfg.freq_hz * 1e3,
+        table.total_tiles(),
+        table.total_energy_j() * 1e3
+    );
+    println!(
+        "{:<18} {:>12} {:>9} {:>10} {:>8} {:>7}",
+        "layer", "config", "cycles", "tiles", "util %", "repeat"
+    );
+    for l in table.layers() {
+        if !l.systolic {
+            continue;
+        }
+        println!(
+            "{:<18} {:>12} {:>9} {:>10} {:>8.1} {:>7}",
+            truncate(&l.name, 18),
+            l.arrangement.label(cfg.subarray_dim),
+            l.timing.cycles,
+            l.timing.tiles,
+            l.timing.utilization * 100.0,
+            l.repeat,
+        );
+    }
+    if let Some(path) = args.flag("emit-binary") {
+        let program = generate(&table);
+        let bin = program.assemble();
+        std::fs::write(path, &bin)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!(
+            "\nwrote {} bytes ({} instructions) to {path}",
+            bin.len(),
+            program.instrs().len()
+        );
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

@@ -1,0 +1,70 @@
+//! `planaria-cli explore` — fission design-space sweep for one layer.
+
+use crate::args::{parse_dnn, ArgError, Args};
+use planaria_arch::{AcceleratorConfig, Arrangement};
+use planaria_energy::EnergyModel;
+use planaria_timing::{time_layer, ExecContext};
+
+/// Times every arrangement of `--subarrays N` (default: full chip) for the
+/// layer `--layer <name>` of `<net>`.
+pub fn explore(args: &Args) -> Result<(), ArgError> {
+    let id = parse_dnn(
+        args.positional(0)
+            .ok_or_else(|| ArgError("explore expects a network name".into()))?,
+    )?;
+    let layer_name = args
+        .flag("layer")
+        .ok_or_else(|| ArgError("explore expects --layer <name>".into()))?;
+    let cfg = AcceleratorConfig::planaria();
+    let subarrays: u32 = args.flag_or("subarrays", cfg.num_subarrays())?;
+    let net = id.build();
+    let layer = net
+        .layers()
+        .iter()
+        .find(|l| l.name == layer_name)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "no layer '{layer_name}' in {id}; try one of: {}",
+                net.layers()
+                    .iter()
+                    .take(8)
+                    .map(|l| l.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+    if !layer.op.is_systolic() {
+        return Err(ArgError(format!(
+            "'{layer_name}' runs on the vector unit; no fission choice to explore"
+        )));
+    }
+    let ctx = ExecContext::for_allocation(&cfg, subarrays);
+    let em = EnergyModel::for_config(&cfg);
+    println!("{id} / {layer_name} on {subarrays} subarrays:");
+    println!(
+        "{:>14} {:>4} {:>4} {:>4} {:>6} {:>11} {:>8} {:>12}",
+        "config", "P", "IAR", "PSR", "OD", "cycles", "util %", "energy (uJ)"
+    );
+    let mut rows: Vec<_> = Arrangement::enumerate_for(&cfg, subarrays)
+        .into_iter()
+        .map(|arr| {
+            let t = time_layer(&ctx, &layer.op, arr);
+            (arr, t.cycles, t.utilization, em.dynamic_energy(&t.counts))
+        })
+        .collect();
+    rows.sort_by_key(|r| r.1);
+    for (arr, cycles, util, energy) in rows {
+        println!(
+            "{:>14} {:>4} {:>4} {:>4} {:>6} {:>11} {:>8.1} {:>12.2}",
+            arr.label(cfg.subarray_dim),
+            format!("{}x", arr.clusters),
+            format!("{}x", arr.cols),
+            format!("{}x", arr.rows),
+            if arr.uses_omnidirectional() { "Used" } else { "-" },
+            cycles,
+            util * 100.0,
+            energy * 1e6,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Subcommand implementations.
+
+mod compile;
+mod explore;
+mod nets;
+mod simulate;
+
+pub use compile::compile;
+pub use explore::explore;
+pub use nets::nets;
+pub use simulate::simulate;

@@ -1,0 +1,40 @@
+//! `planaria-cli nets` — benchmark-suite overview.
+
+use crate::args::ArgError;
+use planaria_arch::AcceleratorConfig;
+use planaria_model::DnnId;
+use planaria_workload::{qos_bound, QosLevel};
+
+/// Prints the nine benchmark networks with their key statistics.
+pub fn nets() -> Result<(), ArgError> {
+    let cfg = AcceleratorConfig::planaria();
+    println!(
+        "{:<16} {:<22} {:>7} {:>8} {:>9} {:>10} {:>9}",
+        "network", "domain", "layers", "GMACs", "params MB", "depthwise", "QoS-S ms"
+    );
+    for id in DnnId::ALL {
+        let net = id.build();
+        let s = net.stats();
+        println!(
+            "{:<16} {:<22} {:>7} {:>8.2} {:>9.1} {:>10} {:>9.0}",
+            id.name(),
+            id.domain().to_string(),
+            s.layers,
+            s.macs as f64 / 1e9,
+            s.weight_bytes as f64 / 1e6,
+            if net.has_depthwise() { "yes" } else { "no" },
+            qos_bound(id, QosLevel::Soft) * 1e3,
+        );
+    }
+    println!(
+        "\nchip: {}x{} PEs, {} subarrays of {}x{}, {} MB on-chip, {:.0} MHz",
+        cfg.pe_rows,
+        cfg.pe_cols,
+        cfg.num_subarrays(),
+        cfg.subarray_dim,
+        cfg.subarray_dim,
+        cfg.onchip_buffer_bytes / (1024 * 1024),
+        cfg.freq_hz / 1e6
+    );
+    Ok(())
+}

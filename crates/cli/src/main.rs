@@ -1,0 +1,65 @@
+//! `planaria-cli` — command-line interface to the Planaria reproduction.
+//!
+//! ```text
+//! planaria-cli nets
+//! planaria-cli compile <net> [--subarrays N] [--emit-binary PATH]
+//! planaria-cli explore <net> --layer <name> [--subarrays N]
+//! planaria-cli simulate [--scenario C] [--qos M] [--lambda 60]
+//!                       [--requests 200] [--seed 1] [--system planaria|prema]
+//!                       [--timeline 1]
+//! ```
+
+mod args;
+mod commands;
+
+use args::{ArgError, Args};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+planaria-cli — dynamic architecture fission for multi-tenant DNN acceleration
+
+USAGE:
+  planaria-cli nets                          list the benchmark networks
+  planaria-cli compile <net> [--subarrays N] [--emit-binary PATH]
+                                             compile and summarize one table
+  planaria-cli explore <net> --layer <name> [--subarrays N]
+                                             sweep fission arrangements for a layer
+  planaria-cli simulate [--scenario C] [--qos M] [--lambda QPS]
+                        [--requests N] [--seed S]
+                        [--system planaria|prema] [--timeline 1]
+                                             run a multi-tenant workload
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result: Result<(), ArgError> = match command.as_str() {
+        "nets" => commands::nets(),
+        "compile" => commands::compile(&parsed),
+        "explore" => commands::explore(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

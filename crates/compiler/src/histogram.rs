@@ -1,0 +1,94 @@
+//! Configuration-usage histogram: the data behind Table II.
+//!
+//! For a network compiled at full-chip allocation, reports what fraction of
+//! its systolic layers selected each fission arrangement, along with the
+//! arrangement's Table II attributes (parallelism / IAR / PSR / OD usage).
+
+use crate::table::ConfigTable;
+use planaria_arch::Arrangement;
+
+/// Usage record of one arrangement by one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigUsage {
+    /// The arrangement.
+    pub arrangement: Arrangement,
+    /// Table II-style label, e.g. `"(64x256)-1"`.
+    pub label: String,
+    /// Fraction of the network's systolic layers using it (0..1).
+    pub fraction: f64,
+    /// Number of layers using it.
+    pub layers: usize,
+    /// Whether omni-directional flow is required.
+    pub uses_od: bool,
+}
+
+/// Computes the arrangement-usage histogram of a configuration table,
+/// counting only systolic layers (the paper's "% of layers" is over
+/// conv/matmul layers, which are the ones with a fission choice).
+pub fn config_histogram(table: &ConfigTable, subarray_dim: u32) -> Vec<ConfigUsage> {
+    let systolic: Vec<_> = table.layers().iter().filter(|l| l.systolic).collect();
+    let total = systolic.len().max(1);
+    let mut out: Vec<ConfigUsage> = Vec::new();
+    for l in &systolic {
+        if let Some(u) = out.iter_mut().find(|u| u.arrangement == l.arrangement) {
+            u.layers += 1;
+        } else {
+            out.push(ConfigUsage {
+                arrangement: l.arrangement,
+                label: l.arrangement.label(subarray_dim),
+                fraction: 0.0,
+                layers: 1,
+                uses_od: l.arrangement.uses_omnidirectional(),
+            });
+        }
+    }
+    for u in &mut out {
+        u.fraction = u.layers as f64 / total as f64;
+    }
+    out.sort_by_key(|u| std::cmp::Reverse(u.layers));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::compile_for_allocation;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_model::DnnId;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cfg = AcceleratorConfig::planaria();
+        let t = compile_for_allocation(&cfg, &DnnId::ResNet50.build(), 16);
+        let h = config_histogram(&t, cfg.subarray_dim);
+        let sum: f64 = h.iter().map(|u| u.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn mobilenet_uses_fully_fissioned_config() {
+        // Table II: the (32x32)-16 configuration is used by 46.4% of
+        // MobileNet-v1's layers (its depthwise half).
+        let cfg = AcceleratorConfig::planaria();
+        let t = compile_for_allocation(&cfg, &DnnId::MobileNetV1.build(), 16);
+        let h = config_histogram(&t, cfg.subarray_dim);
+        let full_fission = h
+            .iter()
+            .find(|u| u.arrangement == Arrangement::new(16, 1, 1));
+        assert!(
+            full_fission.map(|u| u.fraction).unwrap_or(0.0) > 0.25,
+            "expected heavy (32x32)-16 usage: {h:?}"
+        );
+    }
+
+    #[test]
+    fn some_network_exercises_od_configs() {
+        // Table II's black cell: omni-directional configurations are the
+        // most fruitful; at least GNMT must pick one.
+        let cfg = AcceleratorConfig::planaria();
+        let t = compile_for_allocation(&cfg, &DnnId::Gnmt.build(), 16);
+        let h = config_histogram(&t, cfg.subarray_dim);
+        assert!(h.iter().any(|u| u.uses_od), "GNMT histogram: {h:?}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Pre-compiled network library shared by engines.
+
+use planaria_arch::AcceleratorConfig;
+use crate::table::{compile, CompiledDnn};
+use planaria_model::DnnId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// All nine benchmark networks compiled for one accelerator configuration.
+///
+/// Compilation (16 tables × every layer × every arrangement) happens once;
+/// engines and benchmark harnesses share the library via cheap clones.
+#[derive(Debug, Clone)]
+pub struct CompiledLibrary {
+    cfg: AcceleratorConfig,
+    by_id: HashMap<DnnId, Arc<CompiledDnn>>,
+}
+
+impl CompiledLibrary {
+    /// Compiles every benchmark network for `cfg`.
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        let by_id = DnnId::ALL
+            .into_iter()
+            .map(|id| (id, Arc::new(compile(&cfg, &id.build()))))
+            .collect();
+        Self { cfg, by_id }
+    }
+
+    /// The configuration the library was compiled for.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// The compiled form of one network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the library (never happens for the
+    /// nine-network suite).
+    pub fn get(&self, id: DnnId) -> &CompiledDnn {
+        self.by_id.get(&id).expect("library covers all benchmarks")
+    }
+
+    /// Isolated full-chip latency of one network, seconds — the
+    /// `T_isolated` term of the fairness metric.
+    pub fn isolated_latency(&self, id: DnnId) -> f64 {
+        let n = self.cfg.num_subarrays();
+        self.get(id).table(n).total_cycles() as f64 / self.cfg.freq_hz
+    }
+
+    /// Isolated latencies for all networks (for the fairness metric).
+    pub fn isolated_latencies(&self) -> HashMap<DnnId, f64> {
+        DnnId::ALL
+            .into_iter()
+            .map(|id| (id, self.isolated_latency(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_suite_and_is_cheap_to_clone() {
+        let lib = CompiledLibrary::new(AcceleratorConfig::planaria());
+        for id in DnnId::ALL {
+            assert_eq!(lib.get(id).num_tables(), 16);
+            assert!(lib.isolated_latency(id) > 0.0);
+        }
+        let clone = lib.clone();
+        assert!(std::ptr::eq(
+            clone.get(DnnId::ResNet50),
+            lib.get(DnnId::ResNet50)
+        ));
+    }
+
+    #[test]
+    fn monolithic_library_has_single_table() {
+        let lib = CompiledLibrary::new(AcceleratorConfig::monolithic());
+        assert_eq!(lib.get(DnnId::TinyYolo).num_tables(), 1);
+    }
+}

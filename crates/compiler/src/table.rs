@@ -1,0 +1,314 @@
+//! Configuration tables: the compiler's output artifact.
+
+use planaria_arch::{AcceleratorConfig, Arrangement};
+use planaria_energy::EnergyModel;
+use planaria_model::Dnn;
+use planaria_timing::{time_layer, ExecContext, LayerTiming};
+
+/// Near-tie tolerance for energy-based selection between arrangements of
+/// almost-equal latency.
+const TIE_TOLERANCE: f64 = 1.02;
+
+/// One layer's entry in a configuration table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerConfig {
+    /// Layer name.
+    pub name: String,
+    /// Chosen fission configuration.
+    pub arrangement: Arrangement,
+    /// Timing of one execution under that configuration.
+    pub timing: LayerTiming,
+    /// Sequential repetitions of the layer.
+    pub repeat: u64,
+    /// Dynamic energy of one execution, joules.
+    pub energy_j: f64,
+    /// Whether the layer runs on the systolic array.
+    pub systolic: bool,
+}
+
+impl LayerConfig {
+    /// Total cycles including repetitions.
+    pub fn total_cycles(&self) -> u64 {
+        self.timing.cycles * self.repeat
+    }
+
+    /// Total tiles including repetitions.
+    pub fn total_tiles(&self) -> u64 {
+        self.timing.tiles * self.repeat
+    }
+}
+
+/// A position within a table's execution, used for preemption bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePosition {
+    /// Layer index.
+    pub layer: usize,
+    /// Cycles until the next tile boundary from the queried point.
+    pub cycles_to_boundary: u64,
+    /// Checkpoint bytes if preempted at that boundary.
+    pub tile_bytes: u64,
+}
+
+/// The per-allocation configuration table: per-layer optimal configs plus
+/// cumulative cycle/tile indices for O(log n) progress queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigTable {
+    subarrays: u32,
+    layers: Vec<LayerConfig>,
+    /// Cumulative cycles *after* each layer (including repeats).
+    cum_cycles: Vec<u64>,
+    total_energy_j: f64,
+}
+
+impl ConfigTable {
+    /// Allocation size this table was compiled for.
+    pub fn subarrays(&self) -> u32 {
+        self.subarrays
+    }
+
+    /// Per-layer entries.
+    pub fn layers(&self) -> &[LayerConfig] {
+        &self.layers
+    }
+
+    /// End-to-end cycles.
+    pub fn total_cycles(&self) -> u64 {
+        *self.cum_cycles.last().unwrap_or(&0)
+    }
+
+    /// End-to-end dynamic energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Total schedulable tiles.
+    pub fn total_tiles(&self) -> u64 {
+        self.layers.iter().map(LayerConfig::total_tiles).sum()
+    }
+
+    /// Cycles remaining from a progress fraction `done` ∈ [0, 1].
+    pub fn remaining_cycles(&self, done: f64) -> u64 {
+        let done = done.clamp(0.0, 1.0);
+        let total = self.total_cycles();
+        total - (done * total as f64) as u64
+    }
+
+    /// Locates the tile boundary following progress fraction `done`:
+    /// which layer is in flight, how many cycles until its current tile
+    /// completes, and the checkpoint size there.
+    pub fn position(&self, done: f64) -> TilePosition {
+        let done = done.clamp(0.0, 1.0);
+        let point = (done * self.total_cycles() as f64) as u64;
+        let layer = match self.cum_cycles.binary_search(&point) {
+            Ok(i) => (i + 1).min(self.layers.len() - 1),
+            Err(i) => i.min(self.layers.len() - 1),
+        };
+        let start = if layer == 0 { 0 } else { self.cum_cycles[layer - 1] };
+        let lc = &self.layers[layer];
+        let into_layer = point.saturating_sub(start);
+        let cpt = lc.timing.cycles_per_tile.max(1);
+        let into_tile = into_layer % cpt;
+        TilePosition {
+            layer,
+            cycles_to_boundary: cpt - into_tile,
+            tile_bytes: lc.timing.tile_bytes,
+        }
+    }
+
+    /// Work fraction completed after executing `cycles` from fraction
+    /// `done` (saturating at 1).
+    pub fn advance(&self, done: f64, cycles: u64) -> f64 {
+        let total = self.total_cycles().max(1) as f64;
+        (done + cycles as f64 / total).min(1.0)
+    }
+}
+
+/// A DNN compiled for every allocation size 1..=N (the paper's "16 binaries
+/// and 16 configuration tables per DNN").
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledDnn {
+    name: String,
+    tables: Vec<ConfigTable>,
+}
+
+impl CompiledDnn {
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tables (= chip subarray count).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The table for an allocation of `subarrays` granules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero or exceeds the chip.
+    pub fn table(&self, subarrays: u32) -> &ConfigTable {
+        assert!(
+            subarrays >= 1 && subarrays as usize <= self.tables.len(),
+            "no table for {subarrays} subarrays"
+        );
+        &self.tables[(subarrays - 1) as usize]
+    }
+
+    /// All tables, index `i` holding the table for `i + 1` subarrays.
+    pub fn tables(&self) -> &[ConfigTable] {
+        &self.tables
+    }
+}
+
+/// Compiles one table for a fixed allocation size.
+pub fn compile_for_allocation(cfg: &AcceleratorConfig, dnn: &Dnn, subarrays: u32) -> ConfigTable {
+    let ctx = ExecContext::for_allocation(cfg, subarrays);
+    let em = EnergyModel::for_config(cfg);
+    let mut layers = Vec::with_capacity(dnn.num_layers());
+    let mut cum_cycles = Vec::with_capacity(dnn.num_layers());
+    let mut cum = 0u64;
+    let mut total_energy = 0.0;
+    for layer in dnn.layers() {
+        let (arrangement, timing, energy_j) = if layer.op.is_systolic() {
+            select_arrangement(&ctx, &em, &layer.op)
+        } else {
+            let arr = Arrangement::new(1, 1, 1);
+            let t = time_layer(&ctx, &layer.op, arr);
+            let e = em.dynamic_energy(&t.counts);
+            (arr, t, e)
+        };
+        cum += timing.cycles * layer.repeat;
+        cum_cycles.push(cum);
+        total_energy += energy_j * layer.repeat as f64;
+        layers.push(LayerConfig {
+            name: layer.name.clone(),
+            arrangement,
+            timing,
+            repeat: layer.repeat,
+            energy_j,
+            systolic: layer.op.is_systolic(),
+        });
+    }
+    ConfigTable {
+        subarrays,
+        layers,
+        cum_cycles,
+        total_energy_j: total_energy,
+    }
+}
+
+/// Exhaustive per-layer search: minimum cycles, near-ties broken by energy.
+fn select_arrangement(
+    ctx: &ExecContext,
+    em: &EnergyModel,
+    op: &planaria_model::LayerOp,
+) -> (Arrangement, LayerTiming, f64) {
+    let mut best: Option<(Arrangement, LayerTiming, f64)> = None;
+    for arr in Arrangement::enumerate_for(&ctx.cfg, ctx.subarrays) {
+        let t = time_layer(ctx, op, arr);
+        let e = em.dynamic_energy(&t.counts);
+        let better = match &best {
+            None => true,
+            Some((_, bt, be)) => {
+                let much_faster = (t.cycles as f64) * TIE_TOLERANCE < bt.cycles as f64;
+                let near_tie = (t.cycles as f64) <= (bt.cycles as f64) * TIE_TOLERANCE;
+                much_faster || (near_tie && e < *be)
+            }
+        };
+        if better {
+            best = Some((arr, t, e));
+        }
+    }
+    best.expect("at least one arrangement")
+}
+
+/// Compiles `dnn` for every allocation size on `cfg`.
+pub fn compile(cfg: &AcceleratorConfig, dnn: &Dnn) -> CompiledDnn {
+    let n = cfg.num_subarrays();
+    let tables = (1..=n)
+        .map(|s| compile_for_allocation(cfg, dnn, s))
+        .collect();
+    CompiledDnn {
+        name: dnn.name().to_string(),
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_model::DnnId;
+
+    fn compiled(id: DnnId) -> CompiledDnn {
+        compile(&AcceleratorConfig::planaria(), &id.build())
+    }
+
+    #[test]
+    fn tables_cover_every_allocation() {
+        let c = compiled(DnnId::TinyYolo);
+        assert_eq!(c.num_tables(), 16);
+        for s in 1..=16 {
+            assert_eq!(c.table(s).subarrays(), s);
+        }
+    }
+
+    #[test]
+    fn more_subarrays_monotonically_help() {
+        let c = compiled(DnnId::MobileNetV1);
+        let mut prev = u64::MAX;
+        for s in 1..=16 {
+            let cy = c.table(s).total_cycles();
+            assert!(cy <= prev, "allocation {s} slower than {}", s - 1);
+            prev = cy;
+        }
+    }
+
+    #[test]
+    fn remaining_cycles_interpolates() {
+        let c = compiled(DnnId::TinyYolo);
+        let t = c.table(8);
+        assert_eq!(t.remaining_cycles(0.0), t.total_cycles());
+        assert_eq!(t.remaining_cycles(1.0), 0);
+        let half = t.remaining_cycles(0.5);
+        assert!(half > t.total_cycles() / 3 && half < 2 * t.total_cycles() / 3);
+    }
+
+    #[test]
+    fn position_tracks_layers_forward() {
+        let c = compiled(DnnId::TinyYolo);
+        let t = c.table(16);
+        let start = t.position(0.0);
+        let end = t.position(0.999);
+        assert_eq!(start.layer, 0);
+        assert!(end.layer > start.layer);
+        assert!(start.cycles_to_boundary > 0);
+    }
+
+    #[test]
+    fn advance_moves_fraction_proportionally() {
+        let c = compiled(DnnId::TinyYolo);
+        let t = c.table(4);
+        let half = t.advance(0.0, t.total_cycles() / 2);
+        assert!((half - 0.5).abs() < 0.01);
+        assert_eq!(t.advance(0.9, t.total_cycles()), 1.0);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let c = compiled(DnnId::TinyYolo);
+        assert!(c.table(16).total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn depthwise_layers_fission_fully_in_big_allocations() {
+        let c = compiled(DnnId::MobileNetV1);
+        let t = c.table(16);
+        let dw = t
+            .layers()
+            .iter()
+            .find(|l| l.name.contains(".dw") && l.systolic)
+            .unwrap();
+        assert!(dw.arrangement.clusters >= 8, "got {}", dw.arrangement);
+    }
+}

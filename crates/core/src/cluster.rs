@@ -1,0 +1,197 @@
+//! Scaled-out serving: multiple Planaria nodes behind a dispatcher
+//! (the Fig. 16 experiment).
+//!
+//! Each DNN task is mapped to a single chip (§VI-B1: "each DNN task is
+//! mapped to a single chip instead of being distributed across multiple
+//! nodes"); the dispatcher sends every request to the node with the least
+//! outstanding estimated work.
+
+use crate::engine::PlanariaEngine;
+use planaria_workload::{Completion, Request, SimResult};
+
+/// Policy for spreading requests over the cluster's nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatchPolicy {
+    /// Send each request to the node with the least outstanding estimated
+    /// work (isolated latencies as the estimate).
+    #[default]
+    LeastWork,
+    /// Cycle through nodes in arrival order.
+    RoundRobin,
+    /// Pin each network to a fixed node (weight locality: a node serves a
+    /// model subset and never reloads foreign weights).
+    DnnAffinity,
+}
+
+/// Splits a trace over `nodes` according to `policy`.
+pub fn dispatch(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    trace: &[Request],
+    policy: DispatchPolicy,
+) -> Vec<Vec<Request>> {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let mut per_node: Vec<Vec<Request>> = vec![Vec::new(); nodes];
+    let mut horizons = vec![0.0f64; nodes];
+    let mut rr = 0usize;
+    for r in trace {
+        let target = match policy {
+            DispatchPolicy::LeastWork => {
+                horizons
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("at least one node")
+                    .0
+            }
+            DispatchPolicy::RoundRobin => {
+                let t = rr;
+                rr = (rr + 1) % nodes;
+                t
+            }
+            DispatchPolicy::DnnAffinity => {
+                let idx = planaria_model::DnnId::ALL
+                    .iter()
+                    .position(|&id| id == r.dnn)
+                    .unwrap_or(0);
+                idx % nodes
+            }
+        };
+        per_node[target].push(*r);
+        let work = engine.library().isolated_latency(r.dnn);
+        horizons[target] = horizons[target].max(r.arrival) + work;
+    }
+    per_node
+}
+
+/// Runs a trace over `nodes` identical engines with least-outstanding-work
+/// dispatch; returns the merged result.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn run_cluster(engine: &PlanariaEngine, nodes: usize, trace: &[Request]) -> SimResult {
+    run_cluster_with(engine, nodes, trace, DispatchPolicy::LeastWork)
+}
+
+/// Runs a trace over `nodes` engines under an explicit dispatch policy.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn run_cluster_with(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    trace: &[Request],
+    policy: DispatchPolicy,
+) -> SimResult {
+    let per_node = dispatch(engine, nodes, trace, policy);
+
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut total_energy = 0.0;
+    let mut makespan = 0.0f64;
+    for node_trace in per_node {
+        if node_trace.is_empty() {
+            continue;
+        }
+        let r = engine.run(&node_trace);
+        total_energy += r.total_energy_j;
+        makespan = makespan.max(r.makespan);
+        completions.extend(r.completions);
+    }
+    completions.sort_by_key(|c| c.request.id);
+    SimResult {
+        completions,
+        total_energy_j: total_energy,
+        makespan,
+    }
+}
+
+/// The minimum number of nodes achieving the SLA on every probe seed
+/// (Fig. 16), up to `max_nodes`; `None` when even `max_nodes` fail.
+pub fn min_nodes_for_sla<F>(run: F, max_nodes: usize) -> Option<usize>
+where
+    F: Fn(usize) -> bool,
+{
+    (1..=max_nodes).find(|&n| run(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_workload::{meets_sla, QosLevel, Scenario, TraceConfig};
+
+    #[test]
+    fn cluster_preserves_all_requests() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 300.0, 30, 5).generate();
+        let r = run_cluster(&e, 3, &trace);
+        assert_eq!(r.completions.len(), 30);
+    }
+
+    #[test]
+    fn more_nodes_help_under_overload() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        // Heavy overload of SSD-R requests.
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 120.0, 40, 5).generate();
+        let one = run_cluster(&e, 1, &trace);
+        let four = run_cluster(&e, 4, &trace);
+        assert!(four.completions.iter().map(|c| c.latency()).sum::<f64>()
+            < one.completions.iter().map(|c| c.latency()).sum::<f64>());
+    }
+
+    #[test]
+    fn min_nodes_search_is_monotone_first_true() {
+        assert_eq!(min_nodes_for_sla(|n| n >= 3, 8), Some(3));
+        assert_eq!(min_nodes_for_sla(|_| false, 4), None);
+    }
+
+    #[test]
+    fn dispatch_policies_partition_the_trace() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Soft, 100.0, 45, 4).generate();
+        for policy in [
+            DispatchPolicy::LeastWork,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::DnnAffinity,
+        ] {
+            let split = dispatch(&e, 3, &trace, policy);
+            assert_eq!(split.iter().map(Vec::len).sum::<usize>(), 45, "{policy:?}");
+        }
+        // Affinity really pins networks: every node sees a disjoint set.
+        let split = dispatch(&e, 3, &trace, DispatchPolicy::DnnAffinity);
+        for (i, node) in split.iter().enumerate() {
+            for (j, other) in split.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for r in node {
+                    assert!(
+                        !other.iter().any(|o| o.dnn == r.dnn),
+                        "network {} on two nodes",
+                        r.dnn
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 50.0, 30, 8).generate();
+        let split = dispatch(&e, 3, &trace, DispatchPolicy::RoundRobin);
+        assert!(split.iter().all(|n| n.len() == 10));
+    }
+
+    #[test]
+    fn single_node_cluster_equals_engine() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 15, 9).generate();
+        let direct = e.run(&trace);
+        let cluster = run_cluster(&e, 1, &trace);
+        assert_eq!(direct.completions.len(), cluster.completions.len());
+        assert!(meets_sla(&direct.completions) == meets_sla(&cluster.completions));
+    }
+}

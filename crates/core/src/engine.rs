@@ -1,0 +1,566 @@
+//! The Planaria node engine: a discrete-event simulator of spatial
+//! multi-tenant execution.
+//!
+//! Events are task arrivals and completions (the paper's two scheduler
+//! triggers, §V). Between events every allocated task progresses at the
+//! rate given by its configuration table; a task whose allocation changes
+//! finishes its in-flight tile, pays the reconfiguration cost of §IV-C, and
+//! resumes under the new table.
+
+use crate::scheduler::{schedule_tasks_spatially, SchedTask};
+use crate::trace::{EngineTrace, EventKind};
+use planaria_compiler::CompiledLibrary;
+use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
+use planaria_energy::EnergyModel;
+use planaria_timing::{reconfiguration_cycles, ExecContext};
+use planaria_workload::{Completion, Request, SimResult};
+
+/// Work-fraction tolerance for completion detection.
+const DONE_EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Tenant {
+    request: Request,
+    /// Completed work fraction.
+    done: f64,
+    /// Current allocation in subarrays (0 = queued).
+    alloc: u32,
+    /// Physical placement on the ring (None while queued).
+    placement: Option<Allocation>,
+    /// Cycles of reconfiguration overhead owed before progress resumes.
+    overhead_cycles: f64,
+    /// Dynamic energy accumulated so far, joules.
+    energy_j: f64,
+}
+
+/// How the engine assigns the chip to queued tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulingMode {
+    /// The paper's Algorithm 1: QoS-aware spatial co-location.
+    #[default]
+    Spatial,
+    /// Ablation: the fission hardware without spatial scheduling — the
+    /// whole chip goes to the oldest queued task (per-layer fission still
+    /// applies inside each run).
+    ExclusiveFifo,
+}
+
+/// A single Planaria-equipped node.
+#[derive(Debug, Clone)]
+pub struct PlanariaEngine {
+    library: CompiledLibrary,
+    mode: SchedulingMode,
+}
+
+impl PlanariaEngine {
+    /// Compiles the benchmark suite and builds an engine.
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        Self {
+            library: CompiledLibrary::new(cfg),
+            mode: SchedulingMode::Spatial,
+        }
+    }
+
+    /// Builds an engine over an existing compiled library (cheap; lets many
+    /// simulations share one compilation).
+    pub fn with_library(library: CompiledLibrary) -> Self {
+        Self {
+            library,
+            mode: SchedulingMode::Spatial,
+        }
+    }
+
+    /// Selects the scheduling mode (ablation hook).
+    pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The compiled library backing this engine.
+    pub fn library(&self) -> &CompiledLibrary {
+        &self.library
+    }
+
+    fn cfg(&self) -> &AcceleratorConfig {
+        self.library.config()
+    }
+
+    /// Simulates one trace (must be sorted by arrival time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival.
+    pub fn run(&self, trace: &[Request]) -> SimResult {
+        self.run_inner(trace, None)
+    }
+
+    /// Like [`run`](Self::run), additionally recording the scheduling-event
+    /// trace for telemetry analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival.
+    pub fn run_traced(&self, trace: &[Request]) -> (SimResult, EngineTrace) {
+        let mut t = EngineTrace::new(self.cfg().num_subarrays());
+        let result = self.run_inner(trace, Some(&mut t));
+        (result, t)
+    }
+
+    fn run_inner(&self, trace: &[Request], mut telemetry: Option<&mut EngineTrace>) -> SimResult {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be sorted by arrival time"
+        );
+        let cfg = *self.cfg();
+        let freq = cfg.freq_hz;
+        let total = cfg.num_subarrays();
+        let em = EnergyModel::for_config(&cfg);
+
+        let mut tenants: Vec<Tenant> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut now = trace.first().map_or(0.0, |r| r.arrival);
+        let start = now;
+        let mut busy_seconds = 0.0f64;
+
+        while next_arrival < trace.len() || !tenants.is_empty() {
+            // Next event: earliest of the next arrival and the earliest
+            // completion among allocated tenants.
+            let arrival_t = trace.get(next_arrival).map(|r| r.arrival);
+            let completion_t = tenants
+                .iter()
+                .filter(|t| t.alloc > 0)
+                .map(|t| now + self.remaining_seconds(t, freq))
+                .fold(None::<f64>, |acc, x| {
+                    Some(acc.map_or(x, |a: f64| a.min(x)))
+                });
+            let t_next = match (arrival_t, completion_t) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            // Advance every allocated tenant to t_next.
+            let dt = (t_next - now).max(0.0);
+            if tenants.iter().any(|t| t.alloc > 0) {
+                busy_seconds += dt;
+            }
+            let dt_cycles = dt * freq;
+            for t in &mut tenants {
+                if t.alloc > 0 {
+                    self.advance(t, dt_cycles);
+                }
+            }
+            now = t_next;
+
+            // Admit all arrivals at t_next.
+            while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
+                let req = trace[next_arrival];
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.push(
+                        now,
+                        EventKind::Arrival {
+                            request: req.id,
+                            dnn: req.dnn,
+                        },
+                    );
+                }
+                tenants.push(Tenant {
+                    request: req,
+                    done: 0.0,
+                    alloc: 0,
+                    placement: None,
+                    overhead_cycles: 0.0,
+                    energy_j: 0.0,
+                });
+                next_arrival += 1;
+            }
+
+            // Retire finished tenants.
+            let mut i = 0;
+            while i < tenants.len() {
+                if tenants[i].done >= 1.0 - DONE_EPS {
+                    let t = tenants.swap_remove(i);
+                    if let Some(tr) = telemetry.as_deref_mut() {
+                        tr.push(
+                            now,
+                            EventKind::Completion {
+                                request: t.request.id,
+                                latency: now - t.request.arrival,
+                            },
+                        );
+                    }
+                    completions.push(Completion {
+                        request: t.request,
+                        finish: now,
+                        energy_j: t.energy_j,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Scheduling event: re-run the allocator over the queue.
+            self.reschedule(&mut tenants, now, total, freq, telemetry.as_deref_mut());
+        }
+
+        completions.sort_by_key(|c| c.request.id);
+        let makespan = (now - start).max(0.0);
+        let dynamic: f64 = completions.iter().map(|c| c.energy_j).sum();
+        // Static energy accrues while the chip serves tenants (idle gaps
+        // between requests belong to whatever the node does next).
+        SimResult {
+            completions,
+            total_energy_j: dynamic + em.static_energy(busy_seconds),
+            makespan,
+        }
+    }
+
+    /// Seconds until `t` completes at its current allocation.
+    fn remaining_seconds(&self, t: &Tenant, freq: f64) -> f64 {
+        let table = self.library.get(t.request.dnn).table(t.alloc);
+        (t.overhead_cycles + table.remaining_cycles(t.done) as f64) / freq
+    }
+
+    /// Consumes `cycles` of execution: overhead first, then table progress
+    /// (also accrues the pro-rata dynamic energy).
+    fn advance(&self, t: &mut Tenant, mut cycles: f64) {
+        if t.overhead_cycles > 0.0 {
+            let burn = t.overhead_cycles.min(cycles);
+            t.overhead_cycles -= burn;
+            cycles -= burn;
+        }
+        if cycles <= 0.0 {
+            return;
+        }
+        let table = self.library.get(t.request.dnn).table(t.alloc);
+        let before = t.done;
+        t.done = table.advance(t.done, cycles.round() as u64);
+        if t.done > 1.0 - DONE_EPS {
+            t.done = 1.0;
+        }
+        t.energy_j += (t.done - before) * table.total_energy_j();
+    }
+
+    /// Runs the allocator and applies allocation changes (with
+    /// reconfiguration overheads for preempted tenants).
+    fn reschedule(
+        &self,
+        tenants: &mut [Tenant],
+        now: f64,
+        total: u32,
+        freq: f64,
+        mut telemetry: Option<&mut EngineTrace>,
+    ) {
+        if tenants.is_empty() {
+            return;
+        }
+        let alloc = match self.mode {
+            SchedulingMode::Spatial => {
+                let views: Vec<SchedTask<'_>> = tenants
+                    .iter()
+                    .map(|t| SchedTask {
+                        priority: t.request.priority,
+                        slack: t.request.deadline() - now,
+                        done: t.done,
+                        compiled: self.library.get(t.request.dnn),
+                    })
+                    .collect();
+                schedule_tasks_spatially(&views, total, freq)
+            }
+            SchedulingMode::ExclusiveFifo => {
+                let oldest = tenants
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.request
+                            .arrival
+                            .partial_cmp(&b.1.request.arrival)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i);
+                let mut v = vec![0u32; tenants.len()];
+                if let Some(i) = oldest {
+                    v[i] = total;
+                }
+                v
+            }
+        };
+        let cfg = self.cfg();
+
+        // Physical placement on the ring. Tenants keeping their allocation
+        // keep their segment; changed tenants are re-placed into the free
+        // gaps. If fragmentation blocks a contiguous fit, the chip is
+        // defragmented: every tenant is re-placed in descending size order
+        // and the *moved* ones pay a migration (their stationary weights
+        // must be re-streamed into different physical subarrays).
+        let mut chip = Chip::new(*cfg);
+        let mut keep = vec![false; tenants.len()];
+        for (i, (t, &a)) in tenants.iter().zip(&alloc).enumerate() {
+            let kept_count = a == t.alloc || (t.alloc > 0 && a == t.alloc + 1);
+            if kept_count && t.alloc > 0 {
+                if let Some(p) = &t.placement {
+                    if p.len() == t.alloc {
+                        for id in p.subarrays() {
+                            debug_assert!(chip.owner_of(*id).is_none());
+                        }
+                        // Re-claim the exact segment.
+                        let claimed = chip.claim(t.request.id, p);
+                        debug_assert!(claimed);
+                        keep[i] = true;
+                    }
+                }
+            }
+        }
+        let mut placements: Vec<Option<Allocation>> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| if keep[i] { t.placement.clone() } else { None })
+            .collect();
+        let mut order: Vec<usize> = (0..tenants.len()).filter(|&i| !keep[i]).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(alloc[i]));
+        let mut defrag_needed = false;
+        for &i in &order {
+            if alloc[i] == 0 {
+                continue;
+            }
+            match chip.place(tenants[i].request.id, alloc[i]) {
+                Some(p) => placements[i] = Some(p),
+                None => {
+                    defrag_needed = true;
+                    break;
+                }
+            }
+        }
+        let mut migrated = vec![false; tenants.len()];
+        if defrag_needed {
+            // Global defragmentation: lay everyone out afresh, largest
+            // first (a multiset summing to <= total always packs a ring).
+            chip.reset();
+            let mut all: Vec<usize> = (0..tenants.len()).collect();
+            all.sort_by_key(|&i| std::cmp::Reverse(alloc[i]));
+            placements.fill(None);
+            for &i in &all {
+                if alloc[i] == 0 {
+                    continue;
+                }
+                let p = chip
+                    .place(tenants[i].request.id, alloc[i])
+                    .expect("defragmented ring always packs");
+                if keep[i]
+                    && tenants[i]
+                        .placement
+                        .as_ref()
+                        .is_some_and(|old| old.subarrays() != p.subarrays())
+                {
+                    migrated[i] = true;
+                    keep[i] = false;
+                }
+                placements[i] = Some(p);
+            }
+        }
+
+        for (i, (t, &a)) in tenants.iter_mut().zip(&alloc).enumerate() {
+            t.placement = placements[i].take();
+            if a == t.alloc && !migrated[i] {
+                continue;
+            }
+            // Hysteresis: growing a running tenant by a single subarray is
+            // not worth a drain + checkpoint + refill cycle; keep the old
+            // allocation (this only releases capacity, never over-commits).
+            if t.alloc > 0 && a == t.alloc + 1 && !migrated[i] {
+                continue;
+            }
+            if let Some(tr) = telemetry.as_deref_mut() {
+                tr.push(
+                    now,
+                    EventKind::Allocation {
+                        request: t.request.id,
+                        from: t.alloc,
+                        to: a,
+                    },
+                );
+            }
+            if t.alloc > 0 && t.done > 0.0 && t.done < 1.0 {
+                // Preempted or resized mid-flight: finish the in-flight
+                // tile, checkpoint it, swap configurations, refill.
+                let old_table = self.library.get(t.request.dnn).table(t.alloc);
+                let pos = old_table.position(t.done);
+                let old_arr = old_table.layers()[pos.layer].arrangement;
+                let new_arr = if a > 0 {
+                    Arrangement::monolithic(a)
+                } else {
+                    old_arr
+                };
+                let ctx = ExecContext::for_allocation(cfg, t.alloc.max(1));
+                let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
+                t.overhead_cycles +=
+                    (pos.cycles_to_boundary + cost.total()) as f64;
+            } else if a > 0 && t.alloc == 0 {
+                // Fresh start on a new logical accelerator: pipeline fill
+                // is already inside the table; charge the configuration
+                // load only.
+                t.overhead_cycles += 16.0;
+            }
+            t.alloc = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_model::DnnId;
+    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+
+    fn engine() -> PlanariaEngine {
+        PlanariaEngine::new(AcceleratorConfig::planaria())
+    }
+
+    fn single_request(dnn: DnnId, qos: f64) -> Request {
+        Request {
+            id: 0,
+            dnn,
+            arrival: 0.0,
+            priority: 5,
+            qos,
+        }
+    }
+
+    #[test]
+    fn lone_task_runs_at_isolated_speed() {
+        let e = engine();
+        let r = single_request(DnnId::ResNet50, 1.0);
+        let result = e.run(&[r]);
+        assert_eq!(result.completions.len(), 1);
+        let latency = result.completions[0].latency();
+        let isolated = e.library.isolated_latency(DnnId::ResNet50);
+        assert!(
+            (latency / isolated - 1.0).abs() < 0.01,
+            "latency {latency}, isolated {isolated}"
+        );
+    }
+
+    #[test]
+    fn all_requests_complete_in_order_of_ids() {
+        let e = engine();
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Soft, 100.0, 40, 11).generate();
+        let result = e.run(&trace);
+        assert_eq!(result.completions.len(), 40);
+        for (i, c) in result.completions.iter().enumerate() {
+            assert_eq!(c.request.id, i as u64);
+            assert!(c.finish >= c.request.arrival);
+        }
+    }
+
+    #[test]
+    fn co_location_slows_tasks_less_than_serialization() {
+        let e = engine();
+        // Two simultaneous ResNet-50s: spatial co-location should finish
+        // both well before 2x the isolated latency each.
+        let iso = e.library.isolated_latency(DnnId::ResNet50);
+        let trace = vec![
+            Request { id: 0, dnn: DnnId::ResNet50, arrival: 0.0, priority: 5, qos: 1.0 },
+            Request { id: 1, dnn: DnnId::ResNet50, arrival: 0.0, priority: 5, qos: 1.0 },
+        ];
+        let result = e.run(&trace);
+        let worst = result
+            .completions
+            .iter()
+            .map(Completion::latency)
+            .fold(0.0, f64::max);
+        assert!(worst < 2.0 * iso * 1.2, "worst {worst}, isolated {iso}");
+        assert!(worst > iso * 0.9);
+    }
+
+    #[test]
+    fn energy_and_makespan_are_positive() {
+        let e = engine();
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 200.0, 20, 3).generate();
+        let r = e.run(&trace);
+        assert!(r.total_energy_j > 0.0);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let e = engine();
+        let mut trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 10.0, 5, 3).generate();
+        trace.reverse();
+        let _ = e.run(&trace);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = engine().run(&[]);
+        assert!(r.completions.is_empty());
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_events() {
+        let e = engine();
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 150.0, 30, 17).generate();
+        let plain = e.run(&trace);
+        let (traced, telemetry) = e.run_traced(&trace);
+        assert_eq!(plain.completions, traced.completions);
+        // Every request arrives and completes in the telemetry.
+        use crate::trace::EventKind;
+        let arrivals = telemetry
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::Arrival { .. }))
+            .count();
+        let completions = telemetry
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::Completion { .. }))
+            .count();
+        assert_eq!(arrivals, 30);
+        assert_eq!(completions, 30);
+        assert!(telemetry.mean_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn contended_runs_actually_reconfigure() {
+        let e = engine();
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 400.0, 60, 23).generate();
+        let (_, telemetry) = e.run_traced(&trace);
+        assert!(
+            telemetry.reconfigurations() > 0,
+            "a contended trace must trigger dynamic fission"
+        );
+    }
+
+    #[test]
+    fn exclusive_mode_serializes() {
+        let spatial = engine();
+        let exclusive = PlanariaEngine::with_library(spatial.library().clone())
+            .with_mode(SchedulingMode::ExclusiveFifo);
+        let iso = spatial.library().isolated_latency(DnnId::ResNet50);
+        let mk = |id| Request {
+            id,
+            dnn: DnnId::ResNet50,
+            arrival: 0.0,
+            priority: 5,
+            qos: 1.0,
+        };
+        let r = exclusive.run(&[mk(0), mk(1), mk(2)]);
+        let worst = r
+            .completions
+            .iter()
+            .map(Completion::latency)
+            .fold(0.0, f64::max);
+        assert!(worst > 2.5 * iso, "FIFO-exclusive must serialize: {worst} vs {iso}");
+        // Spatial co-location beats it.
+        let s = spatial.run(&[mk(0), mk(1), mk(2)]);
+        let worst_s = s
+            .completions
+            .iter()
+            .map(Completion::latency)
+            .fold(0.0, f64::max);
+        assert!(worst_s < worst);
+    }
+}

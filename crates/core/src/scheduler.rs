@@ -1,0 +1,259 @@
+//! Algorithm 1: spatial scheduling for Planaria (§V).
+//!
+//! The scheduler runs in two stages. First, `ESTIMATERESOURCES` finds the
+//! minimum subarray count meeting each task's QoS slack (via configuration-
+//! table lookups). Then, if the minima fit on the chip, `ALLOCATEFITTASKS`
+//! distributes the spare subarrays proportionally to a
+//! `priority / remaining-time` score; otherwise `ALLOCATEUNFITTASKS` ranks
+//! tasks by `priority / (slack × estimate)` and packs the chip greedily,
+//! leaving the rest queued.
+
+use planaria_compiler::CompiledDnn;
+
+/// Scheduler view of one task in the queue (running or waiting).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedTask<'a> {
+    /// Task priority (1..=11).
+    pub priority: u32,
+    /// Remaining slack to the QoS deadline, seconds (may be negative when
+    /// the deadline has already passed).
+    pub slack: f64,
+    /// Completed work fraction ∈ [0, 1].
+    pub done: f64,
+    /// The task's compiled configuration tables.
+    pub compiled: &'a CompiledDnn,
+}
+
+impl SchedTask<'_> {
+    /// Predicted remaining time on `subarrays` granules, seconds
+    /// (the `PREDICTTIME` table lookup).
+    pub fn predict_time(&self, subarrays: u32, freq_hz: f64) -> f64 {
+        self.compiled.table(subarrays).remaining_cycles(self.done) as f64 / freq_hz
+    }
+
+    /// `ESTIMATERESOURCES`: the minimum subarray count whose predicted
+    /// remaining time fits the slack; the full chip when none does.
+    pub fn estimate_resources(&self, total: u32, freq_hz: f64) -> u32 {
+        for s in 1..=total {
+            if self.predict_time(s, freq_hz) <= self.slack {
+                return s;
+            }
+        }
+        total
+    }
+}
+
+/// `SCHEDULETASKSSPATIALLY`: returns the subarray allocation for each task,
+/// aligned with the input slice (0 = stay queued). The allocations always
+/// sum to at most `total`.
+pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32, freq_hz: f64) -> Vec<u32> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let estimates: Vec<u32> = tasks
+        .iter()
+        .map(|t| t.estimate_resources(total, freq_hz))
+        .collect();
+    let need: u32 = estimates.iter().sum();
+    if need <= total {
+        allocate_fit_tasks(tasks, &estimates, total, freq_hz)
+    } else {
+        allocate_unfit_tasks(tasks, &estimates, total)
+    }
+}
+
+/// `ALLOCATEFITTASKS`: everyone gets their minimum; the spare subarrays are
+/// split proportionally to `priority / remaining-time`.
+fn allocate_fit_tasks(
+    tasks: &[SchedTask<'_>],
+    estimates: &[u32],
+    total: u32,
+    freq_hz: f64,
+) -> Vec<u32> {
+    let mut alloc = estimates.to_vec();
+    let mut spare = total - estimates.iter().sum::<u32>();
+    if spare == 0 {
+        return alloc;
+    }
+    let scores: Vec<f64> = tasks
+        .iter()
+        .zip(estimates)
+        .map(|(t, &e)| f64::from(t.priority) / t.predict_time(e, freq_hz).max(1e-9))
+        .collect();
+    let sum: f64 = scores.iter().sum();
+    // Integer proportional share; remainders go to the largest fractions.
+    let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(tasks.len());
+    for (i, score) in scores.iter().enumerate() {
+        let share = score / sum * f64::from(spare);
+        let whole = share.floor() as u32;
+        alloc[i] += whole;
+        fractional.push((i, share - share.floor()));
+    }
+    spare -= fractional
+        .iter()
+        .map(|&(i, _)| alloc[i] - estimates[i])
+        .sum::<u32>();
+    fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, _) in fractional {
+        if spare == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        spare -= 1;
+    }
+    alloc
+}
+
+/// `ALLOCATEUNFITTASKS`: rank by `priority / (slack × estimate)` and pack
+/// the chip; the last packed task may receive a partial grant, everyone
+/// else waits.
+fn allocate_unfit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    let score = |i: usize| {
+        // Tasks already past their deadline get the most urgent score.
+        let slack = tasks[i].slack.max(1e-6);
+        f64::from(tasks[i].priority) / (slack * f64::from(estimates[i]))
+    };
+    order.sort_by(|&a, &b| {
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut alloc = vec![0u32; tasks.len()];
+    let mut remaining = total;
+    for i in order {
+        if remaining == 0 {
+            break;
+        }
+        let grant = estimates[i].min(remaining);
+        alloc[i] = grant;
+        remaining -= grant;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_compiler::compile;
+    use planaria_model::DnnId;
+
+    fn freq() -> f64 {
+        AcceleratorConfig::planaria().freq_hz
+    }
+
+    fn compiled(id: DnnId) -> planaria_compiler::CompiledDnn {
+        compile(&AcceleratorConfig::planaria(), &id.build())
+    }
+
+    #[test]
+    fn estimate_is_minimal() {
+        let c = compiled(DnnId::TinyYolo);
+        let isolated_full =
+            c.table(16).total_cycles() as f64 / freq();
+        let t = SchedTask {
+            priority: 5,
+            slack: isolated_full * 20.0, // loose: smallest allocations work
+            done: 0.0,
+            compiled: &c,
+        };
+        let est_loose = t.estimate_resources(16, freq());
+        let tight = SchedTask {
+            slack: isolated_full * 1.05,
+            ..t
+        };
+        let est_tight = tight.estimate_resources(16, freq());
+        assert!(est_loose <= est_tight);
+        assert!(est_loose >= 1 && est_tight <= 16);
+    }
+
+    #[test]
+    fn hopeless_slack_caps_at_full_chip() {
+        let c = compiled(DnnId::SsdResNet34);
+        let t = SchedTask {
+            priority: 5,
+            slack: -1.0,
+            done: 0.0,
+            compiled: &c,
+        };
+        assert_eq!(t.estimate_resources(16, freq()), 16);
+    }
+
+    #[test]
+    fn single_task_gets_whole_chip() {
+        let c = compiled(DnnId::ResNet50);
+        let t = SchedTask {
+            priority: 5,
+            slack: 10.0,
+            done: 0.0,
+            compiled: &c,
+        };
+        let alloc = schedule_tasks_spatially(&[t], 16, freq());
+        assert_eq!(alloc, vec![16]);
+    }
+
+    #[test]
+    fn allocations_never_exceed_chip() {
+        let nets: Vec<_> = [DnnId::ResNet50, DnnId::TinyYolo, DnnId::MobileNetV1, DnnId::Gnmt]
+            .iter()
+            .map(|&id| compiled(id))
+            .collect();
+        for slack in [0.001, 0.01, 0.1, 1.0] {
+            let tasks: Vec<SchedTask> = nets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| SchedTask {
+                    priority: (i as u32 % 11) + 1,
+                    slack,
+                    done: 0.1 * i as f64,
+                    compiled: c,
+                })
+                .collect();
+            let alloc = schedule_tasks_spatially(&tasks, 16, freq());
+            assert!(alloc.iter().sum::<u32>() <= 16, "slack {slack}: {alloc:?}");
+        }
+    }
+
+    #[test]
+    fn fit_path_spreads_spare_by_priority() {
+        let a = compiled(DnnId::TinyYolo);
+        let b = compiled(DnnId::TinyYolo);
+        let mk = |priority, c| SchedTask {
+            priority,
+            slack: 10.0, // very loose: both estimate 1
+            done: 0.0,
+            compiled: c,
+        };
+        let alloc = schedule_tasks_spatially(&[mk(11, &a), mk(1, &b)], 16, freq());
+        assert_eq!(alloc.iter().sum::<u32>(), 16);
+        assert!(
+            alloc[0] > alloc[1],
+            "high priority should get the larger share: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn unfit_path_prefers_urgent_high_priority() {
+        let heavy = compiled(DnnId::SsdResNet34);
+        // Three heavy tasks with slack just above the full-chip isolated
+        // latency: estimates are 16 each; only the best-scored one fits.
+        let iso = heavy.table(16).total_cycles() as f64 / freq();
+        let mk = |priority, slack| SchedTask {
+            priority,
+            slack,
+            done: 0.0,
+            compiled: &heavy,
+        };
+        let tight = iso * 1.02;
+        let tasks = [mk(1, tight), mk(11, tight), mk(5, tight)];
+        let alloc = schedule_tasks_spatially(&tasks, 16, freq());
+        assert_eq!(alloc[1], 16, "priority 11 should win: {alloc:?}");
+        assert_eq!(alloc[0] + alloc[2], 0);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_allocation() {
+        assert!(schedule_tasks_spatially(&[], 16, freq()).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Engine telemetry: scheduling-event traces and occupancy statistics.
+//!
+//! [`PlanariaEngine::run_traced`](crate::PlanariaEngine::run_traced)
+//! records every arrival, allocation change, and completion, enabling
+//! post-hoc analysis of the scheduler's behaviour (reconfiguration counts,
+//! chip occupancy over time, per-tenant allocation histories) and a text
+//! timeline for quick inspection.
+
+use planaria_model::DnnId;
+use std::fmt::Write as _;
+
+/// One scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Event payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A request entered the queue.
+    Arrival {
+        /// Request id.
+        request: u64,
+        /// Its network.
+        dnn: DnnId,
+    },
+    /// The scheduler changed a tenant's allocation (0 = queued).
+    Allocation {
+        /// Request id.
+        request: u64,
+        /// Previous subarray count.
+        from: u32,
+        /// New subarray count.
+        to: u32,
+    },
+    /// A request finished.
+    Completion {
+        /// Request id.
+        request: u64,
+        /// End-to-end latency, seconds.
+        latency: f64,
+    },
+}
+
+/// The recorded event stream of one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTrace {
+    events: Vec<TraceEvent>,
+    total_subarrays: u32,
+}
+
+impl EngineTrace {
+    /// Creates an empty trace for a chip of `total_subarrays` granules.
+    pub fn new(total_subarrays: u32) -> Self {
+        Self {
+            events: Vec::new(),
+            total_subarrays,
+        }
+    }
+
+    /// Records an event (engine-internal).
+    pub(crate) fn push(&mut self, time: f64, kind: EventKind) {
+        self.events.push(TraceEvent { time, kind });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of allocation changes that resized or preempted a *running*
+    /// tenant (i.e. actual reconfigurations, `from > 0`).
+    pub fn reconfigurations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Allocation { from, to, .. } if from > 0 && from != to))
+            .count()
+    }
+
+    /// Time-weighted mean chip occupancy (allocated subarrays / total) over
+    /// the span of the trace.
+    pub fn mean_occupancy(&self) -> f64 {
+        let mut alloc: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut last_t: Option<f64> = None;
+        let mut acc = 0.0;
+        let mut span = 0.0;
+        for e in &self.events {
+            if let Some(prev) = last_t {
+                let dt = (e.time - prev).max(0.0);
+                let used: u32 = alloc.values().sum();
+                acc += dt * f64::from(used) / f64::from(self.total_subarrays.max(1));
+                span += dt;
+            }
+            last_t = Some(e.time);
+            match e.kind {
+                EventKind::Allocation { request, to, .. } => {
+                    alloc.insert(request, to);
+                }
+                EventKind::Completion { request, .. } => {
+                    alloc.remove(&request);
+                }
+                EventKind::Arrival { .. } => {}
+            }
+        }
+        if span > 0.0 {
+            acc / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders a coarse text timeline of chip occupancy: `buckets` columns,
+    /// each showing the occupancy decile (0-9) at that moment.
+    pub fn render_occupancy(&self, buckets: usize) -> String {
+        if self.events.is_empty() || buckets == 0 {
+            return String::from("(empty trace)");
+        }
+        let t0 = self.events.first().unwrap().time;
+        let t1 = self.events.last().unwrap().time;
+        let span = (t1 - t0).max(1e-12);
+        let mut samples = vec![0u32; buckets];
+        let mut alloc: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut ei = 0;
+        for (b, sample) in samples.iter_mut().enumerate() {
+            let t = t0 + span * (b as f64 + 0.5) / buckets as f64;
+            while ei < self.events.len() && self.events[ei].time <= t {
+                match self.events[ei].kind {
+                    EventKind::Allocation { request, to, .. } => {
+                        alloc.insert(request, to);
+                    }
+                    EventKind::Completion { request, .. } => {
+                        alloc.remove(&request);
+                    }
+                    EventKind::Arrival { .. } => {}
+                }
+                ei += 1;
+            }
+            *sample = alloc.values().sum();
+        }
+        let mut out = String::new();
+        let _ = write!(out, "occupancy [{t0:.4}s..{t1:.4}s] ");
+        for s in samples {
+            let decile = (u64::from(s) * 9 / u64::from(self.total_subarrays.max(1))).min(9);
+            let _ = write!(out, "{decile}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> EngineTrace {
+        let mut t = EngineTrace::new(16);
+        t.push(0.0, EventKind::Arrival { request: 0, dnn: DnnId::ResNet50 });
+        t.push(0.0, EventKind::Allocation { request: 0, from: 0, to: 16 });
+        t.push(1.0, EventKind::Arrival { request: 1, dnn: DnnId::Gnmt });
+        t.push(1.0, EventKind::Allocation { request: 0, from: 16, to: 8 });
+        t.push(1.0, EventKind::Allocation { request: 1, from: 0, to: 8 });
+        t.push(2.0, EventKind::Completion { request: 0, latency: 2.0 });
+        t.push(3.0, EventKind::Completion { request: 1, latency: 2.0 });
+        t
+    }
+
+    #[test]
+    fn reconfigurations_count_running_resizes_only() {
+        // Only request 0's 16 -> 8 resize is a reconfiguration; initial
+        // grants from 0 are fresh starts.
+        assert_eq!(demo_trace().reconfigurations(), 1);
+    }
+
+    #[test]
+    fn occupancy_accounts_time_weighted() {
+        // [0,1): 16/16; [1,2): 16/16 (8+8); [2,3): 8/16 → mean = 7/8.
+        let occ = demo_trace().mean_occupancy();
+        assert!((occ - (1.0 + 1.0 + 0.5) / 3.0).abs() < 1e-9, "got {occ}");
+    }
+
+    #[test]
+    fn timeline_renders_with_requested_width() {
+        let s = demo_trace().render_occupancy(10);
+        assert!(s.contains("occupancy"));
+        let digits: String = s.chars().rev().take(10).collect();
+        assert!(digits.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(EngineTrace::new(16).render_occupancy(8), "(empty trace)");
+        assert_eq!(EngineTrace::new(16).mean_occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Component-level area/power breakdown (Fig. 19).
+//!
+//! The paper synthesizes Planaria at 45 nm and reports the area and power of
+//! each added fission component; the bottom line is **+12.6 % area** and
+//! **+20.6 % power** over a conventional systolic design with the same
+//! compute. We encode the component decomposition so that (a) Fig. 19 can be
+//! regenerated and (b) granularity sweeps (Fig. 18) can scale the overheads
+//! with the number of subarrays.
+
+use planaria_arch::AcceleratorConfig;
+
+/// One hardware component of the breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Area in relative units (calibrated so fractions match Fig. 19).
+    pub area: f64,
+    /// Power in relative units.
+    pub power: f64,
+    /// Whether this component exists only to support dynamic fission.
+    pub fission_overhead: bool,
+    /// How the component scales with the fission granularity.
+    pub scaling: Scaling,
+}
+
+/// Scaling law of a component with respect to granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scaling {
+    /// Scales with the PE count — constant across granularities.
+    Fixed,
+    /// One instance per subarray (instruction buffers, SIMD segmentation,
+    /// configuration registers).
+    PerSubarray,
+    /// Crossbar crosspoints: quadratic in the pod radix
+    /// (`subarrays_per_pod²`).
+    CrossbarQuadratic,
+}
+
+/// The full chip breakdown at the paper's 32×32 granularity (16 subarrays).
+///
+/// Base components are identical between a conventional systolic array and
+/// Planaria (§VI-B2) and the added components bring the overhead to exactly
+/// 12.6 % area / 20.6 % power.
+pub const COMPONENTS: [Component; 10] = [
+    // Base (shared with a conventional design).
+    Component { name: "multipliers", area: 12.0, power: 8.0, fission_overhead: false, scaling: Scaling::Fixed },
+    Component { name: "adders+accumulators", area: 8.0, power: 5.0, fission_overhead: false, scaling: Scaling::Fixed },
+    Component { name: "pipeline registers", area: 6.0, power: 4.0, fission_overhead: false, scaling: Scaling::Fixed },
+    Component { name: "SIMD vector unit", area: 3.0, power: 2.0, fission_overhead: false, scaling: Scaling::Fixed },
+    Component { name: "control+instruction buffer", area: 2.0, power: 1.0, fission_overhead: false, scaling: Scaling::Fixed },
+    // Fission additions.
+    Component { name: "omni-directional muxes", area: 2.0, power: 2.4, fission_overhead: true, scaling: Scaling::Fixed },
+    Component { name: "fission-pod crossbars", area: 1.1, power: 1.4, fission_overhead: true, scaling: Scaling::CrossbarQuadratic },
+    Component { name: "SIMD unit additions", area: 0.8, power: 0.9, fission_overhead: true, scaling: Scaling::PerSubarray },
+    Component { name: "instruction buffer additions", area: 0.4, power: 0.3, fission_overhead: true, scaling: Scaling::PerSubarray },
+    Component { name: "reconfiguration registers", area: 0.17, power: 0.19, fission_overhead: true, scaling: Scaling::PerSubarray },
+];
+
+/// Area/power breakdown for a given accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaPowerBreakdown {
+    components: Vec<Component>,
+}
+
+impl AreaPowerBreakdown {
+    /// Breakdown for `cfg`, scaling overheads with the granule count
+    /// relative to the reference 16 subarrays (4 per pod).
+    pub fn for_config(cfg: &AcceleratorConfig) -> Self {
+        let linear = f64::from(cfg.num_subarrays()) / 16.0;
+        let radix = f64::from(cfg.subarrays_per_pod) / 4.0;
+        let components = COMPONENTS
+            .iter()
+            .map(|c| {
+                // Omni-directional muxes disappear when the switching
+                // network is absent; all fission hardware disappears on a
+                // single-granule (monolithic) chip.
+                let removed = c.fission_overhead
+                    && (cfg.num_subarrays() == 1
+                        || (!cfg.omnidirectional && c.name == "omni-directional muxes"));
+                let s = if removed {
+                    0.0
+                } else {
+                    match c.scaling {
+                        Scaling::Fixed => 1.0,
+                        Scaling::PerSubarray => linear,
+                        Scaling::CrossbarQuadratic => radix * radix,
+                    }
+                };
+                Component {
+                    area: c.area * s,
+                    power: c.power * s,
+                    ..*c
+                }
+            })
+            .collect();
+        Self { components }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Total area (relative units).
+    pub fn total_area(&self) -> f64 {
+        self.components.iter().map(|c| c.area).sum()
+    }
+
+    /// Total power (relative units).
+    pub fn total_power(&self) -> f64 {
+        self.components.iter().map(|c| c.power).sum()
+    }
+
+    /// Fraction of area spent on fission support.
+    pub fn area_overhead(&self) -> f64 {
+        let over: f64 = self
+            .components
+            .iter()
+            .filter(|c| c.fission_overhead)
+            .map(|c| c.area)
+            .sum();
+        over / self.total_area()
+    }
+
+    /// Fraction of power spent on fission support.
+    pub fn power_overhead(&self) -> f64 {
+        let over: f64 = self
+            .components
+            .iter()
+            .filter(|c| c.fission_overhead)
+            .map(|c| c.power)
+            .sum();
+        over / self.total_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_overheads_match_fig19() {
+        let b = AreaPowerBreakdown::for_config(&AcceleratorConfig::planaria());
+        assert!(
+            (b.area_overhead() - 0.126).abs() < 0.005,
+            "area overhead {}",
+            b.area_overhead()
+        );
+        assert!(
+            (b.power_overhead() - 0.206).abs() < 0.005,
+            "power overhead {}",
+            b.power_overhead()
+        );
+    }
+
+    #[test]
+    fn monolithic_has_no_fission_overhead() {
+        let b = AreaPowerBreakdown::for_config(&AcceleratorConfig::monolithic());
+        assert_eq!(b.area_overhead(), 0.0);
+        assert_eq!(b.power_overhead(), 0.0);
+    }
+
+    #[test]
+    fn finer_granularity_costs_more() {
+        let fine = AreaPowerBreakdown::for_config(&AcceleratorConfig::with_granularity(16));
+        let mid = AreaPowerBreakdown::for_config(&AcceleratorConfig::with_granularity(32));
+        let coarse = AreaPowerBreakdown::for_config(&AcceleratorConfig::with_granularity(64));
+        assert!(fine.power_overhead() > mid.power_overhead());
+        assert!(mid.power_overhead() > coarse.power_overhead());
+    }
+
+    #[test]
+    fn every_component_is_named_and_positive_at_reference() {
+        let b = AreaPowerBreakdown::for_config(&AcceleratorConfig::planaria());
+        assert_eq!(b.components().len(), 10);
+        for c in b.components() {
+            assert!(!c.name.is_empty());
+            assert!(c.area > 0.0 && c.power > 0.0, "{}", c.name);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Energy, power, and area model for the Planaria accelerator.
+//!
+//! This crate substitutes for the paper's synthesis flow (Synopsys DC on
+//! FreePDK-45nm for logic, CACTI-P for SRAM, McPAT for interconnect) with an
+//! analytical model: per-event energy constants in the range those tools
+//! report at 45 nm, plus a component-level area/power breakdown calibrated
+//! to the paper's Fig. 19 result (dynamic fission adds **12.6 % area** and
+//! **20.6 % power**).
+//!
+//! The evaluation consumes only (a) per-event energies applied to the
+//! [`AccessCounts`](planaria_timing::AccessCounts) the timing model
+//! produces and (b) the breakdown fractions, so this substitution preserves
+//! every downstream number's shape.
+//!
+//! # Example
+//!
+//! ```
+//! use planaria_arch::AcceleratorConfig;
+//! use planaria_energy::EnergyModel;
+//! use planaria_model::DnnId;
+//! use planaria_timing::{time_dnn, ExecContext};
+//!
+//! let cfg = AcceleratorConfig::planaria();
+//! let em = EnergyModel::for_config(&cfg);
+//! let t = time_dnn(&ExecContext::full_chip(&cfg), &DnnId::MobileNetV1.build());
+//! let report = em.energy_of(&t.counts, t.seconds(cfg.freq_hz));
+//! assert!(report.total() > 0.0);
+//! ```
+
+pub mod breakdown;
+pub mod constants;
+pub mod model;
+
+pub use breakdown::{AreaPowerBreakdown, Component, Scaling};
+pub use model::{edp, EnergyModel, EnergyReport};

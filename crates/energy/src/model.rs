@@ -1,0 +1,147 @@
+//! The energy model proper: per-event dynamic energy plus area-scaled
+//! leakage.
+
+use crate::breakdown::AreaPowerBreakdown;
+use crate::constants;
+use planaria_arch::AcceleratorConfig;
+use planaria_timing::AccessCounts;
+
+/// Energy report for one execution interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Dynamic (switching) energy, joules.
+    pub dynamic_j: f64,
+    /// Static (leakage) energy over the interval, joules.
+    pub static_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, joules.
+    pub fn total(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+}
+
+/// Energy model bound to one accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    leakage_w: f64,
+    /// Multiplier on dynamic event energies accounting for the fission
+    /// hardware on the datapath (muxes, crossbar traversal).
+    dynamic_overhead: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for `cfg`: leakage scales with the Fig. 19 area
+    /// overhead, dynamic events with the power overhead.
+    pub fn for_config(cfg: &AcceleratorConfig) -> Self {
+        let b = AreaPowerBreakdown::for_config(cfg);
+        // Background power follows area; a monolithic chip has the baseline.
+        let leakage_w = constants::BASELINE_LEAKAGE_W / (1.0 - b.area_overhead());
+        // Only the activity-proportional slice of the Fig. 19 power
+        // overhead multiplies per-event energies.
+        let p = b.power_overhead();
+        let dynamic_overhead = 1.0 + constants::DYNAMIC_OVERHEAD_FRACTION * p / (1.0 - p);
+        Self {
+            leakage_w,
+            dynamic_overhead,
+        }
+    }
+
+    /// Chip leakage power, watts.
+    pub fn leakage_w(&self) -> f64 {
+        self.leakage_w
+    }
+
+    /// Dynamic energy of a set of events, joules. The fission-hardware
+    /// overhead multiplies on-chip events only — off-chip DRAM energy is
+    /// unaffected by muxes and crossbars.
+    pub fn dynamic_energy(&self, c: &AccessCounts) -> f64 {
+        let on_chip = c.mac_ops as f64 * constants::MAC_8BIT_J
+            + c.pe_active_cycles as f64 * constants::PE_ACTIVE_J
+            + c.act_sram_bytes as f64 * constants::ACT_SRAM_J_PER_BYTE
+            + c.psum_sram_bytes as f64 * constants::PSUM_SRAM_J_PER_BYTE
+            + c.wbuf_bytes as f64 * constants::WBUF_J_PER_BYTE
+            + c.ring_hop_bytes as f64 * constants::RING_J_PER_BYTE_HOP
+            + c.vector_ops as f64 * constants::VECTOR_OP_J;
+        on_chip * self.dynamic_overhead + c.dram_bytes as f64 * constants::DRAM_J_PER_BYTE
+    }
+
+    /// Leakage energy over `seconds` for the whole chip, joules.
+    pub fn static_energy(&self, seconds: f64) -> f64 {
+        self.leakage_w * seconds
+    }
+
+    /// Full report: dynamic energy of `counts` plus chip leakage over
+    /// `seconds`.
+    pub fn energy_of(&self, counts: &AccessCounts, seconds: f64) -> EnergyReport {
+        EnergyReport {
+            dynamic_j: self.dynamic_energy(counts),
+            static_j: self.static_energy(seconds),
+        }
+    }
+}
+
+/// Energy-delay product, J·s (the Fig. 18 metric).
+pub fn edp(energy_j: f64, seconds: f64) -> f64 {
+    energy_j * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_model::DnnId;
+    use planaria_timing::{time_dnn, ExecContext};
+
+    #[test]
+    fn planaria_pays_overhead_on_identical_events() {
+        let pl = EnergyModel::for_config(&AcceleratorConfig::planaria());
+        let mono = EnergyModel::for_config(&AcceleratorConfig::monolithic());
+        let c = AccessCounts {
+            mac_ops: 1_000_000,
+            ..AccessCounts::zero()
+        };
+        assert!(pl.dynamic_energy(&c) > mono.dynamic_energy(&c));
+        assert!(pl.leakage_w() > mono.leakage_w());
+    }
+
+    #[test]
+    fn depthwise_network_energy_favors_planaria_despite_overhead() {
+        // MobileNet on the monolithic array burns leakage for ~11x longer;
+        // fission wins on total energy (the Fig. 17 energy-reduction claim).
+        let pl_cfg = AcceleratorConfig::planaria();
+        let mono_cfg = AcceleratorConfig::monolithic();
+        let net = DnnId::MobileNetV1.build();
+        let tp = time_dnn(&ExecContext::full_chip(&pl_cfg), &net);
+        let tm = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
+        let ep = EnergyModel::for_config(&pl_cfg)
+            .energy_of(&tp.counts, tp.seconds(pl_cfg.freq_hz))
+            .total();
+        let em = EnergyModel::for_config(&mono_cfg)
+            .energy_of(&tm.counts, tm.seconds(mono_cfg.freq_hz))
+            .total();
+        assert!(em / ep > 2.0, "energy reduction only {:.2}x", em / ep);
+    }
+
+    #[test]
+    fn resnet_latency_energy_in_sane_absolute_range() {
+        // ResNet-50 inference on a TPU-class chip: a few mJ.
+        let cfg = AcceleratorConfig::planaria();
+        let t = time_dnn(&ExecContext::full_chip(&cfg), &DnnId::ResNet50.build());
+        let e = EnergyModel::for_config(&cfg)
+            .energy_of(&t.counts, t.seconds(cfg.freq_hz))
+            .total();
+        assert!(e > 1e-4 && e < 1e-1, "got {e} J");
+    }
+
+    #[test]
+    fn edp_is_product() {
+        assert!((edp(2.0, 3.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_energy_scales_linearly_with_time() {
+        let m = EnergyModel::for_config(&AcceleratorConfig::planaria());
+        assert!((m.static_energy(2.0) - 2.0 * m.static_energy(1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,314 @@
+//! Cycle-stepped omni-directional systolic array.
+//!
+//! The grid holds one stationary weight per PE plus an activation register
+//! and a partial-sum register. Each cycle, every PE latches its upstream
+//! neighbour's activation (or the skewed feed at the entry edge),
+//! multiplies it into the upstream partial sum, and registers the result —
+//! the classic weight-stationary wavefront, generalized to all four flow
+//! directions by the mux/demux pairs of Fig. 8.
+
+use planaria_arch::pe::{ActivationFlow, PartialSumFlow, PeSteering};
+
+/// Flow configuration of the array (re-exported shorthand over
+/// [`PeSteering`]).
+pub type Steering = PeSteering;
+
+/// A functional `H × W` omni-directional systolic array.
+#[derive(Debug, Clone)]
+pub struct OmniArray {
+    h: usize,
+    w: usize,
+    steering: Steering,
+    weights: Vec<Vec<i32>>,
+    /// Activation registers, indexed `[row][col]`.
+    act: Vec<Vec<i32>>,
+    /// Partial-sum registers, indexed `[row][col]`.
+    psum: Vec<Vec<i64>>,
+}
+
+impl OmniArray {
+    /// Creates an idle array with zero weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(h: usize, w: usize, steering: Steering) -> Self {
+        assert!(h > 0 && w > 0, "array dimensions must be non-zero");
+        Self {
+            h,
+            w,
+            steering,
+            weights: vec![vec![0; w]; h],
+            act: vec![vec![0; w]; h],
+            psum: vec![vec![0; w]; h],
+        }
+    }
+
+    /// Rows (reduction depth).
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Columns (output features).
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The active steering.
+    pub fn steering(&self) -> Steering {
+        self.steering
+    }
+
+    /// Re-steers the array (the runtime writes the direction bits of the
+    /// configuration word); state registers are cleared.
+    pub fn set_steering(&mut self, steering: Steering) {
+        self.steering = steering;
+        self.reset();
+    }
+
+    /// Clears activation and partial-sum registers.
+    pub fn reset(&mut self) {
+        for r in 0..self.h {
+            self.act[r].fill(0);
+            self.psum[r].fill(0);
+        }
+    }
+
+    /// Accumulation position of physical row `r`: 0 for the row where
+    /// partial sums start, `h - 1` where they leave.
+    fn acc_pos(&self, r: usize) -> usize {
+        match self.steering.partial_sums {
+            PartialSumFlow::Southward => r,
+            PartialSumFlow::Northward => self.h - 1 - r,
+        }
+    }
+
+    /// Horizontal distance of column `c` from the activation entry edge.
+    fn dist(&self, c: usize) -> usize {
+        match self.steering.activations {
+            ActivationFlow::Eastward => c,
+            ActivationFlow::Westward => self.w - 1 - c,
+        }
+    }
+
+    /// Loads a `K × N` weight tile (`K = height`, `N = width`), placing
+    /// `weights[k][n]` so that reduction index `k` sits at accumulation
+    /// position `k` under the current steering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn load_weights(&mut self, weights: &[Vec<i32>]) {
+        assert_eq!(weights.len(), self.h, "weight tile height must equal H");
+        for row in weights {
+            assert_eq!(row.len(), self.w, "weight tile width must equal W");
+        }
+        for r in 0..self.h {
+            let k = self.acc_pos(r);
+            self.weights[r].copy_from_slice(&weights[k]);
+        }
+    }
+
+    /// Advances one clock cycle: `feed(k)` supplies the activation entering
+    /// the entry column for accumulation position `k` this cycle. Returns
+    /// the partial sums visible at the exit row after the cycle.
+    pub fn step<F: Fn(usize) -> i32>(&mut self, feed: F) -> Vec<i64> {
+        let mut new_act = vec![vec![0i32; self.w]; self.h];
+        let mut new_psum = vec![vec![0i64; self.w]; self.h];
+        let (entry_col, step): (isize, isize) = match self.steering.activations {
+            ActivationFlow::Eastward => (0, 1),
+            ActivationFlow::Westward => (self.w as isize - 1, -1),
+        };
+        let (entry_row, vstep): (isize, isize) = match self.steering.partial_sums {
+            PartialSumFlow::Southward => (0, 1),
+            PartialSumFlow::Northward => (self.h as isize - 1, -1),
+        };
+        for r in 0..self.h {
+            for c in 0..self.w {
+                let a_in = if c as isize == entry_col {
+                    feed(self.acc_pos(r))
+                } else {
+                    self.act[r][(c as isize - step) as usize]
+                };
+                let p_in = if r as isize == entry_row {
+                    0
+                } else {
+                    self.psum[(r as isize - vstep) as usize][c]
+                };
+                new_act[r][c] = a_in;
+                new_psum[r][c] = p_in + i64::from(self.weights[r][c]) * i64::from(a_in);
+            }
+        }
+        self.act = new_act;
+        self.psum = new_psum;
+        let exit_row = match self.steering.partial_sums {
+            PartialSumFlow::Southward => self.h - 1,
+            PartialSumFlow::Northward => 0,
+        };
+        self.psum[exit_row].clone()
+    }
+
+    /// Runs a complete weight-stationary GEMM: `acts` is `M × K`
+    /// (`K = height`); returns the `M × N` product with the loaded weights.
+    ///
+    /// Outputs drain at the analytically predicted cycle
+    /// `m + (H - 1) + dist(c)`, which the unit tests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an activation row's length differs from the array height.
+    pub fn run_gemm(&mut self, acts: &[Vec<i32>]) -> Vec<Vec<i64>> {
+        for row in acts {
+            assert_eq!(row.len(), self.h, "activation row length must equal H");
+        }
+        self.reset();
+        let m_total = acts.len();
+        let mut out = vec![vec![0i64; self.w]; m_total];
+        let total_cycles = m_total + self.h + self.w;
+        for t in 0..total_cycles {
+            // Skewed feed: a[m][k] enters the entry column at cycle m + k.
+            let exit = self.step(|k| {
+                let m = t as isize - k as isize;
+                if m >= 0 && (m as usize) < m_total {
+                    acts[m as usize][k]
+                } else {
+                    0
+                }
+            });
+            for c in 0..self.w {
+                let m = t as isize - (self.h as isize - 1) - self.dist(c) as isize;
+                if m >= 0 && (m as usize) < m_total {
+                    out[m as usize][c] = exit[c];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::pe::{ActivationFlow, PartialSumFlow};
+
+    fn reference(acts: &[Vec<i32>], weights: &[Vec<i32>]) -> Vec<Vec<i64>> {
+        let m = acts.len();
+        let k = weights.len();
+        let n = weights[0].len();
+        let mut y = vec![vec![0i64; n]; m];
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    y[i][j] += i64::from(acts[i][l]) * i64::from(weights[l][j]);
+                }
+            }
+        }
+        y
+    }
+
+    fn all_steerings() -> [Steering; 4] {
+        let mut out = [Steering::default(); 4];
+        let flows = [
+            (ActivationFlow::Eastward, PartialSumFlow::Southward),
+            (ActivationFlow::Eastward, PartialSumFlow::Northward),
+            (ActivationFlow::Westward, PartialSumFlow::Southward),
+            (ActivationFlow::Westward, PartialSumFlow::Northward),
+        ];
+        for (i, (a, p)) in flows.into_iter().enumerate() {
+            out[i] = Steering {
+                activations: a,
+                partial_sums: p,
+            };
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_is_exact_in_all_four_directions() {
+        let weights: Vec<Vec<i32>> = (0..4)
+            .map(|r| (0..3).map(|c| (r * 3 + c) - 5).collect())
+            .collect();
+        let acts: Vec<Vec<i32>> = (0..6)
+            .map(|m| (0..4).map(|k| ((m * 7 + k * 3) % 11) - 4).collect())
+            .collect();
+        let expect = reference(&acts, &weights);
+        for steering in all_steerings() {
+            let mut array = OmniArray::new(4, 3, steering);
+            array.load_weights(&weights);
+            assert_eq!(array.run_gemm(&acts), expect, "steering {steering:?}");
+        }
+    }
+
+    #[test]
+    fn single_pe_array() {
+        let mut a = OmniArray::new(1, 1, Steering::default());
+        a.load_weights(&[vec![3]]);
+        assert_eq!(a.run_gemm(&[vec![2], vec![-1]]), vec![vec![6], vec![-3]]);
+    }
+
+    #[test]
+    fn output_drains_at_predicted_cycle() {
+        // M=1, H=2, W=2: y[0][c] must be visible exactly at cycle
+        // 0 + (H-1) + c = 1 + c.
+        let mut a = OmniArray::new(2, 2, Steering::default());
+        a.load_weights(&[vec![1, 10], vec![100, 1000]]);
+        let acts = [vec![1, 1]];
+        a.reset();
+        let mut seen = [None; 2];
+        for t in 0..6 {
+            let exit = a.step(|k| {
+                if t == k {
+                    acts[0][k]
+                } else {
+                    0
+                }
+            });
+            for (c, s) in seen.iter_mut().enumerate() {
+                if t == 1 + c && s.is_none() {
+                    *s = Some(exit[c]);
+                }
+            }
+        }
+        assert_eq!(seen[0], Some(101)); // 1*1 + 1*100
+        assert_eq!(seen[1], Some(1010)); // 1*10 + 1*1000
+    }
+
+    #[test]
+    fn wrong_weight_orientation_detected() {
+        // Loading weights for southward flow but running northward must not
+        // silently agree (unless the tile is symmetric).
+        let weights = vec![vec![1, 2], vec![3, 4]];
+        let acts = vec![vec![1, 0]]; // picks out the k=0 row
+        let mut a = OmniArray::new(2, 2, Steering::default());
+        a.load_weights(&weights);
+        let good = a.run_gemm(&acts);
+        assert_eq!(good[0], vec![1, 2]);
+        // Flip the flow *without* reloading weights: the hardware registers
+        // clear, but the stationary weights are now mis-ordered.
+        let flipped = Steering {
+            partial_sums: PartialSumFlow::Northward,
+            ..Steering::default()
+        };
+        a.steering = flipped;
+        a.reset();
+        let bad = a.run_gemm(&acts);
+        assert_eq!(bad[0], vec![3, 4], "mis-ordered weights must be visible");
+        // Reloading under the new steering restores correctness.
+        a.load_weights(&weights);
+        assert_eq!(a.run_gemm(&acts)[0], vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight tile height")]
+    fn wrong_tile_shape_rejected() {
+        let mut a = OmniArray::new(2, 2, Steering::default());
+        a.load_weights(&[vec![1, 2]]);
+    }
+
+    #[test]
+    fn empty_gemm_is_empty() {
+        let mut a = OmniArray::new(3, 3, Steering::default());
+        a.load_weights(&vec![vec![1; 3]; 3]);
+        assert!(a.run_gemm(&[]).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Serpentine chaining of subarrays (Fig. 4): a fat logical array built
+//! from physical subarrays whose activation flow alternates direction.
+//!
+//! When a logical array is wider than one pod's span, the activation stream
+//! leaves the east edge of one physical row of subarrays and re-enters the
+//! next row from *its* east edge, flowing westward — realizable only with
+//! the omni-directional switching network. Functionally, logical column
+//! `ℓ` lands on segment `ℓ / W` at physical column `ℓ mod W` for even
+//! segments and `W-1 - (ℓ mod W)` for odd (mirrored) segments.
+
+use crate::array::{OmniArray, Steering};
+use planaria_arch::pe::{ActivationFlow, PartialSumFlow};
+
+/// A chain of equal-width subarray segments with alternating activation
+/// flow, acting as one logical `K × (segments·W)` array.
+#[derive(Debug, Clone)]
+pub struct SerpentineChain {
+    segments: Vec<OmniArray>,
+    seg_w: usize,
+}
+
+impl SerpentineChain {
+    /// Builds a chain of `segments` subarrays, each `h × seg_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(h: usize, seg_w: usize, segments: usize) -> Self {
+        assert!(h > 0 && seg_w > 0 && segments > 0, "chain dimensions must be non-zero");
+        let segs = (0..segments)
+            .map(|i| {
+                let flow = if i % 2 == 0 {
+                    ActivationFlow::Eastward
+                } else {
+                    ActivationFlow::Westward
+                };
+                OmniArray::new(
+                    h,
+                    seg_w,
+                    Steering {
+                        activations: flow,
+                        partial_sums: PartialSumFlow::Southward,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            segments: segs,
+            seg_w,
+        }
+    }
+
+    /// Logical width of the chain.
+    pub fn width(&self) -> usize {
+        self.segments.len() * self.seg_w
+    }
+
+    /// Logical height.
+    pub fn height(&self) -> usize {
+        self.segments[0].height()
+    }
+
+    /// Number of segments whose activation flow is westward (the ones that
+    /// exist only because of the omni-directional network).
+    pub fn westward_segments(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.steering().activations == ActivationFlow::Westward)
+            .count()
+    }
+
+    /// Maps a logical column to `(segment, physical column)`.
+    pub fn map_column(&self, logical: usize) -> (usize, usize) {
+        let seg = logical / self.seg_w;
+        let within = logical % self.seg_w;
+        let phys = if seg.is_multiple_of(2) {
+            within
+        } else {
+            self.seg_w - 1 - within
+        };
+        (seg, phys)
+    }
+
+    /// Loads a `K × (segments·W)` weight tile across the chain, mirroring
+    /// odd segments' columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn load_weights(&mut self, weights: &[Vec<i32>]) {
+        let h = self.height();
+        let w = self.width();
+        assert_eq!(weights.len(), h, "weight tile height must equal H");
+        for row in weights {
+            assert_eq!(row.len(), w, "weight tile width must equal chain width");
+        }
+        for (si, seg) in self.segments.iter_mut().enumerate() {
+            let mut slice = vec![vec![0i32; self.seg_w]; h];
+            for (k, slice_row) in slice.iter_mut().enumerate() {
+                for within in 0..self.seg_w {
+                    let logical = si * self.seg_w + within;
+                    let phys = if si % 2 == 0 {
+                        within
+                    } else {
+                        self.seg_w - 1 - within
+                    };
+                    slice_row[phys] = weights[k][logical];
+                }
+            }
+            seg.load_weights(&slice);
+        }
+    }
+
+    /// Runs the GEMM across the chain and stitches outputs back into
+    /// logical column order.
+    pub fn run_gemm(&mut self, acts: &[Vec<i32>]) -> Vec<Vec<i64>> {
+        let w = self.width();
+        let mut out = vec![vec![0i64; w]; acts.len()];
+        for (si, seg) in self.segments.iter_mut().enumerate() {
+            let part = seg.run_gemm(acts);
+            for (m, row) in part.iter().enumerate() {
+                for within in 0..self.seg_w {
+                    let logical = si * self.seg_w + within;
+                    let phys = if si % 2 == 0 {
+                        within
+                    } else {
+                        self.seg_w - 1 - within
+                    };
+                    out[m][logical] = row[phys];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(k: usize, n: usize) -> Vec<Vec<i32>> {
+        (0..k)
+            .map(|r| (0..n).map(|c| ((r * n + c) % 13) as i32 - 6).collect())
+            .collect()
+    }
+
+    fn acts(m: usize, k: usize) -> Vec<Vec<i32>> {
+        (0..m)
+            .map(|i| (0..k).map(|j| ((i * 5 + j * 2) % 9) as i32 - 4).collect())
+            .collect()
+    }
+
+    #[test]
+    fn serpentine_matches_monolithic_wide_array() {
+        // A 4 x 12 logical array from three 4 x 4 segments (middle one
+        // westward) must equal one monolithic 4 x 12 array bit-for-bit —
+        // the Fig. 4 equivalence that justifies omni-directional flow.
+        let w = weights(4, 12);
+        let a = acts(5, 4);
+        let mut chain = SerpentineChain::new(4, 4, 3);
+        assert_eq!(chain.westward_segments(), 1);
+        chain.load_weights(&w);
+        let chained = chain.run_gemm(&a);
+
+        let mut mono = OmniArray::new(4, 12, Steering::default());
+        mono.load_weights(&w);
+        assert_eq!(chained, mono.run_gemm(&a));
+    }
+
+    #[test]
+    fn column_mapping_mirrors_odd_segments() {
+        let chain = SerpentineChain::new(2, 4, 2);
+        assert_eq!(chain.map_column(0), (0, 0));
+        assert_eq!(chain.map_column(3), (0, 3));
+        assert_eq!(chain.map_column(4), (1, 3)); // mirrored
+        assert_eq!(chain.map_column(7), (1, 0));
+    }
+
+    #[test]
+    fn single_segment_chain_is_plain_array() {
+        let w = weights(3, 4);
+        let a = acts(4, 3);
+        let mut chain = SerpentineChain::new(3, 4, 1);
+        assert_eq!(chain.westward_segments(), 0);
+        chain.load_weights(&w);
+        let mut mono = OmniArray::new(3, 4, Steering::default());
+        mono.load_weights(&w);
+        assert_eq!(chain.run_gemm(&a), mono.run_gemm(&a));
+    }
+
+    #[test]
+    fn long_chain_of_six_segments() {
+        // 16-wide logical span, like the (32x512)-1 Table II configuration
+        // scaled down: 6 segments, alternating flow.
+        let w = weights(2, 12);
+        let a = acts(7, 2);
+        let mut chain = SerpentineChain::new(2, 2, 6);
+        assert_eq!(chain.westward_segments(), 3);
+        chain.load_weights(&w);
+        let mut mono = OmniArray::new(2, 12, Steering::default());
+        mono.load_weights(&w);
+        assert_eq!(chain.run_gemm(&a), mono.run_gemm(&a));
+    }
+}

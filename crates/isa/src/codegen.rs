@@ -1,0 +1,122 @@
+//! Code generation: lowering a configuration table into a program.
+//!
+//! The generated stream preserves the analytical model's cycle accounting
+//! exactly — the interpreter replaying the program reproduces
+//! `table.total_cycles()` to the cycle, which cross-validates the compiler
+//! against the ISA layer.
+
+use crate::instr::Instr;
+use crate::program::Program;
+use planaria_compiler::ConfigTable;
+
+fn u32c(v: u64, what: &str) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("{what} ({v}) exceeds the ISA's u32 operand"))
+}
+
+/// Generates the program for one configuration table.
+pub fn generate(table: &ConfigTable) -> Program {
+    let mut instrs = Vec::new();
+    let mut current = None;
+    for layer in table.layers() {
+        if layer.systolic {
+            if current != Some(layer.arrangement) {
+                instrs.push(Instr::Configure {
+                    arrangement: layer.arrangement,
+                });
+                current = Some(layer.arrangement);
+            }
+            instrs.push(Instr::LoadWeights {
+                bytes: u32c(layer.timing.counts.dram_bytes, "weight stream"),
+            });
+            // Per execution: `tiles - 1` tiles at the floor rate, with the
+            // division remainder folded into the last tile, so both the
+            // replayed cycle count and the tile count are exact.
+            let tiles = layer.timing.tiles.max(1);
+            let cpt = layer.timing.cycles / tiles;
+            let last = layer.timing.cycles - cpt * (tiles - 1);
+            if tiles > 1 {
+                instrs.push(Instr::StreamTiles {
+                    count: u32c((tiles - 1) * layer.repeat, "tile count"),
+                    cycles_per_tile: u32c(cpt, "cycles per tile"),
+                });
+            }
+            instrs.push(Instr::StreamTiles {
+                count: u32c(layer.repeat, "final tile repeats"),
+                cycles_per_tile: u32c(last, "final tile cycles"),
+            });
+            instrs.push(Instr::Checkpoint {
+                bytes: u32c(layer.timing.tile_bytes, "checkpoint"),
+            });
+        } else {
+            instrs.push(Instr::VectorOp {
+                cycles: u32c(layer.timing.cycles * layer.repeat, "vector cycles"),
+            });
+        }
+        instrs.push(Instr::Sync);
+    }
+    instrs.push(Instr::Halt);
+    Program::new(format!("table-{}sa", table.subarrays()), table.subarrays(), instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_compiler::compile_for_allocation;
+    use planaria_model::DnnId;
+
+    #[test]
+    fn replay_matches_table_for_every_network_and_allocation() {
+        let cfg = AcceleratorConfig::planaria();
+        for id in [DnnId::TinyYolo, DnnId::MobileNetV1, DnnId::Gnmt] {
+            let net = id.build();
+            for s in [1u32, 3, 8, 16] {
+                let table = compile_for_allocation(&cfg, &net, s);
+                let program = generate(&table);
+                let replay = interpret(&program);
+                assert_eq!(
+                    replay.cycles,
+                    table.total_cycles(),
+                    "{id} at {s} subarrays"
+                );
+                // Vector layers count one tile each in the table but are
+                // VectorOps in the program.
+                let vector_tiles = table.layers().iter().filter(|l| !l.systolic)
+                    .map(|l| l.repeat).sum::<u64>();
+                assert_eq!(replay.tiles + vector_tiles, table.total_tiles(), "{id} at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn configure_emitted_only_on_arrangement_changes() {
+        let cfg = AcceleratorConfig::planaria();
+        let table = compile_for_allocation(&cfg, &DnnId::ResNet50.build(), 16);
+        let program = generate(&table);
+        let configures = program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Configure { .. }))
+            .count();
+        let systolic = table.layers().iter().filter(|l| l.systolic).count();
+        assert!(configures >= 1);
+        assert!(
+            configures < systolic,
+            "adjacent layers sharing a config must not re-configure"
+        );
+    }
+
+    #[test]
+    fn binaries_roundtrip_through_assembly() {
+        let cfg = AcceleratorConfig::planaria();
+        let table = compile_for_allocation(&cfg, &DnnId::GoogLeNet.build(), 4);
+        let program = generate(&table);
+        let bin = program.assemble();
+        let back = Program::disassemble(&bin).unwrap();
+        assert_eq!(back, program);
+        // GoogLeNet has ~120 layer entries; the binary should still be a
+        // few KB — the same order as the paper's 4 KB per-subarray buffer.
+        assert!(bin.len() < 16 * 1024, "binary unexpectedly large: {}", bin.len());
+    }
+}

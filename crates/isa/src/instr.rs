@@ -1,0 +1,152 @@
+//! The macro-instruction set.
+//!
+//! Instructions sequence a whole logical accelerator; per-subarray
+//! sequencers receive the same stream with their own configuration words
+//! (§IV-C), so one program per (DNN, allocation) suffices.
+
+use planaria_arch::Arrangement;
+
+/// One macro-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Commit a new fission arrangement (pre-loaded into the shadow
+    /// configuration registers; takes effect at the next tile boundary).
+    Configure {
+        /// The arrangement to switch to.
+        arrangement: Arrangement,
+    },
+    /// Stream a weight tile from DRAM/Pod Memory into the PE weight
+    /// buffers.
+    LoadWeights {
+        /// Tile payload in bytes.
+        bytes: u32,
+    },
+    /// Execute a run of identical compute tiles.
+    StreamTiles {
+        /// Number of back-to-back tiles.
+        count: u32,
+        /// Cycles per tile.
+        cycles_per_tile: u32,
+    },
+    /// Run the paired SIMD segments over an elementwise/pooling region.
+    VectorOp {
+        /// Vector-unit cycles.
+        cycles: u32,
+    },
+    /// Tile-boundary checkpoint: spill in-flight state so the scheduler
+    /// may reallocate here (§V's preemption points).
+    Checkpoint {
+        /// Checkpoint payload in bytes.
+        bytes: u32,
+    },
+    /// Barrier across the logical accelerator's clusters at a layer
+    /// boundary.
+    Sync,
+    /// End of program.
+    Halt,
+}
+
+/// Opcode values of the binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `Configure`.
+    Configure = 0x01,
+    /// `LoadWeights`.
+    LoadWeights = 0x02,
+    /// `StreamTiles`.
+    StreamTiles = 0x03,
+    /// `VectorOp`.
+    VectorOp = 0x04,
+    /// `Checkpoint`.
+    Checkpoint = 0x05,
+    /// `Sync`.
+    Sync = 0x06,
+    /// `Halt`.
+    Halt = 0x07,
+}
+
+impl Opcode {
+    /// Decodes a raw opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0x01 => Opcode::Configure,
+            0x02 => Opcode::LoadWeights,
+            0x03 => Opcode::StreamTiles,
+            0x04 => Opcode::VectorOp,
+            0x05 => Opcode::Checkpoint,
+            0x06 => Opcode::Sync,
+            0x07 => Opcode::Halt,
+            _ => return None,
+        })
+    }
+}
+
+impl Instr {
+    /// The instruction's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instr::Configure { .. } => Opcode::Configure,
+            Instr::LoadWeights { .. } => Opcode::LoadWeights,
+            Instr::StreamTiles { .. } => Opcode::StreamTiles,
+            Instr::VectorOp { .. } => Opcode::VectorOp,
+            Instr::Checkpoint { .. } => Opcode::Checkpoint,
+            Instr::Sync => Opcode::Sync,
+            Instr::Halt => Opcode::Halt,
+        }
+    }
+
+    /// Encoded size in bytes (1 opcode byte + operands).
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Instr::Configure { .. } => 3,      // g, r, c as u8 each
+            Instr::LoadWeights { .. } => 4,    // bytes: u32
+            Instr::StreamTiles { .. } => 8,    // count + cycles_per_tile
+            Instr::VectorOp { .. } => 4,       // cycles
+            Instr::Checkpoint { .. } => 4,     // bytes
+            Instr::Sync | Instr::Halt => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_roundtrip() {
+        for op in [
+            Opcode::Configure,
+            Opcode::LoadWeights,
+            Opcode::StreamTiles,
+            Opcode::VectorOp,
+            Opcode::Checkpoint,
+            Opcode::Sync,
+            Opcode::Halt,
+        ] {
+            assert_eq!(Opcode::from_byte(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_byte(0x00), None);
+        assert_eq!(Opcode::from_byte(0xff), None);
+    }
+
+    #[test]
+    fn encoded_lengths() {
+        assert_eq!(Instr::Halt.encoded_len(), 1);
+        assert_eq!(
+            Instr::Configure {
+                arrangement: Arrangement::new(1, 4, 4)
+            }
+            .encoded_len(),
+            4
+        );
+        assert_eq!(
+            Instr::StreamTiles {
+                count: 10,
+                cycles_per_tile: 100
+            }
+            .encoded_len(),
+            9
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Program interpreter: replays a program's cycle accounting.
+
+use crate::instr::Instr;
+use crate::program::Program;
+use planaria_arch::Arrangement;
+
+/// Aggregate statistics of one program replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Replay {
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Compute tiles streamed.
+    pub tiles: u64,
+    /// Weight bytes streamed by `LoadWeights`.
+    pub weight_bytes: u64,
+    /// Checkpoint (preemption) points encountered.
+    pub checkpoints: u64,
+    /// Reconfigurations committed.
+    pub configures: u64,
+    /// Layer barriers crossed.
+    pub syncs: u64,
+}
+
+/// Replays `program`, returning its statistics.
+///
+/// Weight loads are double-buffered behind compute (§IV-C), so
+/// `LoadWeights` contributes traffic but no standalone cycles — exactly
+/// the accounting of the analytical timing model.
+pub fn interpret(program: &Program) -> Replay {
+    let mut r = Replay::default();
+    let mut _active: Option<Arrangement> = None;
+    for i in program.instrs() {
+        match *i {
+            Instr::Configure { arrangement } => {
+                r.configures += 1;
+                _active = Some(arrangement);
+            }
+            Instr::LoadWeights { bytes } => {
+                r.weight_bytes += u64::from(bytes);
+            }
+            Instr::StreamTiles {
+                count,
+                cycles_per_tile,
+            } => {
+                r.tiles += u64::from(count);
+                r.cycles += u64::from(count) * u64::from(cycles_per_tile);
+            }
+            Instr::VectorOp { cycles } => {
+                r.cycles += u64::from(cycles);
+            }
+            Instr::Checkpoint { .. } => {
+                r.checkpoints += 1;
+            }
+            Instr::Sync => {
+                r.syncs += 1;
+            }
+            Instr::Halt => break,
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    #[test]
+    fn replay_accumulates() {
+        let p = Program::new(
+            "t",
+            2,
+            vec![
+                Instr::Configure {
+                    arrangement: Arrangement::new(1, 1, 2),
+                },
+                Instr::LoadWeights { bytes: 100 },
+                Instr::StreamTiles {
+                    count: 3,
+                    cycles_per_tile: 10,
+                },
+                Instr::VectorOp { cycles: 5 },
+                Instr::Checkpoint { bytes: 8 },
+                Instr::Sync,
+                Instr::Halt,
+            ],
+        );
+        let r = interpret(&p);
+        assert_eq!(r.cycles, 35);
+        assert_eq!(r.tiles, 3);
+        assert_eq!(r.weight_bytes, 100);
+        assert_eq!(r.checkpoints, 1);
+        assert_eq!(r.configures, 1);
+        assert_eq!(r.syncs, 1);
+    }
+
+    #[test]
+    fn instructions_after_halt_ignored() {
+        let p = Program::new(
+            "t",
+            1,
+            vec![Instr::Halt],
+        );
+        assert_eq!(interpret(&p).cycles, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The Planaria macro-instruction set.
+//!
+//! §IV-C equips every subarray with a program counter and a 4 KB
+//! instruction buffer, and Fig. 11 has the compiler emit "16 binaries and
+//! 16 configuration tables per DNN". This crate is that artifact layer:
+//!
+//! * [`instr`] — the macro-instruction set a logical accelerator executes
+//!   (configure, load weights, stream tiles, vector ops, checkpoints);
+//! * [`program`] — programs with a compact binary encoding (`assemble` /
+//!   `disassemble` round-trip exactly);
+//! * [`codegen`] — lowers a compiled
+//!   [`ConfigTable`](planaria_compiler::ConfigTable) into a program;
+//! * [`interp`] — an interpreter that replays a program and reproduces the
+//!   analytical cycle count, cross-validating the compiler against the
+//!   timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use planaria_arch::AcceleratorConfig;
+//! use planaria_compiler::compile_for_allocation;
+//! use planaria_isa::{generate, interpret};
+//! use planaria_model::DnnId;
+//!
+//! let cfg = AcceleratorConfig::planaria();
+//! let table = compile_for_allocation(&cfg, &DnnId::TinyYolo.build(), 8);
+//! let program = generate(&table);
+//! let replay = interpret(&program);
+//! assert_eq!(replay.cycles, table.total_cycles());
+//! ```
+
+pub mod codegen;
+pub mod instr;
+pub mod interp;
+pub mod program;
+
+pub use codegen::generate;
+pub use instr::Instr;
+pub use interp::{interpret, Replay};
+pub use program::{DecodeError, Program};

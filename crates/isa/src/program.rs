@@ -1,0 +1,269 @@
+//! Programs and their binary encoding — the "binary" artifact of Fig. 11.
+
+use crate::instr::{Instr, Opcode};
+use planaria_arch::Arrangement;
+use std::fmt;
+
+/// A compiled program for one (DNN, allocation-size) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    subarrays: u32,
+    instrs: Vec<Instr>,
+}
+
+/// Binary decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended inside an instruction.
+    Truncated,
+    /// An unknown opcode byte was found at the given offset.
+    BadOpcode {
+        /// Byte offset of the bad opcode.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A `Configure` operand encodes an invalid arrangement.
+    BadArrangement,
+    /// The header is malformed.
+    BadHeader,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "binary truncated mid-instruction"),
+            DecodeError::BadOpcode { offset, byte } => {
+                write!(f, "unknown opcode {byte:#04x} at offset {offset}")
+            }
+            DecodeError::BadArrangement => write!(f, "invalid arrangement operand"),
+            DecodeError::BadHeader => write!(f, "malformed program header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 4] = b"PLNR";
+
+impl Program {
+    /// Creates a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction list does not end with `Halt`.
+    pub fn new(name: impl Into<String>, subarrays: u32, instrs: Vec<Instr>) -> Self {
+        assert_eq!(instrs.last(), Some(&Instr::Halt), "program must end in Halt");
+        Self {
+            name: name.into(),
+            subarrays,
+            instrs,
+        }
+    }
+
+    /// Target network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocation size this program was generated for.
+    pub fn subarrays(&self) -> u32 {
+        self.subarrays
+    }
+
+    /// The instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Encoded size in bytes (header + instruction stream).
+    pub fn encoded_len(&self) -> usize {
+        MAGIC.len() + 1 + 2 + self.name.len()
+            + self.instrs.iter().map(Instr::encoded_len).sum::<usize>()
+    }
+
+    /// Whether the program fits a subarray's instruction buffer without
+    /// streaming (§IV-C gives each subarray 4 KB).
+    pub fn fits_instruction_buffer(&self, buffer_bytes: u64) -> bool {
+        self.encoded_len() as u64 <= buffer_bytes
+    }
+
+    /// Serializes to the binary format.
+    pub fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(MAGIC);
+        out.push(self.subarrays as u8);
+        out.extend_from_slice(&(self.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        for i in &self.instrs {
+            out.push(i.opcode() as u8);
+            match *i {
+                Instr::Configure { arrangement } => {
+                    out.push(arrangement.clusters as u8);
+                    out.push(arrangement.rows as u8);
+                    out.push(arrangement.cols as u8);
+                }
+                Instr::LoadWeights { bytes } => out.extend_from_slice(&bytes.to_le_bytes()),
+                Instr::StreamTiles {
+                    count,
+                    cycles_per_tile,
+                } => {
+                    out.extend_from_slice(&count.to_le_bytes());
+                    out.extend_from_slice(&cycles_per_tile.to_le_bytes());
+                }
+                Instr::VectorOp { cycles } => out.extend_from_slice(&cycles.to_le_bytes()),
+                Instr::Checkpoint { bytes } => out.extend_from_slice(&bytes.to_le_bytes()),
+                Instr::Sync | Instr::Halt => {}
+            }
+        }
+        out
+    }
+
+    /// Deserializes from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input.
+    pub fn disassemble(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+            if *pos + n > bytes.len() {
+                return Err(DecodeError::Truncated);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(DecodeError::BadHeader);
+        }
+        let subarrays = u32::from(take(&mut pos, 1)?[0]);
+        if subarrays == 0 {
+            return Err(DecodeError::BadHeader);
+        }
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+            .map_err(|_| DecodeError::BadHeader)?;
+
+        let mut instrs = Vec::new();
+        loop {
+            let off = pos;
+            let byte = take(&mut pos, 1)?[0];
+            let op = Opcode::from_byte(byte).ok_or(DecodeError::BadOpcode { offset: off, byte })?;
+            let u32_at = |pos: &mut usize| -> Result<u32, DecodeError> {
+                Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+            };
+            let instr = match op {
+                Opcode::Configure => {
+                    let ops = take(&mut pos, 3)?;
+                    let (g, r, c) = (ops[0], ops[1], ops[2]);
+                    if g == 0 || r == 0 || c == 0 {
+                        return Err(DecodeError::BadArrangement);
+                    }
+                    Instr::Configure {
+                        arrangement: Arrangement::new(u32::from(g), u32::from(r), u32::from(c)),
+                    }
+                }
+                Opcode::LoadWeights => Instr::LoadWeights {
+                    bytes: u32_at(&mut pos)?,
+                },
+                Opcode::StreamTiles => Instr::StreamTiles {
+                    count: u32_at(&mut pos)?,
+                    cycles_per_tile: u32_at(&mut pos)?,
+                },
+                Opcode::VectorOp => Instr::VectorOp {
+                    cycles: u32_at(&mut pos)?,
+                },
+                Opcode::Checkpoint => Instr::Checkpoint {
+                    bytes: u32_at(&mut pos)?,
+                },
+                Opcode::Sync => Instr::Sync,
+                Opcode::Halt => Instr::Halt,
+            };
+            let is_halt = instr == Instr::Halt;
+            instrs.push(instr);
+            if is_halt {
+                break;
+            }
+        }
+        Ok(Program {
+            name,
+            subarrays,
+            instrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program::new(
+            "demo",
+            8,
+            vec![
+                Instr::Configure {
+                    arrangement: Arrangement::new(2, 2, 2),
+                },
+                Instr::LoadWeights { bytes: 4096 },
+                Instr::StreamTiles {
+                    count: 12,
+                    cycles_per_tile: 196,
+                },
+                Instr::Checkpoint { bytes: 1024 },
+                Instr::Sync,
+                Instr::VectorOp { cycles: 77 },
+                Instr::Halt,
+            ],
+        )
+    }
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let p = sample();
+        let bin = p.assemble();
+        assert_eq!(bin.len(), p.encoded_len());
+        assert_eq!(Program::disassemble(&bin).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let bin = sample().assemble();
+        for cut in [3, 8, bin.len() - 1] {
+            assert!(matches!(
+                Program::disassemble(&bin[..cut]),
+                Err(DecodeError::Truncated) | Err(DecodeError::BadHeader)
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bin = sample().assemble();
+        bin[0] = b'X';
+        assert_eq!(Program::disassemble(&bin), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn bad_opcode_reported_with_offset() {
+        let mut bin = sample().assemble();
+        // Corrupt the first opcode (after the 4+1+2+4 = 11-byte header).
+        bin[11] = 0x7f;
+        match Program::disassemble(&bin) {
+            Err(DecodeError::BadOpcode { offset, byte }) => {
+                assert_eq!(offset, 11);
+                assert_eq!(byte, 0x7f);
+            }
+            other => panic!("expected BadOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "end in Halt")]
+    fn programs_must_halt() {
+        let _ = Program::new("p", 1, vec![Instr::Sync]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: arbitrary well-formed programs must round-trip through
+//! the binary format, and corrupted binaries must never decode into a
+//! *different* valid program silently (they either error or reproduce the
+//! original — never a third thing with the same length).
+
+use planaria_arch::Arrangement;
+use planaria_isa::{Instr, Program};
+use proptest::prelude::*;
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (1u32..=16, 1u32..=16, 1u32..=16).prop_map(|(g, r, c)| Instr::Configure {
+            arrangement: Arrangement::new(g, r, c)
+        }),
+        any::<u32>().prop_map(|bytes| Instr::LoadWeights { bytes }),
+        (any::<u32>(), any::<u32>()).prop_map(|(count, cycles_per_tile)| Instr::StreamTiles {
+            count,
+            cycles_per_tile
+        }),
+        any::<u32>().prop_map(|cycles| Instr::VectorOp { cycles }),
+        any::<u32>().prop_map(|bytes| Instr::Checkpoint { bytes }),
+        Just(Instr::Sync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_programs_roundtrip(
+        name in "[a-zA-Z0-9_-]{0,24}",
+        subarrays in 1u32..=16,
+        body in prop::collection::vec(instr_strategy(), 0..64),
+    ) {
+        let mut instrs = body;
+        instrs.push(Instr::Halt);
+        let program = Program::new(name, subarrays, instrs);
+        let bin = program.assemble();
+        prop_assert_eq!(bin.len(), program.encoded_len());
+        let back = Program::disassemble(&bin).unwrap();
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_to_longer_stream(
+        body in prop::collection::vec(instr_strategy(), 1..16),
+        flip_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut instrs = body;
+        instrs.push(Instr::Halt);
+        let program = Program::new("p", 4, instrs);
+        let mut bin = program.assemble();
+        let idx = flip_at.index(bin.len());
+        bin[idx] ^= xor;
+        // Either rejected, or decodes to *some* program — but decoding must
+        // never panic and never read past the buffer.
+        let _ = Program::disassemble(&bin);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(
+        body in prop::collection::vec(instr_strategy(), 1..16),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let mut instrs = body;
+        instrs.push(Instr::Halt);
+        let program = Program::new("p", 4, instrs);
+        let bin = program.assemble();
+        let cut = cut_at.index(bin.len().saturating_sub(1)); // strictly shorter
+        prop_assert!(Program::disassemble(&bin[..cut]).is_err());
+    }
+}

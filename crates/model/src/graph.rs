@@ -1,0 +1,232 @@
+//! Network-level container: an ordered sequence of layers.
+//!
+//! Planaria's compiler and scheduler treat a DNN as a linear sequence of
+//! layer executions (the paper's configuration tables are per-layer), so the
+//! graph representation is a flat, topologically ordered layer list. Branchy
+//! topologies (Inception modules, residual blocks, SSD heads) are linearized
+//! by their builders; what matters to the accelerator is the multiset of
+//! layer shapes and their serialization order.
+
+use crate::layer::{Layer, LayerOp};
+use crate::suite::Domain;
+use std::fmt;
+
+/// A deep neural network as an ordered layer sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dnn {
+    name: String,
+    domain: Domain,
+    layers: Vec<Layer>,
+}
+
+impl Dnn {
+    /// Network name (e.g. `"ResNet-50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Application domain (image classification, object detection,
+    /// machine translation).
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Ordered layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of distinct layer entries (repeated steps count once).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total parameter footprint in bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.op.weight_bytes()).sum()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DnnStats {
+        let mut s = DnnStats::default();
+        for l in &self.layers {
+            s.layers += 1;
+            s.macs += l.macs();
+            s.weight_bytes += l.op.weight_bytes();
+            match l.op {
+                LayerOp::Conv(_) => s.conv_layers += 1,
+                LayerOp::Depthwise(_) => s.depthwise_layers += 1,
+                LayerOp::MatMul(_) => s.matmul_layers += 1,
+                LayerOp::Pool(_) | LayerOp::Eltwise(_) => s.vector_layers += 1,
+            }
+        }
+        s
+    }
+
+    /// Whether the network contains depthwise convolutions (the layer class
+    /// that most rewards fission; §VI-B1 of the paper).
+    pub fn has_depthwise(&self) -> bool {
+        self.layers
+            .iter()
+            .any(|l| matches!(l.op, LayerOp::Depthwise(_)))
+    }
+}
+
+impl fmt::Display for Dnn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.2} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+/// Aggregate statistics returned by [`Dnn::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnnStats {
+    /// Number of layer entries.
+    pub layers: usize,
+    /// Dense convolution layers.
+    pub conv_layers: usize,
+    /// Depthwise convolution layers.
+    pub depthwise_layers: usize,
+    /// Dense matmul layers.
+    pub matmul_layers: usize,
+    /// Vector-unit layers (pool + elementwise).
+    pub vector_layers: usize,
+    /// Total MACs.
+    pub macs: u64,
+    /// Total weight bytes.
+    pub weight_bytes: u64,
+}
+
+/// Incremental builder for [`Dnn`], used by the network constructors in
+/// [`crate::nets`].
+///
+/// ```
+/// use planaria_model::{DnnBuilder, LayerOp, MatMulSpec};
+/// use planaria_model::suite::Domain;
+///
+/// let net = DnnBuilder::new("toy", Domain::ImageClassification)
+///     .layer("fc", LayerOp::MatMul(MatMulSpec::new(1, 128, 10)))
+///     .build();
+/// assert_eq!(net.num_layers(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DnnBuilder {
+    name: String,
+    domain: Domain,
+    layers: Vec<Layer>,
+}
+
+impl DnnBuilder {
+    /// Starts a new network.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer executed once. Returns `self` for chaining.
+    pub fn layer(mut self, name: impl Into<String>, op: LayerOp) -> Self {
+        self.push(name, op);
+        self
+    }
+
+    /// Appends a layer (non-consuming form for loops).
+    pub fn push(&mut self, name: impl Into<String>, op: LayerOp) -> &mut Self {
+        self.layers.push(Layer::new(name, op));
+        self
+    }
+
+    /// Appends a layer executed `repeat` times back-to-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat` is zero.
+    pub fn push_repeated(&mut self, name: impl Into<String>, op: LayerOp, repeat: u64) -> &mut Self {
+        self.layers.push(Layer::repeated(name, op, repeat));
+        self
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added or if two layers share a name.
+    pub fn build(self) -> Dnn {
+        assert!(!self.layers.is_empty(), "network must have at least one layer");
+        let mut names: Vec<&str> = self.layers.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        for w in names.windows(2) {
+            assert!(w[0] != w[1], "duplicate layer name: {}", w[0]);
+        }
+        Dnn {
+            name: self.name,
+            domain: self.domain,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{EltwiseOp, EltwiseSpec, MatMulSpec};
+
+    fn mm(m: u64, k: u64, n: u64) -> LayerOp {
+        LayerOp::MatMul(MatMulSpec::new(m, k, n))
+    }
+
+    #[test]
+    fn builder_accumulates_layers_in_order() {
+        let net = DnnBuilder::new("t", Domain::MachineTranslation)
+            .layer("a", mm(1, 2, 3))
+            .layer("b", mm(4, 5, 6))
+            .build();
+        assert_eq!(net.layers()[0].name, "a");
+        assert_eq!(net.layers()[1].name, "b");
+        assert_eq!(net.total_macs(), 6 + 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_names_rejected() {
+        let _ = DnnBuilder::new("t", Domain::ImageClassification)
+            .layer("a", mm(1, 2, 3))
+            .layer("a", mm(1, 2, 3))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = DnnBuilder::new("t", Domain::ImageClassification).build();
+    }
+
+    #[test]
+    fn stats_classify_layer_kinds() {
+        let mut b = DnnBuilder::new("t", Domain::ObjectDetection);
+        b.push("fc", mm(1, 8, 8));
+        b.push(
+            "act",
+            LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 8)),
+        );
+        let net = b.build();
+        let s = net.stats();
+        assert_eq!(s.matmul_layers, 1);
+        assert_eq!(s.vector_layers, 1);
+        assert_eq!(s.layers, 2);
+        assert!(!net.has_depthwise());
+    }
+}

@@ -1,0 +1,574 @@
+//! Layer-level operator shapes.
+//!
+//! Each operator carries exactly the information an accelerator timing or
+//! energy model needs: its GEMM view ([`GemmShape`]), operand footprints in
+//! bytes, and MAC counts. Data is assumed to be 8-bit quantized (the TPU-like
+//! inference setting the paper uses), with 32-bit partial sums.
+
+use std::fmt;
+
+/// Bytes per activation / weight element (8-bit quantized inference).
+pub const ELEM_BYTES: u64 = 1;
+/// Bytes per partial-sum / accumulator element (32-bit).
+pub const ACC_BYTES: u64 = 4;
+
+/// The GEMM (matrix-multiply) view of an operator, in the `im2col` lowering
+/// used by systolic accelerators.
+///
+/// * `m` — number of independent result rows streamed through the array
+///   (output spatial positions × batch for convolutions).
+/// * `k` — reduction depth (input channels × kernel window for convolutions);
+///   mapped along systolic array *rows*.
+/// * `n` — number of output features (output channels); mapped along
+///   systolic array *columns*.
+///
+/// ```
+/// use planaria_model::GemmShape;
+/// let g = GemmShape::new(49, 512, 2048);
+/// assert_eq!(g.macs(), 49 * 512 * 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Streamed rows (output spatial positions × batch).
+    pub m: u64,
+    /// Reduction depth.
+    pub k: u64,
+    /// Output features.
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be non-zero");
+        Self { m, k, n }
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Weight operand footprint in bytes (`k × n` elements).
+    pub fn weight_bytes(&self) -> u64 {
+        self.k * self.n * ELEM_BYTES
+    }
+
+    /// Input operand footprint in bytes (`m × k` elements).
+    pub fn input_bytes(&self) -> u64 {
+        self.m * self.k * ELEM_BYTES
+    }
+
+    /// Output footprint in bytes (`m × n` elements, quantized back to 8 bits).
+    pub fn output_bytes(&self) -> u64 {
+        self.m * self.n * ELEM_BYTES
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}]", self.m, self.k, self.n)
+    }
+}
+
+/// A standard (dense) 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_ch: u64,
+    /// Output channels.
+    pub out_ch: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Stride (same in both dimensions).
+    pub stride: u64,
+    /// Symmetric zero padding.
+    pub pad: u64,
+    /// Input feature-map height.
+    pub in_h: u64,
+    /// Input feature-map width.
+    pub in_w: u64,
+}
+
+impl ConvSpec {
+    /// Creates a convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero, or if the padded input
+    /// is smaller than the kernel.
+    #[allow(clippy::too_many_arguments)] // mirrors the conv hyper-parameter list
+    pub fn new(
+        in_ch: u64,
+        out_ch: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        pad: u64,
+        in_h: u64,
+        in_w: u64,
+    ) -> Self {
+        assert!(
+            in_ch > 0 && out_ch > 0 && kh > 0 && kw > 0 && stride > 0 && in_h > 0 && in_w > 0,
+            "convolution dimensions must be non-zero"
+        );
+        assert!(
+            in_h + 2 * pad >= kh && in_w + 2 * pad >= kw,
+            "padded input smaller than kernel"
+        );
+        Self {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            stride,
+            pad,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> u64 {
+        (self.in_h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> u64 {
+        (self.in_w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// GEMM view: `m` = output positions, `k` = `in_ch·kh·kw`, `n` = `out_ch`.
+    pub fn gemm(&self) -> GemmShape {
+        GemmShape::new(
+            self.out_h() * self.out_w(),
+            self.in_ch * self.kh * self.kw,
+            self.out_ch,
+        )
+    }
+}
+
+/// A depthwise 2-D convolution: each input channel is convolved with its own
+/// single 2-D filter (no cross-channel reduction).
+///
+/// On a weight-stationary systolic array a depthwise filter vectorizes onto a
+/// single column (§VI-B2 of the paper), so this operator class is the one
+/// that most rewards architecture fission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepthwiseSpec {
+    /// Number of channels (input = output).
+    pub channels: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Stride.
+    pub stride: u64,
+    /// Symmetric zero padding.
+    pub pad: u64,
+    /// Input feature-map height.
+    pub in_h: u64,
+    /// Input feature-map width.
+    pub in_w: u64,
+}
+
+impl DepthwiseSpec {
+    /// Creates a depthwise convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero, or if the padded input
+    /// is smaller than the kernel.
+    pub fn new(channels: u64, kh: u64, kw: u64, stride: u64, pad: u64, in_h: u64, in_w: u64) -> Self {
+        assert!(
+            channels > 0 && kh > 0 && kw > 0 && stride > 0 && in_h > 0 && in_w > 0,
+            "depthwise dimensions must be non-zero"
+        );
+        assert!(
+            in_h + 2 * pad >= kh && in_w + 2 * pad >= kw,
+            "padded input smaller than kernel"
+        );
+        Self {
+            channels,
+            kh,
+            kw,
+            stride,
+            pad,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> u64 {
+        (self.in_h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> u64 {
+        (self.in_w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Per-channel GEMM view: `m` = output positions, `k` = `kh·kw`, `n` = 1.
+    pub fn per_channel_gemm(&self) -> GemmShape {
+        GemmShape::new(self.out_h() * self.out_w(), self.kh * self.kw, 1)
+    }
+
+    /// Total MACs across all channels.
+    pub fn macs(&self) -> u64 {
+        self.channels * self.per_channel_gemm().macs()
+    }
+
+    /// Weight footprint in bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        self.channels * self.kh * self.kw * ELEM_BYTES
+    }
+}
+
+/// A dense matrix multiplication (fully-connected layers, LSTM gates,
+/// attention projections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatMulSpec {
+    /// GEMM shape.
+    pub shape: GemmShape,
+}
+
+impl MatMulSpec {
+    /// Creates a matmul spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        Self {
+            shape: GemmShape::new(m, k, n),
+        }
+    }
+}
+
+/// Pooling kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling (includes global average pooling).
+    Avg,
+}
+
+/// A pooling layer, executed on the SIMD vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Pooling kind.
+    pub kind: PoolKind,
+    /// Channels.
+    pub channels: u64,
+    /// Window height.
+    pub kh: u64,
+    /// Window width.
+    pub kw: u64,
+    /// Stride.
+    pub stride: u64,
+    /// Input feature-map height.
+    pub in_h: u64,
+    /// Input feature-map width.
+    pub in_w: u64,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero, or if the window is
+    /// larger than the input.
+    pub fn new(kind: PoolKind, channels: u64, kh: u64, kw: u64, stride: u64, in_h: u64, in_w: u64) -> Self {
+        assert!(
+            channels > 0 && kh > 0 && kw > 0 && stride > 0 && in_h > 0 && in_w > 0,
+            "pooling dimensions must be non-zero"
+        );
+        assert!(kh <= in_h && kw <= in_w, "pooling window larger than input");
+        Self {
+            kind,
+            channels,
+            kh,
+            kw,
+            stride,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Global average pooling over the whole feature map.
+    pub fn global_avg(channels: u64, in_h: u64, in_w: u64) -> Self {
+        Self::new(PoolKind::Avg, channels, in_h, in_w, 1, in_h, in_w)
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> u64 {
+        (self.in_h - self.kh) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> u64 {
+        (self.in_w - self.kw) / self.stride + 1
+    }
+
+    /// Vector-unit operations (one read-modify per window element per output).
+    pub fn vector_ops(&self) -> u64 {
+        self.channels * self.out_h() * self.out_w() * self.kh * self.kw
+    }
+}
+
+/// Elementwise operator kind, executed on the SIMD vector unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EltwiseOp {
+    /// ReLU / ReLU6 / leaky-ReLU style activation.
+    Activation,
+    /// Residual addition.
+    Add,
+    /// Per-element multiplication (e.g. squeeze-and-excite scaling).
+    Mul,
+    /// Batch normalization (scale + shift, folded at inference but modeled
+    /// as one vector pass when standalone).
+    BatchNorm,
+    /// Softmax / sigmoid style transcendental pass.
+    Softmax,
+    /// Nearest-neighbour upsampling / concatenation style data movement.
+    DataMove,
+}
+
+/// An elementwise (SIMD vector unit) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EltwiseSpec {
+    /// Operator kind.
+    pub op: EltwiseOp,
+    /// Number of elements processed.
+    pub elems: u64,
+}
+
+impl EltwiseSpec {
+    /// Creates an elementwise spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is zero.
+    pub fn new(op: EltwiseOp, elems: u64) -> Self {
+        assert!(elems > 0, "elementwise layer must process elements");
+        Self { op, elems }
+    }
+}
+
+/// Operator payload of a [`Layer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerOp {
+    /// Dense convolution.
+    Conv(ConvSpec),
+    /// Depthwise convolution.
+    Depthwise(DepthwiseSpec),
+    /// Dense matrix multiplication.
+    MatMul(MatMulSpec),
+    /// Pooling (vector unit).
+    Pool(PoolSpec),
+    /// Elementwise (vector unit).
+    Eltwise(EltwiseSpec),
+}
+
+impl LayerOp {
+    /// Whether this operator runs on the systolic array (vs. the vector unit).
+    pub fn is_systolic(&self) -> bool {
+        matches!(self, LayerOp::Conv(_) | LayerOp::Depthwise(_) | LayerOp::MatMul(_))
+    }
+
+    /// MAC count for systolic operators; zero for vector-unit operators.
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerOp::Conv(c) => c.gemm().macs(),
+            LayerOp::Depthwise(d) => d.macs(),
+            LayerOp::MatMul(m) => m.shape.macs(),
+            LayerOp::Pool(_) | LayerOp::Eltwise(_) => 0,
+        }
+    }
+
+    /// Weight footprint in bytes (zero for weight-less operators).
+    pub fn weight_bytes(&self) -> u64 {
+        match self {
+            LayerOp::Conv(c) => c.gemm().weight_bytes(),
+            LayerOp::Depthwise(d) => d.weight_bytes(),
+            LayerOp::MatMul(m) => m.shape.weight_bytes(),
+            LayerOp::Pool(_) | LayerOp::Eltwise(_) => 0,
+        }
+    }
+
+    /// Input activation footprint in bytes.
+    pub fn input_bytes(&self) -> u64 {
+        match self {
+            LayerOp::Conv(c) => c.in_ch * c.in_h * c.in_w * ELEM_BYTES,
+            LayerOp::Depthwise(d) => d.channels * d.in_h * d.in_w * ELEM_BYTES,
+            LayerOp::MatMul(m) => m.shape.input_bytes(),
+            LayerOp::Pool(p) => p.channels * p.in_h * p.in_w * ELEM_BYTES,
+            LayerOp::Eltwise(e) => e.elems * ELEM_BYTES,
+        }
+    }
+
+    /// Output activation footprint in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        match self {
+            LayerOp::Conv(c) => c.out_ch * c.out_h() * c.out_w() * ELEM_BYTES,
+            LayerOp::Depthwise(d) => d.channels * d.out_h() * d.out_w() * ELEM_BYTES,
+            LayerOp::MatMul(m) => m.shape.output_bytes(),
+            LayerOp::Pool(p) => p.channels * p.out_h() * p.out_w() * ELEM_BYTES,
+            LayerOp::Eltwise(e) => e.elems * ELEM_BYTES,
+        }
+    }
+}
+
+/// A single layer of a [`crate::Dnn`].
+///
+/// `repeat` expresses back-to-back *sequentially dependent* executions of an
+/// identical shape — recurrent time-steps in GNMT. Repeated executions cannot
+/// be batched into a larger GEMM because each step consumes the previous
+/// step's output, but they share one table entry in the compiler.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    /// Human-readable layer name (unique within a network).
+    pub name: String,
+    /// Operator shape.
+    pub op: LayerOp,
+    /// Sequentially dependent repetitions of this exact shape (≥ 1).
+    pub repeat: u64,
+}
+
+impl Layer {
+    /// Creates a layer executed once.
+    pub fn new(name: impl Into<String>, op: LayerOp) -> Self {
+        Self {
+            name: name.into(),
+            op,
+            repeat: 1,
+        }
+    }
+
+    /// Creates a layer executed `repeat` times back-to-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeat` is zero.
+    pub fn repeated(name: impl Into<String>, op: LayerOp, repeat: u64) -> Self {
+        assert!(repeat > 0, "repeat count must be at least 1");
+        Self {
+            name: name.into(),
+            op,
+            repeat,
+        }
+    }
+
+    /// Total MACs including repetitions.
+    pub fn macs(&self) -> u64 {
+        self.op.macs() * self.repeat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        // ResNet-50 stem: 7x7/2 pad 3 on 224 -> 112.
+        let c = ConvSpec::new(3, 64, 7, 7, 2, 3, 224, 224);
+        assert_eq!(c.out_h(), 112);
+        assert_eq!(c.out_w(), 112);
+        let g = c.gemm();
+        assert_eq!(g.m, 112 * 112);
+        assert_eq!(g.k, 3 * 49);
+        assert_eq!(g.n, 64);
+    }
+
+    #[test]
+    fn conv_same_padding() {
+        let c = ConvSpec::new(64, 64, 3, 3, 1, 1, 56, 56);
+        assert_eq!(c.out_h(), 56);
+        assert_eq!(c.out_w(), 56);
+    }
+
+    #[test]
+    fn conv_macs_match_textbook_formula() {
+        let c = ConvSpec::new(64, 128, 3, 3, 1, 1, 56, 56);
+        let expected = 56u64 * 56 * 64 * 128 * 9;
+        assert_eq!(c.gemm().macs(), expected);
+    }
+
+    #[test]
+    fn depthwise_gemm_has_unit_n() {
+        let d = DepthwiseSpec::new(512, 3, 3, 1, 1, 14, 14);
+        let g = d.per_channel_gemm();
+        assert_eq!(g.n, 1);
+        assert_eq!(g.k, 9);
+        assert_eq!(d.macs(), 512 * 14 * 14 * 9);
+    }
+
+    #[test]
+    fn depthwise_stride_two() {
+        let d = DepthwiseSpec::new(128, 3, 3, 2, 1, 56, 56);
+        assert_eq!(d.out_h(), 28);
+        assert_eq!(d.out_w(), 28);
+    }
+
+    #[test]
+    fn pool_dims_and_ops() {
+        let p = PoolSpec::new(PoolKind::Max, 64, 3, 3, 2, 112, 112);
+        // floor((112-3)/2)+1 = 55 -> the canonical 56 comes from pad=1 which
+        // we fold into in_h at the call sites; verify the raw formula here.
+        assert_eq!(p.out_h(), 55);
+        assert_eq!(p.vector_ops(), 64 * 55 * 55 * 9);
+    }
+
+    #[test]
+    fn global_avg_pool_single_output() {
+        let p = PoolSpec::global_avg(2048, 7, 7);
+        assert_eq!(p.out_h(), 1);
+        assert_eq!(p.out_w(), 1);
+        assert_eq!(p.vector_ops(), 2048 * 49);
+    }
+
+    #[test]
+    fn matmul_footprints() {
+        let m = MatMulSpec::new(1, 2048, 4096);
+        assert_eq!(m.shape.weight_bytes(), 2048 * 4096);
+        assert_eq!(m.shape.input_bytes(), 2048);
+        assert_eq!(m.shape.output_bytes(), 4096);
+    }
+
+    #[test]
+    fn layer_repeat_scales_macs() {
+        let op = LayerOp::MatMul(MatMulSpec::new(1, 2048, 4096));
+        let l = Layer::repeated("lstm", op, 25);
+        assert_eq!(l.macs(), 25 * 2048 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_conv_panics() {
+        let _ = ConvSpec::new(0, 64, 3, 3, 1, 1, 56, 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat count")]
+    fn zero_repeat_panics() {
+        let op = LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Add, 10));
+        let _ = Layer::repeated("x", op, 0);
+    }
+
+    #[test]
+    fn vector_ops_are_not_systolic() {
+        assert!(!LayerOp::Pool(PoolSpec::global_avg(8, 4, 4)).is_systolic());
+        assert!(!LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Add, 4)).is_systolic());
+        assert!(LayerOp::MatMul(MatMulSpec::new(1, 2, 3)).is_systolic());
+    }
+}

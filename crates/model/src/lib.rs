@@ -1,0 +1,37 @@
+//! DNN workload representation for the Planaria reproduction.
+//!
+//! This crate provides the *model substrate*: a layer-level representation of
+//! deep neural networks as seen by a systolic-array accelerator, plus
+//! faithful layer-by-layer reconstructions of the nine benchmark networks the
+//! paper evaluates (Table I): ResNet-50, GoogLeNet, YOLOv3, SSD-ResNet34 and
+//! GNMT (the "heavier" Workload-A set), and EfficientNet-B0, MobileNet-v1,
+//! SSD-MobileNet and Tiny YOLO (the "lighter" Workload-B set).
+//!
+//! An accelerator simulator only consumes layer *shapes* — the GEMM view of
+//! each operator, its operand footprints, and its operator class (dense
+//! matrix work vs. depthwise convolution vs. SIMD vector work) — so networks
+//! are described structurally and no weights are stored.
+//!
+//! # Example
+//!
+//! ```
+//! use planaria_model::{DnnId, Dnn};
+//!
+//! let net: Dnn = DnnId::ResNet50.build();
+//! assert_eq!(net.name(), "ResNet-50");
+//! // ResNet-50 performs roughly 4 GMACs per inference at 224x224.
+//! let gmacs = net.total_macs() as f64 / 1e9;
+//! assert!(gmacs > 3.0 && gmacs < 5.0);
+//! ```
+
+pub mod graph;
+pub mod layer;
+pub mod nets;
+pub mod suite;
+
+pub use graph::{Dnn, DnnBuilder, DnnStats};
+pub use layer::{
+    ConvSpec, DepthwiseSpec, EltwiseOp, EltwiseSpec, GemmShape, Layer, LayerOp, MatMulSpec,
+    PoolKind, PoolSpec,
+};
+pub use suite::{Domain, DnnId};

@@ -1,0 +1,128 @@
+//! EfficientNet-B0 (Tan & Le, ICML 2019) at 224×224.
+
+use super::{conv_act, dwconv_act, residual_add};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{EltwiseOp, EltwiseSpec, LayerOp, MatMulSpec, PoolSpec};
+use crate::suite::Domain;
+
+/// One MBConv block: 1×1 expand (skipped when ratio = 1) → k×k depthwise →
+/// squeeze-and-excite → 1×1 project, with a residual add when shapes match.
+/// Returns the output spatial size.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    out_ch: u64,
+    expand: u64,
+    k: u64,
+    stride: u64,
+    hw: u64,
+) -> u64 {
+    let mid = in_ch * expand;
+    if expand != 1 {
+        conv_act(b, &format!("{name}.expand"), in_ch, mid, 1, 1, 0, hw);
+    }
+    let s = dwconv_act(b, &format!("{name}.dw"), mid, k, stride, k / 2, hw);
+
+    // Squeeze-and-excite: global pool, two tiny FCs (reduction on the block's
+    // *input* channels / 4 per the reference implementation), channel scale.
+    let se = (in_ch / 4).max(1);
+    b.push(
+        format!("{name}.se.pool"),
+        LayerOp::Pool(PoolSpec::global_avg(mid, s, s)),
+    );
+    b.push(
+        format!("{name}.se.fc1"),
+        LayerOp::MatMul(MatMulSpec::new(1, mid, se)),
+    );
+    b.push(
+        format!("{name}.se.fc2"),
+        LayerOp::MatMul(MatMulSpec::new(1, se, mid)),
+    );
+    b.push(
+        format!("{name}.se.scale"),
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Mul, mid * s * s)),
+    );
+
+    conv_act(b, &format!("{name}.project"), mid, out_ch, 1, 1, 0, s);
+    if stride == 1 && in_ch == out_ch {
+        residual_add(b, &format!("{name}.add"), out_ch, s);
+    }
+    s
+}
+
+/// Builds EfficientNet-B0: stem, 16 MBConv blocks in 7 stages, 1×1 head,
+/// global average pool, and a 1000-way classifier.
+pub fn efficientnet_b0() -> Dnn {
+    let mut b = DnnBuilder::new("EfficientNet-B0", Domain::ImageClassification);
+    let mut hw = conv_act(&mut b, "stem", 3, 32, 3, 2, 1, 224);
+
+    // (expand, out_ch, repeats, kernel, first-stride) per stage (B0 config).
+    let stages: [(u64, u64, usize, u64, u64); 7] = [
+        (1, 16, 1, 3, 1),
+        (6, 24, 2, 3, 2),
+        (6, 40, 2, 5, 2),
+        (6, 80, 3, 3, 2),
+        (6, 112, 3, 5, 1),
+        (6, 192, 4, 5, 2),
+        (6, 320, 1, 3, 1),
+    ];
+    let mut in_ch = 32;
+    for (si, &(expand, out_ch, repeats, k, first_stride)) in stages.iter().enumerate() {
+        for r in 0..repeats {
+            let stride = if r == 0 { first_stride } else { 1 };
+            hw = mbconv(
+                &mut b,
+                &format!("mb{}_{}", si + 1, r + 1),
+                in_ch,
+                out_ch,
+                expand,
+                k,
+                stride,
+                hw,
+            );
+            in_ch = out_ch;
+        }
+    }
+
+    conv_act(&mut b, "head", in_ch, 1280, 1, 1, 0, hw);
+    b.push("avgpool", LayerOp::Pool(PoolSpec::global_avg(1280, hw, hw)));
+    b.push("fc", LayerOp::MatMul(MatMulSpec::new(1, 1280, 1000)));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b0_has_sixteen_depthwise_blocks() {
+        let net = efficientnet_b0();
+        assert_eq!(net.stats().depthwise_layers, 16);
+    }
+
+    #[test]
+    fn b0_macs_near_published() {
+        // Published: ~0.39 GMACs, 5.3 M params.
+        let net = efficientnet_b0();
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!(gmacs > 0.30 && gmacs < 0.55, "got {gmacs}");
+    }
+
+    #[test]
+    fn b0_final_spatial_is_seven() {
+        let net = efficientnet_b0();
+        use crate::layer::LayerOp;
+        let head = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "head")
+            .and_then(|l| match l.op {
+                LayerOp::Conv(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(head.in_h, 7);
+    }
+}

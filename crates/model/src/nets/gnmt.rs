@@ -1,0 +1,128 @@
+//! GNMT (Wu et al., 2016) — 8-layer encoder/decoder LSTM seq2seq with
+//! attention, at inference batch 1 with short server-scenario sequences.
+//!
+//! Recurrent steps are *sequentially dependent*, so each time-step's gate
+//! GEMM has `m = 1` and cannot be batched; the [`crate::Layer::repeat`]
+//! field expresses the per-step repetition. This is exactly why GNMT gains
+//! the least from fission in the paper (Fig. 17): its work is already dense
+//! matrix multiplication that a monolithic array handles well, and its
+//! critical path is weight streaming, not array shape.
+
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{EltwiseOp, EltwiseSpec, LayerOp, MatMulSpec};
+use crate::suite::Domain;
+
+/// Hidden width of every LSTM layer.
+const HIDDEN: u64 = 1024;
+/// Source/target sequence length modeled. Server-scenario translation
+/// queries are short (MLPerf GNMT samples average ~12 sub-word tokens);
+/// we model 4-token source/target sequences.
+const STEPS: u64 = 4;
+/// Output vocabulary (sub-word units).
+const VOCAB: u64 = 32_000;
+
+/// One LSTM layer's per-step work: the fused gate GEMM
+/// `[x_t, h_{t-1}] (2H) × W (2H × 4H)` plus elementwise gate math.
+fn lstm_layer(b: &mut DnnBuilder, name: &str, steps: u64) {
+    b.push_repeated(
+        format!("{name}.gates"),
+        LayerOp::MatMul(MatMulSpec::new(1, 2 * HIDDEN, 4 * HIDDEN)),
+        steps,
+    );
+    b.push_repeated(
+        format!("{name}.cell"),
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 4 * HIDDEN)),
+        steps,
+    );
+}
+
+/// Builds GNMT: a bidirectional first encoder layer + 7 unidirectional
+/// encoder layers, 8 decoder layers with additive attention each step, and
+/// the per-step vocabulary projection.
+pub fn gnmt() -> Dnn {
+    let mut b = DnnBuilder::new("GNMT", Domain::MachineTranslation);
+
+    // Encoder: layer 1 bidirectional (two directions), layers 2-8 forward.
+    lstm_layer(&mut b, "enc1.fwd", STEPS);
+    lstm_layer(&mut b, "enc1.bwd", STEPS);
+    for l in 2..=8 {
+        lstm_layer(&mut b, &format!("enc{l}"), STEPS);
+    }
+
+    // Decoder: 8 layers, one step per output token.
+    for l in 1..=8 {
+        lstm_layer(&mut b, &format!("dec{l}"), STEPS);
+    }
+
+    // Additive attention per decoder step: score projection over the source
+    // memory (25 x 1024), softmax, and context reduction.
+    b.push_repeated(
+        "attn.score",
+        LayerOp::MatMul(MatMulSpec::new(STEPS, HIDDEN, 1)),
+        STEPS,
+    );
+    b.push_repeated(
+        "attn.softmax",
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Softmax, STEPS)),
+        STEPS,
+    );
+    b.push_repeated(
+        "attn.context",
+        LayerOp::MatMul(MatMulSpec::new(1, STEPS, HIDDEN)),
+        STEPS,
+    );
+
+    // Per-step vocabulary projection (the dominant decoder GEMM).
+    b.push_repeated(
+        "proj",
+        LayerOp::MatMul(MatMulSpec::new(1, HIDDEN, VOCAB)),
+        STEPS,
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+
+    #[test]
+    fn gnmt_is_matmul_dominated() {
+        let net = gnmt();
+        let s = net.stats();
+        assert_eq!(s.conv_layers, 0);
+        assert_eq!(s.depthwise_layers, 0);
+        assert!(s.matmul_layers > 0);
+        // >99% of MACs are matmul by construction.
+        let mm_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.op, LayerOp::MatMul(_)))
+            .map(|l| l.macs())
+            .sum();
+        assert_eq!(mm_macs, net.total_macs());
+    }
+
+    #[test]
+    fn gnmt_macs_scale_with_sequence() {
+        // 17 LSTM layers x 4 steps x (2048x4096) + projection 4 x 1024x32000
+        // ≈ 0.57 + 0.13 = ~0.7 GMACs.
+        let gmacs = gnmt().total_macs() as f64 / 1e9;
+        assert!(gmacs > 0.5 && gmacs < 1.1, "got {gmacs}");
+    }
+
+    #[test]
+    fn gnmt_steps_are_sequential() {
+        let net = gnmt();
+        let gates = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "enc1.fwd.gates")
+            .unwrap();
+        assert_eq!(gates.repeat, STEPS);
+        match gates.op {
+            LayerOp::MatMul(m) => assert_eq!(m.shape.m, 1),
+            _ => panic!("gates must be matmul"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) at 224×224.
+
+use super::{conv_act, maxpool};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{EltwiseOp, EltwiseSpec, LayerOp, MatMulSpec, PoolKind, PoolSpec};
+use crate::suite::Domain;
+
+/// Channel configuration of one Inception module:
+/// (1×1, 3×3-reduce, 3×3, 5×5-reduce, 5×5, pool-proj).
+struct Inception {
+    name: &'static str,
+    b1: u64,
+    b2r: u64,
+    b2: u64,
+    b3r: u64,
+    b3: u64,
+    b4: u64,
+}
+
+impl Inception {
+    fn out_ch(&self) -> u64 {
+        self.b1 + self.b2 + self.b3 + self.b4
+    }
+
+    fn emit(&self, b: &mut DnnBuilder, in_ch: u64, hw: u64) -> u64 {
+        let n = self.name;
+        conv_act(b, &format!("{n}.1x1"), in_ch, self.b1, 1, 1, 0, hw);
+        conv_act(b, &format!("{n}.3x3r"), in_ch, self.b2r, 1, 1, 0, hw);
+        conv_act(b, &format!("{n}.3x3"), self.b2r, self.b2, 3, 1, 1, hw);
+        conv_act(b, &format!("{n}.5x5r"), in_ch, self.b3r, 1, 1, 0, hw);
+        conv_act(b, &format!("{n}.5x5"), self.b3r, self.b3, 5, 1, 2, hw);
+        b.push(
+            format!("{n}.pool"),
+            LayerOp::Pool(PoolSpec::new(PoolKind::Max, in_ch, 3, 3, 1, hw + 2, hw + 2)),
+        );
+        conv_act(b, &format!("{n}.poolproj"), in_ch, self.b4, 1, 1, 0, hw);
+        // Branch concatenation is pure data movement handled by the vector unit.
+        b.push(
+            format!("{n}.concat"),
+            LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::DataMove, self.out_ch() * hw * hw)),
+        );
+        self.out_ch()
+    }
+}
+
+/// Builds GoogLeNet: stem, nine Inception modules (3a–5b), global average
+/// pool, and a 1000-way classifier.
+pub fn googlenet() -> Dnn {
+    let mut b = DnnBuilder::new("GoogLeNet", Domain::ImageClassification);
+    let mut hw = conv_act(&mut b, "conv1", 3, 64, 7, 2, 3, 224);
+    hw = maxpool(&mut b, "pool1", 64, 3, 2, 1, hw);
+    conv_act(&mut b, "conv2r", 64, 64, 1, 1, 0, hw);
+    conv_act(&mut b, "conv2", 64, 192, 3, 1, 1, hw);
+    hw = maxpool(&mut b, "pool2", 192, 3, 2, 1, hw);
+
+    #[rustfmt::skip]
+    let modules3 = [
+        Inception { name: "3a", b1: 64,  b2r: 96,  b2: 128, b3r: 16, b3: 32,  b4: 32 },
+        Inception { name: "3b", b1: 128, b2r: 128, b2: 192, b3r: 32, b3: 96,  b4: 64 },
+    ];
+    #[rustfmt::skip]
+    let modules4 = [
+        Inception { name: "4a", b1: 192, b2r: 96,  b2: 208, b3r: 16, b3: 48,  b4: 64 },
+        Inception { name: "4b", b1: 160, b2r: 112, b2: 224, b3r: 24, b3: 64,  b4: 64 },
+        Inception { name: "4c", b1: 128, b2r: 128, b2: 256, b3r: 24, b3: 64,  b4: 64 },
+        Inception { name: "4d", b1: 112, b2r: 144, b2: 288, b3r: 32, b3: 64,  b4: 64 },
+        Inception { name: "4e", b1: 256, b2r: 160, b2: 320, b3r: 32, b3: 128, b4: 128 },
+    ];
+    #[rustfmt::skip]
+    let modules5 = [
+        Inception { name: "5a", b1: 256, b2r: 160, b2: 320, b3r: 32, b3: 128, b4: 128 },
+        Inception { name: "5b", b1: 384, b2r: 192, b2: 384, b3r: 48, b3: 128, b4: 128 },
+    ];
+
+    let mut ch = 192;
+    for m in &modules3 {
+        ch = m.emit(&mut b, ch, hw);
+    }
+    hw = maxpool(&mut b, "pool3", ch, 3, 2, 1, hw);
+    for m in &modules4 {
+        ch = m.emit(&mut b, ch, hw);
+    }
+    hw = maxpool(&mut b, "pool4", ch, 3, 2, 1, hw);
+    for m in &modules5 {
+        ch = m.emit(&mut b, ch, hw);
+    }
+
+    b.push("avgpool", LayerOp::Pool(PoolSpec::global_avg(ch, hw, hw)));
+    b.push("fc", LayerOp::MatMul(MatMulSpec::new(1, ch, 1000)));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_channel_progression() {
+        // 3a out = 256, 3b out = 480, 4e out = 832, 5b out = 1024 per the paper.
+        assert_eq!(
+            Inception { name: "x", b1: 64, b2r: 96, b2: 128, b3r: 16, b3: 32, b4: 32 }.out_ch(),
+            256
+        );
+        let net = googlenet();
+        // 2 stem + 1 reduce + 9 modules × 6 conv = 57 convolutions.
+        assert_eq!(net.stats().conv_layers, 57);
+        assert_eq!(net.stats().matmul_layers, 1);
+    }
+
+    #[test]
+    fn googlenet_gmacs_close_to_published() {
+        let gmacs = googlenet().total_macs() as f64 / 1e9;
+        assert!(gmacs > 1.0 && gmacs < 2.2, "got {gmacs}");
+    }
+}

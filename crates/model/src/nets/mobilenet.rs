@@ -1,0 +1,89 @@
+//! MobileNet-v1 (Howard et al., 2017) at 224×224.
+
+use super::{conv_act, dwconv_act};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{LayerOp, MatMulSpec, PoolSpec};
+use crate::suite::Domain;
+
+/// One depthwise-separable block: 3×3 depthwise + 1×1 pointwise.
+/// Returns the output spatial size.
+pub(crate) fn separable(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    out_ch: u64,
+    stride: u64,
+    hw: u64,
+) -> u64 {
+    let s = dwconv_act(b, &format!("{name}.dw"), in_ch, 3, stride, 1, hw);
+    conv_act(b, &format!("{name}.pw"), in_ch, out_ch, 1, 1, 0, s);
+    s
+}
+
+/// Emits the MobileNet-v1 backbone starting from `hw`×`hw` RGB input;
+/// returns `(final_spatial, final_channels)`. Shared with SSD-MobileNet.
+pub(crate) fn backbone(b: &mut DnnBuilder, hw: u64) -> (u64, u64) {
+    let mut s = conv_act(b, "conv1", 3, 32, 3, 2, 1, hw);
+    // (in_ch, out_ch, stride) for the 13 separable blocks of the paper.
+    let blocks: [(u64, u64, u64); 13] = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ];
+    for (i, &(ic, oc, st)) in blocks.iter().enumerate() {
+        s = separable(b, &format!("sep{}", i + 1), ic, oc, st, s);
+    }
+    (s, 1024)
+}
+
+/// Builds MobileNet-v1: stem, 13 depthwise-separable blocks, global average
+/// pool, and a 1000-way classifier.
+pub fn mobilenet_v1() -> Dnn {
+    let mut b = DnnBuilder::new("MobileNet-v1", Domain::ImageClassification);
+    let (hw, ch) = backbone(&mut b, 224);
+    b.push("avgpool", LayerOp::Pool(PoolSpec::global_avg(ch, hw, hw)));
+    b.push("fc", LayerOp::MatMul(MatMulSpec::new(1, ch, 1000)));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_layer_census() {
+        let net = mobilenet_v1();
+        let s = net.stats();
+        assert_eq!(s.depthwise_layers, 13);
+        assert_eq!(s.conv_layers, 14); // stem + 13 pointwise
+        assert_eq!(s.matmul_layers, 1);
+    }
+
+    #[test]
+    fn mobilenet_is_about_half_a_gmac() {
+        // The paper quotes 1.1 GOPs = 0.57 GMACs and 4.2 M parameters.
+        let net = mobilenet_v1();
+        let gmacs = net.total_macs() as f64 / 1e9;
+        assert!(gmacs > 0.45 && gmacs < 0.75, "got {gmacs}");
+        let mparams = net.total_weight_bytes() as f64 / 1e6;
+        assert!(mparams > 3.5 && mparams < 5.0, "got {mparams}");
+    }
+
+    #[test]
+    fn backbone_ends_at_seven_by_seven() {
+        let mut b = DnnBuilder::new("t", Domain::ImageClassification);
+        let (hw, ch) = backbone(&mut b, 224);
+        assert_eq!(hw, 7);
+        assert_eq!(ch, 1024);
+    }
+}

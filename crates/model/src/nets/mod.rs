@@ -1,0 +1,178 @@
+//! Layer-by-layer reconstructions of the nine benchmark networks (Table I).
+//!
+//! Each constructor rebuilds the network's operator shapes from its defining
+//! paper at the canonical inference input resolution:
+//!
+//! * classification nets at 224×224,
+//! * Tiny YOLO / YOLOv3 at 416×416,
+//! * SSD-MobileNet and SSD-R (ResNet-34 backbone) at the original SSD 300×300,
+//! * GNMT at batch 1 with 4-token source/target sequences.
+//!
+//! Only shapes are reconstructed (no weights); see the crate docs for why
+//! that is sufficient for an accelerator simulator.
+
+mod efficientnet;
+mod gnmt;
+mod googlenet;
+mod mobilenet;
+mod resnet;
+mod ssd;
+mod yolo;
+
+pub use efficientnet::efficientnet_b0;
+pub use gnmt::gnmt;
+pub use googlenet::googlenet;
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet50;
+pub use ssd::{ssd_mobilenet, ssd_resnet34};
+pub use yolo::{tiny_yolo, yolov3};
+
+use crate::graph::DnnBuilder;
+use crate::layer::{ConvSpec, DepthwiseSpec, EltwiseOp, EltwiseSpec, LayerOp, PoolKind, PoolSpec};
+
+/// Appends a dense convolution followed by its activation pass; returns the
+/// output spatial size.
+#[allow(clippy::too_many_arguments)] // conv hyper-parameters
+pub(crate) fn conv_act(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    out_ch: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+    hw: u64,
+) -> u64 {
+    let c = ConvSpec::new(in_ch, out_ch, k, k, stride, pad, hw, hw);
+    let out = c.out_h();
+    b.push(name.to_string(), LayerOp::Conv(c));
+    b.push(
+        format!("{name}.act"),
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, out_ch * out * out)),
+    );
+    out
+}
+
+/// Appends a dense convolution with no activation pass (projection shortcuts,
+/// detection heads); returns the output spatial size.
+#[allow(clippy::too_many_arguments)] // conv hyper-parameters
+pub(crate) fn conv_raw(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    out_ch: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+    hw: u64,
+) -> u64 {
+    let c = ConvSpec::new(in_ch, out_ch, k, k, stride, pad, hw, hw);
+    let out = c.out_h();
+    b.push(name.to_string(), LayerOp::Conv(c));
+    out
+}
+
+/// Appends a depthwise convolution followed by its activation pass; returns
+/// the output spatial size.
+pub(crate) fn dwconv_act(
+    b: &mut DnnBuilder,
+    name: &str,
+    channels: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+    hw: u64,
+) -> u64 {
+    let d = DepthwiseSpec::new(channels, k, k, stride, pad, hw, hw);
+    let out = d.out_h();
+    b.push(name.to_string(), LayerOp::Depthwise(d));
+    b.push(
+        format!("{name}.act"),
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, channels * out * out)),
+    );
+    out
+}
+
+/// Appends a max-pool layer; `pad` is folded into the input size (the common
+/// "same-ish" pooling convention); returns the output spatial size.
+pub(crate) fn maxpool(
+    b: &mut DnnBuilder,
+    name: &str,
+    channels: u64,
+    k: u64,
+    stride: u64,
+    pad: u64,
+    hw: u64,
+) -> u64 {
+    let p = PoolSpec::new(PoolKind::Max, channels, k, k, stride, hw + 2 * pad, hw + 2 * pad);
+    let out = p.out_h();
+    b.push(name.to_string(), LayerOp::Pool(p));
+    out
+}
+
+/// Appends a residual-add elementwise layer.
+pub(crate) fn residual_add(b: &mut DnnBuilder, name: &str, channels: u64, hw: u64) {
+    b.push(
+        name.to_string(),
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Add, channels * hw * hw)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::suite::DnnId;
+
+    /// Published MAC counts (±35% tolerance: our reconstructions linearize
+    /// branches and approximate head geometry, and published numbers vary by
+    /// input-resolution convention).
+    #[test]
+    fn mac_counts_are_in_published_range() {
+        let expect_gmacs: &[(DnnId, f64)] = &[
+            (DnnId::ResNet50, 4.1),
+            (DnnId::GoogLeNet, 1.5),
+            (DnnId::MobileNetV1, 0.57),
+            (DnnId::EfficientNetB0, 0.39),
+            (DnnId::TinyYolo, 3.5),
+            (DnnId::YoloV3, 32.8),
+            (DnnId::SsdMobileNet, 1.2),
+            (DnnId::SsdResNet34, 16.0),
+            (DnnId::Gnmt, 0.7),
+        ];
+        for &(id, gmacs) in expect_gmacs {
+            let actual = id.build().total_macs() as f64 / 1e9;
+            let lo = gmacs * 0.65;
+            let hi = gmacs * 1.45;
+            assert!(
+                actual > lo && actual < hi,
+                "{}: expected ~{} GMACs, got {:.3}",
+                id,
+                gmacs,
+                actual
+            );
+        }
+    }
+
+    /// Parameter footprints should be in the published ballpark (8-bit).
+    #[test]
+    fn param_counts_are_in_published_range() {
+        let expect_mparams: &[(DnnId, f64, f64)] = &[
+            (DnnId::ResNet50, 20.0, 30.0),
+            (DnnId::MobileNetV1, 3.0, 6.0),
+            (DnnId::EfficientNetB0, 3.0, 8.0),
+            (DnnId::GoogLeNet, 5.0, 10.0),
+            (DnnId::TinyYolo, 10.0, 20.0),
+            (DnnId::YoloV3, 45.0, 75.0),
+        ];
+        for &(id, lo, hi) in expect_mparams {
+            let mb = id.build().total_weight_bytes() as f64 / 1e6;
+            assert!(
+                mb > lo && mb < hi,
+                "{}: expected {}..{} M params, got {:.2}",
+                id,
+                lo,
+                hi,
+                mb
+            );
+        }
+    }
+}

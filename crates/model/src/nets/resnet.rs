@@ -1,0 +1,123 @@
+//! ResNet-50 (He et al., CVPR 2016) at 224×224.
+
+use super::{conv_act, conv_raw, maxpool, residual_add};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{LayerOp, MatMulSpec, PoolSpec};
+use crate::suite::Domain;
+
+/// A bottleneck residual block: 1×1 reduce → 3×3 → 1×1 expand (+ projection
+/// shortcut when the shape changes). Returns the output spatial size.
+fn bottleneck(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    mid_ch: u64,
+    out_ch: u64,
+    stride: u64,
+    hw: u64,
+) -> u64 {
+    let mut s = hw;
+    conv_act(b, &format!("{name}.conv1"), in_ch, mid_ch, 1, 1, 0, s);
+    s = conv_act(b, &format!("{name}.conv2"), mid_ch, mid_ch, 3, stride, 1, s);
+    conv_raw(b, &format!("{name}.conv3"), mid_ch, out_ch, 1, 1, 0, s);
+    if in_ch != out_ch || stride != 1 {
+        conv_raw(b, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0, hw);
+    }
+    residual_add(b, &format!("{name}.add"), out_ch, s);
+    s
+}
+
+/// Builds ResNet-50: stem, stages of [3, 4, 6, 3] bottlenecks with widths
+/// (64, 128, 256, 512)×{1, 4}, global average pool, and a 1000-way classifier.
+pub fn resnet50() -> Dnn {
+    let mut b = DnnBuilder::new("ResNet-50", Domain::ImageClassification);
+    let mut hw = conv_act(&mut b, "conv1", 3, 64, 7, 2, 3, 224);
+    hw = maxpool(&mut b, "pool1", 64, 3, 2, 1, hw);
+
+    let stages: [(u64, u64, u64, usize); 4] = [
+        (64, 256, 1, 3),
+        (128, 512, 2, 4),
+        (256, 1024, 2, 6),
+        (512, 2048, 2, 3),
+    ];
+    let mut in_ch = 64;
+    for (si, &(mid, out, first_stride, blocks)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let stride = if bi == 0 { first_stride } else { 1 };
+            hw = bottleneck(
+                &mut b,
+                &format!("res{}{}", si + 2, (b'a' + bi as u8) as char),
+                in_ch,
+                mid,
+                out,
+                stride,
+                hw,
+            );
+            in_ch = out;
+        }
+    }
+
+    b.push("avgpool", LayerOp::Pool(PoolSpec::global_avg(2048, hw, hw)));
+    b.push("fc", LayerOp::MatMul(MatMulSpec::new(1, 2048, 1000)));
+    b.build()
+}
+
+/// A basic residual block (two 3×3 convolutions), used by the ResNet-34
+/// backbone of SSD-R. Returns the output spatial size.
+pub(crate) fn basic_block(
+    b: &mut DnnBuilder,
+    name: &str,
+    in_ch: u64,
+    out_ch: u64,
+    stride: u64,
+    hw: u64,
+) -> u64 {
+    let s = conv_act(b, &format!("{name}.conv1"), in_ch, out_ch, 3, stride, 1, hw);
+    conv_raw(b, &format!("{name}.conv2"), out_ch, out_ch, 3, 1, 1, s);
+    if in_ch != out_ch || stride != 1 {
+        conv_raw(b, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0, hw);
+    }
+    residual_add(b, &format!("{name}.add"), out_ch, s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+
+    #[test]
+    fn resnet50_has_53_conv_and_one_fc() {
+        let net = resnet50();
+        let s = net.stats();
+        // 1 stem + 16 blocks × 3 + 4 projection shortcuts = 53 convolutions.
+        assert_eq!(s.conv_layers, 53);
+        assert_eq!(s.matmul_layers, 1);
+        assert_eq!(s.depthwise_layers, 0);
+    }
+
+    #[test]
+    fn resnet50_final_spatial_is_seven() {
+        let net = resnet50();
+        let last_conv = net
+            .layers()
+            .iter()
+            .rev()
+            .find_map(|l| match l.op {
+                LayerOp::Conv(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_conv.out_h(), 7);
+        assert_eq!(last_conv.out_ch, 2048);
+    }
+
+    #[test]
+    fn basic_block_downsamples_with_projection() {
+        let mut b = DnnBuilder::new("t", Domain::ImageClassification);
+        let out = basic_block(&mut b, "blk", 64, 128, 2, 56);
+        assert_eq!(out, 28);
+        let net = b.build();
+        assert_eq!(net.stats().conv_layers, 3); // conv1, conv2, proj
+    }
+}

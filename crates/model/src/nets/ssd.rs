@@ -1,0 +1,138 @@
+//! SSD detectors at the original 300×300 resolution (Liu et al., ECCV
+//! 2016 — the paper cites "SSD-R (2016)"): SSD with a ResNet-34 backbone
+//! ("SSD-R") and SSD with a MobileNet-v1 backbone ("SSD-M", 2017).
+
+use super::resnet::basic_block;
+use super::{conv_act, conv_raw};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::suite::Domain;
+
+/// Emits SSD detection heads (a localization conv and a confidence conv of
+/// kernel size `k`) over each `(channels, spatial, anchors)` feature map.
+/// SSD-R uses the original 3×3 heads; SSD-MobileNet follows the TensorFlow
+/// detection-zoo convention of 1×1 box predictors.
+fn ssd_heads(b: &mut DnnBuilder, maps: &[(u64, u64, u64)], classes: u64, k: u64) {
+    for (i, &(ch, hw, anchors)) in maps.iter().enumerate() {
+        conv_raw(b, &format!("head{i}.loc"), ch, anchors * 4, k, 1, k / 2, hw);
+        conv_raw(b, &format!("head{i}.conf"), ch, anchors * classes, k, 1, k / 2, hw);
+    }
+}
+
+/// Builds SSD-R at 300×300: a ResNet-34 backbone truncated after its
+/// fourth stage (kept at stride 16 so the first detection scale is the
+/// SSD300-canonical 38×38), SSD extra feature layers down the
+/// 19/10/5/3 ladder, and 3×3 heads over five scales with 81 COCO classes.
+pub fn ssd_resnet34() -> Dnn {
+    let mut b = DnnBuilder::new("SSD-R", Domain::ObjectDetection);
+    // ResNet-34 stem at 300 input: 7x7/2 -> 150, 3x3/2 pool -> 75.
+    let mut hw = conv_act(&mut b, "conv1", 3, 64, 7, 2, 3, 300);
+    hw = super::maxpool(&mut b, "pool1", 64, 3, 2, 1, hw);
+    // Stage 2: 3 basic blocks @64 on 75x75.
+    for i in 0..3 {
+        hw = basic_block(&mut b, &format!("s2b{i}"), 64, 64, 1, hw);
+    }
+    // Stage 3: 4 basic blocks @128, stride 2 -> 38.
+    let mut ch = 64;
+    for i in 0..4 {
+        let stride = if i == 0 { 2 } else { 1 };
+        hw = basic_block(&mut b, &format!("s3b{i}"), ch, 128, stride, hw);
+        ch = 128;
+    }
+    // Stage 4: 6 basic blocks @256, stride removed (SSD detection backbones
+    // keep the 38x38 resolution for the first scale).
+    for i in 0..6 {
+        hw = basic_block(&mut b, &format!("s4b{i}"), ch, 256, 1, hw);
+        ch = 256;
+    }
+    let mut maps = vec![(256u64, hw, 4u64)]; // 38x38
+
+    // Extra feature layers: 1x1 reduce + 3x3/2 expand down the ladder.
+    let extra: [(u64, u64); 4] = [(256, 512), (128, 256), (128, 256), (64, 128)];
+    let mut in_ch = 256;
+    for (i, &(red, out)) in extra.iter().enumerate() {
+        conv_act(&mut b, &format!("extra{i}.a"), in_ch, red, 1, 1, 0, hw);
+        hw = conv_act(&mut b, &format!("extra{i}.b"), red, out, 3, 2, 1, hw);
+        in_ch = out;
+        maps.push((out, hw, 6));
+    }
+
+    ssd_heads(&mut b, &maps, 81, 3);
+    b.build()
+}
+
+/// Builds SSD-MobileNet-v1 at 300×300: the MobileNet backbone, four extra
+/// feature stages, and 1×1 heads over six scales with 91 classes
+/// (COCO + background).
+pub fn ssd_mobilenet() -> Dnn {
+    let mut b = DnnBuilder::new("SSD-M", Domain::ObjectDetection);
+    let (hw, ch) = super::mobilenet::backbone(&mut b, 300);
+    // Backbone at 300 ends at 10x10x1024; detection also taps the 19x19x512
+    // feature map (sep11), which already exists in the layer stream.
+    let mut maps = vec![(512u64, 19u64, 3u64), (ch, hw, 6)];
+
+    let extra: [(u64, u64); 4] = [(256, 512), (128, 256), (128, 256), (64, 128)];
+    let mut in_ch = ch;
+    let mut s = hw;
+    for (i, &(red, out)) in extra.iter().enumerate() {
+        conv_act(&mut b, &format!("extra{i}.a"), in_ch, red, 1, 1, 0, s);
+        s = conv_act(&mut b, &format!("extra{i}.b"), red, out, 3, 2, 1, s);
+        in_ch = out;
+        maps.push((out, s, 6));
+    }
+
+    ssd_heads(&mut b, &maps, 91, 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+
+    #[test]
+    fn ssd_r_is_the_heavier_detector() {
+        // ResNet-34 backbone at stride-16 with 3x3 heads: ~15-20 GMACs.
+        let gmacs = ssd_resnet34().total_macs() as f64 / 1e9;
+        assert!(gmacs > 10.0 && gmacs < 25.0, "got {gmacs}");
+        assert!(
+            ssd_resnet34().total_macs() > 5 * ssd_mobilenet().total_macs(),
+            "SSD-R should dwarf SSD-M"
+        );
+    }
+
+    #[test]
+    fn ssd_m_is_light() {
+        let gmacs = ssd_mobilenet().total_macs() as f64 / 1e9;
+        assert!(gmacs > 0.7 && gmacs < 2.2, "got {gmacs}");
+    }
+
+    #[test]
+    fn ssd_m_keeps_depthwise_backbone() {
+        assert!(ssd_mobilenet().has_depthwise());
+        assert!(!ssd_resnet34().has_depthwise());
+    }
+
+    #[test]
+    fn ssd_r_first_scale_is_38() {
+        let first_head = ssd_resnet34()
+            .layers()
+            .iter()
+            .find(|l| l.name == "head0.loc")
+            .and_then(|l| match l.op {
+                LayerOp::Conv(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_head.in_h, 38);
+    }
+
+    #[test]
+    fn ssd_r_has_ten_head_convs() {
+        let n = ssd_resnet34()
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("head") && matches!(l.op, LayerOp::Conv(_)))
+            .count();
+        assert_eq!(n, 10); // 5 scales x (loc + conf)
+    }
+}

@@ -1,0 +1,134 @@
+//! Tiny YOLO (YOLOv2-tiny, Redmon & Farhadi 2017) and YOLOv3 (2018), both at
+//! 416×416.
+
+use super::{conv_act, conv_raw, maxpool, residual_add};
+use crate::graph::{Dnn, DnnBuilder};
+use crate::layer::{EltwiseOp, EltwiseSpec, LayerOp};
+use crate::suite::Domain;
+
+/// Builds Tiny YOLO: six 3×3 conv + maxpool stages doubling channels from 16
+/// to 512, two 3×3×1024 convolutions, and a 1×1 detection head.
+pub fn tiny_yolo() -> Dnn {
+    let mut b = DnnBuilder::new("Tiny YOLO", Domain::ObjectDetection);
+    let mut hw = 416;
+    let mut ch = 3;
+    for (i, out_ch) in [16u64, 32, 64, 128, 256, 512].into_iter().enumerate() {
+        hw = conv_act(&mut b, &format!("conv{}", i + 1), ch, out_ch, 3, 1, 1, hw);
+        ch = out_ch;
+        // The sixth maxpool keeps 13x13 (stride 1) in the reference cfg.
+        let stride = if i == 5 { 1 } else { 2 };
+        hw = maxpool(&mut b, &format!("pool{}", i + 1), ch, 2, stride, 0, hw + (stride == 1) as u64);
+    }
+    hw = conv_act(&mut b, "conv7", ch, 1024, 3, 1, 1, hw);
+    hw = conv_act(&mut b, "conv8", 1024, 1024, 3, 1, 1, hw);
+    // Detection head: 5 anchors x (80 classes + 5) = 425 outputs (COCO).
+    conv_raw(&mut b, "detect", 1024, 425, 1, 1, 0, hw);
+    b.build()
+}
+
+/// One Darknet-53 residual unit: 1×1 halve, 3×3 restore, residual add.
+fn dark_residual(b: &mut DnnBuilder, name: &str, ch: u64, hw: u64) {
+    conv_act(b, &format!("{name}.c1"), ch, ch / 2, 1, 1, 0, hw);
+    conv_act(b, &format!("{name}.c2"), ch / 2, ch, 3, 1, 1, hw);
+    residual_add(b, &format!("{name}.add"), ch, hw);
+}
+
+/// One detection-head "conv set": alternating 1×1/3×3 convolutions ending in
+/// a 1×1 prediction layer (3 anchors × 85 = 255 outputs).
+fn yolo_head(b: &mut DnnBuilder, name: &str, in_ch: u64, mid: u64, hw: u64) {
+    let mut ch = in_ch;
+    for i in 0..3 {
+        conv_act(b, &format!("{name}.s{i}a"), ch, mid, 1, 1, 0, hw);
+        conv_act(b, &format!("{name}.s{i}b"), mid, mid * 2, 3, 1, 1, hw);
+        ch = mid * 2;
+    }
+    conv_raw(b, &format!("{name}.pred"), ch, 255, 1, 1, 0, hw);
+}
+
+/// Builds YOLOv3: the Darknet-53 backbone (residual stages of 1/2/8/8/4
+/// units) plus three multi-scale detection heads at 13², 26² and 52².
+pub fn yolov3() -> Dnn {
+    let mut b = DnnBuilder::new("YOLOv3", Domain::ObjectDetection);
+    let mut hw = conv_act(&mut b, "conv0", 3, 32, 3, 1, 1, 416);
+    let stages: [(u64, usize); 5] = [(64, 1), (128, 2), (256, 8), (512, 8), (1024, 4)];
+    let mut ch = 32;
+    for (si, &(out_ch, units)) in stages.iter().enumerate() {
+        hw = conv_act(&mut b, &format!("down{}", si + 1), ch, out_ch, 3, 2, 1, hw);
+        ch = out_ch;
+        for u in 0..units {
+            dark_residual(&mut b, &format!("res{}_{}", si + 1, u + 1), ch, hw);
+        }
+    }
+
+    // Scale 1 head at 13x13 on 1024 channels.
+    yolo_head(&mut b, "head13", 1024, 512, hw);
+    // Upsample to 26x26, concat with the 512-channel stage-4 features.
+    conv_act(&mut b, "up26.reduce", 512, 256, 1, 1, 0, hw);
+    b.push(
+        "up26.upsample",
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::DataMove, 256 * 26 * 26)),
+    );
+    yolo_head(&mut b, "head26", 256 + 512, 256, 26);
+    // Upsample to 52x52, concat with the 256-channel stage-3 features.
+    conv_act(&mut b, "up52.reduce", 256, 128, 1, 1, 0, 26);
+    b.push(
+        "up52.upsample",
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::DataMove, 128 * 52 * 52)),
+    );
+    yolo_head(&mut b, "head52", 128 + 256, 128, 52);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerOp;
+
+    #[test]
+    fn tiny_yolo_reaches_13x13() {
+        let net = tiny_yolo();
+        let det = net
+            .layers()
+            .iter()
+            .find(|l| l.name == "detect")
+            .and_then(|l| match l.op {
+                LayerOp::Conv(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(det.in_h, 13);
+        assert_eq!(det.out_ch, 425);
+        assert_eq!(net.stats().conv_layers, 9);
+    }
+
+    #[test]
+    fn tiny_yolo_macs_near_published() {
+        // ~3.5 GMACs (7 GOPs) at 416x416.
+        let gmacs = tiny_yolo().total_macs() as f64 / 1e9;
+        assert!(gmacs > 2.4 && gmacs < 4.5, "got {gmacs}");
+    }
+
+    #[test]
+    fn yolov3_backbone_has_darknet53_structure() {
+        let net = yolov3();
+        // Darknet-53: 52 backbone convs (1 stem + 5 downsample + 23 res x 2).
+        let backbone_convs = net
+            .layers()
+            .iter()
+            .filter(|l| {
+                matches!(l.op, LayerOp::Conv(_))
+                    && (l.name.starts_with("conv0")
+                        || l.name.starts_with("down")
+                        || l.name.starts_with("res"))
+            })
+            .count();
+        assert_eq!(backbone_convs, 52);
+    }
+
+    #[test]
+    fn yolov3_macs_near_published() {
+        // ~32.8 GMACs (65.7 GOPs) at 416x416.
+        let gmacs = yolov3().total_macs() as f64 / 1e9;
+        assert!(gmacs > 24.0 && gmacs < 42.0, "got {gmacs}");
+    }
+}

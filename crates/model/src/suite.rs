@@ -1,0 +1,192 @@
+//! The nine-network benchmark suite of Table I.
+
+use crate::graph::Dnn;
+use crate::nets;
+use std::fmt;
+
+/// Application domain of a benchmark network (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// ImageNet-style classification.
+    ImageClassification,
+    /// Single-shot / YOLO-style detection.
+    ObjectDetection,
+    /// Sequence-to-sequence translation (GNMT).
+    MachineTranslation,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Domain::ImageClassification => "image classification",
+            Domain::ObjectDetection => "object detection",
+            Domain::MachineTranslation => "machine translation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier for one of the nine benchmark DNNs.
+///
+/// ```
+/// use planaria_model::DnnId;
+/// assert_eq!(DnnId::ALL.len(), 9);
+/// let heavy: Vec<_> = DnnId::workload_a().collect();
+/// assert_eq!(heavy.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DnnId {
+    /// ResNet-50 (2015), image classification.
+    ResNet50,
+    /// GoogLeNet (2014), image classification.
+    GoogLeNet,
+    /// YOLOv3 (2018), object detection.
+    YoloV3,
+    /// SSD with ResNet-34 backbone (2016), object detection.
+    SsdResNet34,
+    /// GNMT (2016), machine translation.
+    Gnmt,
+    /// EfficientNet-B0 (2019), image classification.
+    EfficientNetB0,
+    /// MobileNet-v1 (2017), image classification.
+    MobileNetV1,
+    /// SSD with MobileNet backbone (2017), object detection.
+    SsdMobileNet,
+    /// Tiny YOLO (2017), object detection.
+    TinyYolo,
+}
+
+impl DnnId {
+    /// All nine benchmark networks, in Table I order.
+    pub const ALL: [DnnId; 9] = [
+        DnnId::ResNet50,
+        DnnId::GoogLeNet,
+        DnnId::YoloV3,
+        DnnId::SsdResNet34,
+        DnnId::Gnmt,
+        DnnId::EfficientNetB0,
+        DnnId::MobileNetV1,
+        DnnId::SsdMobileNet,
+        DnnId::TinyYolo,
+    ];
+
+    /// Workload Scenario-A members (heavier models, no depthwise convolutions).
+    pub fn workload_a() -> impl Iterator<Item = DnnId> {
+        [
+            DnnId::ResNet50,
+            DnnId::GoogLeNet,
+            DnnId::YoloV3,
+            DnnId::SsdResNet34,
+            DnnId::Gnmt,
+        ]
+        .into_iter()
+    }
+
+    /// Workload Scenario-B members (lighter models).
+    pub fn workload_b() -> impl Iterator<Item = DnnId> {
+        [
+            DnnId::EfficientNetB0,
+            DnnId::MobileNetV1,
+            DnnId::SsdMobileNet,
+            DnnId::TinyYolo,
+        ]
+        .into_iter()
+    }
+
+    /// Workload Scenario-C members (all nine).
+    pub fn workload_c() -> impl Iterator<Item = DnnId> {
+        Self::ALL.into_iter()
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DnnId::ResNet50 => "ResNet-50",
+            DnnId::GoogLeNet => "GoogLeNet",
+            DnnId::YoloV3 => "YOLOv3",
+            DnnId::SsdResNet34 => "SSD-R",
+            DnnId::Gnmt => "GNMT",
+            DnnId::EfficientNetB0 => "EfficientNet-B0",
+            DnnId::MobileNetV1 => "MobileNet-v1",
+            DnnId::SsdMobileNet => "SSD-M",
+            DnnId::TinyYolo => "Tiny YOLO",
+        }
+    }
+
+    /// Application domain (Table I).
+    pub fn domain(&self) -> Domain {
+        match self {
+            DnnId::ResNet50
+            | DnnId::GoogLeNet
+            | DnnId::EfficientNetB0
+            | DnnId::MobileNetV1 => Domain::ImageClassification,
+            DnnId::YoloV3 | DnnId::SsdResNet34 | DnnId::SsdMobileNet | DnnId::TinyYolo => {
+                Domain::ObjectDetection
+            }
+            DnnId::Gnmt => Domain::MachineTranslation,
+        }
+    }
+
+    /// Builds the layer-level network description.
+    pub fn build(&self) -> Dnn {
+        match self {
+            DnnId::ResNet50 => nets::resnet50(),
+            DnnId::GoogLeNet => nets::googlenet(),
+            DnnId::YoloV3 => nets::yolov3(),
+            DnnId::SsdResNet34 => nets::ssd_resnet34(),
+            DnnId::Gnmt => nets::gnmt(),
+            DnnId::EfficientNetB0 => nets::efficientnet_b0(),
+            DnnId::MobileNetV1 => nets::mobilenet_v1(),
+            DnnId::SsdMobileNet => nets::ssd_mobilenet(),
+            DnnId::TinyYolo => nets::tiny_yolo(),
+        }
+    }
+}
+
+impl fmt::Display for DnnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_partitions_into_scenarios() {
+        let a: Vec<_> = DnnId::workload_a().collect();
+        let b: Vec<_> = DnnId::workload_b().collect();
+        assert_eq!(a.len() + b.len(), DnnId::ALL.len());
+        for id in &a {
+            assert!(!b.contains(id));
+        }
+    }
+
+    #[test]
+    fn all_networks_build() {
+        for id in DnnId::ALL {
+            let net = id.build();
+            assert!(net.num_layers() > 0, "{} has no layers", id);
+            assert!(net.total_macs() > 0, "{} has no MACs", id);
+            assert_eq!(net.domain(), id.domain());
+        }
+    }
+
+    #[test]
+    fn workload_b_models_are_depthwise_heavy_except_tiny_yolo() {
+        // The paper: "DNNs in Workload-B include separable depth-wise
+        // convolutions (except for Tiny YOLO)".
+        for id in DnnId::workload_b() {
+            let net = id.build();
+            if id == DnnId::TinyYolo {
+                assert!(!net.has_depthwise());
+            } else {
+                assert!(net.has_depthwise(), "{} should use depthwise", id);
+            }
+        }
+        for id in DnnId::workload_a() {
+            assert!(!id.build().has_depthwise(), "{} should be dense-only", id);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The PREMA node engine: one task at a time on a monolithic 128×128
+//! systolic accelerator, scheduled by the token-based policy.
+
+use crate::policy::{pick_with_threshold, Policy, PolicyTask, TokenState};
+use planaria_arch::{AcceleratorConfig, Arrangement};
+use planaria_compiler::CompiledLibrary;
+use planaria_energy::EnergyModel;
+use planaria_timing::{reconfiguration_cycles, ExecContext};
+use planaria_workload::{Completion, Request, SimResult};
+
+/// Work-fraction tolerance for completion detection.
+const DONE_EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Job {
+    request: Request,
+    done: f64,
+    tokens: TokenState,
+    /// Preemption overhead owed before useful progress, cycles.
+    overhead_cycles: f64,
+    energy_j: f64,
+}
+
+/// A single node running the PREMA baseline.
+#[derive(Debug, Clone)]
+pub struct PremaEngine {
+    library: CompiledLibrary,
+    policy: Policy,
+    token_threshold: f64,
+}
+
+impl PremaEngine {
+    /// Builds the engine with the paper's baseline hardware (monolithic
+    /// TPU-like array, same budget as Planaria) and the PREMA policy.
+    pub fn new_default() -> Self {
+        Self::new(AcceleratorConfig::monolithic(), Policy::Prema)
+    }
+
+    /// Builds the engine with an explicit configuration and policy (FCFS /
+    /// SJF are used by the scheduler ablation).
+    pub fn new(cfg: AcceleratorConfig, policy: Policy) -> Self {
+        Self {
+            library: CompiledLibrary::new(cfg),
+            policy,
+            token_threshold: crate::policy::TOKEN_THRESHOLD,
+        }
+    }
+
+    /// Overrides the starvation token threshold (sensitivity-study hook).
+    pub fn with_token_threshold(mut self, threshold: f64) -> Self {
+        self.token_threshold = threshold;
+        self
+    }
+
+    /// Builds over an existing library (must be compiled for a monolithic
+    /// configuration to be a faithful PREMA baseline).
+    pub fn with_library(library: CompiledLibrary, policy: Policy) -> Self {
+        Self {
+            library,
+            policy,
+            token_threshold: crate::policy::TOKEN_THRESHOLD,
+        }
+    }
+
+    /// The compiled library backing this engine.
+    pub fn library(&self) -> &CompiledLibrary {
+        &self.library
+    }
+
+    fn table_for(&self, job: &Job) -> &planaria_compiler::ConfigTable {
+        let n = self.library.config().num_subarrays();
+        self.library.get(job.request.dnn).table(n)
+    }
+
+    fn remaining_seconds(&self, job: &Job, freq: f64) -> f64 {
+        (job.overhead_cycles + self.table_for(job).remaining_cycles(job.done) as f64) / freq
+    }
+
+    /// Simulates one trace (must be sorted by arrival time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival.
+    pub fn run(&self, trace: &[Request]) -> SimResult {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be sorted by arrival time"
+        );
+        let cfg = *self.library.config();
+        let freq = cfg.freq_hz;
+        let em = EnergyModel::for_config(&cfg);
+        let ctx = ExecContext::full_chip(&cfg);
+        let mono = Arrangement::monolithic(cfg.num_subarrays());
+
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut running: Option<usize> = None;
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut now = trace.first().map_or(0.0, |r| r.arrival);
+        let start = now;
+        let mut busy_seconds = 0.0f64;
+
+        while next_arrival < trace.len() || !jobs.is_empty() {
+            let arrival_t = trace.get(next_arrival).map(|r| r.arrival);
+            let completion_t = running.map(|i| now + self.remaining_seconds(&jobs[i], freq));
+            let t_next = match (arrival_t, completion_t) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            // Advance the running job.
+            if let Some(i) = running {
+                busy_seconds += (t_next - now).max(0.0);
+                let mut cycles = (t_next - now).max(0.0) * freq;
+                let job = &mut jobs[i];
+                if job.overhead_cycles > 0.0 {
+                    let burn = job.overhead_cycles.min(cycles);
+                    job.overhead_cycles -= burn;
+                    cycles -= burn;
+                }
+                if cycles > 0.0 {
+                    let table = {
+                        let n = cfg.num_subarrays();
+                        self.library.get(job.request.dnn).table(n)
+                    };
+                    let before = job.done;
+                    job.done = table.advance(job.done, cycles.round() as u64);
+                    if job.done > 1.0 - DONE_EPS {
+                        job.done = 1.0;
+                    }
+                    job.energy_j += (job.done - before) * table.total_energy_j();
+                }
+            }
+            now = t_next;
+
+            // Admit arrivals.
+            while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
+                jobs.push(Job {
+                    request: trace[next_arrival],
+                    done: 0.0,
+                    tokens: TokenState {
+                        tokens: 0.0,
+                        last_update: now,
+                    },
+                    overhead_cycles: 0.0,
+                    energy_j: 0.0,
+                });
+                next_arrival += 1;
+            }
+
+            // Retire the running job if finished.
+            if let Some(i) = running {
+                if jobs[i].done >= 1.0 - DONE_EPS {
+                    let job = jobs.swap_remove(i);
+                    completions.push(Completion {
+                        request: job.request,
+                        finish: now,
+                        energy_j: job.energy_j,
+                    });
+                    running = None;
+                }
+            }
+
+            // Accrue tokens for waiting jobs; the runner does not collect.
+            for (i, job) in jobs.iter_mut().enumerate() {
+                if Some(i) != running {
+                    job.tokens.accrue(job.request.priority, now);
+                } else {
+                    job.tokens.last_update = now;
+                }
+            }
+
+            // Policy decision (a scheduling event fired).
+            let views: Vec<PolicyTask> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| PolicyTask {
+                    index: i,
+                    tokens: j.tokens.tokens,
+                    arrival: j.request.arrival,
+                    remaining: self.remaining_seconds(j, freq),
+                })
+                .collect();
+            let chosen = pick_with_threshold(self.policy, &views, self.token_threshold);
+            if chosen != running {
+                if let Some(next) = chosen {
+                    // Context switch: checkpoint the preempted job's tile and
+                    // restore the incoming job's weights/pipeline.
+                    if let Some(cur) = running {
+                        let pos = self.table_for(&jobs[cur]).position(jobs[cur].done);
+                        let cost = reconfiguration_cycles(&ctx, mono, mono, pos.tile_bytes);
+                        jobs[next].overhead_cycles += cost.total() as f64;
+                    }
+                }
+                running = chosen;
+            }
+        }
+
+        completions.sort_by_key(|c| c.request.id);
+        let makespan = (now - start).max(0.0);
+        let dynamic: f64 = completions.iter().map(|c| c.energy_j).sum();
+        // Static energy accrues while the accelerator serves a job.
+        SimResult {
+            completions,
+            total_energy_j: dynamic + em.static_energy(busy_seconds),
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_model::DnnId;
+    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+
+    fn engine() -> PremaEngine {
+        PremaEngine::new_default()
+    }
+
+    #[test]
+    fn lone_task_runs_at_monolithic_isolated_speed() {
+        let e = engine();
+        let r = Request {
+            id: 0,
+            dnn: DnnId::GoogLeNet,
+            arrival: 0.0,
+            priority: 5,
+            qos: 1.0,
+        };
+        let result = e.run(&[r]);
+        let iso = e.library.isolated_latency(DnnId::GoogLeNet);
+        let lat = result.completions[0].latency();
+        assert!((lat / iso - 1.0).abs() < 0.01, "lat {lat} iso {iso}");
+    }
+
+    #[test]
+    fn temporal_sharing_serializes_two_tasks() {
+        let e = engine();
+        let iso = e.library.isolated_latency(DnnId::ResNet50);
+        let mk = |id| Request {
+            id,
+            dnn: DnnId::ResNet50,
+            arrival: 0.0,
+            priority: 5,
+            qos: 1.0,
+        };
+        let result = e.run(&[mk(0), mk(1)]);
+        let worst = result
+            .completions
+            .iter()
+            .map(Completion::latency)
+            .fold(0.0, f64::max);
+        // Second task waits for the first: worst latency ≈ 2x isolated.
+        assert!(worst > 1.8 * iso, "worst {worst} iso {iso}");
+    }
+
+    #[test]
+    fn all_policies_complete_everything() {
+        for policy in [Policy::Prema, Policy::Fcfs, Policy::Sjf] {
+            let e = PremaEngine::new(AcceleratorConfig::monolithic(), policy);
+            let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 30.0, 25, 7).generate();
+            let r = e.run(&trace);
+            assert_eq!(r.completions.len(), 25, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn high_priority_waits_less_under_prema() {
+        // Saturate with low-priority heavy jobs plus one priority-11 job;
+        // its wait should be shorter than under FCFS.
+        let mk = |id, arrival, dnn, priority| Request {
+            id,
+            dnn,
+            arrival,
+            priority,
+            qos: 10.0,
+        };
+        let mut trace = vec![
+            mk(0, 0.000, DnnId::SsdResNet34, 1),
+            mk(1, 0.001, DnnId::SsdResNet34, 1),
+            mk(2, 0.002, DnnId::SsdResNet34, 1),
+            mk(3, 0.003, DnnId::ResNet50, 11),
+        ];
+        trace.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+        let prema = PremaEngine::new_default().run(&trace);
+        let fcfs = PremaEngine::new(AcceleratorConfig::monolithic(), Policy::Fcfs).run(&trace);
+        let lat = |r: &SimResult| {
+            r.completions
+                .iter()
+                .find(|c| c.request.id == 3)
+                .unwrap()
+                .latency()
+        };
+        assert!(
+            lat(&prema) < lat(&fcfs),
+            "prema {} vs fcfs {}",
+            lat(&prema),
+            lat(&fcfs)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let mut trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 10.0, 5, 3).generate();
+        trace.reverse();
+        let _ = engine().run(&trace);
+    }
+}

@@ -1,0 +1,22 @@
+//! Quick scan: isolated latency of each DNN on Planaria vs monolithic.
+use planaria_arch::AcceleratorConfig;
+use planaria_model::DnnId;
+use planaria_timing::{time_dnn, ExecContext};
+
+fn main() {
+    let pl = AcceleratorConfig::planaria();
+    let mono = AcceleratorConfig::monolithic();
+    println!("{:<16} {:>10} {:>10} {:>8}", "DNN", "mono(ms)", "plan(ms)", "speedup");
+    for id in DnnId::ALL {
+        let net = id.build();
+        let tm = time_dnn(&ExecContext::full_chip(&mono), &net);
+        let tp = time_dnn(&ExecContext::full_chip(&pl), &net);
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>8.2}",
+            id.name(),
+            tm.seconds(mono.freq_hz) * 1e3,
+            tp.seconds(pl.freq_hz) * 1e3,
+            tm.total_cycles as f64 / tp.total_cycles as f64
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Access statistics produced by the timing model and consumed by the
+//! energy model.
+
+use std::ops::{Add, AddAssign};
+
+/// Event counts for one layer execution (or an aggregate of executions).
+///
+/// All byte counts are *access traffic* (reads + writes), not footprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Effective multiply-accumulate operations performed.
+    pub mac_ops: u64,
+    /// PE-cycles of array activity (allocated PEs × cycles the array is
+    /// streaming or stalled-but-clocked) — the utilization-dependent term
+    /// that dominates energy on underutilized monolithic arrays.
+    pub pe_active_cycles: u64,
+    /// Activation-buffer (Pod Memory read-side) traffic, bytes.
+    pub act_sram_bytes: u64,
+    /// Output-buffer traffic including partial-sum accumulation, bytes.
+    pub psum_sram_bytes: u64,
+    /// Weight-buffer reads feeding the PEs, bytes.
+    pub wbuf_bytes: u64,
+    /// Off-chip DRAM traffic, bytes.
+    pub dram_bytes: u64,
+    /// Inter-subarray ring-bus traffic, byte-hops (bytes × hops).
+    pub ring_hop_bytes: u64,
+    /// SIMD vector-unit operations.
+    pub vector_ops: u64,
+}
+
+impl AccessCounts {
+    /// Zeroed counts.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Scales every count by `n` (used for `repeat`ed layers).
+    pub fn scaled(&self, n: u64) -> Self {
+        Self {
+            mac_ops: self.mac_ops * n,
+            pe_active_cycles: self.pe_active_cycles * n,
+            act_sram_bytes: self.act_sram_bytes * n,
+            psum_sram_bytes: self.psum_sram_bytes * n,
+            wbuf_bytes: self.wbuf_bytes * n,
+            dram_bytes: self.dram_bytes * n,
+            ring_hop_bytes: self.ring_hop_bytes * n,
+            vector_ops: self.vector_ops * n,
+        }
+    }
+}
+
+impl Add for AccessCounts {
+    type Output = AccessCounts;
+
+    fn add(self, rhs: AccessCounts) -> AccessCounts {
+        AccessCounts {
+            mac_ops: self.mac_ops + rhs.mac_ops,
+            pe_active_cycles: self.pe_active_cycles + rhs.pe_active_cycles,
+            act_sram_bytes: self.act_sram_bytes + rhs.act_sram_bytes,
+            psum_sram_bytes: self.psum_sram_bytes + rhs.psum_sram_bytes,
+            wbuf_bytes: self.wbuf_bytes + rhs.wbuf_bytes,
+            dram_bytes: self.dram_bytes + rhs.dram_bytes,
+            ring_hop_bytes: self.ring_hop_bytes + rhs.ring_hop_bytes,
+            vector_ops: self.vector_ops + rhs.vector_ops,
+        }
+    }
+}
+
+impl AddAssign for AccessCounts {
+    fn add_assign(&mut self, rhs: AccessCounts) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = AccessCounts {
+            mac_ops: 1,
+            pe_active_cycles: 8,
+            act_sram_bytes: 2,
+            psum_sram_bytes: 3,
+            wbuf_bytes: 4,
+            dram_bytes: 5,
+            ring_hop_bytes: 6,
+            vector_ops: 7,
+        };
+        let b = a.scaled(2);
+        assert_eq!(b.mac_ops, 2);
+        assert_eq!(b.vector_ops, 14);
+        let c = a + b;
+        assert_eq!(c.dram_bytes, 15);
+        let mut d = AccessCounts::zero();
+        d += c;
+        assert_eq!(d, c);
+    }
+}

@@ -1,0 +1,119 @@
+//! Depthwise-convolution timing.
+//!
+//! On a weight-stationary systolic array every column shares the streamed
+//! activation row, so a depthwise filter (which has *no* cross-channel
+//! reduction) vectorizes onto a single column: the filter's `kh·kw` taps map
+//! along the column's rows and the column accumulates one channel while the
+//! other `W-1` columns idle (§VI-B2 of the paper). A logical accelerator of
+//! `g` independent clusters processes `g` channels concurrently — the source
+//! of Planaria's up-to-16× utilization gain on depthwise layers.
+
+use crate::context::ExecContext;
+use crate::counts::AccessCounts;
+use crate::gemm::{fill_cycles, TILE_SWITCH_CYCLES};
+use crate::layer::LayerTiming;
+use planaria_arch::Arrangement;
+use planaria_model::layer::{ACC_BYTES, ELEM_BYTES};
+use planaria_model::DepthwiseSpec;
+
+/// Times a depthwise convolution on `arr`.
+pub fn time_depthwise(ctx: &ExecContext, dw: &DepthwiseSpec, arr: Arrangement) -> LayerTiming {
+    let g = u64::from(arr.clusters);
+    let m = dw.out_h() * dw.out_w();
+    let k = dw.kh * dw.kw;
+
+    // Channels round-robin over clusters; each channel streams its M output
+    // positions through one column.
+    let ch_per_cluster = dw.channels.div_ceil(g);
+    let per_channel = m + k + TILE_SWITCH_CYCLES;
+    let compute = ch_per_cluster * per_channel + fill_cycles(ctx, arr);
+
+    // Same spill rule as the dense path: feature maps stay in Pod Memory
+    // unless they exceed the activation-buffer share.
+    let input_fm = dw.channels * dw.in_h * dw.in_w * ELEM_BYTES;
+    let output_fm = dw.channels * m * ELEM_BYTES;
+    let input_dram = if input_fm <= ctx.act_buffer_bytes() { 0 } else { input_fm };
+    let output_dram = if output_fm <= ctx.act_buffer_bytes() { 0 } else { output_fm };
+    let dram_bytes = dw.weight_bytes() + input_dram + output_dram;
+    let dram_cycles = (dram_bytes as f64 / ctx.dram_bytes_per_cycle()).ceil() as u64;
+
+    let cycles = compute.max(dram_cycles);
+
+    // Bank accesses are padded to the cluster height (the active column's
+    // feed path spans all H rows), mirroring the dense-GEMM padding rule.
+    let h = arr.height(ctx.cfg.subarray_dim);
+    let padded_k = k.max(1).div_ceil(h).max(1) * h;
+    let counts = AccessCounts {
+        mac_ops: dw.macs(),
+        pe_active_cycles: ctx.pes() * cycles,
+        // Each output position reads its (padded) filter window from the
+        // activation buffer.
+        act_sram_bytes: dw.channels * m * padded_k * ELEM_BYTES,
+        psum_sram_bytes: dw.channels * m * ACC_BYTES,
+        wbuf_bytes: dw.weight_bytes(),
+        dram_bytes,
+        ring_hop_bytes: 0,
+        vector_ops: 0,
+    };
+
+    let pes = ctx.pes();
+    let utilization = dw.macs() as f64 / (pes * cycles).max(1) as f64;
+    let tiles = ch_per_cluster.max(1);
+
+    LayerTiming {
+        cycles,
+        tiles,
+        cycles_per_tile: (cycles / tiles).max(1),
+        tile_bytes: m * ACC_BYTES,
+        counts,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+
+    fn dw_512() -> DepthwiseSpec {
+        DepthwiseSpec::new(512, 3, 3, 1, 1, 14, 14)
+    }
+
+    #[test]
+    fn monolithic_runs_one_channel_at_a_time() {
+        let cfg = AcceleratorConfig::monolithic();
+        let ctx = ExecContext::full_chip(&cfg);
+        let t = time_depthwise(&ctx, &dw_512(), Arrangement::new(1, 1, 1));
+        // 512 channels x ~(196 + 9) cycles.
+        assert!(t.cycles >= 512 * 196);
+        assert!(t.utilization < 0.01);
+    }
+
+    #[test]
+    fn sixteen_clusters_give_sixteenfold_parallelism() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let mono = time_depthwise(&ctx, &dw_512(), Arrangement::new(1, 4, 4));
+        let fis = time_depthwise(&ctx, &dw_512(), Arrangement::new(16, 1, 1));
+        let ratio = mono.cycles as f64 / fis.cycles as f64;
+        assert!(ratio > 10.0, "expected ~16x, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn channel_remainder_rounds_up() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let dw = DepthwiseSpec::new(17, 3, 3, 1, 1, 14, 14);
+        let t = time_depthwise(&ctx, &dw, Arrangement::new(16, 1, 1));
+        // ceil(17/16) = 2 channel rounds.
+        assert_eq!(t.tiles, 2);
+    }
+
+    #[test]
+    fn mac_count_preserved() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let t = time_depthwise(&ctx, &dw_512(), Arrangement::new(4, 2, 2));
+        assert_eq!(t.counts.mac_ops, dw_512().macs());
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole-network timing: per-layer arrangement selection and aggregation.
+
+use crate::context::ExecContext;
+use crate::counts::AccessCounts;
+use crate::layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
+use planaria_arch::Arrangement;
+use planaria_model::Dnn;
+
+/// The execution plan of one layer: chosen arrangement and its timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// Layer name (from the network description).
+    pub name: String,
+    /// Chosen arrangement (the trivial one for vector layers).
+    pub arrangement: Arrangement,
+    /// Timing of a single execution.
+    pub timing: LayerTiming,
+    /// Sequential repetitions (GNMT time-steps).
+    pub repeat: u64,
+}
+
+impl LayerPlan {
+    /// Total cycles including repetitions.
+    pub fn total_cycles(&self) -> u64 {
+        self.timing.cycles * self.repeat
+    }
+
+    /// Total tiles including repetitions.
+    pub fn total_tiles(&self) -> u64 {
+        self.timing.tiles * self.repeat
+    }
+}
+
+/// Timing of a whole network on a fixed allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnTiming {
+    /// Per-layer plans in execution order.
+    pub plans: Vec<LayerPlan>,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Aggregated access statistics.
+    pub counts: AccessCounts,
+}
+
+impl DnnTiming {
+    /// End-to-end latency in seconds at the context's clock.
+    pub fn seconds(&self, freq_hz: f64) -> f64 {
+        self.total_cycles as f64 / freq_hz
+    }
+
+    /// Total schedulable tiles.
+    pub fn total_tiles(&self) -> u64 {
+        self.plans.iter().map(LayerPlan::total_tiles).sum()
+    }
+}
+
+/// Times `dnn` on the context's allocation, selecting each systolic layer's
+/// arrangement by minimum cycles (energy-aware selection lives in
+/// `planaria-compiler`).
+pub fn time_dnn(ctx: &ExecContext, dnn: &Dnn) -> DnnTiming {
+    let mut plans = Vec::with_capacity(dnn.num_layers());
+    let mut total_cycles = 0u64;
+    let mut counts = AccessCounts::zero();
+    for layer in dnn.layers() {
+        let (arrangement, timing) = if layer.op.is_systolic() {
+            best_arrangement_by_cycles(ctx, &layer.op)
+        } else {
+            let arr = Arrangement::new(1, 1, 1);
+            (arr, time_layer(ctx, &layer.op, arr))
+        };
+        total_cycles += timing.cycles * layer.repeat;
+        counts += timing.counts.scaled(layer.repeat);
+        plans.push(LayerPlan {
+            name: layer.name.clone(),
+            arrangement,
+            timing,
+            repeat: layer.repeat,
+        });
+    }
+    DnnTiming {
+        plans,
+        total_cycles,
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_model::DnnId;
+
+    #[test]
+    fn resnet50_latency_is_milliseconds() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let t = time_dnn(&ctx, &DnnId::ResNet50.build());
+        let ms = t.seconds(cfg.freq_hz) * 1e3;
+        // 4 GMACs on a 22.9 TOPS array: sub-ms ideal, a few ms with
+        // realistic utilization.
+        assert!(ms > 0.2 && ms < 15.0, "got {ms} ms");
+    }
+
+    #[test]
+    fn fission_beats_monolithic_on_mobilenet() {
+        let pl_cfg = AcceleratorConfig::planaria();
+        let mono_cfg = AcceleratorConfig::monolithic();
+        let net = DnnId::MobileNetV1.build();
+        let pl = time_dnn(&ExecContext::full_chip(&pl_cfg), &net);
+        let mono = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
+        let speedup = mono.total_cycles as f64 / pl.total_cycles as f64;
+        assert!(speedup > 2.0, "got {speedup:.2}x");
+    }
+
+    #[test]
+    fn gnmt_gains_least_from_fission() {
+        let pl_cfg = AcceleratorConfig::planaria();
+        let mono_cfg = AcceleratorConfig::monolithic();
+        let net = DnnId::Gnmt.build();
+        let pl = time_dnn(&ExecContext::full_chip(&pl_cfg), &net);
+        let mono = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
+        let speedup = mono.total_cycles as f64 / pl.total_cycles as f64;
+        assert!(speedup < 2.0, "GNMT speedup should be modest, got {speedup:.2}x");
+        assert!(speedup > 0.8, "fission should not hurt GNMT, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn more_subarrays_never_slow_a_network_down() {
+        let cfg = AcceleratorConfig::planaria();
+        let net = DnnId::GoogLeNet.build();
+        let mut prev = u64::MAX;
+        for s in [1u32, 2, 4, 8, 16] {
+            let t = time_dnn(&ExecContext::for_allocation(&cfg, s), &net);
+            assert!(
+                t.total_cycles <= prev,
+                "allocation {s} slower than smaller allocation"
+            );
+            prev = t.total_cycles;
+        }
+    }
+
+    #[test]
+    fn counts_aggregate_over_repeats() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let t = time_dnn(&ctx, &DnnId::Gnmt.build());
+        // GNMT performs ~4 GMACs; the aggregate counts must agree with the
+        // model crate.
+        assert_eq!(t.counts.mac_ops, DnnId::Gnmt.build().total_macs());
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense GEMM timing on a (possibly fissioned) weight-stationary logical
+//! array.
+//!
+//! A GEMM `M×K×N` executes on `g` clusters of `H×W` PEs. Clusters split
+//! either the `N` dimension (disjoint output channels; no weight
+//! duplication) or the `M` dimension (disjoint output rows; weights are
+//! broadcast over the ring). Within a cluster, weights tile as
+//! `⌈K/H⌉ × ⌈N_c/W⌉`; the streamed row count per tile (`M_t`) is limited by
+//! the output-buffer share (partial sums are 32-bit and accumulate on-chip)
+//! and the activation-buffer share.
+
+use crate::context::ExecContext;
+use crate::counts::AccessCounts;
+use crate::layer::LayerTiming;
+use planaria_arch::Arrangement;
+use planaria_model::layer::{ACC_BYTES, ELEM_BYTES};
+use planaria_model::GemmShape;
+
+/// Pipeline bubble when switching the stationary weight tile (the weights
+/// are double-buffered in the PEs, §IV-C).
+pub const TILE_SWITCH_CYCLES: u64 = 2;
+
+/// How a GEMM is partitioned across clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterSplit {
+    /// Clusters own disjoint output-feature ranges.
+    OutputFeatures,
+    /// Clusters own disjoint streamed-row ranges (weights broadcast).
+    StreamedRows,
+}
+
+/// Pipeline fill latency of an arrangement: array skew plus ring pipeline
+/// registers crossed when the cluster spans multiple subarrays.
+pub(crate) fn fill_cycles(ctx: &ExecContext, arr: Arrangement) -> u64 {
+    let dim = ctx.cfg.subarray_dim;
+    let skew = arr.height(dim) + arr.width(dim);
+    let crossings = u64::from(arr.rows + arr.cols - 2);
+    skew + crossings * u64::from(ctx.cfg.ring_pipeline_regs)
+}
+
+/// Times a GEMM under one split strategy.
+fn time_split(
+    ctx: &ExecContext,
+    gemm: GemmShape,
+    arr: Arrangement,
+    split: ClusterSplit,
+    input_footprint: u64,
+) -> LayerTiming {
+    let dim = ctx.cfg.subarray_dim;
+    let h = arr.height(dim);
+    let w = arr.width(dim);
+    let g = u64::from(arr.clusters);
+
+    let (m_c, n_c) = match split {
+        ClusterSplit::OutputFeatures => (gemm.m, gemm.n.div_ceil(g)),
+        ClusterSplit::StreamedRows => (gemm.m.div_ceil(g), gemm.n),
+    };
+
+    let k_tiles = gemm.k.div_ceil(h);
+    let n_tiles = n_c.div_ceil(w);
+
+    // Streamed rows per tile, bounded by the per-cluster buffer shares.
+    let out_share = ctx.out_buffer_bytes() / g;
+    let act_share = ctx.act_buffer_bytes() / g;
+    let by_out = out_share / (ACC_BYTES * w).max(1);
+    let by_act = act_share / (gemm.k * ELEM_BYTES).max(1);
+    let m_t = m_c.min(by_out).min(by_act.max(1)).max(1);
+    let m_chunks = m_c.div_ceil(m_t);
+    let tiles = m_chunks * k_tiles * n_tiles;
+
+    // Every streamed row enters once per (k, n) weight tile; weight switches
+    // are double-buffered so each tile adds only a small bubble.
+    let compute =
+        m_c * k_tiles * n_tiles + tiles * TILE_SWITCH_CYCLES + fill_cycles(ctx, arr);
+
+    // Weight residency: when a cluster's weight slice fits its per-PE
+    // buffers it streams from DRAM once, otherwise once per M chunk.
+    let cluster_weights = gemm.k * n_c * ELEM_BYTES;
+    let cluster_wbuf = ctx.weight_buffer_bytes() / g;
+    let weight_passes = if cluster_weights <= cluster_wbuf {
+        1
+    } else {
+        m_chunks
+    };
+    let weight_dram = gemm.k * gemm.n * ELEM_BYTES * weight_passes;
+
+    // Inter-layer activations live in Pod Memory: off-chip traffic occurs
+    // only when an operand exceeds the allocation's activation-buffer share
+    // (spill), in which case the input is re-streamed once per N-tile sweep.
+    let input_dram = if input_footprint <= ctx.act_buffer_bytes() {
+        0
+    } else {
+        input_footprint * n_tiles
+    };
+    let output_dram = if gemm.output_bytes() <= ctx.act_buffer_bytes() {
+        0
+    } else {
+        gemm.output_bytes()
+    };
+    let dram_bytes = weight_dram + input_dram + output_dram;
+    let dram_cycles = (dram_bytes as f64 / ctx.dram_bytes_per_cycle()).ceil() as u64;
+
+    let cycles = compute.max(dram_cycles);
+
+    // SRAM / ring traffic for the energy model. Bank accesses are *padded*
+    // to the physical array: every streamed row activates all H row-banks
+    // and every drained row all W column-lanes, whether or not K and N
+    // fill them — the utilization waste a monolithic array pays on small
+    // layers and fission avoids by matching the array to the layer.
+    let padded_k = h * k_tiles;
+    let padded_n = w * n_tiles;
+    let act_sram = g * m_c * padded_k * n_tiles * ELEM_BYTES;
+    let psum_sram = g * m_c * padded_n * (2 * k_tiles - 1) * ACC_BYTES;
+    let wbuf = g * padded_k * padded_n * ELEM_BYTES * m_chunks;
+    let act_hops = act_sram * u64::from(arr.cols - 1);
+    let psum_hops = g * m_c * padded_n * k_tiles * ACC_BYTES * u64::from(arr.rows - 1);
+    let bcast_hops = match split {
+        ClusterSplit::StreamedRows => weight_dram * (g - 1),
+        ClusterSplit::OutputFeatures => 0,
+    };
+
+    let counts = AccessCounts {
+        mac_ops: gemm.macs(),
+        pe_active_cycles: g * h * w * cycles,
+        act_sram_bytes: act_sram,
+        psum_sram_bytes: psum_sram,
+        wbuf_bytes: wbuf,
+        dram_bytes,
+        ring_hop_bytes: act_hops + psum_hops + bcast_hops,
+        vector_ops: 0,
+    };
+
+    let pes = g * h * w;
+    let utilization = gemm.macs() as f64 / (pes * cycles).max(1) as f64;
+
+    LayerTiming {
+        cycles,
+        tiles,
+        cycles_per_tile: (cycles / tiles.max(1)).max(1),
+        tile_bytes: m_t * w * ACC_BYTES,
+        counts,
+        utilization,
+    }
+}
+
+/// Times a GEMM on `arr`, choosing the better cluster split.
+///
+/// `input_footprint` is the true input operand size in bytes (feature map
+/// for convolutions — smaller than `m·k` because of window overlap).
+pub fn time_gemm(
+    ctx: &ExecContext,
+    gemm: GemmShape,
+    arr: Arrangement,
+    input_footprint: u64,
+) -> LayerTiming {
+    let a = time_split(ctx, gemm, arr, ClusterSplit::OutputFeatures, input_footprint);
+    if arr.clusters == 1 {
+        return a;
+    }
+    let b = time_split(ctx, gemm, arr, ClusterSplit::StreamedRows, input_footprint);
+    if b.cycles < a.cycles {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+
+    fn ctx() -> ExecContext {
+        ExecContext::full_chip(&AcceleratorConfig::planaria())
+    }
+
+    fn mono_ctx() -> ExecContext {
+        ExecContext::full_chip(&AcceleratorConfig::monolithic())
+    }
+
+    #[test]
+    fn perfectly_sized_gemm_is_stream_bound() {
+        // K = 128, N = 128 on the 4x4 (=128x128) arrangement: one weight
+        // tile, so cycles ≈ M.
+        let c = ctx();
+        let g = GemmShape::new(10_000, 128, 128);
+        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        assert!(t.cycles >= 10_000);
+        assert!(t.cycles < 13_000, "got {}", t.cycles);
+        assert!(t.utilization > 0.75, "got {}", t.utilization);
+    }
+
+    #[test]
+    fn tiny_gemm_underutilizes_monolithic_array() {
+        // K = 27, N = 16 (Tiny YOLO conv1): the monolithic array can't be
+        // fed faster than one row/cycle regardless of its 16K PEs.
+        let g = GemmShape::new(173_056, 27, 16);
+        let mono = time_gemm(&mono_ctx(), g, Arrangement::new(1, 1, 1), 416 * 416 * 3);
+        assert!(mono.utilization < 0.05, "got {}", mono.utilization);
+        // 16 clusters split the rows and finish ~an order of magnitude faster.
+        let fis = time_gemm(&ctx(), g, Arrangement::new(16, 1, 1), 416 * 416 * 3);
+        assert!(
+            fis.cycles * 8 < mono.cycles,
+            "fissioned {} vs monolithic {}",
+            fis.cycles,
+            mono.cycles
+        );
+    }
+
+    #[test]
+    fn m1_gemm_is_dram_bound() {
+        // GNMT gate GEMM: M = 1, K = 2048, N = 4096 → 8 MB of weights
+        // dominates; compute is trivial.
+        let c = ctx();
+        let g = GemmShape::new(1, 2048, 4096);
+        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        let dram_floor = (g.weight_bytes() as f64 / c.dram_bytes_per_cycle()) as u64;
+        assert!(t.cycles >= dram_floor);
+        assert!(t.cycles < dram_floor * 2);
+    }
+
+    #[test]
+    fn taller_arrays_cut_psum_traffic() {
+        let c = ctx();
+        let g = GemmShape::new(1, 2048, 4096);
+        let square = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        let tall = time_gemm(&c, g, Arrangement::new(1, 8, 2), g.input_bytes());
+        assert!(tall.counts.psum_sram_bytes < square.counts.psum_sram_bytes);
+    }
+
+    #[test]
+    fn split_rows_beats_split_features_for_wide_m() {
+        // Huge M, tiny N: splitting rows gives each cluster real work while
+        // splitting 16 output features over 16 clusters starves columns.
+        let c = ctx();
+        let g = GemmShape::new(100_000, 32, 16);
+        let t = time_gemm(&c, g, Arrangement::new(16, 1, 1), g.input_bytes());
+        // Row split => ~M/16 + overheads.
+        assert!(t.cycles < 100_000 / 8, "got {}", t.cycles);
+    }
+
+    #[test]
+    fn weight_streaming_repeats_when_buffers_overflow() {
+        // A weight slice far larger than the weight buffers with many M
+        // chunks forces multiple DRAM passes.
+        let c = mono_ctx();
+        let g = GemmShape::new(2_000_000, 4096, 4096); // 16 MB weights
+        let t = time_gemm(&c, g, Arrangement::new(1, 1, 1), g.input_bytes());
+        assert!(t.counts.dram_bytes > g.weight_bytes() * 2);
+    }
+
+    #[test]
+    fn tiles_and_cycles_consistent() {
+        let c = ctx();
+        let g = GemmShape::new(3000, 300, 300);
+        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        assert!(t.tiles >= 1);
+        assert!(t.cycles_per_tile * t.tiles <= t.cycles + t.cycles_per_tile * 2);
+    }
+
+    #[test]
+    fn fill_cycles_grow_with_span() {
+        let c = ctx();
+        let small = fill_cycles(&c, Arrangement::new(16, 1, 1));
+        let serp = fill_cycles(&c, Arrangement::new(1, 1, 16));
+        assert!(serp > small);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-layer timing dispatch and arrangement selection.
+
+use crate::context::ExecContext;
+use crate::counts::AccessCounts;
+use crate::depthwise::time_depthwise;
+use crate::gemm::time_gemm;
+use crate::vector::{time_eltwise, time_pool};
+use planaria_arch::Arrangement;
+use planaria_model::LayerOp;
+
+/// Timing result for one layer execution on one arrangement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTiming {
+    /// Total cycles for one execution of the layer.
+    pub cycles: u64,
+    /// Number of schedulable tiles (the preemption granularity, §V).
+    pub tiles: u64,
+    /// Representative cycles per tile (`cycles / tiles`).
+    pub cycles_per_tile: u64,
+    /// In-flight state of one tile (the checkpoint written to DRAM when the
+    /// scheduler preempts at a tile boundary, §V).
+    pub tile_bytes: u64,
+    /// Access statistics for the energy model.
+    pub counts: AccessCounts,
+    /// Effective MAC utilization of the allocation's PEs (0 for vector
+    /// layers).
+    pub utilization: f64,
+}
+
+/// Times one execution of `op` on arrangement `arr`.
+///
+/// Vector-unit layers (pool/elementwise) ignore `arr` — they run on the
+/// allocation's SIMD segments.
+pub fn time_layer(ctx: &ExecContext, op: &LayerOp, arr: Arrangement) -> LayerTiming {
+    debug_assert!(
+        !op.is_systolic() || arr.subarrays() <= ctx.subarrays,
+        "arrangement uses more subarrays than the allocation owns"
+    );
+    match op {
+        LayerOp::Conv(c) => time_gemm(ctx, c.gemm(), arr, op.input_bytes()),
+        LayerOp::MatMul(m) => time_gemm(ctx, m.shape, arr, op.input_bytes()),
+        LayerOp::Depthwise(d) => time_depthwise(ctx, d, arr),
+        LayerOp::Pool(p) => time_pool(ctx, p),
+        LayerOp::Eltwise(e) => time_eltwise(ctx, e),
+    }
+}
+
+/// Energy-proxy used to break ties between arrangements with equal cycle
+/// counts: on-chip traffic weighted by rough per-byte cost ratios
+/// (the real selection with the calibrated energy model lives in
+/// `planaria-compiler`).
+pub fn traffic_proxy(c: &AccessCounts) -> u64 {
+    c.act_sram_bytes + 2 * c.psum_sram_bytes + c.wbuf_bytes / 4 + 8 * c.dram_bytes
+        + c.ring_hop_bytes / 2
+}
+
+/// Picks the arrangement of the allocation's subarrays minimizing cycles
+/// (ties broken by [`traffic_proxy`]). Returns the arrangement and its
+/// timing.
+///
+/// # Panics
+///
+/// Panics if `op` is a vector-unit layer (those have no arrangement choice).
+pub fn best_arrangement_by_cycles(ctx: &ExecContext, op: &LayerOp) -> (Arrangement, LayerTiming) {
+    assert!(op.is_systolic(), "vector layers have no arrangement choice");
+    let mut best: Option<(Arrangement, LayerTiming)> = None;
+    for arr in Arrangement::enumerate_for(&ctx.cfg, ctx.subarrays) {
+        let t = time_layer(ctx, op, arr);
+        let better = match &best {
+            None => true,
+            Some((_, bt)) => {
+                t.cycles < bt.cycles
+                    || (t.cycles == bt.cycles
+                        && traffic_proxy(&t.counts) < traffic_proxy(&bt.counts))
+            }
+        };
+        if better {
+            best = Some((arr, t));
+        }
+    }
+    best.expect("at least one arrangement exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_model::{ConvSpec, DepthwiseSpec, EltwiseOp, EltwiseSpec, MatMulSpec};
+
+    fn ctx() -> ExecContext {
+        ExecContext::full_chip(&AcceleratorConfig::planaria())
+    }
+
+    #[test]
+    fn depthwise_prefers_max_parallelism() {
+        let op = LayerOp::Depthwise(DepthwiseSpec::new(512, 3, 3, 1, 1, 14, 14));
+        let (arr, _) = best_arrangement_by_cycles(&ctx(), &op);
+        assert_eq!(arr.clusters, 16, "depthwise should fission fully, got {arr}");
+    }
+
+    #[test]
+    fn large_dense_conv_keeps_large_arrays() {
+        // ResNet-50 res4 3x3: K = 2304, N = 256 — deep reduction favors
+        // few, large clusters.
+        let op = LayerOp::Conv(ConvSpec::new(256, 256, 3, 3, 1, 1, 14, 14));
+        let (arr, t) = best_arrangement_by_cycles(&ctx(), &op);
+        // Deep reduction (K = 2304) keeps each cluster at least 2 subarrays
+        // tall/wide and achieves high utilization.
+        assert!(arr.rows * arr.cols >= 2, "got {arr}");
+        assert!(t.utilization > 0.5, "got {}", t.utilization);
+    }
+
+    #[test]
+    fn gnmt_gate_prefers_tall_shape() {
+        // M = 1, K = 2048, N = 4096: DRAM-bound; tall shapes cut partial-sum
+        // traffic, reproducing Table II's (256x64) pick for GNMT.
+        let op = LayerOp::MatMul(MatMulSpec::new(1, 2048, 4096));
+        let (arr, _) = best_arrangement_by_cycles(&ctx(), &op);
+        assert!(
+            arr.rows > arr.cols,
+            "expected tall arrangement, got {arr}"
+        );
+    }
+
+    #[test]
+    fn vector_layer_timing_ignores_arrangement() {
+        let op = LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Add, 1000));
+        let a = time_layer(&ctx(), &op, Arrangement::new(1, 4, 4));
+        let b = time_layer(&ctx(), &op, Arrangement::new(16, 1, 1));
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "no arrangement choice")]
+    fn best_arrangement_rejects_vector_layers() {
+        let op = LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Add, 10));
+        let _ = best_arrangement_by_cycles(&ctx(), &op);
+    }
+
+    #[test]
+    fn smaller_allocations_never_beat_full_chip_on_dense_convs() {
+        let cfg = AcceleratorConfig::planaria();
+        let op = LayerOp::Conv(ConvSpec::new(256, 512, 3, 3, 1, 1, 28, 28));
+        let full = best_arrangement_by_cycles(&ExecContext::full_chip(&cfg), &op).1;
+        let quarter =
+            best_arrangement_by_cycles(&ExecContext::for_allocation(&cfg, 4), &op).1;
+        assert!(quarter.cycles >= full.cycles);
+    }
+}

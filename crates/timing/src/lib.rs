@@ -1,0 +1,57 @@
+//! Cycle-level timing model for DNN execution on (fissioned) systolic
+//! accelerators.
+//!
+//! This crate is the substrate simulator of the reproduction: given an
+//! operator shape from `planaria-model` and a logical-accelerator
+//! [`Arrangement`](planaria_arch::Arrangement) from `planaria-arch`, it
+//! produces cycle counts and access statistics (`AccessCounts`) for the
+//! energy model.
+//!
+//! # Modelled first-order effects
+//!
+//! The model captures the effects the paper's evaluation hinges on:
+//!
+//! * **weight-stationary tiling** — a GEMM is tiled over the logical array
+//!   (`⌈K/H⌉ × ⌈N/W⌉` weight tiles, with `M` chunked by on-chip buffer
+//!   capacity), so *ceil effects* underutilize a big monolithic array on
+//!   small layers (§III-A);
+//! * **streaming vs. memory bound** — per-tile time is the streamed row
+//!   count; layer time is the max of compute and DRAM traffic over the
+//!   allocation's channels (GNMT is DRAM-bound, which is why it gains least
+//!   from fission — Fig. 17);
+//! * **depthwise column mapping** — a depthwise filter occupies one column
+//!   of a cluster, so a monolithic array runs one channel at a time while
+//!   `g` fissioned clusters run `g` channels in parallel (§VI-B2);
+//! * **pipeline fill/drain and ring latency** — paid per layer, scaled by
+//!   the logical array span;
+//! * **reconfiguration** — drain + one-tile checkpoint + configuration
+//!   swap + weight refill, paid when the scheduler re-allocates (§IV-C).
+//!
+//! # Example
+//!
+//! ```
+//! use planaria_arch::{AcceleratorConfig, Arrangement};
+//! use planaria_model::{ConvSpec, LayerOp};
+//! use planaria_timing::{ExecContext, time_layer};
+//!
+//! let cfg = AcceleratorConfig::planaria();
+//! let ctx = ExecContext::full_chip(&cfg);
+//! let conv = LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 1, 1, 56, 56));
+//! let t = time_layer(&ctx, &conv, Arrangement::new(1, 4, 4));
+//! assert!(t.cycles > 0);
+//! ```
+
+pub mod context;
+pub mod counts;
+pub mod depthwise;
+pub mod dnn;
+pub mod gemm;
+pub mod layer;
+pub mod reconfig;
+pub mod vector;
+
+pub use context::ExecContext;
+pub use counts::AccessCounts;
+pub use dnn::{time_dnn, DnnTiming, LayerPlan};
+pub use layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
+pub use reconfig::{reconfiguration_cycles, ReconfigCost};

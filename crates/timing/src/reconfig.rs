@@ -1,0 +1,107 @@
+//! Reconfiguration / preemption overhead model (§IV-C, §V).
+//!
+//! When the scheduler changes a task's allocation, the task finishes its
+//! in-flight tile, drains the array, checkpoints that tile's intermediate
+//! results to DRAM, commits the pre-loaded configuration registers, and
+//! refills the new logical array's pipeline and stationary weights.
+
+use crate::context::ExecContext;
+use planaria_arch::Arrangement;
+
+/// Breakdown of one reconfiguration event, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconfigCost {
+    /// Draining the in-flight wavefront of the old arrangement.
+    pub drain: u64,
+    /// Writing one tile of intermediate results to DRAM (tile-granularity
+    /// checkpointing keeps this to a single tile, §V).
+    pub checkpoint: u64,
+    /// Committing the double-buffered configuration registers and fetching
+    /// the first instructions of the new binary.
+    pub config_swap: u64,
+    /// Refilling the new arrangement's pipeline and stationary weights.
+    pub refill: u64,
+}
+
+impl ReconfigCost {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.drain + self.checkpoint + self.config_swap + self.refill
+    }
+}
+
+/// Cycles to fetch the next configuration's instruction stream; §IV-C
+/// prefetches during the drain, so only a small commit cost remains.
+const CONFIG_SWAP_CYCLES: u64 = 16;
+
+/// Computes the cost of switching a task from `old` to `new` arrangement,
+/// checkpointing `tile_bytes` of in-flight results.
+pub fn reconfiguration_cycles(
+    ctx: &ExecContext,
+    old: Arrangement,
+    new: Arrangement,
+    tile_bytes: u64,
+) -> ReconfigCost {
+    let dim = ctx.cfg.subarray_dim;
+    let drain = old.height(dim) + old.width(dim);
+    let checkpoint = (tile_bytes as f64 / ctx.dram_bytes_per_cycle()).ceil() as u64;
+    let refill = new.height(dim) + new.width(dim);
+    ReconfigCost {
+        drain,
+        checkpoint,
+        config_swap: CONFIG_SWAP_CYCLES,
+        refill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+
+    #[test]
+    fn reconfig_is_microseconds_not_milliseconds() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let cost = reconfiguration_cycles(
+            &ctx,
+            Arrangement::new(1, 4, 4),
+            Arrangement::new(4, 1, 1),
+            64 * 1024,
+        );
+        // A 64 KB checkpoint over 4 channels ≈ 460 cycles; total well under
+        // 10 µs at 700 MHz.
+        let us = cost.total() as f64 / cfg.freq_hz * 1e6;
+        assert!(us < 10.0, "reconfiguration took {us} µs");
+        assert!(cost.total() > 0);
+    }
+
+    #[test]
+    fn bigger_tiles_cost_more_to_checkpoint() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::for_allocation(&cfg, 4);
+        let a = Arrangement::new(1, 2, 2);
+        let small = reconfiguration_cycles(&ctx, a, a, 1024);
+        let big = reconfiguration_cycles(&ctx, a, a, 1024 * 1024);
+        assert!(big.checkpoint > small.checkpoint * 100);
+    }
+
+    #[test]
+    fn drain_scales_with_old_shape() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let tall = reconfiguration_cycles(
+            &ctx,
+            Arrangement::new(1, 16, 1),
+            Arrangement::new(16, 1, 1),
+            0,
+        );
+        let small = reconfiguration_cycles(
+            &ctx,
+            Arrangement::new(16, 1, 1),
+            Arrangement::new(16, 1, 1),
+            0,
+        );
+        assert!(tall.drain > small.drain);
+    }
+}

@@ -1,0 +1,93 @@
+//! SIMD vector-unit timing (pooling, activations, normalization,
+//! elementwise arithmetic, data movement).
+//!
+//! Each subarray owns a segment of SIMD lanes (§III-A item 3), so a logical
+//! accelerator of `s` subarrays processes `s × lanes_per_subarray` elements
+//! per cycle.
+
+use crate::context::ExecContext;
+use crate::counts::AccessCounts;
+use crate::layer::LayerTiming;
+use planaria_model::layer::ELEM_BYTES;
+use planaria_model::{EltwiseOp, EltwiseSpec, PoolSpec};
+
+/// Vector-lane cycles per element for each elementwise operator.
+pub fn op_cost(op: EltwiseOp) -> u64 {
+    match op {
+        EltwiseOp::Activation | EltwiseOp::Add | EltwiseOp::Mul | EltwiseOp::DataMove => 1,
+        EltwiseOp::BatchNorm => 2,
+        EltwiseOp::Softmax => 4,
+    }
+}
+
+fn vector_timing(ctx: &ExecContext, ops: u64, in_bytes: u64, out_bytes: u64) -> LayerTiming {
+    let lanes = ctx.simd_lanes().max(1);
+    let cycles = ops.div_ceil(lanes).max(1);
+    let counts = AccessCounts {
+        mac_ops: 0,
+        pe_active_cycles: 0,
+        act_sram_bytes: in_bytes + out_bytes,
+        psum_sram_bytes: 0,
+        wbuf_bytes: 0,
+        dram_bytes: 0,
+        ring_hop_bytes: 0,
+        vector_ops: ops,
+    };
+    LayerTiming {
+        cycles,
+        tiles: 1,
+        cycles_per_tile: cycles,
+        tile_bytes: out_bytes,
+        counts,
+        utilization: 0.0,
+    }
+}
+
+/// Times a pooling layer.
+pub fn time_pool(ctx: &ExecContext, p: &PoolSpec) -> LayerTiming {
+    let in_bytes = p.channels * p.in_h * p.in_w * ELEM_BYTES;
+    let out_bytes = p.channels * p.out_h() * p.out_w() * ELEM_BYTES;
+    vector_timing(ctx, p.vector_ops(), in_bytes, out_bytes)
+}
+
+/// Times an elementwise layer.
+pub fn time_eltwise(ctx: &ExecContext, e: &EltwiseSpec) -> LayerTiming {
+    let bytes = e.elems * ELEM_BYTES;
+    vector_timing(ctx, e.elems * op_cost(e.op), bytes, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_model::PoolKind;
+
+    #[test]
+    fn pool_cycles_scale_with_lanes() {
+        let cfg = AcceleratorConfig::planaria();
+        let full = ExecContext::full_chip(&cfg);
+        let quarter = ExecContext::for_allocation(&cfg, 4);
+        let p = PoolSpec::new(PoolKind::Max, 64, 3, 3, 2, 112, 112);
+        let a = time_pool(&full, &p);
+        let b = time_pool(&quarter, &p);
+        assert!(b.cycles > a.cycles * 3, "{} vs {}", b.cycles, a.cycles);
+    }
+
+    #[test]
+    fn softmax_is_four_times_activation() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let n = 100_000;
+        let act = time_eltwise(&ctx, &EltwiseSpec::new(EltwiseOp::Activation, n));
+        let soft = time_eltwise(&ctx, &EltwiseSpec::new(EltwiseOp::Softmax, n));
+        assert_eq!(soft.counts.vector_ops, 4 * act.counts.vector_ops);
+    }
+
+    #[test]
+    fn tiny_op_takes_at_least_one_cycle() {
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let t = time_eltwise(&ctx, &EltwiseSpec::new(EltwiseOp::Add, 1));
+        assert_eq!(t.cycles, 1);
+    }
+}

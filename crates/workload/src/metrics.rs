@@ -1,0 +1,208 @@
+//! The paper's evaluation metrics (§VI-A).
+
+use crate::qos::sla_percentile;
+use crate::request::Completion;
+use planaria_model::DnnId;
+use std::collections::HashMap;
+
+/// Fraction of requests that violated their QoS bound.
+pub fn violation_rate(completions: &[Completion]) -> f64 {
+    if completions.is_empty() {
+        return 0.0;
+    }
+    let late = completions.iter().filter(|c| !c.met_qos()).count();
+    late as f64 / completions.len() as f64
+}
+
+/// Whether a workload instance meets the MLPerf server SLA: per domain,
+/// the required percentile of requests (99 % vision / 97 % translation)
+/// finish within their QoS bound.
+pub fn meets_sla(completions: &[Completion]) -> bool {
+    let mut by_dnn: HashMap<DnnId, (usize, usize)> = HashMap::new();
+    for c in completions {
+        let e = by_dnn.entry(c.request.dnn).or_insert((0, 0));
+        e.0 += 1;
+        if c.met_qos() {
+            e.1 += 1;
+        }
+    }
+    by_dnn.iter().all(|(id, (total, met))| {
+        // MLPerf's percentile with finite samples: the allowed miss count
+        // is the rounded (1 - p) fraction of the sample.
+        let allowed = ((1.0 - sla_percentile(*id)) * *total as f64).round() as usize;
+        total - met <= allowed
+    })
+}
+
+/// PREMA's fairness metric: `min_{i,j} PP_i / PP_j` where
+/// `PP_i = (T_isolated / T_multitenant) / (priority_i / Σ priority)`.
+///
+/// `isolated` maps each network to its isolated-execution latency in
+/// seconds on the *same* system.
+///
+/// Returns 1.0 for fewer than two completions (perfect fairness trivially).
+pub fn fairness(completions: &[Completion], isolated: &HashMap<DnnId, f64>) -> f64 {
+    if completions.len() < 2 {
+        return 1.0;
+    }
+    let sum_priority: f64 = completions.iter().map(|c| c.request.priority as f64).sum();
+    let pp: Vec<f64> = completions
+        .iter()
+        .map(|c| {
+            let t_iso = isolated
+                .get(&c.request.dnn)
+                .copied()
+                .expect("isolated latency for every network");
+            let progress = t_iso / c.latency().max(1e-12);
+            let weight = c.request.priority as f64 / sum_priority;
+            progress / weight
+        })
+        .collect();
+    let min = pp.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = pp.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+/// SLA satisfaction rate (Fig. 13): the fraction of workload instances
+/// (one per seed) whose completions meet the SLA. `run` simulates one
+/// instance from a seed.
+pub fn sla_satisfaction_rate<F>(run: F, seeds: &[u64]) -> f64
+where
+    F: Fn(u64) -> Vec<Completion>,
+{
+    if seeds.is_empty() {
+        return 0.0;
+    }
+    let ok = seeds.iter().filter(|&&s| meets_sla(&run(s))).count();
+    ok as f64 / seeds.len() as f64
+}
+
+/// Throughput (Fig. 12): the maximum arrival rate λ (queries/second) at
+/// which every probe instance meets the SLA, located by bisection over
+/// `[lo, hi]` with `iters` refinement steps. `run(lambda, seed)` simulates
+/// one instance.
+///
+/// Returns `lo` when even the lowest rate fails — callers should treat a
+/// result at `lo` as "does not meet the SLA at any probed rate" (the
+/// paper's dash for PREMA on Workload-B, QoS-H).
+pub fn max_throughput<F>(run: F, seeds: &[u64], lo: f64, hi: f64, iters: u32) -> f64
+where
+    F: Fn(f64, u64) -> Vec<Completion>,
+{
+    assert!(lo > 0.0 && hi > lo, "invalid throughput search range");
+    let ok_at = |lambda: f64| seeds.iter().all(|&s| meets_sla(&run(lambda, s)));
+    if !ok_at(lo) {
+        return lo;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    if ok_at(hi) {
+        return hi;
+    }
+    for _ in 0..iters {
+        let mid = (lo * hi).sqrt(); // geometric bisection: rates span decades
+        if ok_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn completion(dnn: DnnId, priority: u32, latency: f64, qos: f64) -> Completion {
+        Completion {
+            request: Request {
+                id: 0,
+                dnn,
+                arrival: 0.0,
+                priority,
+                qos,
+            },
+            finish: latency,
+            energy_j: 0.0,
+        }
+    }
+
+    #[test]
+    fn violation_rate_counts_late_requests() {
+        let cs = vec![
+            completion(DnnId::ResNet50, 5, 0.01, 0.015),
+            completion(DnnId::ResNet50, 5, 0.02, 0.015),
+        ];
+        assert!((violation_rate(&cs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sla_allows_three_percent_gnmt_misses() {
+        // 100 GNMT requests, 3 late: 97% => meets SLA.
+        let mut cs: Vec<_> = (0..97)
+            .map(|_| completion(DnnId::Gnmt, 5, 0.1, 0.25))
+            .collect();
+        cs.extend((0..3).map(|_| completion(DnnId::Gnmt, 5, 0.3, 0.25)));
+        assert!(meets_sla(&cs));
+        // A vision model with 3% late fails the 99% bar.
+        let mut vs: Vec<_> = (0..97)
+            .map(|_| completion(DnnId::ResNet50, 5, 0.01, 0.015))
+            .collect();
+        vs.extend((0..3).map(|_| completion(DnnId::ResNet50, 5, 0.02, 0.015)));
+        assert!(!meets_sla(&vs));
+    }
+
+    #[test]
+    fn fairness_is_one_for_proportional_progress() {
+        let mut iso = HashMap::new();
+        iso.insert(DnnId::ResNet50, 0.001);
+        // Two equal-priority tasks slowed equally: perfectly fair.
+        let cs = vec![
+            completion(DnnId::ResNet50, 5, 0.002, 1.0),
+            completion(DnnId::ResNet50, 5, 0.002, 1.0),
+        ];
+        assert!((fairness(&cs, &iso) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_penalizes_starvation() {
+        let mut iso = HashMap::new();
+        iso.insert(DnnId::ResNet50, 0.001);
+        let cs = vec![
+            completion(DnnId::ResNet50, 5, 0.001, 1.0), // full speed
+            completion(DnnId::ResNet50, 5, 0.100, 1.0), // starved 100x
+        ];
+        let f = fairness(&cs, &iso);
+        assert!(f < 0.05, "got {f}");
+    }
+
+    #[test]
+    fn throughput_search_finds_capacity() {
+        // Synthetic system that meets SLA iff lambda <= 50.
+        let run = |lambda: f64, _seed: u64| {
+            let late = lambda > 50.0;
+            vec![completion(
+                DnnId::ResNet50,
+                5,
+                if late { 1.0 } else { 0.001 },
+                0.015,
+            )]
+        };
+        let thr = max_throughput(run, &[1, 2], 1.0, 1000.0, 30);
+        assert!((thr - 50.0).abs() < 1.0, "got {thr}");
+    }
+
+    #[test]
+    fn throughput_search_reports_floor_on_hopeless_systems() {
+        let run = |_lambda: f64, _seed: u64| {
+            vec![completion(DnnId::ResNet50, 5, 1.0, 0.015)]
+        };
+        let thr = max_throughput(run, &[1], 1.0, 1000.0, 10);
+        assert!((thr - 1.0).abs() < 1e-12);
+    }
+}

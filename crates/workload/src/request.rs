@@ -1,0 +1,141 @@
+//! Inference requests and engine results — the vocabulary shared by the
+//! Planaria and PREMA simulation engines and the metrics.
+
+use planaria_model::DnnId;
+
+/// One dispatched inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Unique id within a trace.
+    pub id: u64,
+    /// Network to run.
+    pub dnn: DnnId,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+    /// Priority level, 1 (lowest) ..= 11 (highest), per the Google-trace
+    /// analysis the paper cites (§VI-A).
+    pub priority: u32,
+    /// QoS latency bound, seconds.
+    pub qos: f64,
+}
+
+impl Request {
+    /// Absolute deadline (arrival + QoS bound), seconds.
+    pub fn deadline(&self) -> f64 {
+        self.arrival + self.qos
+    }
+}
+
+/// A finished request as reported by an engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The originating request.
+    pub request: Request,
+    /// Completion time, seconds.
+    pub finish: f64,
+    /// Dynamic energy attributed to this request, joules.
+    pub energy_j: f64,
+}
+
+impl Completion {
+    /// End-to-end (multi-tenant) latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.finish - self.request.arrival
+    }
+
+    /// Whether the request met its QoS bound.
+    pub fn met_qos(&self) -> bool {
+        self.latency() <= self.request.qos + 1e-12
+    }
+}
+
+/// Full result of simulating one workload instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// All completions (same cardinality as the input trace).
+    pub completions: Vec<Completion>,
+    /// Total energy (dynamic + leakage over the makespan), joules.
+    pub total_energy_j: f64,
+    /// Time from first arrival to last completion, seconds.
+    pub makespan: f64,
+}
+
+impl SimResult {
+    /// Mean end-to-end latency, seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().map(Completion::latency).sum::<f64>()
+            / self.completions.len() as f64
+    }
+
+    /// Latency at percentile `p` ∈ [0, 1] (nearest-rank), seconds — the
+    /// MLPerf server scenario reports p99. Returns 0 for an empty result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside [0, 1].
+    pub fn percentile_latency(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let mut lats: Vec<f64> = self.completions.iter().map(Completion::latency).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+        lats[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, qos: f64) -> Request {
+        Request {
+            id: 0,
+            dnn: DnnId::ResNet50,
+            arrival,
+            priority: 5,
+            qos,
+        }
+    }
+
+    #[test]
+    fn percentile_latency_nearest_rank() {
+        let mk = |latency: f64| Completion {
+            request: req(0.0, 1.0),
+            finish: latency,
+            energy_j: 0.0,
+        };
+        let r = crate::request::SimResult {
+            completions: (1..=100).map(|i| mk(i as f64 / 1000.0)).collect(),
+            total_energy_j: 0.0,
+            makespan: 1.0,
+        };
+        assert!((r.percentile_latency(0.99) - 0.099).abs() < 1e-12);
+        assert!((r.percentile_latency(0.5) - 0.050).abs() < 1e-12);
+        assert!((r.percentile_latency(1.0) - 0.100).abs() < 1e-12);
+        assert!((r.percentile_latency(0.0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_and_latency() {
+        let r = req(1.0, 0.015);
+        assert!((r.deadline() - 1.015).abs() < 1e-12);
+        let c = Completion {
+            request: r,
+            finish: 1.010,
+            energy_j: 0.0,
+        };
+        assert!((c.latency() - 0.010).abs() < 1e-12);
+        assert!(c.met_qos());
+        let late = Completion {
+            request: r,
+            finish: 1.020,
+            energy_j: 0.0,
+        };
+        assert!(!late.met_qos());
+    }
+}

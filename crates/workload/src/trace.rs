@@ -1,0 +1,216 @@
+//! Trace generation: the three workload scenarios with Poisson arrivals
+//! and uniform priorities (§VI-A).
+
+use crate::qos::{qos_bound, QosLevel};
+use crate::request::Request;
+use planaria_model::DnnId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Workload scenario of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// Heavier models (ResNet-50, GoogLeNet, YOLOv3, SSD-R, GNMT).
+    A,
+    /// Lighter models (EfficientNet-B0, MobileNet-v1, SSD-M, Tiny YOLO).
+    B,
+    /// All nine models.
+    C,
+}
+
+impl Scenario {
+    /// All three scenarios.
+    pub const ALL: [Scenario; 3] = [Scenario::A, Scenario::B, Scenario::C];
+
+    /// Member networks.
+    pub fn members(&self) -> Vec<DnnId> {
+        match self {
+            Scenario::A => DnnId::workload_a().collect(),
+            Scenario::B => DnnId::workload_b().collect(),
+            Scenario::C => DnnId::workload_c().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Workload-{:?}", self)
+    }
+}
+
+/// Parameters of one generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Scenario to draw request types from (uniformly).
+    pub scenario: Scenario,
+    /// QoS difficulty.
+    pub qos: QosLevel,
+    /// Mean arrival rate, queries/second (the Poisson λ).
+    pub lambda_qps: f64,
+    /// Number of requests.
+    pub requests: usize,
+    /// RNG seed (traces are fully deterministic given the seed).
+    pub seed: u64,
+    /// Burstiness factor `b ≥ 1`: 1 is a pure Poisson process; larger
+    /// values produce a two-state modulated process whose *burst* state
+    /// arrives `b×` faster (datacenter traffic is bursty — an extension
+    /// study beyond the paper's plain Poisson methodology). The long-run
+    /// mean rate stays `lambda_qps`.
+    pub burstiness: f64,
+}
+
+impl TraceConfig {
+    /// Creates a trace configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda_qps` is not positive or `requests` is zero.
+    pub fn new(
+        scenario: Scenario,
+        qos: QosLevel,
+        lambda_qps: f64,
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(lambda_qps > 0.0, "arrival rate must be positive");
+        assert!(requests > 0, "trace must contain requests");
+        Self {
+            scenario,
+            qos,
+            lambda_qps,
+            requests,
+            seed,
+            burstiness: 1.0,
+        }
+    }
+
+    /// Returns the configuration with a burstiness factor (see the field
+    /// docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1.0 <= b <= 16.0`.
+    pub fn with_burstiness(mut self, b: f64) -> Self {
+        assert!((1.0..=16.0).contains(&b), "burstiness must be in [1, 16]");
+        self.burstiness = b;
+        self
+    }
+
+    /// Generates the trace: exponential inter-arrival gaps (Poisson
+    /// process), request types uniform over the scenario's members,
+    /// priorities uniform in 1..=11.
+    pub fn generate(&self) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let members = self.scenario.members();
+        let mut t = 0.0f64;
+        // Two-state modulated process: half the requests arrive in bursts
+        // at `b·λ`, the other half in calm stretches at a rate chosen so
+        // the harmonic mean of the gap lengths keeps the long-run rate at
+        // λ: 1/λ = ½/λ_burst + ½/λ_calm. State dwell is geometric with a
+        // mean of 20 requests.
+        const SWITCH_PROB: f64 = 0.05;
+        let rate_burst = self.lambda_qps * self.burstiness;
+        let rate_calm = self.lambda_qps / (2.0 - 1.0 / self.burstiness);
+        let mut bursting = false;
+        (0..self.requests)
+            .map(|i| {
+                if self.burstiness > 1.0 && rng.gen_range(0.0..1.0) < SWITCH_PROB {
+                    bursting = !bursting;
+                }
+                let rate = if bursting { rate_burst } else { rate_calm };
+                // Inverse-CDF exponential sampling; guard the open interval.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / rate;
+                let dnn = members[rng.gen_range(0..members.len())];
+                Request {
+                    id: i as u64,
+                    dnn,
+                    arrival: t,
+                    priority: rng.gen_range(1..=11),
+                    qos: qos_bound(dnn, self.qos),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let c = TraceConfig::new(Scenario::C, QosLevel::Soft, 100.0, 50, 42);
+        assert_eq!(c.generate(), c.generate());
+        let other = TraceConfig { seed: 43, ..c }.generate();
+        assert_ne!(c.generate(), other);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_is_close() {
+        let c = TraceConfig::new(Scenario::A, QosLevel::Soft, 200.0, 2000, 1);
+        let trace = c.generate();
+        assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let span = trace.last().unwrap().arrival - trace[0].arrival;
+        let rate = (trace.len() - 1) as f64 / span;
+        assert!((rate / 200.0 - 1.0).abs() < 0.15, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn priorities_cover_the_full_range() {
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Soft, 10.0, 3000, 9).generate();
+        let min = trace.iter().map(|r| r.priority).min().unwrap();
+        let max = trace.iter().map(|r| r.priority).max().unwrap();
+        assert_eq!(min, 1);
+        assert_eq!(max, 11);
+    }
+
+    #[test]
+    fn scenario_members_only() {
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Hard, 10.0, 500, 3).generate();
+        let members = Scenario::B.members();
+        assert!(trace.iter().all(|r| members.contains(&r.dnn)));
+    }
+
+    #[test]
+    fn bursty_traces_keep_mean_rate_but_raise_variance() {
+        let base = TraceConfig::new(Scenario::C, QosLevel::Soft, 100.0, 8000, 3);
+        let calm = base.generate();
+        let bursty = base.with_burstiness(4.0).generate();
+        let rate = |t: &[crate::request::Request]| {
+            (t.len() - 1) as f64 / (t.last().unwrap().arrival - t[0].arrival)
+        };
+        assert!((rate(&calm) / 100.0 - 1.0).abs() < 0.15, "calm {}", rate(&calm));
+        assert!(
+            (rate(&bursty) / 100.0 - 1.0).abs() < 0.30,
+            "bursty {}",
+            rate(&bursty)
+        );
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, substantially larger when bursty.
+        let cv2 = |t: &[crate::request::Request]| {
+            let gaps: Vec<f64> = t.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+                / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        assert!(cv2(&calm) < 1.3, "calm cv2 {}", cv2(&calm));
+        assert!(cv2(&bursty) > 1.6, "bursty cv2 {}", cv2(&bursty));
+    }
+
+    #[test]
+    #[should_panic(expected = "burstiness")]
+    fn burstiness_bounds_enforced() {
+        let _ = TraceConfig::new(Scenario::A, QosLevel::Soft, 10.0, 10, 1).with_burstiness(99.0);
+    }
+
+    #[test]
+    fn qos_follows_level() {
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Hard, 10.0, 100, 5).generate();
+        for r in &trace {
+            assert!((r.qos - qos_bound(r.dnn, QosLevel::Hard)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Bring your own network: describe a custom model with the builder API,
+//! compile it, and co-locate it with a benchmark network under QoS — the
+//! paper's motivating "multiple models inside one application" scenario
+//! (e.g. a voice assistant running keyword spotting next to translation).
+//!
+//! ```sh
+//! cargo run --release --example custom_network
+//! ```
+
+use planaria::arch::AcceleratorConfig;
+use planaria::compiler::{compile, CompiledDnn};
+use planaria::core::{schedule_tasks_spatially, SchedTask};
+use planaria::model::{
+    ConvSpec, DnnBuilder, DnnId, Domain, EltwiseOp, EltwiseSpec, LayerOp, MatMulSpec, PoolSpec,
+};
+
+/// A small keyword-spotting CNN over a 40x101 mel-spectrogram.
+fn keyword_spotter() -> planaria::model::Dnn {
+    let mut b = DnnBuilder::new("kws-cnn", Domain::ImageClassification);
+    b.push("conv1", LayerOp::Conv(ConvSpec::new(1, 64, 3, 3, 1, 1, 40, 40)));
+    b.push(
+        "act1",
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 64 * 40 * 40)),
+    );
+    b.push("conv2", LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 40, 40)));
+    b.push(
+        "act2",
+        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 64 * 20 * 20)),
+    );
+    b.push("pool", LayerOp::Pool(PoolSpec::global_avg(64, 20, 20)));
+    b.push("fc", LayerOp::MatMul(MatMulSpec::new(1, 64, 12)));
+    b.build()
+}
+
+fn main() {
+    let cfg = AcceleratorConfig::planaria();
+    let kws: CompiledDnn = compile(&cfg, &keyword_spotter());
+    let gnmt: CompiledDnn = compile(&cfg, &DnnId::Gnmt.build());
+
+    println!("keyword spotter isolated latencies by allocation:");
+    for s in [1u32, 2, 4, 16] {
+        println!(
+            "  {s:>2} subarrays: {:.0} us",
+            kws.table(s).total_cycles() as f64 / cfg.freq_hz * 1e6
+        );
+    }
+
+    // Ask Algorithm 1 how it would split the chip between the spotter
+    // (tight 2 ms budget, high priority) and a translation request
+    // (15 ms slack, lower priority).
+    let tasks = [
+        SchedTask {
+            priority: 9,
+            slack: 0.002,
+            done: 0.0,
+            compiled: &kws,
+        },
+        SchedTask {
+            priority: 3,
+            slack: 0.015,
+            done: 0.0,
+            compiled: &gnmt,
+        },
+    ];
+    let alloc = schedule_tasks_spatially(&tasks, cfg.num_subarrays(), cfg.freq_hz);
+    println!("\nAlgorithm 1 splits the chip: kws -> {} subarrays, GNMT -> {}", alloc[0], alloc[1]);
+    for (t, &a) in tasks.iter().zip(&alloc) {
+        if a > 0 {
+            println!(
+                "  predicted time on {a:>2} subarrays: {:.2} ms (slack {:.1} ms)",
+                t.predict_time(a, cfg.freq_hz) * 1e3,
+                t.slack * 1e3
+            );
+        }
+    }
+}

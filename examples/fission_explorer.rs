@@ -1,0 +1,63 @@
+//! Fission design-space explorer: for a layer you describe, enumerate every
+//! cluster arrangement of the 16 subarrays (the 15 shapes of Table II),
+//! time each one, and show which the compiler would pick and why.
+//!
+//! ```sh
+//! cargo run --release --example fission_explorer
+//! ```
+
+use planaria::arch::{AcceleratorConfig, Arrangement};
+use planaria::energy::EnergyModel;
+use planaria::model::{ConvSpec, DepthwiseSpec, LayerOp};
+use planaria::timing::{time_layer, ExecContext};
+
+fn explore(name: &str, op: &LayerOp) {
+    let cfg = AcceleratorConfig::planaria();
+    let ctx = ExecContext::full_chip(&cfg);
+    let em = EnergyModel::for_config(&cfg);
+    println!("\n--- {name} ---");
+    println!(
+        "{:>14} {:>4} {:>4} {:>4} {:>7} {:>11} {:>8} {:>11}",
+        "config", "P", "IAR", "PSR", "OD", "cycles", "util", "energy (uJ)"
+    );
+    let mut rows: Vec<(Arrangement, u64, f64, f64)> = Arrangement::enumerate(16)
+        .into_iter()
+        .map(|arr| {
+            let t = time_layer(&ctx, op, arr);
+            let e = em.dynamic_energy(&t.counts);
+            (arr, t.cycles, t.utilization, e)
+        })
+        .collect();
+    rows.sort_by_key(|r| r.1);
+    for (arr, cycles, util, energy) in rows {
+        println!(
+            "{:>14} {:>4} {:>4} {:>4} {:>7} {:>11} {:>7.1}% {:>11.2}",
+            arr.label(cfg.subarray_dim),
+            format!("{}x", arr.clusters),
+            format!("{}x", arr.cols),
+            format!("{}x", arr.rows),
+            if arr.uses_omnidirectional() { "Used" } else { "-" },
+            cycles,
+            util * 100.0,
+            energy * 1e6,
+        );
+    }
+}
+
+fn main() {
+    // A deep mid-network convolution: favors large logical arrays.
+    explore(
+        "ResNet-50 res4 3x3 (K=2304, N=256, 14x14)",
+        &LayerOp::Conv(ConvSpec::new(256, 256, 3, 3, 1, 1, 14, 14)),
+    );
+    // A shallow stem layer: favors many clusters (coarse parallelism).
+    explore(
+        "Tiny YOLO conv1 3x3 (K=27, N=16, 416x416)",
+        &LayerOp::Conv(ConvSpec::new(3, 16, 3, 3, 1, 1, 416, 416)),
+    );
+    // A depthwise layer: one channel per column; fission is everything.
+    explore(
+        "MobileNet dw 3x3 (512 channels, 14x14)",
+        &LayerOp::Depthwise(DepthwiseSpec::new(512, 3, 3, 1, 1, 14, 14)),
+    );
+}

@@ -1,0 +1,67 @@
+//! An INFaaS serving scenario: a mixed stream of classification, detection
+//! and translation requests (Workload-C of the paper) hits one node, and we
+//! compare spatial multi-tenancy (Planaria) against temporal multi-tenancy
+//! (PREMA) on the paper's four metrics.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant_server
+//! ```
+
+use planaria::arch::AcceleratorConfig;
+use planaria::core::PlanariaEngine;
+use planaria::prema::PremaEngine;
+use planaria::workload::{
+    fairness, meets_sla, violation_rate, QosLevel, Scenario, TraceConfig,
+};
+
+fn main() {
+    println!("compiling both systems (9 networks x 16 tables)...");
+    let planaria = PlanariaEngine::new(AcceleratorConfig::planaria());
+    let prema = PremaEngine::new_default();
+
+    // 200 requests at 60 q/s with medium QoS bounds.
+    let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 60.0, 200, 7).generate();
+    println!(
+        "trace: {} requests over {:.2} s\n",
+        trace.len(),
+        trace.last().unwrap().arrival - trace[0].arrival
+    );
+
+    let rp = planaria.run(&trace);
+    let rr = prema.run(&trace);
+
+    let iso_p = planaria.library().isolated_latencies();
+    let iso_r = prema.library().isolated_latencies();
+
+    println!("{:<28}{:>12}{:>12}", "metric", "planaria", "prema");
+    println!(
+        "{:<28}{:>12.1}{:>12.1}",
+        "mean latency (ms)",
+        rp.mean_latency() * 1e3,
+        rr.mean_latency() * 1e3
+    );
+    println!(
+        "{:<28}{:>11.1}%{:>11.1}%",
+        "QoS violations",
+        violation_rate(&rp.completions) * 100.0,
+        violation_rate(&rr.completions) * 100.0
+    );
+    println!(
+        "{:<28}{:>12}{:>12}",
+        "meets MLPerf SLA",
+        meets_sla(&rp.completions),
+        meets_sla(&rr.completions)
+    );
+    println!(
+        "{:<28}{:>12.4}{:>12.4}",
+        "fairness (min-ratio)",
+        fairness(&rp.completions, &iso_p),
+        fairness(&rr.completions, &iso_r)
+    );
+    println!(
+        "{:<28}{:>12.2}{:>12.2}",
+        "energy (J)",
+        rp.total_energy_j,
+        rr.total_energy_j
+    );
+}

@@ -1,0 +1,34 @@
+//! Planaria: dynamic architecture fission for spatial multi-tenant DNN
+//! acceleration — a from-scratch Rust reproduction of the MICRO 2020 paper.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`model`] — layer-level DNN representation + the nine benchmark nets.
+//! * [`arch`] — the fissionable omni-directional systolic hardware model.
+//! * [`timing`] — cycle-level execution model.
+//! * [`energy`] — energy / power / area model.
+//! * [`compiler`] — per-allocation fission configuration tables.
+//! * [`prema`] — the PREMA temporal multi-tenancy baseline.
+//! * [`workload`] — INFaaS scenarios, QoS, and evaluation metrics.
+//! * [`core`] — the spatial task scheduler (Algorithm 1) and the
+//!   multi-tenant simulation engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use planaria::model::DnnId;
+//!
+//! let net = DnnId::MobileNetV1.build();
+//! assert!(net.has_depthwise());
+//! ```
+
+pub use planaria_arch as arch;
+pub use planaria_compiler as compiler;
+pub use planaria_core as core;
+pub use planaria_energy as energy;
+pub use planaria_funcsim as funcsim;
+pub use planaria_isa as isa;
+pub use planaria_model as model;
+pub use planaria_prema as prema;
+pub use planaria_workload as workload;
+pub use planaria_timing as timing;

@@ -1,0 +1,100 @@
+//! Golden structural census of the nine benchmark networks: layer-kind
+//! counts and key shape invariants pinned so accidental edits to the
+//! reconstructions are caught.
+
+use planaria::model::{DnnId, LayerOp};
+
+struct Census {
+    id: DnnId,
+    conv: usize,
+    depthwise: usize,
+    matmul: usize,
+    vector: usize,
+}
+
+fn expected() -> Vec<Census> {
+    vec![
+        Census { id: DnnId::ResNet50, conv: 53, depthwise: 0, matmul: 1, vector: 51 },
+        Census { id: DnnId::GoogLeNet, conv: 57, depthwise: 0, matmul: 1, vector: 80 },
+        Census { id: DnnId::YoloV3, conv: 75, depthwise: 0, matmul: 0, vector: 97 },
+        Census { id: DnnId::SsdResNet34, conv: 47, depthwise: 0, matmul: 0, vector: 36 },
+        Census { id: DnnId::Gnmt, conv: 0, depthwise: 0, matmul: 20, vector: 18 },
+        Census { id: DnnId::EfficientNetB0, conv: 33, depthwise: 16, matmul: 33, vector: 91 },
+        Census { id: DnnId::MobileNetV1, conv: 14, depthwise: 13, matmul: 1, vector: 28 },
+        Census { id: DnnId::SsdMobileNet, conv: 34, depthwise: 13, matmul: 0, vector: 35 },
+        Census { id: DnnId::TinyYolo, conv: 9, depthwise: 0, matmul: 0, vector: 14 },
+    ]
+}
+
+#[test]
+fn layer_census_is_pinned() {
+    for e in expected() {
+        let s = e.id.build().stats();
+        assert_eq!(s.conv_layers, e.conv, "{}: conv", e.id);
+        assert_eq!(s.depthwise_layers, e.depthwise, "{}: depthwise", e.id);
+        assert_eq!(s.matmul_layers, e.matmul, "{}: matmul", e.id);
+        assert_eq!(s.vector_layers, e.vector, "{}: vector", e.id);
+    }
+}
+
+#[test]
+fn census_covers_whole_suite() {
+    assert_eq!(expected().len(), DnnId::ALL.len());
+}
+
+#[test]
+fn layer_names_are_unique_suite_wide() {
+    for id in DnnId::ALL {
+        let net = id.build();
+        let mut names: Vec<&str> = net.layers().iter().map(|l| l.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "{id} has duplicate layer names");
+    }
+}
+
+#[test]
+fn classification_nets_end_in_a_thousand_way_classifier() {
+    for id in [DnnId::ResNet50, DnnId::GoogLeNet, DnnId::MobileNetV1, DnnId::EfficientNetB0] {
+        let net = id.build();
+        let last_mm = net
+            .layers()
+            .iter()
+            .rev()
+            .find_map(|l| match l.op {
+                LayerOp::MatMul(m) => Some(m.shape),
+                _ => None,
+            })
+            .expect("classifier head");
+        assert_eq!(last_mm.n, 1000, "{id}");
+        assert_eq!(last_mm.m, 1, "{id}");
+    }
+}
+
+#[test]
+fn detector_nets_have_detection_heads() {
+    for id in [DnnId::SsdResNet34, DnnId::SsdMobileNet] {
+        let net = id.build();
+        let heads = net
+            .layers()
+            .iter()
+            .filter(|l| l.name.starts_with("head") && matches!(l.op, LayerOp::Conv(_)))
+            .count();
+        assert!(heads >= 10, "{id} has only {heads} head convs");
+    }
+}
+
+#[test]
+fn every_conv_shape_is_internally_consistent() {
+    for id in DnnId::ALL {
+        for layer in id.build().layers() {
+            if let LayerOp::Conv(c) = layer.op {
+                let g = c.gemm();
+                assert_eq!(g.m, c.out_h() * c.out_w(), "{id}/{}", layer.name);
+                assert_eq!(g.k, c.in_ch * c.kh * c.kw, "{id}/{}", layer.name);
+                assert!(c.out_h() >= 1 && c.out_w() >= 1, "{id}/{}", layer.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants: timing monotonicity, scheduler resource conservation,
+//! fission-shape algebra, and configuration-register round-trips.
+
+use planaria::arch::subarray::ConfigWord;
+use planaria::arch::{AcceleratorConfig, Arrangement, Chip};
+use planaria::compiler::compile;
+use planaria::core::{schedule_tasks_spatially, SchedTask};
+use planaria::model::{ConvSpec, DnnBuilder, Domain, GemmShape, LayerOp, MatMulSpec};
+use planaria::timing::{time_layer, ExecContext};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn cfg() -> AcceleratorConfig {
+    AcceleratorConfig::planaria()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every ordered factorization of s is enumerated, exactly once, and
+    /// consumes exactly s subarrays.
+    #[test]
+    fn arrangement_enumeration_is_exact(s in 1u32..=16) {
+        let all = Arrangement::enumerate(s);
+        for a in &all {
+            prop_assert_eq!(a.subarrays(), s);
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len());
+        // Cross-check the count against a brute-force triple loop.
+        let mut brute = 0;
+        for g in 1..=s {
+            for r in 1..=s {
+                for c in 1..=s {
+                    if g * r * c == s {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(all.len(), brute);
+    }
+
+    /// The 6-bit configuration word round-trips for all values and fanout
+    /// never exceeds four links.
+    #[test]
+    fn config_word_roundtrip(bits in 0u8..64) {
+        let w = ConfigWord::decode(bits);
+        prop_assert_eq!(w.encode(), bits);
+        prop_assert!(w.fanout() <= 4);
+    }
+
+    /// GEMM timing: cycles are positive, MAC count is preserved, and
+    /// utilization never exceeds 1.
+    #[test]
+    fn gemm_timing_sane(
+        m in 1u64..4096,
+        k in 1u64..2048,
+        n in 1u64..2048,
+        idx in 0usize..15,
+    ) {
+        let ctx = ExecContext::full_chip(&cfg());
+        let arrs = Arrangement::enumerate(16);
+        let arr = arrs[idx % arrs.len()];
+        let op = LayerOp::MatMul(MatMulSpec::new(m, k, n));
+        let t = time_layer(&ctx, &op, arr);
+        prop_assert!(t.cycles > 0);
+        prop_assert_eq!(t.counts.mac_ops, GemmShape::new(m, k, n).macs());
+        prop_assert!(t.utilization <= 1.0 + 1e-9, "util {}", t.utilization);
+        prop_assert!(t.tiles >= 1);
+        prop_assert!(t.cycles_per_tile >= 1);
+    }
+
+    /// More compute never hurts: doubling both cluster-grid dimensions of a
+    /// GEMM's arrangement never increases cycle count.
+    #[test]
+    fn bigger_arrays_never_slower(
+        m in 64u64..4096,
+        k in 16u64..1024,
+        n in 16u64..1024,
+    ) {
+        let ctx = ExecContext::full_chip(&cfg());
+        let op = LayerOp::MatMul(MatMulSpec::new(m, k, n));
+        let small = time_layer(&ctx, &op, Arrangement::new(1, 1, 1));
+        let big = time_layer(&ctx, &op, Arrangement::new(1, 2, 2));
+        // Allow fill-latency noise on tiny workloads.
+        prop_assert!(big.cycles <= small.cycles + 256,
+            "2x2 ({}) slower than 1x1 ({})", big.cycles, small.cycles);
+    }
+
+    /// The spatial scheduler never allocates more subarrays than exist,
+    /// never allocates zero to everyone when the chip is free, and is
+    /// deterministic.
+    #[test]
+    fn scheduler_conserves_resources(
+        priorities in prop::collection::vec(1u32..=11, 1..6),
+        slack_ms in prop::collection::vec(0.1f64..50.0, 1..6),
+        dones in prop::collection::vec(0.0f64..0.99, 1..6),
+    ) {
+        static COMPILED: OnceLock<planaria::compiler::CompiledDnn> = OnceLock::new();
+        let compiled = COMPILED.get_or_init(|| {
+            let mut b = DnnBuilder::new("prop-net", Domain::ImageClassification);
+            b.push("c1", LayerOp::Conv(ConvSpec::new(32, 64, 3, 3, 1, 1, 56, 56)));
+            b.push("c2", LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 56, 56)));
+            compile(&cfg(), &b.build())
+        });
+        let n = priorities.len().min(slack_ms.len()).min(dones.len());
+        let tasks: Vec<SchedTask> = (0..n)
+            .map(|i| SchedTask {
+                priority: priorities[i],
+                slack: slack_ms[i] * 1e-3,
+                done: dones[i],
+                compiled,
+            })
+            .collect();
+        let alloc = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
+        prop_assert_eq!(alloc.len(), tasks.len());
+        prop_assert!(alloc.iter().sum::<u32>() <= 16);
+        prop_assert!(alloc.iter().any(|&a| a > 0), "someone must run");
+        let again = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
+        prop_assert_eq!(alloc, again);
+    }
+
+    /// Chip placement: place/release round-trips restore the free count and
+    /// placements never overlap.
+    #[test]
+    fn chip_placement_is_consistent(sizes in prop::collection::vec(1u32..6, 1..6)) {
+        let mut chip = Chip::new(cfg());
+        let mut placed = Vec::new();
+        for (tenant, &s) in sizes.iter().enumerate() {
+            if let Some(a) = chip.place(tenant as u64, s) {
+                placed.push((tenant as u64, a));
+            }
+        }
+        // No subarray owned by two tenants.
+        let mut owned: Vec<u32> = placed
+            .iter()
+            .flat_map(|(_, a)| a.subarrays().iter().map(|s| s.0))
+            .collect();
+        let before = owned.len();
+        owned.sort_unstable();
+        owned.dedup();
+        prop_assert_eq!(owned.len(), before, "overlapping placements");
+        // Release everything: chip is whole again.
+        for (t, a) in &placed {
+            prop_assert_eq!(chip.release(*t), a.len());
+        }
+        prop_assert_eq!(chip.free(), 16);
+    }
+
+    /// Conv output geometry: output dims never exceed input dims (stride
+    /// >= 1, same-or-valid padding) and the GEMM view is consistent.
+    #[test]
+    fn conv_geometry(
+        in_ch in 1u64..64,
+        out_ch in 1u64..64,
+        k in prop::sample::select(vec![1u64, 3, 5, 7]),
+        stride in 1u64..3,
+        hw in 8u64..64,
+    ) {
+        let pad = k / 2;
+        let c = ConvSpec::new(in_ch, out_ch, k, k, stride, pad, hw, hw);
+        prop_assert!(c.out_h() <= hw);
+        let g = c.gemm();
+        prop_assert_eq!(g.m, c.out_h() * c.out_w());
+        prop_assert_eq!(g.k, in_ch * k * k);
+        prop_assert_eq!(g.n, out_ch);
+    }
+}
