@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the simulator's own kernels: per-layer
+//! Std-only micro-benchmarks of the simulator's own kernels: per-layer
 //! timing evaluation, whole-network compilation, scheduler decisions, and
 //! the multi-tenant event loop. These quantify the cost of regenerating
 //! the paper's experiments.
+//!
+//! Runs under `cargo bench -p planaria-bench`; uses a plain
+//! `Instant`-based harness so the workspace stays free of external
+//! dependencies and builds offline. (This is wall-clock measurement
+//! infrastructure, not simulation logic, so `Instant::now` is fine here —
+//! the `planaria-checks` determinism lint only polices simulation crates.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_compiler::compile;
 use planaria_core::{schedule_tasks_spatially, PlanariaEngine, SchedTask};
@@ -12,31 +17,50 @@ use planaria_prema::PremaEngine;
 use planaria_timing::{time_layer, ExecContext};
 use planaria_workload::{QosLevel, Scenario, TraceConfig};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_layer_timing(c: &mut Criterion) {
+/// Runs `f` for `iters` iterations and reports mean latency per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup pass so first-touch effects don't pollute the mean.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
+    let (scaled, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "us")
+    };
+    println!("{name:<44} {scaled:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_layer_timing() {
     let cfg = AcceleratorConfig::planaria();
     let ctx = ExecContext::full_chip(&cfg);
     let conv = LayerOp::Conv(ConvSpec::new(256, 512, 3, 3, 1, 1, 28, 28));
-    c.bench_function("timing/conv_layer_all_arrangements", |b| {
-        b.iter(|| {
-            for arr in Arrangement::enumerate(16) {
-                black_box(time_layer(&ctx, black_box(&conv), arr));
-            }
-        })
+    bench("timing/conv_layer_all_arrangements", 200, || {
+        for arr in Arrangement::enumerate(16) {
+            black_box(time_layer(&ctx, black_box(&conv), arr));
+        }
     });
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile() {
     let cfg = AcceleratorConfig::planaria();
     let net = DnnId::ResNet50.build();
-    c.bench_function("compiler/resnet50_16_tables", |b| {
-        b.iter(|| black_box(compile(&cfg, black_box(&net))))
+    bench("compiler/resnet50_16_tables", 20, || {
+        black_box(compile(&cfg, black_box(&net)));
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler() {
     let cfg = AcceleratorConfig::planaria();
-    let nets: Vec<_> = DnnId::ALL.iter().map(|id| compile(&cfg, &id.build())).collect();
+    let nets: Vec<_> = DnnId::ALL
+        .iter()
+        .map(|id| compile(&cfg, &id.build()))
+        .collect();
     let tasks: Vec<SchedTask<'_>> = nets
         .iter()
         .enumerate()
@@ -47,34 +71,26 @@ fn bench_scheduler(c: &mut Criterion) {
             compiled: n,
         })
         .collect();
-    c.bench_function("scheduler/algorithm1_nine_tasks", |b| {
-        b.iter(|| black_box(schedule_tasks_spatially(black_box(&tasks), 16, cfg.freq_hz)))
+    bench("scheduler/algorithm1_nine_tasks", 2000, || {
+        black_box(schedule_tasks_spatially(black_box(&tasks), 16, cfg.freq_hz));
     });
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn bench_engines() {
     let planaria = PlanariaEngine::new(AcceleratorConfig::planaria());
     let prema = PremaEngine::new_default();
     let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 100.0, 200, 1).generate();
-    c.bench_function("engine/planaria_200_requests", |b| {
-        b.iter_batched(
-            || trace.clone(),
-            |t| black_box(planaria.run(&t)),
-            BatchSize::SmallInput,
-        )
+    bench("engine/planaria_200_requests", 10, || {
+        black_box(planaria.run(&trace));
     });
-    c.bench_function("engine/prema_200_requests", |b| {
-        b.iter_batched(
-            || trace.clone(),
-            |t| black_box(prema.run(&t)),
-            BatchSize::SmallInput,
-        )
+    bench("engine/prema_200_requests", 10, || {
+        black_box(prema.run(&trace));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_layer_timing, bench_compile, bench_scheduler, bench_engines
+fn main() {
+    bench_layer_timing();
+    bench_compile();
+    bench_scheduler();
+    bench_engines();
 }
-criterion_main!(benches);

@@ -25,10 +25,10 @@ fn main() {
     for id in DnnId::ALL {
         let t_od = with_od.get(id).table(16);
         let t_no = without.get(id).table(16);
-        let s_od = t_od.total_cycles() as f64 / od_cfg.freq_hz;
-        let s_no = t_no.total_cycles() as f64 / no_od_cfg.freq_hz;
-        let e_od = t_od.total_energy_j() + em_od.static_energy(s_od);
-        let e_no = t_no.total_energy_j() + em_no.static_energy(s_no);
+        let s_od = t_od.total_cycles().seconds_at(od_cfg.freq_hz);
+        let s_no = t_no.total_cycles().seconds_at(no_od_cfg.freq_hz);
+        let e_od = t_od.total_energy().to_joules() + em_od.static_energy(s_od).to_joules();
+        let e_no = t_no.total_energy().to_joules() + em_no.static_energy(s_no).to_joules();
         let speedup = s_no / s_od;
         log_s += speedup.ln();
         n += 1.0;

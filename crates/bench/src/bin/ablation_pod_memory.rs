@@ -21,12 +21,17 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Ablation: memory organization for fission (isolated latency, ms)",
-        &["dnn", "fission pods", "no reorganization (Fig.6)", "global xbar (Fig.7)"],
+        &[
+            "dnn",
+            "fission pods",
+            "no reorganization (Fig.6)",
+            "global xbar (Fig.7)",
+        ],
     );
     for id in DnnId::ALL {
-        let pods_ms = lib.get(id).table(16).total_cycles() as f64 / cfg.freq_hz * 1e3;
+        let pods_ms = lib.get(id).table(16).total_cycles().seconds_at(cfg.freq_hz) * 1e3;
         // Without reorganization only the buffer-adjacent granule computes.
-        let naive_ms = lib.get(id).table(1).total_cycles() as f64 / cfg.freq_hz * 1e3;
+        let naive_ms = lib.get(id).table(1).total_cycles().seconds_at(cfg.freq_hz) * 1e3;
         table.row(vec![
             id.to_string(),
             format!("{pods_ms:.3}"),

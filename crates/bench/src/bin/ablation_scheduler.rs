@@ -13,9 +13,18 @@ use planaria_workload::{max_throughput, QosLevel, Scenario};
 fn main() {
     let sys = Systems::new();
     let engines: Vec<(&str, PremaEngine)> = vec![
-        ("PREMA", PremaEngine::with_library(sys.prema.library().clone(), Policy::Prema)),
-        ("FCFS", PremaEngine::with_library(sys.prema.library().clone(), Policy::Fcfs)),
-        ("SJF", PremaEngine::with_library(sys.prema.library().clone(), Policy::Sjf)),
+        (
+            "PREMA",
+            PremaEngine::with_library(sys.prema.library().clone(), Policy::Prema),
+        ),
+        (
+            "FCFS",
+            PremaEngine::with_library(sys.prema.library().clone(), Policy::Fcfs),
+        ),
+        (
+            "SJF",
+            PremaEngine::with_library(sys.prema.library().clone(), Policy::Sjf),
+        ),
     ];
     let mut table = ResultTable::new(
         "Ablation: temporal policies vs spatial scheduling (throughput, q/s)",

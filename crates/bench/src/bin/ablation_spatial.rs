@@ -15,7 +15,13 @@ fn main() {
         .with_mode(SchedulingMode::ExclusiveFifo);
     let mut table = ResultTable::new(
         "Ablation: spatial scheduling vs exclusive FIFO on fission hardware (q/s)",
-        &["workload", "qos", "exclusive-fifo", "spatial (Alg.1)", "gain"],
+        &[
+            "workload",
+            "qos",
+            "exclusive-fifo",
+            "spatial (Alg.1)",
+            "gain",
+        ],
     );
     for scenario in Scenario::ALL {
         for qos in [QosLevel::Soft, QosLevel::Medium] {

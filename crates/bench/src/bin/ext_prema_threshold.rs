@@ -14,7 +14,14 @@ fn main() {
     let sys = Systems::new();
     let mut table = ResultTable::new(
         "Extension: PREMA token-threshold sensitivity (throughput q/s, QoS-S)",
-        &["workload", "th=0.015", "th=0.06 (default)", "th=0.24", "best prema", "planaria"],
+        &[
+            "workload",
+            "th=0.015",
+            "th=0.06 (default)",
+            "th=0.24",
+            "best prema",
+            "planaria",
+        ],
     );
     for scenario in Scenario::ALL {
         let mut row = vec![scenario.to_string()];

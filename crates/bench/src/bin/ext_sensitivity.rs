@@ -11,8 +11,16 @@ fn geomean_speedup(pl_cfg: AcceleratorConfig, mono_cfg: AcceleratorConfig) -> f6
     let mono = library(mono_cfg);
     let mut log = 0.0;
     for id in DnnId::ALL {
-        let p = pl.get(id).table(pl_cfg.num_subarrays()).total_cycles() as f64 / pl_cfg.freq_hz;
-        let m = mono.get(id).table(1).total_cycles() as f64 / mono_cfg.freq_hz;
+        let p = pl
+            .get(id)
+            .table(pl_cfg.num_subarrays())
+            .total_cycles()
+            .seconds_at(pl_cfg.freq_hz);
+        let m = mono
+            .get(id)
+            .table(1)
+            .total_cycles()
+            .seconds_at(mono_cfg.freq_hz);
         log += (m / p).ln();
     }
     (log / DnnId::ALL.len() as f64).exp()
@@ -27,8 +35,7 @@ fn main() {
         for buf_scale in [0.5f64, 1.0, 2.0] {
             let scale = |mut cfg: AcceleratorConfig| {
                 cfg.dram_bw_per_channel *= bw_scale;
-                cfg.onchip_buffer_bytes =
-                    (cfg.onchip_buffer_bytes as f64 * buf_scale) as u64;
+                cfg.onchip_buffer_bytes = (cfg.onchip_buffer_bytes as f64 * buf_scale) as u64;
                 cfg
             };
             let pl = scale(AcceleratorConfig::planaria());

@@ -12,7 +12,14 @@ fn main() {
     let seeds = rate_seeds();
     let mut table = ResultTable::new(
         "Fig. 13: SLA satisfaction rate at a shared arrival rate",
-        &["workload", "qos", "lambda", "planaria", "prema", "improvement"],
+        &[
+            "workload",
+            "qos",
+            "lambda",
+            "planaria",
+            "prema",
+            "improvement",
+        ],
     );
     for scenario in Scenario::ALL {
         for qos in QosLevel::ALL {
@@ -21,11 +28,19 @@ fn main() {
                 prema_throughput(&sys, scenario, qos),
             );
             let p = sla_satisfaction_rate(
-                |seed| sys.planaria.run(&trace(scenario, qos, lambda, seed)).completions,
+                |seed| {
+                    sys.planaria
+                        .run(&trace(scenario, qos, lambda, seed))
+                        .completions
+                },
                 &seeds,
             );
             let r = sla_satisfaction_rate(
-                |seed| sys.prema.run(&trace(scenario, qos, lambda, seed)).completions,
+                |seed| {
+                    sys.prema
+                        .run(&trace(scenario, qos, lambda, seed))
+                        .completions
+                },
                 &seeds,
             );
             table.row(vec![

@@ -15,7 +15,14 @@ fn main() {
     let seeds: Vec<u64> = (200..210).collect();
     let mut table = ResultTable::new(
         "Fig. 14: fairness (min-ratio), normalized to PREMA",
-        &["workload", "qos", "lambda", "planaria", "prema", "normalized"],
+        &[
+            "workload",
+            "qos",
+            "lambda",
+            "planaria",
+            "prema",
+            "normalized",
+        ],
     );
     for scenario in Scenario::ALL {
         for qos in QosLevel::ALL {
@@ -29,7 +36,9 @@ fn main() {
                     .iter()
                     .map(|&s| {
                         fairness(
-                            &sys.planaria.run(&trace(scenario, qos, lambda, s)).completions,
+                            &sys.planaria
+                                .run(&trace(scenario, qos, lambda, s))
+                                .completions,
                             &iso_p,
                         )
                     })

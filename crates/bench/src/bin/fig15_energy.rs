@@ -16,7 +16,14 @@ fn main() {
     let seeds: Vec<u64> = (300..306).collect();
     let mut table = ResultTable::new(
         "Fig. 15: workload energy (J), same arrival rate",
-        &["workload", "qos", "lambda", "planaria", "prema", "reduction"],
+        &[
+            "workload",
+            "qos",
+            "lambda",
+            "planaria",
+            "prema",
+            "reduction",
+        ],
     );
     for scenario in Scenario::ALL {
         for qos in QosLevel::ALL {
@@ -27,8 +34,16 @@ fn main() {
             let mean = |f: &dyn Fn(u64) -> f64| {
                 seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
             };
-            let ep = mean(&|s| sys.planaria.run(&trace(scenario, qos, lambda, s)).total_energy_j);
-            let er = mean(&|s| sys.prema.run(&trace(scenario, qos, lambda, s)).total_energy_j);
+            let ep = mean(&|s| {
+                sys.planaria
+                    .run(&trace(scenario, qos, lambda, s))
+                    .total_energy_j
+            });
+            let er = mean(&|s| {
+                sys.prema
+                    .run(&trace(scenario, qos, lambda, s))
+                    .total_energy_j
+            });
             table.row(vec![
                 scenario.to_string(),
                 qos.to_string(),

@@ -21,16 +21,22 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Fig. 17: isolated speedup & energy reduction vs monolithic",
-        &["dnn", "mono ms", "planaria ms", "speedup", "energy reduction"],
+        &[
+            "dnn",
+            "mono ms",
+            "planaria ms",
+            "speedup",
+            "energy reduction",
+        ],
     );
     let (mut log_speed, mut log_energy) = (0.0f64, 0.0f64);
     for id in DnnId::ALL {
         let tp = pl.get(id).table(pl_cfg.num_subarrays());
         let tm = mono.get(id).table(1);
-        let sp = tp.total_cycles() as f64 / pl_cfg.freq_hz;
-        let sm = tm.total_cycles() as f64 / mono_cfg.freq_hz;
-        let ep = tp.total_energy_j() + em_pl.static_energy(sp);
-        let em = tm.total_energy_j() + em_mono.static_energy(sm);
+        let sp = tp.total_cycles().seconds_at(pl_cfg.freq_hz);
+        let sm = tm.total_cycles().seconds_at(mono_cfg.freq_hz);
+        let ep = tp.total_energy().to_joules() + em_pl.static_energy(sp).to_joules();
+        let em = tm.total_energy().to_joules() + em_mono.static_energy(sm).to_joules();
         let speedup = sm / sp;
         let ereduce = em / ep;
         log_speed += speedup.ln();

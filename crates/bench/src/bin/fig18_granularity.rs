@@ -10,12 +10,18 @@
 use planaria_arch::AcceleratorConfig;
 use planaria_bench::{library, ResultTable};
 use planaria_energy::{edp, EnergyModel};
-use planaria_model::DnnId;
+use planaria_model::{DnnId, Picojoules};
 
 fn main() {
     let mut table = ResultTable::new(
         "Fig. 18: relative EDP vs fission granularity (geomean over DNNs)",
-        &["granularity", "subarrays", "geomean EDP (norm)", "geomean latency (norm)", "geomean energy (norm)"],
+        &[
+            "granularity",
+            "subarrays",
+            "geomean EDP (norm)",
+            "geomean latency (norm)",
+            "geomean energy (norm)",
+        ],
     );
     let dims = [16u32, 32, 64];
     let mut rows: Vec<(u32, u32, f64, f64, f64)> = Vec::new();
@@ -28,9 +34,9 @@ fn main() {
         let mut log_en = 0.0f64;
         for id in DnnId::ALL {
             let t = lib.get(id).table(cfg.num_subarrays());
-            let secs = t.total_cycles() as f64 / cfg.freq_hz;
-            let joules = t.total_energy_j() + em.static_energy(secs);
-            log_edp += edp(joules, secs).ln();
+            let secs = t.total_cycles().seconds_at(cfg.freq_hz);
+            let joules = t.total_energy().to_joules() + em.static_energy(secs).to_joules();
+            log_edp += edp(Picojoules::from_joules(joules), secs).ln();
             log_lat += secs.ln();
             log_en += joules.ln();
         }

@@ -83,14 +83,23 @@ pub fn library(cfg: AcceleratorConfig) -> CompiledLibrary {
 }
 
 /// A standard trace for `(scenario, qos, lambda, seed)`.
-pub fn trace(scenario: Scenario, qos: QosLevel, lambda: f64, seed: u64) -> Vec<planaria_workload::Request> {
+pub fn trace(
+    scenario: Scenario,
+    qos: QosLevel,
+    lambda: f64,
+    seed: u64,
+) -> Vec<planaria_workload::Request> {
     TraceConfig::new(scenario, qos, lambda, TRACE_LEN, seed).generate()
 }
 
 /// Maximum SLA-meeting arrival rate for Planaria.
 pub fn planaria_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> f64 {
     planaria_workload::max_throughput(
-        |lambda, seed| sys.planaria.run(&trace(scenario, qos, lambda, seed)).completions,
+        |lambda, seed| {
+            sys.planaria
+                .run(&trace(scenario, qos, lambda, seed))
+                .completions
+        },
         &PROBE_SEEDS,
         THROUGHPUT_FLOOR,
         THROUGHPUT_CEIL,
@@ -101,7 +110,11 @@ pub fn planaria_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> 
 /// Maximum SLA-meeting arrival rate for PREMA.
 pub fn prema_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> f64 {
     planaria_workload::max_throughput(
-        |lambda, seed| sys.prema.run(&trace(scenario, qos, lambda, seed)).completions,
+        |lambda, seed| {
+            sys.prema
+                .run(&trace(scenario, qos, lambda, seed))
+                .completions
+        },
         &PROBE_SEEDS,
         THROUGHPUT_FLOOR,
         THROUGHPUT_CEIL,
@@ -199,7 +212,10 @@ pub fn results_dir() -> PathBuf {
 /// paper dashes out infeasible baselines.
 pub fn ratio_label(planaria: f64, prema: f64) -> String {
     if prema <= THROUGHPUT_FLOOR * 1.01 {
-        format!(">={:.1}x (baseline below floor)", planaria / THROUGHPUT_FLOOR)
+        format!(
+            ">={:.1}x (baseline below floor)",
+            planaria / THROUGHPUT_FLOOR
+        )
     } else {
         format!("{:.1}x", planaria / prema)
     }

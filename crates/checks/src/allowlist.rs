@@ -1,0 +1,189 @@
+//! The checked-in allowlist of intentional lint escapes.
+//!
+//! Format: one entry per line, `CODE PATH IDENT`, whitespace-separated.
+//! `#` starts a comment (full-line or trailing). `IDENT` may be `*` to
+//! match any identifier at that path.
+
+use crate::diagnostics::Diagnostic;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint code (`L1`/`L2`/`L3`).
+    pub code: String,
+    /// Workspace-relative path the escape applies to.
+    pub path: String,
+    /// Identifier (or `*`).
+    pub ident: String,
+    /// Line in the allowlist file (for stale-entry reporting).
+    pub source_line: usize,
+}
+
+impl Entry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.code == d.lint.code()
+            && self.path == d.rel_path
+            && (self.ident == "*" || self.ident == d.ident)
+    }
+
+    /// Renders the entry back in file format.
+    pub fn render(&self) -> String {
+        format!("{} {} {}", self.code, self.path, self.ident)
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in the allowlist file.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl Allowlist {
+    /// An empty allowlist (filters nothing).
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses allowlist text.
+    pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.is_empty() {
+                continue;
+            }
+            if fields.len() != 3 {
+                return Err(ParseError {
+                    line: idx + 1,
+                    reason: format!("expected `CODE PATH IDENT`, got {} field(s)", fields.len()),
+                });
+            }
+            if !matches!(fields[0], "L1" | "L2" | "L3") {
+                return Err(ParseError {
+                    line: idx + 1,
+                    reason: format!("unknown lint code {:?}", fields[0]),
+                });
+            }
+            entries.push(Entry {
+                code: fields[0].to_string(),
+                path: fields[1].to_string(),
+                ident: fields[2].to_string(),
+                source_line: idx + 1,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads the allowlist from `path`; a missing file yields an empty list.
+    pub fn load(path: &Path) -> io::Result<Allowlist> {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text).map_err(|e| {
+                io::Error::other(format!("{}:{}: {}", path.display(), e.line, e.reason))
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::empty()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Splits diagnostics into `(kept violations, unused entry renderings)`.
+    pub fn filter(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<String>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        for d in diags {
+            let mut allowed = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.matches(&d) {
+                    used[i] = true;
+                    allowed = true;
+                }
+            }
+            if !allowed {
+                kept.push(d);
+            }
+        }
+        let unused = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e.render())
+            .collect();
+        (kept, unused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Lint;
+
+    fn diag(path: &str, ident: &str) -> Diagnostic {
+        Diagnostic {
+            lint: Lint::UnitSafety,
+            rel_path: path.into(),
+            line: 1,
+            ident: ident.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let a = Allowlist::parse("# header\n\nL1 crates/x/src/lib.rs foo # rate\n").unwrap();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let e = Allowlist::parse("L1 only-two-fields\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(Allowlist::parse("L9 a b\n").is_err());
+    }
+
+    #[test]
+    fn filter_removes_matches_and_reports_stale() {
+        let a =
+            Allowlist::parse("L1 crates/x/src/lib.rs foo\nL1 crates/x/src/lib.rs stale\n").unwrap();
+        let (kept, unused) = a.filter(vec![
+            diag("crates/x/src/lib.rs", "foo"),
+            diag("crates/x/src/lib.rs", "bar"),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].ident, "bar");
+        assert_eq!(unused, vec!["L1 crates/x/src/lib.rs stale".to_string()]);
+    }
+
+    #[test]
+    fn wildcard_ident_matches_anything() {
+        let a = Allowlist::parse("L1 crates/x/src/lib.rs *\n").unwrap();
+        let (kept, unused) = a.filter(vec![diag("crates/x/src/lib.rs", "anything")]);
+        assert!(kept.is_empty());
+        assert!(unused.is_empty());
+    }
+}

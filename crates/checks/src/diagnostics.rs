@@ -1,0 +1,138 @@
+//! Diagnostic records and their text/JSON renderings.
+
+use std::fmt;
+
+/// Which lint produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// L1: bare numeric types where a unit newtype is required.
+    UnitSafety,
+    /// L2: nondeterministic containers or entropy/clock sources.
+    Determinism,
+    /// L3: unjustified `unwrap`/`expect`/`#[allow]`.
+    Hygiene,
+}
+
+impl Lint {
+    /// Stable short code used in output and the allowlist.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::UnitSafety => "L1",
+            Lint::Determinism => "L2",
+            Lint::Hygiene => "L3",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding: lint, location, the offending identifier/token, and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The identifier or token the lint matched (allowlist key).
+    pub ident: String,
+    /// Explanation and suggested fix.
+    pub message: String,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// `path:line: [Lx] message` — the editor-clickable text form.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.rel_path, self.line, self.lint, self.message
+        )
+    }
+
+    /// One JSON object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"ident\":\"{}\",\"message\":\"{}\"}}",
+            self.lint,
+            json_escape(&self.rel_path),
+            self.line,
+            json_escape(&self.ident),
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Renders the full diagnostic list as a JSON array.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&d.render_json());
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            lint: Lint::UnitSafety,
+            rel_path: "crates/timing/src/lib.rs".into(),
+            line: 42,
+            ident: "cycles".into(),
+            message: "say \"Cycles\"".into(),
+        }
+    }
+
+    #[test]
+    fn text_form_is_clickable() {
+        assert_eq!(
+            diag().render_text(),
+            "crates/timing/src/lib.rs:42: [L1] say \"Cycles\""
+        );
+    }
+
+    #[test]
+    fn json_form_escapes_quotes() {
+        let j = diag().render_json();
+        assert!(j.contains("\\\"Cycles\\\""), "{j}");
+        assert!(j.contains("\"line\":42"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn json_report_is_an_array() {
+        let r = render_json_report(&[diag(), diag()]);
+        assert!(r.starts_with('[') && r.ends_with(']'));
+        assert_eq!(r.matches("\"lint\"").count(), 2);
+        assert_eq!(render_json_report(&[]), "[\n]");
+    }
+}

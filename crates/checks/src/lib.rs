@@ -1,0 +1,57 @@
+//! `planaria-checks`: a std-only, dependency-free lint pass enforcing the
+//! workspace's domain invariants. It walks the workspace source tree,
+//! builds a lightweight line/token model of each file (comments and string
+//! literals stripped, `#[cfg(test)]` regions marked), and runs three lints:
+//!
+//! * **L1 unit-safety** — public functions and struct fields in the
+//!   `timing`, `energy`, `compiler`, and `isa` crates must not pass
+//!   cycles/energy/bytes quantities as bare `u64`/`usize`/`f64`; they must
+//!   use the `Cycles`/`Picojoules`/`Bytes` newtypes from `planaria-model`.
+//!   Intentional escapes (e.g. rates such as bytes-per-cycle) live in a
+//!   checked-in allowlist.
+//! * **L2 determinism** — the simulation crates must be bit-reproducible:
+//!   no `HashMap`/`HashSet` (iteration order is randomized per process) in
+//!   scheduler/compiler/workload code, and no wall-clock or OS entropy
+//!   (`thread_rng`, `SystemTime::now`, `Instant::now`) inside simulation
+//!   logic. Use `BTreeMap`/`BTreeSet` and the seeded `SplitMix64`.
+//! * **L3 hygiene** — no `unwrap()`/`expect(...)` in library code outside
+//!   tests, and no `#[allow(...)]` attribute, unless annotated with a
+//!   `// lint: <reason>` justification comment.
+//!
+//! The binary emits `file:line` diagnostics (or `--format json`) and exits
+//! nonzero when violations remain after allowlist filtering.
+
+pub mod allowlist;
+pub mod diagnostics;
+pub mod lints;
+pub mod source;
+
+pub use allowlist::Allowlist;
+pub use diagnostics::{Diagnostic, Lint};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::Path;
+
+/// Runs every lint over the workspace rooted at `root` and returns the raw
+/// (unfiltered) diagnostics, sorted by path and line.
+pub fn run_all(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = source::workspace_sources(root)?;
+    let mut diags = Vec::new();
+    for file in &files {
+        diags.extend(lints::units::check(file));
+        diags.extend(lints::determinism::check(file));
+        diags.extend(lints::hygiene::check(file));
+    }
+    diags.sort_by(|a, b| {
+        (&a.rel_path, a.line, a.lint.code()).cmp(&(&b.rel_path, b.line, b.lint.code()))
+    });
+    Ok(diags)
+}
+
+/// Runs every lint and filters through `allow`; returns `(violations,
+/// unused allowlist entries)`.
+pub fn run_filtered(root: &Path, allow: &Allowlist) -> io::Result<(Vec<Diagnostic>, Vec<String>)> {
+    let diags = run_all(root)?;
+    Ok(allow.filter(diags))
+}

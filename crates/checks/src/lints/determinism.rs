@@ -1,0 +1,151 @@
+//! L2 determinism: the simulator must be bit-reproducible run-to-run.
+//!
+//! * `HashMap`/`HashSet` have per-process randomized iteration order
+//!   (SipHash keys), so any scheduler, compiler, or workload code that
+//!   iterates one can change results between runs. Those crates must use
+//!   `BTreeMap`/`BTreeSet` (or index-based structures).
+//! * Wall-clock and OS entropy (`thread_rng`, `SystemTime::now`,
+//!   `Instant::now`) must never feed simulation logic; all randomness goes
+//!   through the seeded `SplitMix64`.
+
+use crate::diagnostics::{Diagnostic, Lint};
+use crate::lints::find_word;
+use crate::source::SourceFile;
+
+/// Crates where container iteration order can leak into results.
+const ORDER_SCOPE: [&str; 4] = [
+    "crates/compiler/src/",
+    "crates/workload/src/",
+    "crates/prema/src/",
+    "crates/core/src/",
+];
+
+/// Crates forming the simulation core, where clocks/entropy are forbidden.
+const CLOCK_SCOPE: [&str; 5] = [
+    "crates/timing/src/",
+    "crates/energy/src/",
+    "crates/funcsim/src/",
+    "crates/core/src/",
+    "crates/prema/src/",
+];
+
+const ORDER_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_TOKENS: [(&str, &str); 3] = [
+    (
+        "thread_rng",
+        "use the seeded `SplitMix64` from `planaria-model`",
+    ),
+    (
+        "SystemTime",
+        "simulation time must come from the model, not the OS",
+    ),
+    (
+        "Instant",
+        "simulation time must come from the model, not the OS",
+    ),
+];
+
+/// Runs L2 over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let order = ORDER_SCOPE.iter().any(|p| file.rel.starts_with(p));
+    let clock = CLOCK_SCOPE.iter().any(|p| file.rel.starts_with(p));
+    if !order && !clock {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        if order {
+            for token in ORDER_TOKENS {
+                if find_word(&line.code, token).is_some() {
+                    diags.push(Diagnostic {
+                        lint: Lint::Determinism,
+                        rel_path: file.rel.clone(),
+                        line: line.number,
+                        ident: token.to_string(),
+                        message: format!(
+                            "`{token}` iteration order is randomized per process; \
+                             use `BTree{}` for reproducible results",
+                            &token[4..]
+                        ),
+                    });
+                }
+            }
+        }
+        if clock {
+            for (token, fix) in CLOCK_TOKENS {
+                if find_word(&line.code, token).is_some() {
+                    diags.push(Diagnostic {
+                        lint: Lint::Determinism,
+                        rel_path: file.rel.clone(),
+                        line: line.number,
+                        ident: token.to_string(),
+                        message: format!(
+                            "`{token}` is nondeterministic in simulation logic; {fix}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_in_scheduler_scope_is_flagged() {
+        let f = SourceFile::parse(
+            "crates/core/src/scheduler.rs",
+            "use std::collections::HashMap;\nlet m: HashMap<u32, u32> = HashMap::new();\n",
+        );
+        let d = check(&f);
+        assert_eq!(d.len(), 2); // one diagnostic per token per line
+        assert!(d[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn btreemap_passes() {
+        let f = SourceFile::parse(
+            "crates/core/src/scheduler.rs",
+            "use std::collections::BTreeMap;\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn clock_in_timing_is_flagged() {
+        let f = SourceFile::parse(
+            "crates/timing/src/lib.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "Instant");
+    }
+
+    #[test]
+    fn comments_and_strings_never_trigger() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// HashMap would be wrong here\nlet s = \"Instant::now\";\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let f = SourceFile::parse("crates/cli/src/args.rs", "use std::collections::HashMap;\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn bench_is_allowed_wall_clock() {
+        let f = SourceFile::parse("crates/bench/src/lib.rs", "let t = Instant::now();\n");
+        assert!(check(&f).is_empty());
+    }
+}

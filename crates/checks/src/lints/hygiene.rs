@@ -1,0 +1,129 @@
+//! L3 hygiene: library code must not panic on recoverable paths and must
+//! justify every lint suppression.
+//!
+//! * `.unwrap()` / `.expect(...)` outside test modules require a
+//!   `// lint: <reason>` comment (same line or the comment block directly
+//!   above) explaining why the invariant cannot fail.
+//! * `#[allow(...)]` / `#![allow(...)]` attributes require the same
+//!   `// lint:` justification.
+//!
+//! Binary targets (`src/bin/`, `main.rs`, and the `cli` crate) are exempt:
+//! aborting with a message is acceptable top-level behavior for a tool.
+
+use crate::diagnostics::{Diagnostic, Lint};
+use crate::source::{justified, SourceFile};
+
+fn in_scope(rel: &str) -> bool {
+    if !rel.starts_with("crates/") && !rel.starts_with("src/") {
+        return false;
+    }
+    if rel.starts_with("crates/cli/") {
+        return false; // binary crate
+    }
+    if rel.contains("/bin/") || rel.ends_with("/main.rs") || rel == "src/main.rs" {
+        return false; // binary targets
+    }
+    true
+}
+
+/// Runs L3 over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.rel) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in [".unwrap()", ".expect("] {
+            if line.code.contains(token) && !justified(&file.lines, idx) {
+                let name = token.trim_start_matches('.').trim_end_matches(['(', ')']);
+                diags.push(Diagnostic {
+                    lint: Lint::Hygiene,
+                    rel_path: file.rel.clone(),
+                    line: line.number,
+                    ident: name.to_string(),
+                    message: format!(
+                        "`{name}` in library code; handle the error or add a \
+                         `// lint: <reason>` justification"
+                    ),
+                });
+            }
+        }
+        if (line.code.contains("#[allow(") || line.code.contains("#![allow("))
+            && !justified(&file.lines, idx)
+        {
+            diags.push(Diagnostic {
+                lint: Lint::Hygiene,
+                rel_path: file.rel.clone(),
+                line: line.number,
+                ident: "allow".to_string(),
+                message: "`#[allow(...)]` without a `// lint: <reason>` justification".to_string(),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn bare_unwrap_is_flagged() {
+        let d = run("let x = v.first().unwrap();\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "unwrap");
+    }
+
+    #[test]
+    fn justified_expect_passes() {
+        let src = "// lint: the map is populated for every id in the constructor\nlet x = m.get(&k).expect(\"covered\");\n";
+        assert!(run(src).is_empty());
+        assert!(run("let x = m.get(&k).expect(\"ok\"); // lint: populated above\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        assert!(run("let x = o.unwrap_or(0) + o.unwrap_or_else(|| 1);\n").is_empty());
+        assert!(run("let x = o.unwrap_or_default();\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_passes() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { v.first().unwrap(); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_lint_comment_is_flagged() {
+        let d = run("#[allow(clippy::too_many_arguments)]\nfn f() {}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "allow");
+        assert!(
+            run("#[allow(dead_code)] // lint: exercised via the ISA path\nfn f() {}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn binary_targets_are_exempt() {
+        for rel in [
+            "crates/bench/src/bin/fig12.rs",
+            "crates/cli/src/args.rs",
+            "crates/cli/src/main.rs",
+        ] {
+            let f = SourceFile::parse(rel, "let x = v.first().unwrap();\n");
+            assert!(check(&f).is_empty(), "{rel} should be exempt");
+        }
+    }
+
+    #[test]
+    fn strings_mentioning_unwrap_pass() {
+        assert!(run("let s = \"don't .unwrap() here\";\n").is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! The three lint passes.
+
+pub mod determinism;
+pub mod hygiene;
+pub mod units;
+
+/// Whether `text[pos..pos+len]` is a whole word (not embedded in a larger
+/// identifier).
+pub(crate) fn is_word_at(text: &str, pos: usize, len: usize) -> bool {
+    let bytes = text.as_bytes();
+    let before_ok = pos == 0 || {
+        let c = bytes[pos - 1] as char;
+        !(c.is_ascii_alphanumeric() || c == '_')
+    };
+    let after = pos + len;
+    let after_ok = after >= bytes.len() || {
+        let c = bytes[after] as char;
+        !(c.is_ascii_alphanumeric() || c == '_')
+    };
+    before_ok && after_ok
+}
+
+/// Finds whole-word occurrences of `word` in `text`.
+pub(crate) fn find_word(text: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(off) = text[from..].find(word) {
+        let pos = from + off;
+        if is_word_at(text, pos, word.len()) {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}

@@ -1,0 +1,137 @@
+//! The `planaria-checks` binary: walks the workspace, runs the L1/L2/L3
+//! lints, filters through the checked-in allowlist, and reports.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use planaria_checks::diagnostics::render_json_report;
+use planaria_checks::{run_filtered, Allowlist};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    allowlist: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: planaria-checks [--root DIR] [--format text|json] [--allowlist FILE]
+
+Runs the workspace's domain-invariant lints:
+  L1 unit-safety   bare u64/usize/f64 where Cycles/Bytes/Picojoules belong
+  L2 determinism   HashMap/HashSet or clocks/entropy in simulation code
+  L3 hygiene       unjustified unwrap()/expect()/#[allow(...)]
+
+Exits 0 when clean, 1 on violations, 2 on errors.";
+
+/// Walks upward from `start` to find the workspace root (a directory
+/// containing both `Cargo.toml` and `crates/`).
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    let mut format = Format::Text;
+    let mut allowlist = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("--root requires a value")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => return Err(format!("--format must be text|json, got {other:?}")),
+            },
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist requires a value")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_root(&cwd).ok_or("cannot find workspace root (run from the repo)")?
+        }
+    };
+    Ok(Options {
+        root,
+        format,
+        allowlist,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("planaria-checks: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/checks/allowlist.txt"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("planaria-checks: bad allowlist: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (violations, unused) = match run_filtered(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("planaria-checks: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.format {
+        Format::Json => println!("{}", render_json_report(&violations)),
+        Format::Text => {
+            for d in &violations {
+                println!("{}", d.render_text());
+            }
+        }
+    }
+    for entry in &unused {
+        eprintln!("planaria-checks: warning: stale allowlist entry `{entry}`");
+    }
+    if violations.is_empty() {
+        if opts.format == Format::Text {
+            eprintln!(
+                "planaria-checks: clean ({} allowlist entr{})",
+                allow.len(),
+                if allow.len() == 1 { "y" } else { "ies" }
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("planaria-checks: {} violation(s)", violations.len());
+        ExitCode::from(1)
+    }
+}

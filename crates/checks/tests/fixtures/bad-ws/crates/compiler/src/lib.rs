@@ -1,0 +1,31 @@
+//! Fixture: L2 determinism violations in a `compiler` crate.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Bad: hash containers have randomized iteration order.
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen = HashSet::new();
+    let mut h = HashMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            h.insert(x, 1);
+        }
+    }
+    h
+}
+
+// Fine: BTreeMap is deterministic; HashMap in this comment must not fire.
+pub fn ordered(xs: &[u32]) -> std::collections::BTreeMap<u32, u32> {
+    let mut m = std::collections::BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Fine: the string below mentions "HashMap" but is stripped before
+/// matching.
+pub fn describe() -> &'static str {
+    "never use HashMap here"
+}

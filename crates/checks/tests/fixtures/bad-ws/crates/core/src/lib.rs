@@ -1,0 +1,30 @@
+//! Fixture: L3 hygiene violations in a library crate.
+
+/// Bad: unjustified unwrap in library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Bad: unjustified expect.
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("needs two elements")
+}
+
+/// Fine: justified on the preceding comment line.
+pub fn third(v: &[u32]) -> u32 {
+    // lint: callers validate length in `validate()` before reaching here
+    *v.get(2).unwrap()
+}
+
+/// Fine: `unwrap_or` variants are total.
+pub fn fourth(v: &[u32]) -> u32 {
+    v.get(3).copied().unwrap_or(0)
+}
+
+/// Bad: allow attribute without a justification.
+#[allow(dead_code)]
+fn unused_helper() {}
+
+/// Fine: justified allow.
+#[allow(dead_code)] // lint: exercised only through the ffi layer
+fn other_helper() {}

@@ -1,0 +1,13 @@
+//! Fixture: `model` is outside the L1 scope — bare unit-named types here
+//! must NOT fire L1 (only the quantity crates are held to the newtype
+//! rule). L3 still applies.
+
+/// Fine for L1 (out of scope crate).
+pub fn raw_cycles(cycles: u64) -> u64 {
+    cycles
+}
+
+/// Bad for L3: unjustified unwrap.
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

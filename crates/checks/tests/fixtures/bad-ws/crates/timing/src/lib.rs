@@ -1,0 +1,37 @@
+//! Fixture: L1 unit-safety violations in a `timing` crate.
+
+/// Bad: unit-named pub field with a bare integer type.
+pub struct Timing {
+    pub cycles: u64,
+    pub tile_bytes: usize,
+    pub tiles: u64, // fine: a count, not a unit
+    pub utilization: f64, // fine: dimensionless
+}
+
+/// Bad: unit-named pub fn returning a bare integer.
+pub fn total_cycles(t: &Timing) -> u64 {
+    t.cycles
+}
+
+/// Bad: bare unit-named parameter (multi-line signature).
+pub fn account(
+    t: &mut Timing,
+    dram_bytes: u64,
+    scale: f64,
+) -> bool {
+    t.tile_bytes += (dram_bytes as f64 * scale) as usize;
+    true
+}
+
+/// Bad: L2 clock source in simulation logic.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Fine: bare types and unwraps are allowed inside test modules.
+    pub fn helper_cycles(cycles: u64) -> u64 {
+        Some(cycles).unwrap()
+    }
+}

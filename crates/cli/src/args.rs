@@ -87,8 +87,14 @@ pub fn parse_dnn(name: &str) -> Result<planaria_model::DnnId, ArgError> {
         .into_iter()
         .find(|id| norm(id.name()) == target)
         .ok_or_else(|| {
-            let names: Vec<&str> = planaria_model::DnnId::ALL.iter().map(|i| i.name()).collect();
-            ArgError(format!("unknown network '{name}'; one of {}", names.join(", ")))
+            let names: Vec<&str> = planaria_model::DnnId::ALL
+                .iter()
+                .map(|i| i.name())
+                .collect();
+            ArgError(format!(
+                "unknown network '{name}'; one of {}",
+                names.join(", ")
+            ))
         })
 }
 

@@ -27,9 +27,9 @@ pub fn compile(args: &Args) -> Result<(), ArgError> {
         "{} on {} subarrays: {:.3} ms, {} tiles, {:.2} mJ dynamic",
         id,
         subarrays,
-        table.total_cycles() as f64 / cfg.freq_hz * 1e3,
+        table.total_cycles().seconds_at(cfg.freq_hz) * 1e3,
         table.total_tiles(),
-        table.total_energy_j() * 1e3
+        table.total_energy().to_joules() * 1e3
     );
     println!(
         "{:<18} {:>12} {:>9} {:>10} {:>8} {:>7}",
@@ -52,8 +52,7 @@ pub fn compile(args: &Args) -> Result<(), ArgError> {
     if let Some(path) = args.flag("emit-binary") {
         let program = generate(&table);
         let bin = program.assemble();
-        std::fs::write(path, &bin)
-            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        std::fs::write(path, &bin).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
         println!(
             "\nwrote {} bytes ({} instructions) to {path}",
             bin.len(),

@@ -60,7 +60,11 @@ pub fn explore(args: &Args) -> Result<(), ArgError> {
             format!("{}x", arr.clusters),
             format!("{}x", arr.cols),
             format!("{}x", arr.rows),
-            if arr.uses_omnidirectional() { "Used" } else { "-" },
+            if arr.uses_omnidirectional() {
+                "Used"
+            } else {
+                "-"
+            },
             cycles,
             util * 100.0,
             energy * 1e6,

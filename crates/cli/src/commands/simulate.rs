@@ -25,9 +25,7 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     }
 
     let trace = TraceConfig::new(scenario, qos, lambda, requests, seed).generate();
-    println!(
-        "{scenario} {qos} | {requests} requests at {lambda} q/s (seed {seed}) on {system}"
-    );
+    println!("{scenario} {qos} | {requests} requests at {lambda} q/s (seed {seed}) on {system}");
 
     let (result, isolated): (SimResult, _) = match system {
         "planaria" => {
@@ -67,7 +65,11 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
     );
     println!(
         "meets MLPerf SLA : {}",
-        if meets_sla(&result.completions) { "yes" } else { "no" }
+        if meets_sla(&result.completions) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!(
         "fairness         : {:.4}",

@@ -33,4 +33,6 @@ pub mod table;
 
 pub use histogram::{config_histogram, ConfigUsage};
 pub use library::CompiledLibrary;
-pub use table::{compile, compile_for_allocation, CompiledDnn, ConfigTable, LayerConfig, TilePosition};
+pub use table::{
+    compile, compile_for_allocation, CompiledDnn, ConfigTable, LayerConfig, TilePosition,
+};

@@ -1,9 +1,9 @@
 //! Pre-compiled network library shared by engines.
 
-use planaria_arch::AcceleratorConfig;
 use crate::table::{compile, CompiledDnn};
+use planaria_arch::AcceleratorConfig;
 use planaria_model::DnnId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// All nine benchmark networks compiled for one accelerator configuration.
@@ -13,7 +13,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct CompiledLibrary {
     cfg: AcceleratorConfig,
-    by_id: HashMap<DnnId, Arc<CompiledDnn>>,
+    by_id: BTreeMap<DnnId, Arc<CompiledDnn>>,
 }
 
 impl CompiledLibrary {
@@ -38,6 +38,7 @@ impl CompiledLibrary {
     /// Panics if `id` is not in the library (never happens for the
     /// nine-network suite).
     pub fn get(&self, id: DnnId) -> &CompiledDnn {
+        // lint: the constructor inserts every DnnId, so lookup cannot fail
         self.by_id.get(&id).expect("library covers all benchmarks")
     }
 
@@ -45,11 +46,14 @@ impl CompiledLibrary {
     /// `T_isolated` term of the fairness metric.
     pub fn isolated_latency(&self, id: DnnId) -> f64 {
         let n = self.cfg.num_subarrays();
-        self.get(id).table(n).total_cycles() as f64 / self.cfg.freq_hz
+        self.get(id)
+            .table(n)
+            .total_cycles()
+            .seconds_at(self.cfg.freq_hz)
     }
 
     /// Isolated latencies for all networks (for the fairness metric).
-    pub fn isolated_latencies(&self) -> HashMap<DnnId, f64> {
+    pub fn isolated_latencies(&self) -> BTreeMap<DnnId, f64> {
         DnnId::ALL
             .into_iter()
             .map(|id| (id, self.isolated_latency(id)))

@@ -2,6 +2,7 @@
 
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_energy::EnergyModel;
+use planaria_model::units::{Bytes, Cycles, Picojoules};
 use planaria_model::Dnn;
 use planaria_timing::{time_layer, ExecContext, LayerTiming};
 
@@ -20,15 +21,15 @@ pub struct LayerConfig {
     pub timing: LayerTiming,
     /// Sequential repetitions of the layer.
     pub repeat: u64,
-    /// Dynamic energy of one execution, joules.
-    pub energy_j: f64,
+    /// Dynamic energy of one execution.
+    pub energy: Picojoules,
     /// Whether the layer runs on the systolic array.
     pub systolic: bool,
 }
 
 impl LayerConfig {
     /// Total cycles including repetitions.
-    pub fn total_cycles(&self) -> u64 {
+    pub fn total_cycles(&self) -> Cycles {
         self.timing.cycles * self.repeat
     }
 
@@ -44,9 +45,9 @@ pub struct TilePosition {
     /// Layer index.
     pub layer: usize,
     /// Cycles until the next tile boundary from the queried point.
-    pub cycles_to_boundary: u64,
-    /// Checkpoint bytes if preempted at that boundary.
-    pub tile_bytes: u64,
+    pub cycles_to_boundary: Cycles,
+    /// Checkpoint size if preempted at that boundary.
+    pub tile_bytes: Bytes,
 }
 
 /// The per-allocation configuration table: per-layer optimal configs plus
@@ -57,7 +58,7 @@ pub struct ConfigTable {
     layers: Vec<LayerConfig>,
     /// Cumulative cycles *after* each layer (including repeats).
     cum_cycles: Vec<u64>,
-    total_energy_j: f64,
+    total_energy: Picojoules,
 }
 
 impl ConfigTable {
@@ -72,13 +73,13 @@ impl ConfigTable {
     }
 
     /// End-to-end cycles.
-    pub fn total_cycles(&self) -> u64 {
-        *self.cum_cycles.last().unwrap_or(&0)
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles::new(*self.cum_cycles.last().unwrap_or(&0))
     }
 
-    /// End-to-end dynamic energy, joules.
-    pub fn total_energy_j(&self) -> f64 {
-        self.total_energy_j
+    /// End-to-end dynamic energy.
+    pub fn total_energy(&self) -> Picojoules {
+        self.total_energy
     }
 
     /// Total schedulable tiles.
@@ -87,10 +88,10 @@ impl ConfigTable {
     }
 
     /// Cycles remaining from a progress fraction `done` ∈ [0, 1].
-    pub fn remaining_cycles(&self, done: f64) -> u64 {
+    pub fn remaining_cycles(&self, done: f64) -> Cycles {
         let done = done.clamp(0.0, 1.0);
-        let total = self.total_cycles();
-        total - (done * total as f64) as u64
+        let total = self.total_cycles().get();
+        Cycles::new(total - (done * total as f64) as u64)
     }
 
     /// Locates the tile boundary following progress fraction `done`:
@@ -98,28 +99,32 @@ impl ConfigTable {
     /// completes, and the checkpoint size there.
     pub fn position(&self, done: f64) -> TilePosition {
         let done = done.clamp(0.0, 1.0);
-        let point = (done * self.total_cycles() as f64) as u64;
+        let point = (done * self.total_cycles().as_f64()) as u64;
         let layer = match self.cum_cycles.binary_search(&point) {
             Ok(i) => (i + 1).min(self.layers.len() - 1),
             Err(i) => i.min(self.layers.len() - 1),
         };
-        let start = if layer == 0 { 0 } else { self.cum_cycles[layer - 1] };
+        let start = if layer == 0 {
+            0
+        } else {
+            self.cum_cycles[layer - 1]
+        };
         let lc = &self.layers[layer];
         let into_layer = point.saturating_sub(start);
-        let cpt = lc.timing.cycles_per_tile.max(1);
+        let cpt = lc.timing.cycles_per_tile.get().max(1);
         let into_tile = into_layer % cpt;
         TilePosition {
             layer,
-            cycles_to_boundary: cpt - into_tile,
+            cycles_to_boundary: Cycles::new(cpt - into_tile),
             tile_bytes: lc.timing.tile_bytes,
         }
     }
 
     /// Work fraction completed after executing `cycles` from fraction
     /// `done` (saturating at 1).
-    pub fn advance(&self, done: f64, cycles: u64) -> f64 {
-        let total = self.total_cycles().max(1) as f64;
-        (done + cycles as f64 / total).min(1.0)
+    pub fn advance(&self, done: f64, cycles: Cycles) -> f64 {
+        let total = self.total_cycles().get().max(1) as f64;
+        (done + cycles.as_f64() / total).min(1.0)
     }
 }
 
@@ -168,9 +173,9 @@ pub fn compile_for_allocation(cfg: &AcceleratorConfig, dnn: &Dnn, subarrays: u32
     let mut layers = Vec::with_capacity(dnn.num_layers());
     let mut cum_cycles = Vec::with_capacity(dnn.num_layers());
     let mut cum = 0u64;
-    let mut total_energy = 0.0;
+    let mut total_energy = Picojoules::ZERO;
     for layer in dnn.layers() {
-        let (arrangement, timing, energy_j) = if layer.op.is_systolic() {
+        let (arrangement, timing, energy) = if layer.op.is_systolic() {
             select_arrangement(&ctx, &em, &layer.op)
         } else {
             let arr = Arrangement::new(1, 1, 1);
@@ -178,15 +183,15 @@ pub fn compile_for_allocation(cfg: &AcceleratorConfig, dnn: &Dnn, subarrays: u32
             let e = em.dynamic_energy(&t.counts);
             (arr, t, e)
         };
-        cum += timing.cycles * layer.repeat;
+        cum += (timing.cycles * layer.repeat).get();
         cum_cycles.push(cum);
-        total_energy += energy_j * layer.repeat as f64;
+        total_energy += energy * layer.repeat as f64;
         layers.push(LayerConfig {
             name: layer.name.clone(),
             arrangement,
             timing,
             repeat: layer.repeat,
-            energy_j,
+            energy,
             systolic: layer.op.is_systolic(),
         });
     }
@@ -194,7 +199,7 @@ pub fn compile_for_allocation(cfg: &AcceleratorConfig, dnn: &Dnn, subarrays: u32
         subarrays,
         layers,
         cum_cycles,
-        total_energy_j: total_energy,
+        total_energy,
     }
 }
 
@@ -203,16 +208,16 @@ fn select_arrangement(
     ctx: &ExecContext,
     em: &EnergyModel,
     op: &planaria_model::LayerOp,
-) -> (Arrangement, LayerTiming, f64) {
-    let mut best: Option<(Arrangement, LayerTiming, f64)> = None;
+) -> (Arrangement, LayerTiming, Picojoules) {
+    let mut best: Option<(Arrangement, LayerTiming, Picojoules)> = None;
     for arr in Arrangement::enumerate_for(&ctx.cfg, ctx.subarrays) {
         let t = time_layer(ctx, op, arr);
         let e = em.dynamic_energy(&t.counts);
         let better = match &best {
             None => true,
             Some((_, bt, be)) => {
-                let much_faster = (t.cycles as f64) * TIE_TOLERANCE < bt.cycles as f64;
-                let near_tie = (t.cycles as f64) <= (bt.cycles as f64) * TIE_TOLERANCE;
+                let much_faster = t.cycles.as_f64() * TIE_TOLERANCE < bt.cycles.as_f64();
+                let near_tie = t.cycles.as_f64() <= bt.cycles.as_f64() * TIE_TOLERANCE;
                 much_faster || (near_tie && e < *be)
             }
         };
@@ -220,6 +225,7 @@ fn select_arrangement(
             best = Some((arr, t, e));
         }
     }
+    // lint: enumerate_for always yields at least the trivial arrangement
     best.expect("at least one arrangement")
 }
 
@@ -256,7 +262,7 @@ mod tests {
     #[test]
     fn more_subarrays_monotonically_help() {
         let c = compiled(DnnId::MobileNetV1);
-        let mut prev = u64::MAX;
+        let mut prev = Cycles::new(u64::MAX);
         for s in 1..=16 {
             let cy = c.table(s).total_cycles();
             assert!(cy <= prev, "allocation {s} slower than {}", s - 1);
@@ -269,9 +275,9 @@ mod tests {
         let c = compiled(DnnId::TinyYolo);
         let t = c.table(8);
         assert_eq!(t.remaining_cycles(0.0), t.total_cycles());
-        assert_eq!(t.remaining_cycles(1.0), 0);
+        assert_eq!(t.remaining_cycles(1.0), Cycles::ZERO);
         let half = t.remaining_cycles(0.5);
-        assert!(half > t.total_cycles() / 3 && half < 2 * t.total_cycles() / 3);
+        assert!(half > t.total_cycles() / 3 && half < t.total_cycles() * 2 / 3);
     }
 
     #[test]
@@ -282,7 +288,7 @@ mod tests {
         let end = t.position(0.999);
         assert_eq!(start.layer, 0);
         assert!(end.layer > start.layer);
-        assert!(start.cycles_to_boundary > 0);
+        assert!(!start.cycles_to_boundary.is_zero());
     }
 
     #[test]
@@ -291,13 +297,13 @@ mod tests {
         let t = c.table(4);
         let half = t.advance(0.0, t.total_cycles() / 2);
         assert!((half - 0.5).abs() < 0.01);
-        assert_eq!(t.advance(0.9, t.total_cycles()), 1.0);
+        assert!((t.advance(0.9, t.total_cycles()) - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]
     fn energy_accumulates() {
         let c = compiled(DnnId::TinyYolo);
-        assert!(c.table(16).total_energy_j() > 0.0);
+        assert!(c.table(16).total_energy().as_pj() > 0.0);
     }
 
     #[test]

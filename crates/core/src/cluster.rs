@@ -41,6 +41,7 @@ pub fn dispatch(
                     .iter()
                     .enumerate()
                     .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    // lint: `horizons` has one entry per node and `nodes >= 1`
                     .expect("at least one node")
                     .0
             }
@@ -137,8 +138,10 @@ mod tests {
         let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 120.0, 40, 5).generate();
         let one = run_cluster(&e, 1, &trace);
         let four = run_cluster(&e, 4, &trace);
-        assert!(four.completions.iter().map(|c| c.latency()).sum::<f64>()
-            < one.completions.iter().map(|c| c.latency()).sum::<f64>());
+        assert!(
+            four.completions.iter().map(|c| c.latency()).sum::<f64>()
+                < one.completions.iter().map(|c| c.latency()).sum::<f64>()
+        );
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use crate::scheduler::{schedule_tasks_spatially, SchedTask};
 use crate::trace::{EngineTrace, EventKind};
-use planaria_compiler::CompiledLibrary;
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
+use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
+use planaria_model::units::Cycles;
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -131,9 +132,7 @@ impl PlanariaEngine {
                 .iter()
                 .filter(|t| t.alloc > 0)
                 .map(|t| now + self.remaining_seconds(t, freq))
-                .fold(None::<f64>, |acc, x| {
-                    Some(acc.map_or(x, |a: f64| a.min(x)))
-                });
+                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))));
             let t_next = match (arrival_t, completion_t) {
                 (Some(a), Some(c)) => a.min(c),
                 (Some(a), None) => a,
@@ -212,7 +211,7 @@ impl PlanariaEngine {
         // between requests belong to whatever the node does next).
         SimResult {
             completions,
-            total_energy_j: dynamic + em.static_energy(busy_seconds),
+            total_energy_j: dynamic + em.static_energy(busy_seconds).to_joules(),
             makespan,
         }
     }
@@ -220,7 +219,7 @@ impl PlanariaEngine {
     /// Seconds until `t` completes at its current allocation.
     fn remaining_seconds(&self, t: &Tenant, freq: f64) -> f64 {
         let table = self.library.get(t.request.dnn).table(t.alloc);
-        (t.overhead_cycles + table.remaining_cycles(t.done) as f64) / freq
+        (t.overhead_cycles + table.remaining_cycles(t.done).as_f64()) / freq
     }
 
     /// Consumes `cycles` of execution: overhead first, then table progress
@@ -236,11 +235,11 @@ impl PlanariaEngine {
         }
         let table = self.library.get(t.request.dnn).table(t.alloc);
         let before = t.done;
-        t.done = table.advance(t.done, cycles.round() as u64);
+        t.done = table.advance(t.done, Cycles::new(cycles.round() as u64));
         if t.done > 1.0 - DONE_EPS {
             t.done = 1.0;
         }
-        t.energy_j += (t.done - before) * table.total_energy_j();
+        t.energy_j += (t.done - before) * table.total_energy().to_joules();
     }
 
     /// Runs the allocator and applies allocation changes (with
@@ -347,6 +346,8 @@ impl PlanariaEngine {
                 }
                 let p = chip
                     .place(tenants[i].request.id, alloc[i])
+                    // lint: every tenant was released above and Σalloc ≤ chip
+                    // capacity, so a contiguous placement always exists
                     .expect("defragmented ring always packs");
                 if keep[i]
                     && tenants[i]
@@ -395,8 +396,7 @@ impl PlanariaEngine {
                 };
                 let ctx = ExecContext::for_allocation(cfg, t.alloc.max(1));
                 let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
-                t.overhead_cycles +=
-                    (pos.cycles_to_boundary + cost.total()) as f64;
+                t.overhead_cycles += (pos.cycles_to_boundary + cost.total()).as_f64();
             } else if a > 0 && t.alloc == 0 {
                 // Fresh start on a new logical accelerator: pipeline fill
                 // is already inside the table; charge the configuration
@@ -461,8 +461,20 @@ mod tests {
         // both well before 2x the isolated latency each.
         let iso = e.library.isolated_latency(DnnId::ResNet50);
         let trace = vec![
-            Request { id: 0, dnn: DnnId::ResNet50, arrival: 0.0, priority: 5, qos: 1.0 },
-            Request { id: 1, dnn: DnnId::ResNet50, arrival: 0.0, priority: 5, qos: 1.0 },
+            Request {
+                id: 0,
+                dnn: DnnId::ResNet50,
+                arrival: 0.0,
+                priority: 5,
+                qos: 1.0,
+            },
+            Request {
+                id: 1,
+                dnn: DnnId::ResNet50,
+                arrival: 0.0,
+                priority: 5,
+                qos: 1.0,
+            },
         ];
         let result = e.run(&trace);
         let worst = result
@@ -553,7 +565,10 @@ mod tests {
             .iter()
             .map(Completion::latency)
             .fold(0.0, f64::max);
-        assert!(worst > 2.5 * iso, "FIFO-exclusive must serialize: {worst} vs {iso}");
+        assert!(
+            worst > 2.5 * iso,
+            "FIFO-exclusive must serialize: {worst} vs {iso}"
+        );
         // Spatial co-location beats it.
         let s = spatial.run(&[mk(0), mk(1), mk(2)]);
         let worst_s = s

@@ -32,6 +32,8 @@ pub mod trace;
 
 pub use cluster::{dispatch, min_nodes_for_sla, run_cluster, run_cluster_with, DispatchPolicy};
 pub use engine::{PlanariaEngine, SchedulingMode};
-pub use trace::{EngineTrace, EventKind, TraceEvent};
 pub use planaria_compiler::CompiledLibrary;
+pub use planaria_model::units::{Bytes, Cycles, Picojoules};
+pub use planaria_model::SplitMix64;
 pub use scheduler::{schedule_tasks_spatially, SchedTask};
+pub use trace::{EngineTrace, EventKind, TraceEvent};

@@ -28,7 +28,11 @@ impl SchedTask<'_> {
     /// Predicted remaining time on `subarrays` granules, seconds
     /// (the `PREDICTTIME` table lookup).
     pub fn predict_time(&self, subarrays: u32, freq_hz: f64) -> f64 {
-        self.compiled.table(subarrays).remaining_cycles(self.done) as f64 / freq_hz
+        self.compiled
+            .table(subarrays)
+            .remaining_cycles(self.done)
+            .as_f64()
+            / freq_hz
     }
 
     /// `ESTIMATERESOURCES`: the minimum subarray count whose predicted
@@ -150,8 +154,7 @@ mod tests {
     #[test]
     fn estimate_is_minimal() {
         let c = compiled(DnnId::TinyYolo);
-        let isolated_full =
-            c.table(16).total_cycles() as f64 / freq();
+        let isolated_full = c.table(16).total_cycles().as_f64() / freq();
         let t = SchedTask {
             priority: 5,
             slack: isolated_full * 20.0, // loose: smallest allocations work
@@ -195,10 +198,15 @@ mod tests {
 
     #[test]
     fn allocations_never_exceed_chip() {
-        let nets: Vec<_> = [DnnId::ResNet50, DnnId::TinyYolo, DnnId::MobileNetV1, DnnId::Gnmt]
-            .iter()
-            .map(|&id| compiled(id))
-            .collect();
+        let nets: Vec<_> = [
+            DnnId::ResNet50,
+            DnnId::TinyYolo,
+            DnnId::MobileNetV1,
+            DnnId::Gnmt,
+        ]
+        .iter()
+        .map(|&id| compiled(id))
+        .collect();
         for slack in [0.001, 0.01, 0.1, 1.0] {
             let tasks: Vec<SchedTask> = nets
                 .iter()
@@ -238,7 +246,7 @@ mod tests {
         let heavy = compiled(DnnId::SsdResNet34);
         // Three heavy tasks with slack just above the full-chip isolated
         // latency: estimates are 16 each; only the best-scored one fits.
-        let iso = heavy.table(16).total_cycles() as f64 / freq();
+        let iso = heavy.table(16).total_cycles().as_f64() / freq();
         let mk = |priority, slack| SchedTask {
             priority,
             slack,

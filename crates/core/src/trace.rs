@@ -84,7 +84,7 @@ impl EngineTrace {
     /// Time-weighted mean chip occupancy (allocated subarrays / total) over
     /// the span of the trace.
     pub fn mean_occupancy(&self) -> f64 {
-        let mut alloc: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut alloc: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
         let mut last_t: Option<f64> = None;
         let mut acc = 0.0;
         let mut span = 0.0;
@@ -119,11 +119,13 @@ impl EngineTrace {
         if self.events.is_empty() || buckets == 0 {
             return String::from("(empty trace)");
         }
+        // lint: the is_empty() guard above ensures first/last exist
         let t0 = self.events.first().unwrap().time;
+        // lint: the is_empty() guard above ensures first/last exist
         let t1 = self.events.last().unwrap().time;
         let span = (t1 - t0).max(1e-12);
         let mut samples = vec![0u32; buckets];
-        let mut alloc: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut alloc: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
         let mut ei = 0;
         for (b, sample) in samples.iter_mut().enumerate() {
             let t = t0 + span * (b as f64 + 0.5) / buckets as f64;
@@ -157,13 +159,58 @@ mod tests {
 
     fn demo_trace() -> EngineTrace {
         let mut t = EngineTrace::new(16);
-        t.push(0.0, EventKind::Arrival { request: 0, dnn: DnnId::ResNet50 });
-        t.push(0.0, EventKind::Allocation { request: 0, from: 0, to: 16 });
-        t.push(1.0, EventKind::Arrival { request: 1, dnn: DnnId::Gnmt });
-        t.push(1.0, EventKind::Allocation { request: 0, from: 16, to: 8 });
-        t.push(1.0, EventKind::Allocation { request: 1, from: 0, to: 8 });
-        t.push(2.0, EventKind::Completion { request: 0, latency: 2.0 });
-        t.push(3.0, EventKind::Completion { request: 1, latency: 2.0 });
+        t.push(
+            0.0,
+            EventKind::Arrival {
+                request: 0,
+                dnn: DnnId::ResNet50,
+            },
+        );
+        t.push(
+            0.0,
+            EventKind::Allocation {
+                request: 0,
+                from: 0,
+                to: 16,
+            },
+        );
+        t.push(
+            1.0,
+            EventKind::Arrival {
+                request: 1,
+                dnn: DnnId::Gnmt,
+            },
+        );
+        t.push(
+            1.0,
+            EventKind::Allocation {
+                request: 0,
+                from: 16,
+                to: 8,
+            },
+        );
+        t.push(
+            1.0,
+            EventKind::Allocation {
+                request: 1,
+                from: 0,
+                to: 8,
+            },
+        );
+        t.push(
+            2.0,
+            EventKind::Completion {
+                request: 0,
+                latency: 2.0,
+            },
+        );
+        t.push(
+            3.0,
+            EventKind::Completion {
+                request: 1,
+                latency: 2.0,
+            },
+        );
         t
     }
 

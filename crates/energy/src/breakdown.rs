@@ -44,17 +44,77 @@ pub enum Scaling {
 /// 12.6 % area / 20.6 % power.
 pub const COMPONENTS: [Component; 10] = [
     // Base (shared with a conventional design).
-    Component { name: "multipliers", area: 12.0, power: 8.0, fission_overhead: false, scaling: Scaling::Fixed },
-    Component { name: "adders+accumulators", area: 8.0, power: 5.0, fission_overhead: false, scaling: Scaling::Fixed },
-    Component { name: "pipeline registers", area: 6.0, power: 4.0, fission_overhead: false, scaling: Scaling::Fixed },
-    Component { name: "SIMD vector unit", area: 3.0, power: 2.0, fission_overhead: false, scaling: Scaling::Fixed },
-    Component { name: "control+instruction buffer", area: 2.0, power: 1.0, fission_overhead: false, scaling: Scaling::Fixed },
+    Component {
+        name: "multipliers",
+        area: 12.0,
+        power: 8.0,
+        fission_overhead: false,
+        scaling: Scaling::Fixed,
+    },
+    Component {
+        name: "adders+accumulators",
+        area: 8.0,
+        power: 5.0,
+        fission_overhead: false,
+        scaling: Scaling::Fixed,
+    },
+    Component {
+        name: "pipeline registers",
+        area: 6.0,
+        power: 4.0,
+        fission_overhead: false,
+        scaling: Scaling::Fixed,
+    },
+    Component {
+        name: "SIMD vector unit",
+        area: 3.0,
+        power: 2.0,
+        fission_overhead: false,
+        scaling: Scaling::Fixed,
+    },
+    Component {
+        name: "control+instruction buffer",
+        area: 2.0,
+        power: 1.0,
+        fission_overhead: false,
+        scaling: Scaling::Fixed,
+    },
     // Fission additions.
-    Component { name: "omni-directional muxes", area: 2.0, power: 2.4, fission_overhead: true, scaling: Scaling::Fixed },
-    Component { name: "fission-pod crossbars", area: 1.1, power: 1.4, fission_overhead: true, scaling: Scaling::CrossbarQuadratic },
-    Component { name: "SIMD unit additions", area: 0.8, power: 0.9, fission_overhead: true, scaling: Scaling::PerSubarray },
-    Component { name: "instruction buffer additions", area: 0.4, power: 0.3, fission_overhead: true, scaling: Scaling::PerSubarray },
-    Component { name: "reconfiguration registers", area: 0.17, power: 0.19, fission_overhead: true, scaling: Scaling::PerSubarray },
+    Component {
+        name: "omni-directional muxes",
+        area: 2.0,
+        power: 2.4,
+        fission_overhead: true,
+        scaling: Scaling::Fixed,
+    },
+    Component {
+        name: "fission-pod crossbars",
+        area: 1.1,
+        power: 1.4,
+        fission_overhead: true,
+        scaling: Scaling::CrossbarQuadratic,
+    },
+    Component {
+        name: "SIMD unit additions",
+        area: 0.8,
+        power: 0.9,
+        fission_overhead: true,
+        scaling: Scaling::PerSubarray,
+    },
+    Component {
+        name: "instruction buffer additions",
+        area: 0.4,
+        power: 0.3,
+        fission_overhead: true,
+        scaling: Scaling::PerSubarray,
+    },
+    Component {
+        name: "reconfiguration registers",
+        area: 0.17,
+        power: 0.19,
+        fission_overhead: true,
+        scaling: Scaling::PerSubarray,
+    },
 ];
 
 /// Area/power breakdown for a given accelerator configuration.

@@ -66,8 +66,12 @@ mod tests {
         // Each level of the hierarchy costs more than the one below it.
         // (Read through locals so the comparison is a runtime check the
         // constants can't silently drift past.)
-        let (wbuf, act, dram, mac) =
-            (WBUF_J_PER_BYTE, ACT_SRAM_J_PER_BYTE, DRAM_J_PER_BYTE, MAC_8BIT_J);
+        let (wbuf, act, dram, mac) = (
+            WBUF_J_PER_BYTE,
+            ACT_SRAM_J_PER_BYTE,
+            DRAM_J_PER_BYTE,
+            MAC_8BIT_J,
+        );
         assert!(wbuf < act);
         assert!(act < dram);
         assert!(mac < act);

@@ -24,7 +24,7 @@
 //! let em = EnergyModel::for_config(&cfg);
 //! let t = time_dnn(&ExecContext::full_chip(&cfg), &DnnId::MobileNetV1.build());
 //! let report = em.energy_of(&t.counts, t.seconds(cfg.freq_hz));
-//! assert!(report.total() > 0.0);
+//! assert!(report.total().as_pj() > 0.0);
 //! ```
 
 pub mod breakdown;

@@ -4,21 +4,22 @@
 use crate::breakdown::AreaPowerBreakdown;
 use crate::constants;
 use planaria_arch::AcceleratorConfig;
+use planaria_model::units::Picojoules;
 use planaria_timing::AccessCounts;
 
 /// Energy report for one execution interval.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyReport {
-    /// Dynamic (switching) energy, joules.
-    pub dynamic_j: f64,
-    /// Static (leakage) energy over the interval, joules.
-    pub static_j: f64,
+    /// Dynamic (switching) energy.
+    pub dynamic: Picojoules,
+    /// Static (leakage) energy over the interval.
+    pub leakage: Picojoules,
 }
 
 impl EnergyReport {
-    /// Total energy, joules.
-    pub fn total(&self) -> f64 {
-        self.dynamic_j + self.static_j
+    /// Total energy.
+    pub fn total(&self) -> Picojoules {
+        self.dynamic + self.leakage
     }
 }
 
@@ -53,38 +54,40 @@ impl EnergyModel {
         self.leakage_w
     }
 
-    /// Dynamic energy of a set of events, joules. The fission-hardware
-    /// overhead multiplies on-chip events only — off-chip DRAM energy is
-    /// unaffected by muxes and crossbars.
-    pub fn dynamic_energy(&self, c: &AccessCounts) -> f64 {
+    /// Dynamic energy of a set of events. The fission-hardware overhead
+    /// multiplies on-chip events only — off-chip DRAM energy is unaffected
+    /// by muxes and crossbars.
+    pub fn dynamic_energy(&self, c: &AccessCounts) -> Picojoules {
         let on_chip = c.mac_ops as f64 * constants::MAC_8BIT_J
-            + c.pe_active_cycles as f64 * constants::PE_ACTIVE_J
-            + c.act_sram_bytes as f64 * constants::ACT_SRAM_J_PER_BYTE
-            + c.psum_sram_bytes as f64 * constants::PSUM_SRAM_J_PER_BYTE
-            + c.wbuf_bytes as f64 * constants::WBUF_J_PER_BYTE
-            + c.ring_hop_bytes as f64 * constants::RING_J_PER_BYTE_HOP
+            + c.pe_active_cycles.as_f64() * constants::PE_ACTIVE_J
+            + c.act_sram_bytes.as_f64() * constants::ACT_SRAM_J_PER_BYTE
+            + c.psum_sram_bytes.as_f64() * constants::PSUM_SRAM_J_PER_BYTE
+            + c.wbuf_bytes.as_f64() * constants::WBUF_J_PER_BYTE
+            + c.ring_hop_bytes.as_f64() * constants::RING_J_PER_BYTE_HOP
             + c.vector_ops as f64 * constants::VECTOR_OP_J;
-        on_chip * self.dynamic_overhead + c.dram_bytes as f64 * constants::DRAM_J_PER_BYTE
+        Picojoules::from_joules(
+            on_chip * self.dynamic_overhead + c.dram_bytes.as_f64() * constants::DRAM_J_PER_BYTE,
+        )
     }
 
-    /// Leakage energy over `seconds` for the whole chip, joules.
-    pub fn static_energy(&self, seconds: f64) -> f64 {
-        self.leakage_w * seconds
+    /// Leakage energy over `seconds` for the whole chip.
+    pub fn static_energy(&self, seconds: f64) -> Picojoules {
+        Picojoules::from_joules(self.leakage_w * seconds)
     }
 
     /// Full report: dynamic energy of `counts` plus chip leakage over
     /// `seconds`.
     pub fn energy_of(&self, counts: &AccessCounts, seconds: f64) -> EnergyReport {
         EnergyReport {
-            dynamic_j: self.dynamic_energy(counts),
-            static_j: self.static_energy(seconds),
+            dynamic: self.dynamic_energy(counts),
+            leakage: self.static_energy(seconds),
         }
     }
 }
 
 /// Energy-delay product, J·s (the Fig. 18 metric).
-pub fn edp(energy_j: f64, seconds: f64) -> f64 {
-    energy_j * seconds
+pub fn edp(energy: Picojoules, seconds: f64) -> f64 {
+    energy.to_joules() * seconds
 }
 
 #[cfg(test)]
@@ -116,10 +119,12 @@ mod tests {
         let tm = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
         let ep = EnergyModel::for_config(&pl_cfg)
             .energy_of(&tp.counts, tp.seconds(pl_cfg.freq_hz))
-            .total();
+            .total()
+            .to_joules();
         let em = EnergyModel::for_config(&mono_cfg)
             .energy_of(&tm.counts, tm.seconds(mono_cfg.freq_hz))
-            .total();
+            .total()
+            .to_joules();
         assert!(em / ep > 2.0, "energy reduction only {:.2}x", em / ep);
     }
 
@@ -130,18 +135,20 @@ mod tests {
         let t = time_dnn(&ExecContext::full_chip(&cfg), &DnnId::ResNet50.build());
         let e = EnergyModel::for_config(&cfg)
             .energy_of(&t.counts, t.seconds(cfg.freq_hz))
-            .total();
+            .total()
+            .to_joules();
         assert!(e > 1e-4 && e < 1e-1, "got {e} J");
     }
 
     #[test]
     fn edp_is_product() {
-        assert!((edp(2.0, 3.0) - 6.0).abs() < 1e-12);
+        assert!((edp(Picojoules::from_joules(2.0), 3.0) - 6.0).abs() < 1e-9);
     }
 
     #[test]
     fn static_energy_scales_linearly_with_time() {
         let m = EnergyModel::for_config(&AcceleratorConfig::planaria());
-        assert!((m.static_energy(2.0) - 2.0 * m.static_energy(1.0)).abs() < 1e-12);
+        let twice = m.static_energy(1.0) * 2.0;
+        assert!((m.static_energy(2.0) - twice).as_pj().abs() < 1e-3);
     }
 }

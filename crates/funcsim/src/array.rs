@@ -256,13 +256,7 @@ mod tests {
         a.reset();
         let mut seen = [None; 2];
         for t in 0..6 {
-            let exit = a.step(|k| {
-                if t == k {
-                    acts[0][k]
-                } else {
-                    0
-                }
-            });
+            let exit = a.step(|k| if t == k { acts[0][k] } else { 0 });
             for (c, s) in seen.iter_mut().enumerate() {
                 if t == 1 + c && s.is_none() {
                     *s = Some(exit[c]);

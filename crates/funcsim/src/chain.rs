@@ -26,7 +26,10 @@ impl SerpentineChain {
     ///
     /// Panics if any dimension is zero.
     pub fn new(h: usize, seg_w: usize, segments: usize) -> Self {
-        assert!(h > 0 && seg_w > 0 && segments > 0, "chain dimensions must be non-zero");
+        assert!(
+            h > 0 && seg_w > 0 && segments > 0,
+            "chain dimensions must be non-zero"
+        );
         let segs = (0..segments)
             .map(|i| {
                 let flow = if i % 2 == 0 {

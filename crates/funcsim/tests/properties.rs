@@ -1,10 +1,13 @@
-//! Property tests: the functional array must compute exact GEMMs for
-//! arbitrary shapes and operand values, in every steering mode, and
-//! serpentine chains must always match monolithic arrays.
+//! Property-style tests (deterministic, `SplitMix64`-driven): the
+//! functional array must compute exact GEMMs for arbitrary shapes and
+//! operand values, in every steering mode, and serpentine chains must
+//! always match monolithic arrays.
 
 use planaria_arch::pe::{ActivationFlow, PartialSumFlow};
 use planaria_funcsim::{OmniArray, SerpentineChain, Steering};
-use proptest::prelude::*;
+use planaria_model::SplitMix64;
+
+const CASES: usize = 48;
 
 fn reference(acts: &[Vec<i32>], weights: &[Vec<i32>]) -> Vec<Vec<i64>> {
     let m = acts.len();
@@ -21,69 +24,88 @@ fn reference(acts: &[Vec<i32>], weights: &[Vec<i32>]) -> Vec<Vec<i64>> {
     y
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gemm_exact_for_random_shapes_and_steerings(
-        h in 1usize..9,
-        w in 1usize..9,
-        m in 0usize..12,
-        act_west in any::<bool>(),
-        psum_north in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        // Derive deterministic operand values from the seed.
-        let val = |i: usize, j: usize, salt: u64| {
-            let x = seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((i as u64) << 32)
-                .wrapping_add(j as u64)
-                .wrapping_add(salt);
-            ((x >> 17) % 41) as i32 - 20
-        };
-        let weights: Vec<Vec<i32>> = (0..h).map(|r| (0..w).map(|c| val(r, c, 1)).collect()).collect();
-        let acts: Vec<Vec<i32>> = (0..m).map(|i| (0..h).map(|k| val(i, k, 2)).collect()).collect();
+#[test]
+fn gemm_exact_for_random_shapes_and_steerings() {
+    let mut rng = SplitMix64::new(0x0a_44a1);
+    for case in 0..CASES {
+        let h = rng.next_range(1, 8) as usize;
+        let w = rng.next_range(1, 8) as usize;
+        let m = rng.next_below(12) as usize;
+        let act_west = rng.next_bool(0.5);
+        let psum_north = rng.next_bool(0.5);
+        let val = |rng: &mut SplitMix64| (rng.next_below(41) as i32) - 20;
+        let weights: Vec<Vec<i32>> = (0..h)
+            .map(|_| (0..w).map(|_| val(&mut rng)).collect())
+            .collect();
+        let acts: Vec<Vec<i32>> = (0..m)
+            .map(|_| (0..h).map(|_| val(&mut rng)).collect())
+            .collect();
         let steering = Steering {
-            activations: if act_west { ActivationFlow::Westward } else { ActivationFlow::Eastward },
-            partial_sums: if psum_north { PartialSumFlow::Northward } else { PartialSumFlow::Southward },
+            activations: if act_west {
+                ActivationFlow::Westward
+            } else {
+                ActivationFlow::Eastward
+            },
+            partial_sums: if psum_north {
+                PartialSumFlow::Northward
+            } else {
+                PartialSumFlow::Southward
+            },
         };
         let mut array = OmniArray::new(h, w, steering);
         array.load_weights(&weights);
-        prop_assert_eq!(array.run_gemm(&acts), reference(&acts, &weights));
+        assert_eq!(
+            array.run_gemm(&acts),
+            reference(&acts, &weights),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn serpentine_always_matches_monolithic(
-        h in 1usize..5,
-        seg_w in 1usize..5,
-        segments in 1usize..6,
-        weights_seed in 0i32..1000,
-    ) {
+#[test]
+fn serpentine_always_matches_monolithic() {
+    let mut rng = SplitMix64::new(0x5e4_9e47);
+    for case in 0..CASES {
+        let h = rng.next_range(1, 4) as usize;
+        let seg_w = rng.next_range(1, 4) as usize;
+        let segments = rng.next_range(1, 5) as usize;
+        let weights_seed = rng.next_below(1000) as i32;
         let w = seg_w * segments;
         let weights: Vec<Vec<i32>> = (0..h)
-            .map(|r| (0..w).map(|c| ((r * w + c) as i32 * 7 + weights_seed) % 23 - 11).collect())
+            .map(|r| {
+                (0..w)
+                    .map(|c| ((r * w + c) as i32 * 7 + weights_seed) % 23 - 11)
+                    .collect()
+            })
             .collect();
         let acts: Vec<Vec<i32>> = (0..6)
-            .map(|i| (0..h).map(|k| ((i * h + k) as i32 * 3 + weights_seed) % 17 - 8).collect())
+            .map(|i| {
+                (0..h)
+                    .map(|k| ((i * h + k) as i32 * 3 + weights_seed) % 17 - 8)
+                    .collect()
+            })
             .collect();
         let mut chain = SerpentineChain::new(h, seg_w, segments);
         chain.load_weights(&weights);
         let mut mono = OmniArray::new(h, w, Steering::default());
         mono.load_weights(&weights);
-        prop_assert_eq!(chain.run_gemm(&acts), mono.run_gemm(&acts));
+        assert_eq!(chain.run_gemm(&acts), mono.run_gemm(&acts), "case {case}");
     }
+}
 
-    #[test]
-    fn column_mapping_is_a_bijection(seg_w in 1usize..8, segments in 1usize..6) {
-        let chain = SerpentineChain::new(2, seg_w, segments);
-        let mut seen = std::collections::HashSet::new();
-        for l in 0..chain.width() {
-            let (seg, phys) = chain.map_column(l);
-            prop_assert!(seg < segments);
-            prop_assert!(phys < seg_w);
-            prop_assert!(seen.insert((seg, phys)), "duplicate mapping");
+#[test]
+fn column_mapping_is_a_bijection() {
+    for seg_w in 1usize..8 {
+        for segments in 1usize..6 {
+            let chain = SerpentineChain::new(2, seg_w, segments);
+            let mut seen = std::collections::BTreeSet::new();
+            for l in 0..chain.width() {
+                let (seg, phys) = chain.map_column(l);
+                assert!(seg < segments);
+                assert!(phys < seg_w);
+                assert!(seen.insert((seg, phys)), "duplicate mapping");
+            }
+            assert_eq!(seen.len(), chain.width());
         }
-        prop_assert_eq!(seen.len(), chain.width());
     }
 }

@@ -26,7 +26,7 @@ pub fn generate(table: &ConfigTable) -> Program {
                 current = Some(layer.arrangement);
             }
             instrs.push(Instr::LoadWeights {
-                bytes: u32c(layer.timing.counts.dram_bytes, "weight stream"),
+                bytes: u32c(layer.timing.counts.dram_bytes.get(), "weight stream"),
             });
             // Per execution: `tiles - 1` tiles at the floor rate, with the
             // division remainder folded into the last tile, so both the
@@ -37,25 +37,29 @@ pub fn generate(table: &ConfigTable) -> Program {
             if tiles > 1 {
                 instrs.push(Instr::StreamTiles {
                     count: u32c((tiles - 1) * layer.repeat, "tile count"),
-                    cycles_per_tile: u32c(cpt, "cycles per tile"),
+                    cycles_per_tile: u32c(cpt.get(), "cycles per tile"),
                 });
             }
             instrs.push(Instr::StreamTiles {
                 count: u32c(layer.repeat, "final tile repeats"),
-                cycles_per_tile: u32c(last, "final tile cycles"),
+                cycles_per_tile: u32c(last.get(), "final tile cycles"),
             });
             instrs.push(Instr::Checkpoint {
-                bytes: u32c(layer.timing.tile_bytes, "checkpoint"),
+                bytes: u32c(layer.timing.tile_bytes.get(), "checkpoint"),
             });
         } else {
             instrs.push(Instr::VectorOp {
-                cycles: u32c(layer.timing.cycles * layer.repeat, "vector cycles"),
+                cycles: u32c((layer.timing.cycles * layer.repeat).get(), "vector cycles"),
             });
         }
         instrs.push(Instr::Sync);
     }
     instrs.push(Instr::Halt);
-    Program::new(format!("table-{}sa", table.subarrays()), table.subarrays(), instrs)
+    Program::new(
+        format!("table-{}sa", table.subarrays()),
+        table.subarrays(),
+        instrs,
+    )
 }
 
 #[cfg(test)]
@@ -75,16 +79,20 @@ mod tests {
                 let table = compile_for_allocation(&cfg, &net, s);
                 let program = generate(&table);
                 let replay = interpret(&program);
-                assert_eq!(
-                    replay.cycles,
-                    table.total_cycles(),
-                    "{id} at {s} subarrays"
-                );
+                assert_eq!(replay.cycles, table.total_cycles(), "{id} at {s} subarrays");
                 // Vector layers count one tile each in the table but are
                 // VectorOps in the program.
-                let vector_tiles = table.layers().iter().filter(|l| !l.systolic)
-                    .map(|l| l.repeat).sum::<u64>();
-                assert_eq!(replay.tiles + vector_tiles, table.total_tiles(), "{id} at {s}");
+                let vector_tiles = table
+                    .layers()
+                    .iter()
+                    .filter(|l| !l.systolic)
+                    .map(|l| l.repeat)
+                    .sum::<u64>();
+                assert_eq!(
+                    replay.tiles + vector_tiles,
+                    table.total_tiles(),
+                    "{id} at {s}"
+                );
             }
         }
     }
@@ -113,10 +121,14 @@ mod tests {
         let table = compile_for_allocation(&cfg, &DnnId::GoogLeNet.build(), 4);
         let program = generate(&table);
         let bin = program.assemble();
-        let back = Program::disassemble(&bin).unwrap();
+        let back = Program::disassemble(&bin).unwrap(); // test code
         assert_eq!(back, program);
         // GoogLeNet has ~120 layer entries; the binary should still be a
         // few KB — the same order as the paper's 4 KB per-subarray buffer.
-        assert!(bin.len() < 16 * 1024, "binary unexpectedly large: {}", bin.len());
+        assert!(
+            bin.len() < 16 * 1024,
+            "binary unexpectedly large: {}",
+            bin.len()
+        );
     }
 }

@@ -99,11 +99,11 @@ impl Instr {
     /// Encoded size in bytes (1 opcode byte + operands).
     pub fn encoded_len(&self) -> usize {
         1 + match self {
-            Instr::Configure { .. } => 3,      // g, r, c as u8 each
-            Instr::LoadWeights { .. } => 4,    // bytes: u32
-            Instr::StreamTiles { .. } => 8,    // count + cycles_per_tile
-            Instr::VectorOp { .. } => 4,       // cycles
-            Instr::Checkpoint { .. } => 4,     // bytes
+            Instr::Configure { .. } => 3,   // g, r, c as u8 each
+            Instr::LoadWeights { .. } => 4, // bytes: u32
+            Instr::StreamTiles { .. } => 8, // count + cycles_per_tile
+            Instr::VectorOp { .. } => 4,    // cycles
+            Instr::Checkpoint { .. } => 4,  // bytes
             Instr::Sync | Instr::Halt => 0,
         }
     }

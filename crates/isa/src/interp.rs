@@ -3,16 +3,17 @@
 use crate::instr::Instr;
 use crate::program::Program;
 use planaria_arch::Arrangement;
+use planaria_model::units::{Bytes, Cycles};
 
 /// Aggregate statistics of one program replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Replay {
     /// Total execution cycles.
-    pub cycles: u64,
+    pub cycles: Cycles,
     /// Compute tiles streamed.
     pub tiles: u64,
     /// Weight bytes streamed by `LoadWeights`.
-    pub weight_bytes: u64,
+    pub weight_bytes: Bytes,
     /// Checkpoint (preemption) points encountered.
     pub checkpoints: u64,
     /// Reconfigurations committed.
@@ -36,17 +37,17 @@ pub fn interpret(program: &Program) -> Replay {
                 _active = Some(arrangement);
             }
             Instr::LoadWeights { bytes } => {
-                r.weight_bytes += u64::from(bytes);
+                r.weight_bytes += Bytes::new(u64::from(bytes));
             }
             Instr::StreamTiles {
                 count,
                 cycles_per_tile,
             } => {
                 r.tiles += u64::from(count);
-                r.cycles += u64::from(count) * u64::from(cycles_per_tile);
+                r.cycles += Cycles::new(u64::from(count) * u64::from(cycles_per_tile));
             }
             Instr::VectorOp { cycles } => {
-                r.cycles += u64::from(cycles);
+                r.cycles += Cycles::new(u64::from(cycles));
             }
             Instr::Checkpoint { .. } => {
                 r.checkpoints += 1;
@@ -86,9 +87,9 @@ mod tests {
             ],
         );
         let r = interpret(&p);
-        assert_eq!(r.cycles, 35);
+        assert_eq!(r.cycles, Cycles::new(35));
         assert_eq!(r.tiles, 3);
-        assert_eq!(r.weight_bytes, 100);
+        assert_eq!(r.weight_bytes, Bytes::new(100));
         assert_eq!(r.checkpoints, 1);
         assert_eq!(r.configures, 1);
         assert_eq!(r.syncs, 1);
@@ -96,11 +97,7 @@ mod tests {
 
     #[test]
     fn instructions_after_halt_ignored() {
-        let p = Program::new(
-            "t",
-            1,
-            vec![Instr::Halt],
-        );
-        assert_eq!(interpret(&p).cycles, 0);
+        let p = Program::new("t", 1, vec![Instr::Halt]);
+        assert_eq!(interpret(&p).cycles, Cycles::ZERO);
     }
 }

@@ -55,7 +55,11 @@ impl Program {
     ///
     /// Panics if the instruction list does not end with `Halt`.
     pub fn new(name: impl Into<String>, subarrays: u32, instrs: Vec<Instr>) -> Self {
-        assert_eq!(instrs.last(), Some(&Instr::Halt), "program must end in Halt");
+        assert_eq!(
+            instrs.last(),
+            Some(&Instr::Halt),
+            "program must end in Halt"
+        );
         Self {
             name: name.into(),
             subarrays,
@@ -80,14 +84,17 @@ impl Program {
 
     /// Encoded size in bytes (header + instruction stream).
     pub fn encoded_len(&self) -> usize {
-        MAGIC.len() + 1 + 2 + self.name.len()
+        MAGIC.len()
+            + 1
+            + 2
+            + self.name.len()
             + self.instrs.iter().map(Instr::encoded_len).sum::<usize>()
     }
 
     /// Whether the program fits a subarray's instruction buffer without
     /// streaming (§IV-C gives each subarray 4 KB).
-    pub fn fits_instruction_buffer(&self, buffer_bytes: u64) -> bool {
-        self.encoded_len() as u64 <= buffer_bytes
+    pub fn fits_instruction_buffer(&self, buffer: planaria_model::units::Bytes) -> bool {
+        self.encoded_len() as u64 <= buffer.get()
     }
 
     /// Serializes to the binary format.
@@ -143,6 +150,7 @@ impl Program {
         if subarrays == 0 {
             return Err(DecodeError::BadHeader);
         }
+        // lint: take() returned exactly 2 bytes, so the conversion is infallible
         let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
             .map_err(|_| DecodeError::BadHeader)?;
@@ -153,6 +161,7 @@ impl Program {
             let byte = take(&mut pos, 1)?[0];
             let op = Opcode::from_byte(byte).ok_or(DecodeError::BadOpcode { offset: off, byte })?;
             let u32_at = |pos: &mut usize| -> Result<u32, DecodeError> {
+                // lint: take() returned exactly 4 bytes, so the conversion is infallible
                 Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
             };
             let instr = match op {

@@ -1,73 +1,98 @@
-//! Property tests: arbitrary well-formed programs must round-trip through
-//! the binary format, and corrupted binaries must never decode into a
-//! *different* valid program silently (they either error or reproduce the
-//! original — never a third thing with the same length).
+//! Property-style tests (deterministic, `SplitMix64`-driven): arbitrary
+//! well-formed programs must round-trip through the binary format, and
+//! corrupted binaries must never decode into a *different* valid program
+//! silently (they either error or reproduce the original — never a third
+//! thing with the same length).
 
 use planaria_arch::Arrangement;
 use planaria_isa::{Instr, Program};
-use proptest::prelude::*;
+use planaria_model::SplitMix64;
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (1u32..=16, 1u32..=16, 1u32..=16).prop_map(|(g, r, c)| Instr::Configure {
-            arrangement: Arrangement::new(g, r, c)
-        }),
-        any::<u32>().prop_map(|bytes| Instr::LoadWeights { bytes }),
-        (any::<u32>(), any::<u32>()).prop_map(|(count, cycles_per_tile)| Instr::StreamTiles {
-            count,
-            cycles_per_tile
-        }),
-        any::<u32>().prop_map(|cycles| Instr::VectorOp { cycles }),
-        any::<u32>().prop_map(|bytes| Instr::Checkpoint { bytes }),
-        Just(Instr::Sync),
-    ]
+const CASES: usize = 128;
+
+fn random_instr(rng: &mut SplitMix64) -> Instr {
+    match rng.next_below(6) {
+        0 => Instr::Configure {
+            arrangement: Arrangement::new(
+                rng.next_range(1, 16) as u32,
+                rng.next_range(1, 16) as u32,
+                rng.next_range(1, 16) as u32,
+            ),
+        },
+        1 => Instr::LoadWeights {
+            bytes: rng.next_u32(),
+        },
+        2 => Instr::StreamTiles {
+            count: rng.next_u32(),
+            cycles_per_tile: rng.next_u32(),
+        },
+        3 => Instr::VectorOp {
+            cycles: rng.next_u32(),
+        },
+        4 => Instr::Checkpoint {
+            bytes: rng.next_u32(),
+        },
+        _ => Instr::Sync,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_name(rng: &mut SplitMix64, max_len: u64) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+    let len = rng.next_below(max_len + 1) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.next_below(ALPHABET.len() as u64) as usize] as char)
+        .collect()
+}
 
-    #[test]
-    fn arbitrary_programs_roundtrip(
-        name in "[a-zA-Z0-9_-]{0,24}",
-        subarrays in 1u32..=16,
-        body in prop::collection::vec(instr_strategy(), 0..64),
-    ) {
-        let mut instrs = body;
-        instrs.push(Instr::Halt);
-        let program = Program::new(name, subarrays, instrs);
+fn random_program(rng: &mut SplitMix64, max_body: u64) -> Program {
+    let name = random_name(rng, 24);
+    let subarrays = rng.next_range(1, 16) as u32;
+    let mut instrs: Vec<Instr> = (0..rng.next_below(max_body))
+        .map(|_| random_instr(rng))
+        .collect();
+    instrs.push(Instr::Halt);
+    Program::new(name, subarrays, instrs)
+}
+
+#[test]
+fn arbitrary_programs_roundtrip() {
+    let mut rng = SplitMix64::new(0x1541_0ca1);
+    for case in 0..CASES {
+        let program = random_program(&mut rng, 64);
         let bin = program.assemble();
-        prop_assert_eq!(bin.len(), program.encoded_len());
-        let back = Program::disassemble(&bin).unwrap();
-        prop_assert_eq!(back, program);
+        assert_eq!(bin.len(), program.encoded_len(), "case {case}");
+        let back = Program::disassemble(&bin).unwrap_or_else(|e| {
+            panic!("case {case}: roundtrip decode failed: {e:?}");
+        });
+        assert_eq!(back, program, "case {case}");
     }
+}
 
-    #[test]
-    fn single_byte_corruption_never_decodes_to_longer_stream(
-        body in prop::collection::vec(instr_strategy(), 1..16),
-        flip_at in any::<prop::sample::Index>(),
-        xor in 1u8..=255,
-    ) {
-        let mut instrs = body;
-        instrs.push(Instr::Halt);
-        let program = Program::new("p", 4, instrs);
+#[test]
+fn single_byte_corruption_never_panics_or_overreads() {
+    let mut rng = SplitMix64::new(0xc0_44u64);
+    for _case in 0..CASES {
+        let program = random_program(&mut rng, 16);
         let mut bin = program.assemble();
-        let idx = flip_at.index(bin.len());
+        let idx = rng.next_below(bin.len() as u64) as usize;
+        let xor = rng.next_range(1, 255) as u8;
         bin[idx] ^= xor;
         // Either rejected, or decodes to *some* program — but decoding must
         // never panic and never read past the buffer.
         let _ = Program::disassemble(&bin);
     }
+}
 
-    #[test]
-    fn truncation_is_always_detected(
-        body in prop::collection::vec(instr_strategy(), 1..16),
-        cut_at in any::<prop::sample::Index>(),
-    ) {
-        let mut instrs = body;
-        instrs.push(Instr::Halt);
-        let program = Program::new("p", 4, instrs);
+#[test]
+fn truncation_is_always_detected() {
+    let mut rng = SplitMix64::new(0x7123_4cu64);
+    for case in 0..CASES {
+        let program = random_program(&mut rng, 16);
         let bin = program.assemble();
-        let cut = cut_at.index(bin.len().saturating_sub(1)); // strictly shorter
-        prop_assert!(Program::disassemble(&bin[..cut]).is_err());
+        let cut = rng.next_below(bin.len() as u64 - 1) as usize; // strictly shorter
+        assert!(
+            Program::disassemble(&bin[..cut]).is_err(),
+            "case {case}: truncated binary decoded"
+        );
     }
 }

@@ -154,7 +154,12 @@ impl DnnBuilder {
     /// # Panics
     ///
     /// Panics if `repeat` is zero.
-    pub fn push_repeated(&mut self, name: impl Into<String>, op: LayerOp, repeat: u64) -> &mut Self {
+    pub fn push_repeated(
+        &mut self,
+        name: impl Into<String>,
+        op: LayerOp,
+        repeat: u64,
+    ) -> &mut Self {
         self.layers.push(Layer::repeated(name, op, repeat));
         self
     }
@@ -165,7 +170,10 @@ impl DnnBuilder {
     ///
     /// Panics if no layers were added or if two layers share a name.
     pub fn build(self) -> Dnn {
-        assert!(!self.layers.is_empty(), "network must have at least one layer");
+        assert!(
+            !self.layers.is_empty(),
+            "network must have at least one layer"
+        );
         let mut names: Vec<&str> = self.layers.iter().map(|l| l.name.as_str()).collect();
         names.sort_unstable();
         for w in names.windows(2) {

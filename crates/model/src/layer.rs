@@ -103,7 +103,7 @@ impl ConvSpec {
     ///
     /// Panics if any dimension or the stride is zero, or if the padded input
     /// is smaller than the kernel.
-    #[allow(clippy::too_many_arguments)] // mirrors the conv hyper-parameter list
+    #[allow(clippy::too_many_arguments)] // lint: mirrors the conv hyper-parameter list
     pub fn new(
         in_ch: u64,
         out_ch: u64,
@@ -185,7 +185,15 @@ impl DepthwiseSpec {
     ///
     /// Panics if any dimension or the stride is zero, or if the padded input
     /// is smaller than the kernel.
-    pub fn new(channels: u64, kh: u64, kw: u64, stride: u64, pad: u64, in_h: u64, in_w: u64) -> Self {
+    pub fn new(
+        channels: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        pad: u64,
+        in_h: u64,
+        in_w: u64,
+    ) -> Self {
         assert!(
             channels > 0 && kh > 0 && kw > 0 && stride > 0 && in_h > 0 && in_w > 0,
             "depthwise dimensions must be non-zero"
@@ -287,7 +295,15 @@ impl PoolSpec {
     ///
     /// Panics if any dimension or the stride is zero, or if the window is
     /// larger than the input.
-    pub fn new(kind: PoolKind, channels: u64, kh: u64, kw: u64, stride: u64, in_h: u64, in_w: u64) -> Self {
+    pub fn new(
+        kind: PoolKind,
+        channels: u64,
+        kh: u64,
+        kw: u64,
+        stride: u64,
+        in_h: u64,
+        in_w: u64,
+    ) -> Self {
         assert!(
             channels > 0 && kh > 0 && kw > 0 && stride > 0 && in_h > 0 && in_w > 0,
             "pooling dimensions must be non-zero"
@@ -382,7 +398,10 @@ pub enum LayerOp {
 impl LayerOp {
     /// Whether this operator runs on the systolic array (vs. the vector unit).
     pub fn is_systolic(&self) -> bool {
-        matches!(self, LayerOp::Conv(_) | LayerOp::Depthwise(_) | LayerOp::MatMul(_))
+        matches!(
+            self,
+            LayerOp::Conv(_) | LayerOp::Depthwise(_) | LayerOp::MatMul(_)
+        )
     }
 
     /// MAC count for systolic operators; zero for vector-unit operators.

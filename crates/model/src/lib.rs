@@ -27,11 +27,15 @@
 pub mod graph;
 pub mod layer;
 pub mod nets;
+pub mod rng;
 pub mod suite;
+pub mod units;
 
 pub use graph::{Dnn, DnnBuilder, DnnStats};
 pub use layer::{
     ConvSpec, DepthwiseSpec, EltwiseOp, EltwiseSpec, GemmShape, Layer, LayerOp, MatMulSpec,
     PoolKind, PoolSpec,
 };
-pub use suite::{Domain, DnnId};
+pub use rng::SplitMix64;
+pub use suite::{DnnId, Domain};
+pub use units::{Bytes, Cycles, Picojoules};

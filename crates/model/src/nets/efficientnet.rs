@@ -8,7 +8,7 @@ use crate::suite::Domain;
 /// One MBConv block: 1×1 expand (skipped when ratio = 1) → k×k depthwise →
 /// squeeze-and-excite → 1×1 project, with a residual add when shapes match.
 /// Returns the output spatial size.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // lint: MBConv block hyper-parameter list
 fn mbconv(
     b: &mut DnnBuilder,
     name: &str,

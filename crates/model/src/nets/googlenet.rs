@@ -37,7 +37,10 @@ impl Inception {
         // Branch concatenation is pure data movement handled by the vector unit.
         b.push(
             format!("{n}.concat"),
-            LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::DataMove, self.out_ch() * hw * hw)),
+            LayerOp::Eltwise(EltwiseSpec::new(
+                EltwiseOp::DataMove,
+                self.out_ch() * hw * hw,
+            )),
         );
         self.out_ch()
     }
@@ -98,7 +101,16 @@ mod tests {
     fn googlenet_channel_progression() {
         // 3a out = 256, 3b out = 480, 4e out = 832, 5b out = 1024 per the paper.
         assert_eq!(
-            Inception { name: "x", b1: 64, b2r: 96, b2: 128, b3r: 16, b3: 32, b4: 32 }.out_ch(),
+            Inception {
+                name: "x",
+                b1: 64,
+                b2r: 96,
+                b2: 128,
+                b3r: 16,
+                b3: 32,
+                b4: 32
+            }
+            .out_ch(),
             256
         );
         let net = googlenet();

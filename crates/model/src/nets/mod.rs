@@ -32,7 +32,7 @@ use crate::layer::{ConvSpec, DepthwiseSpec, EltwiseOp, EltwiseSpec, LayerOp, Poo
 
 /// Appends a dense convolution followed by its activation pass; returns the
 /// output spatial size.
-#[allow(clippy::too_many_arguments)] // conv hyper-parameters
+#[allow(clippy::too_many_arguments)] // lint: conv hyper-parameters
 pub(crate) fn conv_act(
     b: &mut DnnBuilder,
     name: &str,
@@ -55,7 +55,7 @@ pub(crate) fn conv_act(
 
 /// Appends a dense convolution with no activation pass (projection shortcuts,
 /// detection heads); returns the output spatial size.
-#[allow(clippy::too_many_arguments)] // conv hyper-parameters
+#[allow(clippy::too_many_arguments)] // lint: conv hyper-parameters
 pub(crate) fn conv_raw(
     b: &mut DnnBuilder,
     name: &str,
@@ -88,7 +88,10 @@ pub(crate) fn dwconv_act(
     b.push(name.to_string(), LayerOp::Depthwise(d));
     b.push(
         format!("{name}.act"),
-        LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, channels * out * out)),
+        LayerOp::Eltwise(EltwiseSpec::new(
+            EltwiseOp::Activation,
+            channels * out * out,
+        )),
     );
     out
 }
@@ -104,7 +107,15 @@ pub(crate) fn maxpool(
     pad: u64,
     hw: u64,
 ) -> u64 {
-    let p = PoolSpec::new(PoolKind::Max, channels, k, k, stride, hw + 2 * pad, hw + 2 * pad);
+    let p = PoolSpec::new(
+        PoolKind::Max,
+        channels,
+        k,
+        k,
+        stride,
+        hw + 2 * pad,
+        hw + 2 * pad,
+    );
     let out = p.out_h();
     b.push(name.to_string(), LayerOp::Pool(p));
     out

@@ -14,7 +14,16 @@ use crate::suite::Domain;
 fn ssd_heads(b: &mut DnnBuilder, maps: &[(u64, u64, u64)], classes: u64, k: u64) {
     for (i, &(ch, hw, anchors)) in maps.iter().enumerate() {
         conv_raw(b, &format!("head{i}.loc"), ch, anchors * 4, k, 1, k / 2, hw);
-        conv_raw(b, &format!("head{i}.conf"), ch, anchors * classes, k, 1, k / 2, hw);
+        conv_raw(
+            b,
+            &format!("head{i}.conf"),
+            ch,
+            anchors * classes,
+            k,
+            1,
+            k / 2,
+            hw,
+        );
     }
 }
 

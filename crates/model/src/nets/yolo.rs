@@ -17,7 +17,15 @@ pub fn tiny_yolo() -> Dnn {
         ch = out_ch;
         // The sixth maxpool keeps 13x13 (stride 1) in the reference cfg.
         let stride = if i == 5 { 1 } else { 2 };
-        hw = maxpool(&mut b, &format!("pool{}", i + 1), ch, 2, stride, 0, hw + (stride == 1) as u64);
+        hw = maxpool(
+            &mut b,
+            &format!("pool{}", i + 1),
+            ch,
+            2,
+            stride,
+            0,
+            hw + (stride == 1) as u64,
+        );
     }
     hw = conv_act(&mut b, "conv7", ch, 1024, 3, 1, 1, hw);
     hw = conv_act(&mut b, "conv8", 1024, 1024, 3, 1, 1, hw);

@@ -116,10 +116,9 @@ impl DnnId {
     /// Application domain (Table I).
     pub fn domain(&self) -> Domain {
         match self {
-            DnnId::ResNet50
-            | DnnId::GoogLeNet
-            | DnnId::EfficientNetB0
-            | DnnId::MobileNetV1 => Domain::ImageClassification,
+            DnnId::ResNet50 | DnnId::GoogLeNet | DnnId::EfficientNetB0 | DnnId::MobileNetV1 => {
+                Domain::ImageClassification
+            }
             DnnId::YoloV3 | DnnId::SsdResNet34 | DnnId::SsdMobileNet | DnnId::TinyYolo => {
                 Domain::ObjectDetection
             }

@@ -1,0 +1,537 @@
+//! Domain unit newtypes: [`Cycles`], [`Picojoules`], and [`Bytes`].
+//!
+//! Planaria's evaluation is bookkeeping-heavy: cycle counts flow from the
+//! timing model into configuration tables and the scheduler, energy flows
+//! from access counts into workload totals, and byte footprints gate every
+//! buffering decision. A bare `u64` makes a cycles-vs-bytes mixup silently
+//! type-check; these newtypes make it a compile error, and the
+//! `planaria-checks` lint pass (L1, unit-safety) enforces their use on the
+//! public surfaces of `timing`, `energy`, `compiler`, and `isa`.
+//!
+//! The types deliberately expose only the arithmetic that is dimensionally
+//! meaningful:
+//!
+//! * `Cycles + Cycles`, `Cycles * count`, `Cycles / count` — but no
+//!   `Cycles * Cycles` (cycles² is never wanted here);
+//! * `Bytes` mirrors `Cycles`;
+//! * [`Picojoules`] is `f64`-backed (energies are products of counts and
+//!   sub-picojoule constants) and supports `+`, `-`, scaling, and sums.
+//!
+//! Escape hatches (`get`, `as_f64`) are loud and greppable at the
+//! boundaries where raw numbers are genuinely needed (ISA operand encoding,
+//! ratio computations, seconds conversions).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A count of accelerator clock cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw count (escape hatch; prefer typed arithmetic).
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The raw count as `f64` (for ratios and rate math).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Wall-clock seconds at a clock of `freq_hz`.
+    pub fn seconds_at(self, freq_hz: f64) -> f64 {
+        self.0 as f64 / freq_hz
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_add(rhs.0).map(Cycles)
+    }
+
+    /// Checked subtraction (`None` on underflow).
+    pub fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_sub(rhs.0).map(Cycles)
+    }
+
+    /// Checked scaling by a count.
+    pub fn checked_mul(self, n: u64) -> Option<Cycles> {
+        self.0.checked_mul(n).map(Cycles)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating scaling by a count.
+    pub fn saturating_mul(self, n: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(n))
+    }
+
+    /// The larger of two cycle counts.
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two cycle counts.
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.min(rhs.0))
+    }
+
+    /// Whether the count is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, n: u64) -> Cycles {
+        Cycles(self.0 * n)
+    }
+}
+
+impl Mul<Cycles> for u64 {
+    type Output = Cycles;
+    fn mul(self, c: Cycles) -> Cycles {
+        Cycles(self * c.0)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, n: u64) -> Cycles {
+        Cycles(self.0 / n)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A byte count (footprints, traffic, checkpoint payloads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Wraps a raw byte count.
+    pub const fn new(n: u64) -> Self {
+        Bytes(n)
+    }
+
+    /// The raw count (escape hatch; prefer typed arithmetic).
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The raw count as `f64` (for bandwidth math).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_add(rhs.0).map(Bytes)
+    }
+
+    /// Checked subtraction (`None` on underflow).
+    pub fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(rhs.0).map(Bytes)
+    }
+
+    /// Checked scaling by a count.
+    pub fn checked_mul(self, n: u64) -> Option<Bytes> {
+        self.0.checked_mul(n).map(Bytes)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating scaling by a count.
+    pub fn saturating_mul(self, n: u64) -> Bytes {
+        Bytes(self.0.saturating_mul(n))
+    }
+
+    /// The larger of two byte counts.
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two byte counts.
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+
+    /// Whether the count is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, n: u64) -> Bytes {
+        Bytes(self.0 * n)
+    }
+}
+
+impl Mul<Bytes> for u64 {
+    type Output = Bytes;
+    fn mul(self, b: Bytes) -> Bytes {
+        Bytes(self * b.0)
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, n: u64) -> Bytes {
+        Bytes(self.0 / n)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        if self.0 >= GIB {
+            write!(f, "{:.2} GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2} MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2} KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// An energy amount, stored in picojoules (`f64`-backed: energies are
+/// products of event counts and sub-picojoule constants).
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Picojoules(f64);
+
+impl Picojoules {
+    /// Zero energy.
+    pub const ZERO: Picojoules = Picojoules(0.0);
+
+    /// Wraps a raw picojoule amount.
+    pub const fn new(pj: f64) -> Self {
+        Picojoules(pj)
+    }
+
+    /// Converts from joules.
+    pub fn from_joules(j: f64) -> Self {
+        Picojoules(j * 1e12)
+    }
+
+    /// The amount in picojoules.
+    pub const fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// The amount in joules.
+    pub fn to_joules(self) -> f64 {
+        self.0 * 1e-12
+    }
+
+    /// The larger of two energies.
+    pub fn max(self, rhs: Picojoules) -> Picojoules {
+        Picojoules(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two energies.
+    pub fn min(self, rhs: Picojoules) -> Picojoules {
+        Picojoules(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Picojoules {
+    type Output = Picojoules;
+    fn add(self, rhs: Picojoules) -> Picojoules {
+        Picojoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picojoules {
+    fn add_assign(&mut self, rhs: Picojoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picojoules {
+    type Output = Picojoules;
+    fn sub(self, rhs: Picojoules) -> Picojoules {
+        Picojoules(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picojoules {
+    fn sub_assign(&mut self, rhs: Picojoules) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Picojoules {
+    type Output = Picojoules;
+    fn mul(self, s: f64) -> Picojoules {
+        Picojoules(self.0 * s)
+    }
+}
+
+impl Mul<Picojoules> for f64 {
+    type Output = Picojoules;
+    fn mul(self, e: Picojoules) -> Picojoules {
+        Picojoules(self * e.0)
+    }
+}
+
+impl Div<f64> for Picojoules {
+    type Output = Picojoules;
+    fn div(self, s: f64) -> Picojoules {
+        Picojoules(self.0 / s)
+    }
+}
+
+impl Sum for Picojoules {
+    fn sum<I: Iterator<Item = Picojoules>>(iter: I) -> Picojoules {
+        Picojoules(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for Picojoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pj = self.0.abs();
+        if pj >= 1e12 {
+            write!(f, "{:.3} J", self.0 * 1e-12)
+        } else if pj >= 1e9 {
+            write!(f, "{:.3} mJ", self.0 * 1e-9)
+        } else if pj >= 1e6 {
+            write!(f, "{:.3} uJ", self.0 * 1e-6)
+        } else if pj >= 1e3 {
+            write!(f, "{:.3} nJ", self.0 * 1e-3)
+        } else {
+            write!(f, "{:.3} pJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(50);
+        assert_eq!(a + b, Cycles::new(150));
+        assert_eq!(a - b, Cycles::new(50));
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(3 * a, Cycles::new(300));
+        assert_eq!(a / 4, Cycles::new(25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(150));
+        c -= b;
+        assert_eq!(c, a);
+        assert_eq!(vec![a, b, b].into_iter().sum::<Cycles>(), Cycles::new(200));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!(Cycles::ZERO.is_zero());
+        assert!(!a.is_zero());
+        assert!(b < a);
+    }
+
+    #[test]
+    fn cycles_checked_and_saturating() {
+        let max = Cycles::new(u64::MAX);
+        assert_eq!(max.checked_add(Cycles::new(1)), None);
+        assert_eq!(max.saturating_add(Cycles::new(1)), max);
+        assert_eq!(Cycles::new(1).checked_sub(Cycles::new(2)), None);
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(2)), Cycles::ZERO);
+        assert_eq!(max.checked_mul(2), None);
+        assert_eq!(max.saturating_mul(2), max);
+        assert_eq!(
+            Cycles::new(10).checked_add(Cycles::new(5)),
+            Some(Cycles::new(15))
+        );
+        assert_eq!(
+            Cycles::new(10).checked_sub(Cycles::new(5)),
+            Some(Cycles::new(5))
+        );
+        assert_eq!(Cycles::new(10).checked_mul(5), Some(Cycles::new(50)));
+    }
+
+    #[test]
+    fn cycles_seconds_and_display() {
+        let c = Cycles::new(700_000_000);
+        assert!((c.seconds_at(700e6) - 1.0).abs() < 1e-12);
+        assert_eq!(Cycles::new(42).to_string(), "42 cycles");
+        assert_eq!(c.as_f64(), 7e8);
+        assert_eq!(c.get(), 700_000_000);
+    }
+
+    #[test]
+    fn bytes_arithmetic() {
+        let a = Bytes::new(4096);
+        let b = Bytes::new(1024);
+        assert_eq!(a + b, Bytes::new(5120));
+        assert_eq!(a - b, Bytes::new(3072));
+        assert_eq!(b * 4, a);
+        assert_eq!(4 * b, a);
+        assert_eq!(a / 2, Bytes::new(2048));
+        let mut c = Bytes::ZERO;
+        c += a;
+        assert_eq!(c, a);
+        c -= b;
+        assert_eq!(c, Bytes::new(3072));
+        assert_eq!(vec![a, b].into_iter().sum::<Bytes>(), Bytes::new(5120));
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn bytes_checked_and_saturating() {
+        let max = Bytes::new(u64::MAX);
+        assert_eq!(max.checked_add(Bytes::new(1)), None);
+        assert_eq!(max.saturating_add(Bytes::new(1)), max);
+        assert_eq!(Bytes::new(1).checked_sub(Bytes::new(2)), None);
+        assert_eq!(Bytes::new(1).saturating_sub(Bytes::new(2)), Bytes::ZERO);
+        assert_eq!(max.checked_mul(3), None);
+        assert_eq!(max.saturating_mul(3), max);
+        assert_eq!(Bytes::new(6).checked_mul(7), Some(Bytes::new(42)));
+    }
+
+    #[test]
+    fn bytes_display_humanizes() {
+        assert_eq!(Bytes::new(512).to_string(), "512 B");
+        assert_eq!(Bytes::new(1536).to_string(), "1.50 KiB");
+        assert_eq!(Bytes::new(12 * 1024 * 1024).to_string(), "12.00 MiB");
+        assert_eq!(Bytes::new(3 * 1024 * 1024 * 1024).to_string(), "3.00 GiB");
+    }
+
+    #[test]
+    fn picojoules_arithmetic_and_conversions() {
+        let a = Picojoules::new(200.0);
+        let b = Picojoules::new(100.0);
+        assert_eq!(a + b, Picojoules::new(300.0));
+        assert_eq!(a - b, b);
+        assert_eq!(a * 2.0, Picojoules::new(400.0));
+        assert_eq!(2.0 * a, Picojoules::new(400.0));
+        assert_eq!(a / 2.0, b);
+        let mut c = Picojoules::ZERO;
+        c += a;
+        c -= b;
+        assert_eq!(c, b);
+        assert_eq!(
+            vec![a, b].into_iter().sum::<Picojoules>(),
+            Picojoules::new(300.0)
+        );
+        assert!((Picojoules::from_joules(1.0).as_pj() - 1e12).abs() < 1e-3);
+        assert!((Picojoules::new(1e12).to_joules() - 1.0).abs() < 1e-12);
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn picojoules_display_scales() {
+        assert_eq!(Picojoules::new(0.2).to_string(), "0.200 pJ");
+        assert_eq!(Picojoules::new(1.5e3).to_string(), "1.500 nJ");
+        assert_eq!(Picojoules::new(2.5e6).to_string(), "2.500 uJ");
+        assert_eq!(Picojoules::new(3.25e9).to_string(), "3.250 mJ");
+        assert_eq!(Picojoules::from_joules(4.0).to_string(), "4.000 J");
+    }
+}

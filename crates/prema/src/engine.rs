@@ -5,6 +5,7 @@ use crate::policy::{pick_with_threshold, Policy, PolicyTask, TokenState};
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
+use planaria_model::units::Cycles;
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -73,7 +74,7 @@ impl PremaEngine {
     }
 
     fn remaining_seconds(&self, job: &Job, freq: f64) -> f64 {
-        (job.overhead_cycles + self.table_for(job).remaining_cycles(job.done) as f64) / freq
+        (job.overhead_cycles + self.table_for(job).remaining_cycles(job.done).as_f64()) / freq
     }
 
     /// Simulates one trace (must be sorted by arrival time).
@@ -126,11 +127,11 @@ impl PremaEngine {
                         self.library.get(job.request.dnn).table(n)
                     };
                     let before = job.done;
-                    job.done = table.advance(job.done, cycles.round() as u64);
+                    job.done = table.advance(job.done, Cycles::new(cycles.round() as u64));
                     if job.done > 1.0 - DONE_EPS {
                         job.done = 1.0;
                     }
-                    job.energy_j += (job.done - before) * table.total_energy_j();
+                    job.energy_j += (job.done - before) * table.total_energy().to_joules();
                 }
             }
             now = t_next;
@@ -191,7 +192,7 @@ impl PremaEngine {
                     if let Some(cur) = running {
                         let pos = self.table_for(&jobs[cur]).position(jobs[cur].done);
                         let cost = reconfiguration_cycles(&ctx, mono, mono, pos.tile_bytes);
-                        jobs[next].overhead_cycles += cost.total() as f64;
+                        jobs[next].overhead_cycles += cost.total().as_f64();
                     }
                 }
                 running = chosen;
@@ -204,7 +205,7 @@ impl PremaEngine {
         // Static energy accrues while the accelerator serves a job.
         SimResult {
             completions,
-            total_energy_j: dynamic + em.static_energy(busy_seconds),
+            total_energy_j: dynamic + em.static_energy(busy_seconds).to_joules(),
             makespan,
         }
     }

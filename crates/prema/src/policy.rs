@@ -76,15 +76,9 @@ pub fn pick_with_threshold(policy: Policy, tasks: &[PolicyTask], threshold: f64)
             // set, highest-token first mattering only through the shortest-
             // job tie-break; with nobody starved the policy degenerates to
             // throughput-maximizing SJF over the whole queue.
-            let starved: Vec<&PolicyTask> = tasks
-                .iter()
-                .filter(|t| t.tokens >= threshold)
-                .collect();
-            let pool: &[&PolicyTask] = if starved.is_empty() {
-                &[]
-            } else {
-                &starved
-            };
+            let starved: Vec<&PolicyTask> =
+                tasks.iter().filter(|t| t.tokens >= threshold).collect();
+            let pool: &[&PolicyTask] = if starved.is_empty() { &[] } else { &starved };
             let candidates: Vec<&PolicyTask> = if pool.is_empty() {
                 tasks.iter().collect()
             } else {

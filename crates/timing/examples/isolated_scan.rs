@@ -6,7 +6,10 @@ use planaria_timing::{time_dnn, ExecContext};
 fn main() {
     let pl = AcceleratorConfig::planaria();
     let mono = AcceleratorConfig::monolithic();
-    println!("{:<16} {:>10} {:>10} {:>8}", "DNN", "mono(ms)", "plan(ms)", "speedup");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "DNN", "mono(ms)", "plan(ms)", "speedup"
+    );
     for id in DnnId::ALL {
         let net = id.build();
         let tm = time_dnn(&ExecContext::full_chip(&mono), &net);
@@ -16,7 +19,7 @@ fn main() {
             id.name(),
             tm.seconds(mono.freq_hz) * 1e3,
             tp.seconds(pl.freq_hz) * 1e3,
-            tm.total_cycles as f64 / tp.total_cycles as f64
+            tm.total_cycles.as_f64() / tp.total_cycles.as_f64()
         );
     }
 }

@@ -1,6 +1,7 @@
 //! Execution context: the slice of the chip a logical accelerator owns.
 
 use planaria_arch::AcceleratorConfig;
+use planaria_model::units::Bytes;
 
 /// Resources available to one logical accelerator while executing a layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,8 +15,8 @@ pub struct ExecContext {
     /// granules out of 16 owns `s/4` channels — bandwidth is conserved
     /// across tenants.
     pub dram_channels: f64,
-    /// On-chip activation+output buffer share in bytes.
-    pub buffer_bytes: u64,
+    /// On-chip activation+output buffer share.
+    pub buffer_bytes: Bytes,
 }
 
 impl ExecContext {
@@ -31,13 +32,13 @@ impl ExecContext {
             "allocation of {subarrays} subarrays out of range 1..={}",
             cfg.num_subarrays()
         );
-        let channels = f64::from(subarrays) * f64::from(cfg.dram_channels)
-            / f64::from(cfg.num_subarrays());
+        let channels =
+            f64::from(subarrays) * f64::from(cfg.dram_channels) / f64::from(cfg.num_subarrays());
         Self {
             cfg: *cfg,
             subarrays,
             dram_channels: channels,
-            buffer_bytes: cfg.buffer_share(subarrays),
+            buffer_bytes: Bytes::new(cfg.buffer_share(subarrays)),
         }
     }
 
@@ -47,21 +48,21 @@ impl ExecContext {
     }
 
     /// Activation-buffer share (2/3 of the buffer, the TPU-like split).
-    pub fn act_buffer_bytes(&self) -> u64 {
+    pub fn act_buffer_bytes(&self) -> Bytes {
         self.buffer_bytes * 2 / 3
     }
 
     /// Output-buffer share (remaining 1/3).
-    pub fn out_buffer_bytes(&self) -> u64 {
+    pub fn out_buffer_bytes(&self) -> Bytes {
         self.buffer_bytes - self.act_buffer_bytes()
     }
 
     /// Weight-buffer capacity across the allocation (per-PE buffers).
-    pub fn weight_buffer_bytes(&self) -> u64 {
+    pub fn weight_buffer_bytes(&self) -> Bytes {
         let pes = u64::from(self.subarrays)
             * u64::from(self.cfg.subarray_dim)
             * u64::from(self.cfg.subarray_dim);
-        pes * self.cfg.weight_buffer_per_pe
+        Bytes::new(pes * self.cfg.weight_buffer_per_pe)
     }
 
     /// Off-chip bytes per cycle over this allocation's bandwidth share.
@@ -92,7 +93,7 @@ mod tests {
         let ctx = ExecContext::full_chip(&cfg);
         assert_eq!(ctx.subarrays, 16);
         assert!((ctx.dram_channels - 4.0).abs() < 1e-9);
-        assert_eq!(ctx.buffer_bytes, cfg.onchip_buffer_bytes);
+        assert_eq!(ctx.buffer_bytes, Bytes::new(cfg.onchip_buffer_bytes));
         assert_eq!(ctx.pes(), 16_384);
         assert_eq!(ctx.simd_lanes(), 512);
     }
@@ -103,7 +104,10 @@ mod tests {
         let total: f64 = (0..4)
             .map(|_| ExecContext::for_allocation(&cfg, 4).dram_channels)
             .sum();
-        assert!((total - 4.0).abs() < 1e-9, "four quarter-tenants own the chip");
+        assert!(
+            (total - 4.0).abs() < 1e-9,
+            "four quarter-tenants own the chip"
+        );
         assert!((ExecContext::for_allocation(&cfg, 1).dram_channels - 0.25).abs() < 1e-9);
         assert!((ExecContext::for_allocation(&cfg, 9).dram_channels - 2.25).abs() < 1e-9);
     }
@@ -112,7 +116,10 @@ mod tests {
     fn buffer_split_two_to_one() {
         let cfg = AcceleratorConfig::planaria();
         let ctx = ExecContext::full_chip(&cfg);
-        assert_eq!(ctx.act_buffer_bytes() + ctx.out_buffer_bytes(), ctx.buffer_bytes);
+        assert_eq!(
+            ctx.act_buffer_bytes() + ctx.out_buffer_bytes(),
+            ctx.buffer_bytes
+        );
         assert!(ctx.act_buffer_bytes() > ctx.out_buffer_bytes());
     }
 

@@ -1,6 +1,7 @@
 //! Access statistics produced by the timing model and consumed by the
 //! energy model.
 
+use planaria_model::units::{Bytes, Cycles};
 use std::ops::{Add, AddAssign};
 
 /// Event counts for one layer execution (or an aggregate of executions).
@@ -13,17 +14,17 @@ pub struct AccessCounts {
     /// PE-cycles of array activity (allocated PEs × cycles the array is
     /// streaming or stalled-but-clocked) — the utilization-dependent term
     /// that dominates energy on underutilized monolithic arrays.
-    pub pe_active_cycles: u64,
-    /// Activation-buffer (Pod Memory read-side) traffic, bytes.
-    pub act_sram_bytes: u64,
-    /// Output-buffer traffic including partial-sum accumulation, bytes.
-    pub psum_sram_bytes: u64,
-    /// Weight-buffer reads feeding the PEs, bytes.
-    pub wbuf_bytes: u64,
-    /// Off-chip DRAM traffic, bytes.
-    pub dram_bytes: u64,
+    pub pe_active_cycles: Cycles,
+    /// Activation-buffer (Pod Memory read-side) traffic.
+    pub act_sram_bytes: Bytes,
+    /// Output-buffer traffic including partial-sum accumulation.
+    pub psum_sram_bytes: Bytes,
+    /// Weight-buffer reads feeding the PEs.
+    pub wbuf_bytes: Bytes,
+    /// Off-chip DRAM traffic.
+    pub dram_bytes: Bytes,
     /// Inter-subarray ring-bus traffic, byte-hops (bytes × hops).
-    pub ring_hop_bytes: u64,
+    pub ring_hop_bytes: Bytes,
     /// SIMD vector-unit operations.
     pub vector_ops: u64,
 }
@@ -80,19 +81,19 @@ mod tests {
     fn add_and_scale() {
         let a = AccessCounts {
             mac_ops: 1,
-            pe_active_cycles: 8,
-            act_sram_bytes: 2,
-            psum_sram_bytes: 3,
-            wbuf_bytes: 4,
-            dram_bytes: 5,
-            ring_hop_bytes: 6,
+            pe_active_cycles: Cycles::new(8),
+            act_sram_bytes: Bytes::new(2),
+            psum_sram_bytes: Bytes::new(3),
+            wbuf_bytes: Bytes::new(4),
+            dram_bytes: Bytes::new(5),
+            ring_hop_bytes: Bytes::new(6),
             vector_ops: 7,
         };
         let b = a.scaled(2);
         assert_eq!(b.mac_ops, 2);
         assert_eq!(b.vector_ops, 14);
         let c = a + b;
-        assert_eq!(c.dram_bytes, 15);
+        assert_eq!(c.dram_bytes, Bytes::new(15));
         let mut d = AccessCounts::zero();
         d += c;
         assert_eq!(d, c);

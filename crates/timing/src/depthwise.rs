@@ -14,6 +14,7 @@ use crate::gemm::{fill_cycles, TILE_SWITCH_CYCLES};
 use crate::layer::LayerTiming;
 use planaria_arch::Arrangement;
 use planaria_model::layer::{ACC_BYTES, ELEM_BYTES};
+use planaria_model::units::{Bytes, Cycles};
 use planaria_model::DepthwiseSpec;
 
 /// Times a depthwise convolution on `arr`.
@@ -32,8 +33,9 @@ pub fn time_depthwise(ctx: &ExecContext, dw: &DepthwiseSpec, arr: Arrangement) -
     // unless they exceed the activation-buffer share.
     let input_fm = dw.channels * dw.in_h * dw.in_w * ELEM_BYTES;
     let output_fm = dw.channels * m * ELEM_BYTES;
-    let input_dram = if input_fm <= ctx.act_buffer_bytes() { 0 } else { input_fm };
-    let output_dram = if output_fm <= ctx.act_buffer_bytes() { 0 } else { output_fm };
+    let act_share = ctx.act_buffer_bytes().get();
+    let input_dram = if input_fm <= act_share { 0 } else { input_fm };
+    let output_dram = if output_fm <= act_share { 0 } else { output_fm };
     let dram_bytes = dw.weight_bytes() + input_dram + output_dram;
     let dram_cycles = (dram_bytes as f64 / ctx.dram_bytes_per_cycle()).ceil() as u64;
 
@@ -45,14 +47,14 @@ pub fn time_depthwise(ctx: &ExecContext, dw: &DepthwiseSpec, arr: Arrangement) -
     let padded_k = k.max(1).div_ceil(h).max(1) * h;
     let counts = AccessCounts {
         mac_ops: dw.macs(),
-        pe_active_cycles: ctx.pes() * cycles,
+        pe_active_cycles: Cycles::new(ctx.pes() * cycles),
         // Each output position reads its (padded) filter window from the
         // activation buffer.
-        act_sram_bytes: dw.channels * m * padded_k * ELEM_BYTES,
-        psum_sram_bytes: dw.channels * m * ACC_BYTES,
-        wbuf_bytes: dw.weight_bytes(),
-        dram_bytes,
-        ring_hop_bytes: 0,
+        act_sram_bytes: Bytes::new(dw.channels * m * padded_k * ELEM_BYTES),
+        psum_sram_bytes: Bytes::new(dw.channels * m * ACC_BYTES),
+        wbuf_bytes: Bytes::new(dw.weight_bytes()),
+        dram_bytes: Bytes::new(dram_bytes),
+        ring_hop_bytes: Bytes::ZERO,
         vector_ops: 0,
     };
 
@@ -61,10 +63,10 @@ pub fn time_depthwise(ctx: &ExecContext, dw: &DepthwiseSpec, arr: Arrangement) -
     let tiles = ch_per_cluster.max(1);
 
     LayerTiming {
-        cycles,
+        cycles: Cycles::new(cycles),
         tiles,
-        cycles_per_tile: (cycles / tiles).max(1),
-        tile_bytes: m * ACC_BYTES,
+        cycles_per_tile: Cycles::new((cycles / tiles).max(1)),
+        tile_bytes: Bytes::new(m * ACC_BYTES),
         counts,
         utilization,
     }
@@ -85,7 +87,7 @@ mod tests {
         let ctx = ExecContext::full_chip(&cfg);
         let t = time_depthwise(&ctx, &dw_512(), Arrangement::new(1, 1, 1));
         // 512 channels x ~(196 + 9) cycles.
-        assert!(t.cycles >= 512 * 196);
+        assert!(t.cycles.get() >= 512 * 196);
         assert!(t.utilization < 0.01);
     }
 
@@ -95,7 +97,7 @@ mod tests {
         let ctx = ExecContext::full_chip(&cfg);
         let mono = time_depthwise(&ctx, &dw_512(), Arrangement::new(1, 4, 4));
         let fis = time_depthwise(&ctx, &dw_512(), Arrangement::new(16, 1, 1));
-        let ratio = mono.cycles as f64 / fis.cycles as f64;
+        let ratio = mono.cycles.as_f64() / fis.cycles.as_f64();
         assert!(ratio > 10.0, "expected ~16x, got {ratio:.1}x");
     }
 

@@ -4,6 +4,7 @@ use crate::context::ExecContext;
 use crate::counts::AccessCounts;
 use crate::layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
 use planaria_arch::Arrangement;
+use planaria_model::units::Cycles;
 use planaria_model::Dnn;
 
 /// The execution plan of one layer: chosen arrangement and its timing.
@@ -21,7 +22,7 @@ pub struct LayerPlan {
 
 impl LayerPlan {
     /// Total cycles including repetitions.
-    pub fn total_cycles(&self) -> u64 {
+    pub fn total_cycles(&self) -> Cycles {
         self.timing.cycles * self.repeat
     }
 
@@ -37,7 +38,7 @@ pub struct DnnTiming {
     /// Per-layer plans in execution order.
     pub plans: Vec<LayerPlan>,
     /// End-to-end cycles.
-    pub total_cycles: u64,
+    pub total_cycles: Cycles,
     /// Aggregated access statistics.
     pub counts: AccessCounts,
 }
@@ -45,7 +46,7 @@ pub struct DnnTiming {
 impl DnnTiming {
     /// End-to-end latency in seconds at the context's clock.
     pub fn seconds(&self, freq_hz: f64) -> f64 {
-        self.total_cycles as f64 / freq_hz
+        self.total_cycles.seconds_at(freq_hz)
     }
 
     /// Total schedulable tiles.
@@ -59,7 +60,7 @@ impl DnnTiming {
 /// `planaria-compiler`).
 pub fn time_dnn(ctx: &ExecContext, dnn: &Dnn) -> DnnTiming {
     let mut plans = Vec::with_capacity(dnn.num_layers());
-    let mut total_cycles = 0u64;
+    let mut total_cycles = Cycles::ZERO;
     let mut counts = AccessCounts::zero();
     for layer in dnn.layers() {
         let (arrangement, timing) = if layer.op.is_systolic() {
@@ -108,7 +109,7 @@ mod tests {
         let net = DnnId::MobileNetV1.build();
         let pl = time_dnn(&ExecContext::full_chip(&pl_cfg), &net);
         let mono = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
-        let speedup = mono.total_cycles as f64 / pl.total_cycles as f64;
+        let speedup = mono.total_cycles.as_f64() / pl.total_cycles.as_f64();
         assert!(speedup > 2.0, "got {speedup:.2}x");
     }
 
@@ -119,16 +120,22 @@ mod tests {
         let net = DnnId::Gnmt.build();
         let pl = time_dnn(&ExecContext::full_chip(&pl_cfg), &net);
         let mono = time_dnn(&ExecContext::full_chip(&mono_cfg), &net);
-        let speedup = mono.total_cycles as f64 / pl.total_cycles as f64;
-        assert!(speedup < 2.0, "GNMT speedup should be modest, got {speedup:.2}x");
-        assert!(speedup > 0.8, "fission should not hurt GNMT, got {speedup:.2}x");
+        let speedup = mono.total_cycles.as_f64() / pl.total_cycles.as_f64();
+        assert!(
+            speedup < 2.0,
+            "GNMT speedup should be modest, got {speedup:.2}x"
+        );
+        assert!(
+            speedup > 0.8,
+            "fission should not hurt GNMT, got {speedup:.2}x"
+        );
     }
 
     #[test]
     fn more_subarrays_never_slow_a_network_down() {
         let cfg = AcceleratorConfig::planaria();
         let net = DnnId::GoogLeNet.build();
-        let mut prev = u64::MAX;
+        let mut prev = Cycles::new(u64::MAX);
         for s in [1u32, 2, 4, 8, 16] {
             let t = time_dnn(&ExecContext::for_allocation(&cfg, s), &net);
             assert!(

@@ -14,6 +14,7 @@ use crate::counts::AccessCounts;
 use crate::layer::LayerTiming;
 use planaria_arch::Arrangement;
 use planaria_model::layer::{ACC_BYTES, ELEM_BYTES};
+use planaria_model::units::{Bytes, Cycles};
 use planaria_model::GemmShape;
 
 /// Pipeline bubble when switching the stationary weight tile (the weights
@@ -44,7 +45,7 @@ fn time_split(
     gemm: GemmShape,
     arr: Arrangement,
     split: ClusterSplit,
-    input_footprint: u64,
+    input_footprint: Bytes,
 ) -> LayerTiming {
     let dim = ctx.cfg.subarray_dim;
     let h = arr.height(dim);
@@ -60,8 +61,8 @@ fn time_split(
     let n_tiles = n_c.div_ceil(w);
 
     // Streamed rows per tile, bounded by the per-cluster buffer shares.
-    let out_share = ctx.out_buffer_bytes() / g;
-    let act_share = ctx.act_buffer_bytes() / g;
+    let out_share = ctx.out_buffer_bytes().get() / g;
+    let act_share = ctx.act_buffer_bytes().get() / g;
     let by_out = out_share / (ACC_BYTES * w).max(1);
     let by_act = act_share / (gemm.k * ELEM_BYTES).max(1);
     let m_t = m_c.min(by_out).min(by_act.max(1)).max(1);
@@ -70,13 +71,12 @@ fn time_split(
 
     // Every streamed row enters once per (k, n) weight tile; weight switches
     // are double-buffered so each tile adds only a small bubble.
-    let compute =
-        m_c * k_tiles * n_tiles + tiles * TILE_SWITCH_CYCLES + fill_cycles(ctx, arr);
+    let compute = m_c * k_tiles * n_tiles + tiles * TILE_SWITCH_CYCLES + fill_cycles(ctx, arr);
 
     // Weight residency: when a cluster's weight slice fits its per-PE
     // buffers it streams from DRAM once, otherwise once per M chunk.
     let cluster_weights = gemm.k * n_c * ELEM_BYTES;
-    let cluster_wbuf = ctx.weight_buffer_bytes() / g;
+    let cluster_wbuf = ctx.weight_buffer_bytes().get() / g;
     let weight_passes = if cluster_weights <= cluster_wbuf {
         1
     } else {
@@ -90,9 +90,9 @@ fn time_split(
     let input_dram = if input_footprint <= ctx.act_buffer_bytes() {
         0
     } else {
-        input_footprint * n_tiles
+        input_footprint.get() * n_tiles
     };
-    let output_dram = if gemm.output_bytes() <= ctx.act_buffer_bytes() {
+    let output_dram = if gemm.output_bytes() <= ctx.act_buffer_bytes().get() {
         0
     } else {
         gemm.output_bytes()
@@ -121,12 +121,12 @@ fn time_split(
 
     let counts = AccessCounts {
         mac_ops: gemm.macs(),
-        pe_active_cycles: g * h * w * cycles,
-        act_sram_bytes: act_sram,
-        psum_sram_bytes: psum_sram,
-        wbuf_bytes: wbuf,
-        dram_bytes,
-        ring_hop_bytes: act_hops + psum_hops + bcast_hops,
+        pe_active_cycles: Cycles::new(g * h * w * cycles),
+        act_sram_bytes: Bytes::new(act_sram),
+        psum_sram_bytes: Bytes::new(psum_sram),
+        wbuf_bytes: Bytes::new(wbuf),
+        dram_bytes: Bytes::new(dram_bytes),
+        ring_hop_bytes: Bytes::new(act_hops + psum_hops + bcast_hops),
         vector_ops: 0,
     };
 
@@ -134,10 +134,10 @@ fn time_split(
     let utilization = gemm.macs() as f64 / (pes * cycles).max(1) as f64;
 
     LayerTiming {
-        cycles,
+        cycles: Cycles::new(cycles),
         tiles,
-        cycles_per_tile: (cycles / tiles.max(1)).max(1),
-        tile_bytes: m_t * w * ACC_BYTES,
+        cycles_per_tile: Cycles::new((cycles / tiles.max(1)).max(1)),
+        tile_bytes: Bytes::new(m_t * w * ACC_BYTES),
         counts,
         utilization,
     }
@@ -145,15 +145,21 @@ fn time_split(
 
 /// Times a GEMM on `arr`, choosing the better cluster split.
 ///
-/// `input_footprint` is the true input operand size in bytes (feature map
-/// for convolutions — smaller than `m·k` because of window overlap).
+/// `input_footprint` is the true input operand size (feature map for
+/// convolutions — smaller than `m·k` because of window overlap).
 pub fn time_gemm(
     ctx: &ExecContext,
     gemm: GemmShape,
     arr: Arrangement,
-    input_footprint: u64,
+    input_footprint: Bytes,
 ) -> LayerTiming {
-    let a = time_split(ctx, gemm, arr, ClusterSplit::OutputFeatures, input_footprint);
+    let a = time_split(
+        ctx,
+        gemm,
+        arr,
+        ClusterSplit::OutputFeatures,
+        input_footprint,
+    );
     if arr.clusters == 1 {
         return a;
     }
@@ -184,9 +190,14 @@ mod tests {
         // tile, so cycles ≈ M.
         let c = ctx();
         let g = GemmShape::new(10_000, 128, 128);
-        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
-        assert!(t.cycles >= 10_000);
-        assert!(t.cycles < 13_000, "got {}", t.cycles);
+        let t = time_gemm(
+            &c,
+            g,
+            Arrangement::new(1, 4, 4),
+            Bytes::new(g.input_bytes()),
+        );
+        assert!(t.cycles.get() >= 10_000);
+        assert!(t.cycles.get() < 13_000, "got {}", t.cycles);
         assert!(t.utilization > 0.75, "got {}", t.utilization);
     }
 
@@ -195,10 +206,11 @@ mod tests {
         // K = 27, N = 16 (Tiny YOLO conv1): the monolithic array can't be
         // fed faster than one row/cycle regardless of its 16K PEs.
         let g = GemmShape::new(173_056, 27, 16);
-        let mono = time_gemm(&mono_ctx(), g, Arrangement::new(1, 1, 1), 416 * 416 * 3);
+        let fm = Bytes::new(416 * 416 * 3);
+        let mono = time_gemm(&mono_ctx(), g, Arrangement::new(1, 1, 1), fm);
         assert!(mono.utilization < 0.05, "got {}", mono.utilization);
         // 16 clusters split the rows and finish ~an order of magnitude faster.
-        let fis = time_gemm(&ctx(), g, Arrangement::new(16, 1, 1), 416 * 416 * 3);
+        let fis = time_gemm(&ctx(), g, Arrangement::new(16, 1, 1), fm);
         assert!(
             fis.cycles * 8 < mono.cycles,
             "fissioned {} vs monolithic {}",
@@ -213,18 +225,24 @@ mod tests {
         // dominates; compute is trivial.
         let c = ctx();
         let g = GemmShape::new(1, 2048, 4096);
-        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        let t = time_gemm(
+            &c,
+            g,
+            Arrangement::new(1, 4, 4),
+            Bytes::new(g.input_bytes()),
+        );
         let dram_floor = (g.weight_bytes() as f64 / c.dram_bytes_per_cycle()) as u64;
-        assert!(t.cycles >= dram_floor);
-        assert!(t.cycles < dram_floor * 2);
+        assert!(t.cycles.get() >= dram_floor);
+        assert!(t.cycles.get() < dram_floor * 2);
     }
 
     #[test]
     fn taller_arrays_cut_psum_traffic() {
         let c = ctx();
         let g = GemmShape::new(1, 2048, 4096);
-        let square = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
-        let tall = time_gemm(&c, g, Arrangement::new(1, 8, 2), g.input_bytes());
+        let fm = Bytes::new(g.input_bytes());
+        let square = time_gemm(&c, g, Arrangement::new(1, 4, 4), fm);
+        let tall = time_gemm(&c, g, Arrangement::new(1, 8, 2), fm);
         assert!(tall.counts.psum_sram_bytes < square.counts.psum_sram_bytes);
     }
 
@@ -234,9 +252,14 @@ mod tests {
         // splitting 16 output features over 16 clusters starves columns.
         let c = ctx();
         let g = GemmShape::new(100_000, 32, 16);
-        let t = time_gemm(&c, g, Arrangement::new(16, 1, 1), g.input_bytes());
+        let t = time_gemm(
+            &c,
+            g,
+            Arrangement::new(16, 1, 1),
+            Bytes::new(g.input_bytes()),
+        );
         // Row split => ~M/16 + overheads.
-        assert!(t.cycles < 100_000 / 8, "got {}", t.cycles);
+        assert!(t.cycles.get() < 100_000 / 8, "got {}", t.cycles);
     }
 
     #[test]
@@ -245,15 +268,25 @@ mod tests {
         // chunks forces multiple DRAM passes.
         let c = mono_ctx();
         let g = GemmShape::new(2_000_000, 4096, 4096); // 16 MB weights
-        let t = time_gemm(&c, g, Arrangement::new(1, 1, 1), g.input_bytes());
-        assert!(t.counts.dram_bytes > g.weight_bytes() * 2);
+        let t = time_gemm(
+            &c,
+            g,
+            Arrangement::new(1, 1, 1),
+            Bytes::new(g.input_bytes()),
+        );
+        assert!(t.counts.dram_bytes.get() > g.weight_bytes() * 2);
     }
 
     #[test]
     fn tiles_and_cycles_consistent() {
         let c = ctx();
         let g = GemmShape::new(3000, 300, 300);
-        let t = time_gemm(&c, g, Arrangement::new(1, 4, 4), g.input_bytes());
+        let t = time_gemm(
+            &c,
+            g,
+            Arrangement::new(1, 4, 4),
+            Bytes::new(g.input_bytes()),
+        );
         assert!(t.tiles >= 1);
         assert!(t.cycles_per_tile * t.tiles <= t.cycles + t.cycles_per_tile * 2);
     }

@@ -38,7 +38,7 @@
 //! let ctx = ExecContext::full_chip(&cfg);
 //! let conv = LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 1, 1, 56, 56));
 //! let t = time_layer(&ctx, &conv, Arrangement::new(1, 4, 4));
-//! assert!(t.cycles > 0);
+//! assert!(t.cycles.get() > 0);
 //! ```
 
 pub mod context;

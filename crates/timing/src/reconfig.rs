@@ -7,32 +7,33 @@
 
 use crate::context::ExecContext;
 use planaria_arch::Arrangement;
+use planaria_model::units::{Bytes, Cycles};
 
 /// Breakdown of one reconfiguration event, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReconfigCost {
     /// Draining the in-flight wavefront of the old arrangement.
-    pub drain: u64,
+    pub drain: Cycles,
     /// Writing one tile of intermediate results to DRAM (tile-granularity
     /// checkpointing keeps this to a single tile, §V).
-    pub checkpoint: u64,
+    pub checkpoint: Cycles,
     /// Committing the double-buffered configuration registers and fetching
     /// the first instructions of the new binary.
-    pub config_swap: u64,
+    pub config_swap: Cycles,
     /// Refilling the new arrangement's pipeline and stationary weights.
-    pub refill: u64,
+    pub refill: Cycles,
 }
 
 impl ReconfigCost {
     /// Total cycles.
-    pub fn total(&self) -> u64 {
+    pub fn total(&self) -> Cycles {
         self.drain + self.checkpoint + self.config_swap + self.refill
     }
 }
 
 /// Cycles to fetch the next configuration's instruction stream; §IV-C
 /// prefetches during the drain, so only a small commit cost remains.
-const CONFIG_SWAP_CYCLES: u64 = 16;
+const CONFIG_SWAP_CYCLES: Cycles = Cycles::new(16);
 
 /// Computes the cost of switching a task from `old` to `new` arrangement,
 /// checkpointing `tile_bytes` of in-flight results.
@@ -40,12 +41,12 @@ pub fn reconfiguration_cycles(
     ctx: &ExecContext,
     old: Arrangement,
     new: Arrangement,
-    tile_bytes: u64,
+    tile_bytes: Bytes,
 ) -> ReconfigCost {
     let dim = ctx.cfg.subarray_dim;
-    let drain = old.height(dim) + old.width(dim);
-    let checkpoint = (tile_bytes as f64 / ctx.dram_bytes_per_cycle()).ceil() as u64;
-    let refill = new.height(dim) + new.width(dim);
+    let drain = Cycles::new(old.height(dim) + old.width(dim));
+    let checkpoint = Cycles::new((tile_bytes.as_f64() / ctx.dram_bytes_per_cycle()).ceil() as u64);
+    let refill = Cycles::new(new.height(dim) + new.width(dim));
     ReconfigCost {
         drain,
         checkpoint,
@@ -67,13 +68,13 @@ mod tests {
             &ctx,
             Arrangement::new(1, 4, 4),
             Arrangement::new(4, 1, 1),
-            64 * 1024,
+            Bytes::new(64 * 1024),
         );
         // A 64 KB checkpoint over 4 channels ≈ 460 cycles; total well under
         // 10 µs at 700 MHz.
-        let us = cost.total() as f64 / cfg.freq_hz * 1e6;
+        let us = cost.total().seconds_at(cfg.freq_hz) * 1e6;
         assert!(us < 10.0, "reconfiguration took {us} µs");
-        assert!(cost.total() > 0);
+        assert!(!cost.total().is_zero());
     }
 
     #[test]
@@ -81,8 +82,8 @@ mod tests {
         let cfg = AcceleratorConfig::planaria();
         let ctx = ExecContext::for_allocation(&cfg, 4);
         let a = Arrangement::new(1, 2, 2);
-        let small = reconfiguration_cycles(&ctx, a, a, 1024);
-        let big = reconfiguration_cycles(&ctx, a, a, 1024 * 1024);
+        let small = reconfiguration_cycles(&ctx, a, a, Bytes::new(1024));
+        let big = reconfiguration_cycles(&ctx, a, a, Bytes::new(1024 * 1024));
         assert!(big.checkpoint > small.checkpoint * 100);
     }
 
@@ -94,13 +95,13 @@ mod tests {
             &ctx,
             Arrangement::new(1, 16, 1),
             Arrangement::new(16, 1, 1),
-            0,
+            Bytes::ZERO,
         );
         let small = reconfiguration_cycles(
             &ctx,
             Arrangement::new(16, 1, 1),
             Arrangement::new(16, 1, 1),
-            0,
+            Bytes::ZERO,
         );
         assert!(tall.drain > small.drain);
     }

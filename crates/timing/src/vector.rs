@@ -9,6 +9,7 @@ use crate::context::ExecContext;
 use crate::counts::AccessCounts;
 use crate::layer::LayerTiming;
 use planaria_model::layer::ELEM_BYTES;
+use planaria_model::units::{Bytes, Cycles};
 use planaria_model::{EltwiseOp, EltwiseSpec, PoolSpec};
 
 /// Vector-lane cycles per element for each elementwise operator.
@@ -25,19 +26,19 @@ fn vector_timing(ctx: &ExecContext, ops: u64, in_bytes: u64, out_bytes: u64) -> 
     let cycles = ops.div_ceil(lanes).max(1);
     let counts = AccessCounts {
         mac_ops: 0,
-        pe_active_cycles: 0,
-        act_sram_bytes: in_bytes + out_bytes,
-        psum_sram_bytes: 0,
-        wbuf_bytes: 0,
-        dram_bytes: 0,
-        ring_hop_bytes: 0,
+        pe_active_cycles: Cycles::ZERO,
+        act_sram_bytes: Bytes::new(in_bytes + out_bytes),
+        psum_sram_bytes: Bytes::ZERO,
+        wbuf_bytes: Bytes::ZERO,
+        dram_bytes: Bytes::ZERO,
+        ring_hop_bytes: Bytes::ZERO,
         vector_ops: ops,
     };
     LayerTiming {
-        cycles,
+        cycles: Cycles::new(cycles),
         tiles: 1,
-        cycles_per_tile: cycles,
-        tile_bytes: out_bytes,
+        cycles_per_tile: Cycles::new(cycles),
+        tile_bytes: Bytes::new(out_bytes),
         counts,
         utilization: 0.0,
     }
@@ -88,6 +89,6 @@ mod tests {
         let cfg = AcceleratorConfig::planaria();
         let ctx = ExecContext::full_chip(&cfg);
         let t = time_eltwise(&ctx, &EltwiseSpec::new(EltwiseOp::Add, 1));
-        assert_eq!(t.cycles, 1);
+        assert_eq!(t.cycles, Cycles::new(1));
     }
 }

@@ -3,7 +3,7 @@
 use crate::qos::sla_percentile;
 use crate::request::Completion;
 use planaria_model::DnnId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fraction of requests that violated their QoS bound.
 pub fn violation_rate(completions: &[Completion]) -> f64 {
@@ -18,7 +18,7 @@ pub fn violation_rate(completions: &[Completion]) -> f64 {
 /// the required percentile of requests (99 % vision / 97 % translation)
 /// finish within their QoS bound.
 pub fn meets_sla(completions: &[Completion]) -> bool {
-    let mut by_dnn: HashMap<DnnId, (usize, usize)> = HashMap::new();
+    let mut by_dnn: BTreeMap<DnnId, (usize, usize)> = BTreeMap::new();
     for c in completions {
         let e = by_dnn.entry(c.request.dnn).or_insert((0, 0));
         e.0 += 1;
@@ -41,7 +41,7 @@ pub fn meets_sla(completions: &[Completion]) -> bool {
 /// seconds on the *same* system.
 ///
 /// Returns 1.0 for fewer than two completions (perfect fairness trivially).
-pub fn fairness(completions: &[Completion], isolated: &HashMap<DnnId, f64>) -> f64 {
+pub fn fairness(completions: &[Completion], isolated: &BTreeMap<DnnId, f64>) -> f64 {
     if completions.len() < 2 {
         return 1.0;
     }
@@ -52,6 +52,8 @@ pub fn fairness(completions: &[Completion], isolated: &HashMap<DnnId, f64>) -> f
             let t_iso = isolated
                 .get(&c.request.dnn)
                 .copied()
+                // lint: callers pass `isolated_latencies()`, which covers
+                // every DnnId by construction
                 .expect("isolated latency for every network");
             let progress = t_iso / c.latency().max(1e-12);
             let weight = c.request.priority as f64 / sum_priority;
@@ -159,7 +161,7 @@ mod tests {
 
     #[test]
     fn fairness_is_one_for_proportional_progress() {
-        let mut iso = HashMap::new();
+        let mut iso = BTreeMap::new();
         iso.insert(DnnId::ResNet50, 0.001);
         // Two equal-priority tasks slowed equally: perfectly fair.
         let cs = vec![
@@ -171,7 +173,7 @@ mod tests {
 
     #[test]
     fn fairness_penalizes_starvation() {
-        let mut iso = HashMap::new();
+        let mut iso = BTreeMap::new();
         iso.insert(DnnId::ResNet50, 0.001);
         let cs = vec![
             completion(DnnId::ResNet50, 5, 0.001, 1.0), // full speed
@@ -199,9 +201,7 @@ mod tests {
 
     #[test]
     fn throughput_search_reports_floor_on_hopeless_systems() {
-        let run = |_lambda: f64, _seed: u64| {
-            vec![completion(DnnId::ResNet50, 5, 1.0, 0.015)]
-        };
+        let run = |_lambda: f64, _seed: u64| vec![completion(DnnId::ResNet50, 5, 1.0, 0.015)];
         let thr = max_throughput(run, &[1], 1.0, 1000.0, 10);
         assert!((thr - 1.0).abs() < 1e-12);
     }

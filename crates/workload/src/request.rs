@@ -66,7 +66,10 @@ impl SimResult {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().map(Completion::latency).sum::<f64>()
+        self.completions
+            .iter()
+            .map(Completion::latency)
+            .sum::<f64>()
             / self.completions.len() as f64
     }
 

@@ -3,9 +3,7 @@
 
 use crate::qos::{qos_bound, QosLevel};
 use crate::request::Request;
-use planaria_model::DnnId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use planaria_model::{DnnId, SplitMix64};
 use std::fmt;
 
 /// Workload scenario of Table I.
@@ -101,7 +99,7 @@ impl TraceConfig {
     /// process), request types uniform over the scenario's members,
     /// priorities uniform in 1..=11.
     pub fn generate(&self) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let members = self.scenario.members();
         let mut t = 0.0f64;
         // Two-state modulated process: half the requests arrive in bursts
@@ -115,19 +113,18 @@ impl TraceConfig {
         let mut bursting = false;
         (0..self.requests)
             .map(|i| {
-                if self.burstiness > 1.0 && rng.gen_range(0.0..1.0) < SWITCH_PROB {
+                if self.burstiness > 1.0 && rng.next_bool(SWITCH_PROB) {
                     bursting = !bursting;
                 }
                 let rate = if bursting { rate_burst } else { rate_calm };
-                // Inverse-CDF exponential sampling; guard the open interval.
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -u.ln() / rate;
-                let dnn = members[rng.gen_range(0..members.len())];
+                // Inverse-CDF exponential sampling on the open interval.
+                t += rng.next_exp(rate);
+                let dnn = members[rng.next_below(members.len() as u64) as usize];
                 Request {
                     id: i as u64,
                     dnn,
                     arrival: t,
-                    priority: rng.gen_range(1..=11),
+                    priority: rng.next_range(1, 11) as u32,
                     qos: qos_bound(dnn, self.qos),
                 }
             })
@@ -181,7 +178,11 @@ mod tests {
         let rate = |t: &[crate::request::Request]| {
             (t.len() - 1) as f64 / (t.last().unwrap().arrival - t[0].arrival)
         };
-        assert!((rate(&calm) / 100.0 - 1.0).abs() < 0.15, "calm {}", rate(&calm));
+        assert!(
+            (rate(&calm) / 100.0 - 1.0).abs() < 0.15,
+            "calm {}",
+            rate(&calm)
+        );
         assert!(
             (rate(&bursty) / 100.0 - 1.0).abs() < 0.30,
             "bursty {}",
@@ -192,8 +193,7 @@ mod tests {
         let cv2 = |t: &[crate::request::Request]| {
             let gaps: Vec<f64> = t.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
-                / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
             var / (mean * mean)
         };
         assert!(cv2(&calm) < 1.3, "calm cv2 {}", cv2(&calm));

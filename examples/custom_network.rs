@@ -17,12 +17,18 @@ use planaria::model::{
 /// A small keyword-spotting CNN over a 40x101 mel-spectrogram.
 fn keyword_spotter() -> planaria::model::Dnn {
     let mut b = DnnBuilder::new("kws-cnn", Domain::ImageClassification);
-    b.push("conv1", LayerOp::Conv(ConvSpec::new(1, 64, 3, 3, 1, 1, 40, 40)));
+    b.push(
+        "conv1",
+        LayerOp::Conv(ConvSpec::new(1, 64, 3, 3, 1, 1, 40, 40)),
+    );
     b.push(
         "act1",
         LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 64 * 40 * 40)),
     );
-    b.push("conv2", LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 40, 40)));
+    b.push(
+        "conv2",
+        LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 40, 40)),
+    );
     b.push(
         "act2",
         LayerOp::Eltwise(EltwiseSpec::new(EltwiseOp::Activation, 64 * 20 * 20)),
@@ -41,7 +47,7 @@ fn main() {
     for s in [1u32, 2, 4, 16] {
         println!(
             "  {s:>2} subarrays: {:.0} us",
-            kws.table(s).total_cycles() as f64 / cfg.freq_hz * 1e6
+            kws.table(s).total_cycles().seconds_at(cfg.freq_hz) * 1e6
         );
     }
 
@@ -63,7 +69,10 @@ fn main() {
         },
     ];
     let alloc = schedule_tasks_spatially(&tasks, cfg.num_subarrays(), cfg.freq_hz);
-    println!("\nAlgorithm 1 splits the chip: kws -> {} subarrays, GNMT -> {}", alloc[0], alloc[1]);
+    println!(
+        "\nAlgorithm 1 splits the chip: kws -> {} subarrays, GNMT -> {}",
+        alloc[0], alloc[1]
+    );
     for (t, &a) in tasks.iter().zip(&alloc) {
         if a > 0 {
             println!(

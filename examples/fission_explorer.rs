@@ -20,11 +20,11 @@ fn explore(name: &str, op: &LayerOp) {
         "{:>14} {:>4} {:>4} {:>4} {:>7} {:>11} {:>8} {:>11}",
         "config", "P", "IAR", "PSR", "OD", "cycles", "util", "energy (uJ)"
     );
-    let mut rows: Vec<(Arrangement, u64, f64, f64)> = Arrangement::enumerate(16)
+    let mut rows: Vec<(Arrangement, planaria::Cycles, f64, f64)> = Arrangement::enumerate(16)
         .into_iter()
         .map(|arr| {
             let t = time_layer(&ctx, op, arr);
-            let e = em.dynamic_energy(&t.counts);
+            let e = em.dynamic_energy(&t.counts).to_joules();
             (arr, t.cycles, t.utilization, e)
         })
         .collect();
@@ -36,7 +36,11 @@ fn explore(name: &str, op: &LayerOp) {
             format!("{}x", arr.clusters),
             format!("{}x", arr.cols),
             format!("{}x", arr.rows),
-            if arr.uses_omnidirectional() { "Used" } else { "-" },
+            if arr.uses_omnidirectional() {
+                "Used"
+            } else {
+                "-"
+            },
             cycles,
             util * 100.0,
             energy * 1e6,

@@ -10,9 +10,7 @@
 use planaria::arch::AcceleratorConfig;
 use planaria::core::PlanariaEngine;
 use planaria::prema::PremaEngine;
-use planaria::workload::{
-    fairness, meets_sla, violation_rate, QosLevel, Scenario, TraceConfig,
-};
+use planaria::workload::{fairness, meets_sla, violation_rate, QosLevel, Scenario, TraceConfig};
 
 fn main() {
     println!("compiling both systems (9 networks x 16 tables)...");
@@ -60,8 +58,6 @@ fn main() {
     );
     println!(
         "{:<28}{:>12.2}{:>12.2}",
-        "energy (J)",
-        rp.total_energy_j,
-        rr.total_energy_j
+        "energy (J)", rp.total_energy_j, rr.total_energy_j
     );
 }

@@ -24,7 +24,7 @@ fn main() {
     for s in [1u32, 4, 16] {
         println!(
             "  {s:>2} subarrays -> {:.3} ms",
-            compiled.table(s).total_cycles() as f64 / cfg.freq_hz * 1e3
+            compiled.table(s).total_cycles().seconds_at(cfg.freq_hz) * 1e3
         );
     }
 
@@ -38,10 +38,7 @@ fn main() {
         priority: 5,
         qos: 0.015,
     };
-    let result = engine.run(&[
-        request(0, DnnId::ResNet50),
-        request(1, DnnId::MobileNetV1),
-    ]);
+    let result = engine.run(&[request(0, DnnId::ResNet50), request(1, DnnId::MobileNetV1)]);
     for c in &result.completions {
         println!(
             "request {} ({}): latency {:.3} ms, QoS {}",

@@ -22,11 +22,7 @@ fn isa_replay_matches_tables_suite_wide() {
         for s in 1..=16u32 {
             let table = lib().get(id).table(s);
             let replay = interpret(&generate(table));
-            assert_eq!(
-                replay.cycles,
-                table.total_cycles(),
-                "{id} at {s} subarrays"
-            );
+            assert_eq!(replay.cycles, table.total_cycles(), "{id} at {s} subarrays");
         }
     }
 }
@@ -50,8 +46,12 @@ fn all_binaries_roundtrip() {
 #[test]
 fn functional_drain_cycle_matches_analytical_fill_term() {
     for (h, w, m) in [(4usize, 4usize, 6usize), (2, 8, 3), (8, 2, 5)] {
-        let weights: Vec<Vec<i32>> = (0..h).map(|r| (0..w).map(|c| (r + c) as i32).collect()).collect();
-        let acts: Vec<Vec<i32>> = (0..m).map(|i| (0..h).map(|k| (i * k + 1) as i32).collect()).collect();
+        let weights: Vec<Vec<i32>> = (0..h)
+            .map(|r| (0..w).map(|c| (r + c) as i32).collect())
+            .collect();
+        let acts: Vec<Vec<i32>> = (0..m)
+            .map(|i| (0..h).map(|k| (i * k + 1) as i32).collect())
+            .collect();
         let mut array = OmniArray::new(h, w, Steering::default());
         array.load_weights(&weights);
         // run_gemm internally steps exactly M + H + W cycles and the tests
@@ -103,10 +103,7 @@ fn binaries_are_compact() {
     for id in DnnId::ALL {
         let program = generate(lib().get(id).table(16));
         let bytes = program.assemble().len();
-        assert!(
-            bytes < 32 * 1024,
-            "{id}: binary is {bytes} bytes"
-        );
+        assert!(bytes < 32 * 1024, "{id}: binary is {bytes} bytes");
     }
 }
 

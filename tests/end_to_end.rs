@@ -5,9 +5,7 @@ use planaria::arch::AcceleratorConfig;
 use planaria::core::{run_cluster, PlanariaEngine};
 use planaria::model::DnnId;
 use planaria::prema::{Policy, PremaEngine};
-use planaria::workload::{
-    meets_sla, violation_rate, QosLevel, Request, Scenario, TraceConfig,
-};
+use planaria::workload::{meets_sla, violation_rate, QosLevel, Request, Scenario, TraceConfig};
 use std::sync::OnceLock;
 
 fn planaria_engine() -> &'static PlanariaEngine {
@@ -134,5 +132,8 @@ fn energy_grows_with_request_count() {
     let long = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 160, 2).generate();
     let es = e.run(&short).total_energy_j;
     let el = e.run(&long).total_energy_j;
-    assert!(el > es * 2.0, "4x the requests should cost >2x energy: {es} -> {el}");
+    assert!(
+        el > es * 2.0,
+        "4x the requests should cost >2x energy: {es} -> {el}"
+    );
 }

@@ -14,15 +14,69 @@ struct Census {
 
 fn expected() -> Vec<Census> {
     vec![
-        Census { id: DnnId::ResNet50, conv: 53, depthwise: 0, matmul: 1, vector: 51 },
-        Census { id: DnnId::GoogLeNet, conv: 57, depthwise: 0, matmul: 1, vector: 80 },
-        Census { id: DnnId::YoloV3, conv: 75, depthwise: 0, matmul: 0, vector: 97 },
-        Census { id: DnnId::SsdResNet34, conv: 47, depthwise: 0, matmul: 0, vector: 36 },
-        Census { id: DnnId::Gnmt, conv: 0, depthwise: 0, matmul: 20, vector: 18 },
-        Census { id: DnnId::EfficientNetB0, conv: 33, depthwise: 16, matmul: 33, vector: 91 },
-        Census { id: DnnId::MobileNetV1, conv: 14, depthwise: 13, matmul: 1, vector: 28 },
-        Census { id: DnnId::SsdMobileNet, conv: 34, depthwise: 13, matmul: 0, vector: 35 },
-        Census { id: DnnId::TinyYolo, conv: 9, depthwise: 0, matmul: 0, vector: 14 },
+        Census {
+            id: DnnId::ResNet50,
+            conv: 53,
+            depthwise: 0,
+            matmul: 1,
+            vector: 51,
+        },
+        Census {
+            id: DnnId::GoogLeNet,
+            conv: 57,
+            depthwise: 0,
+            matmul: 1,
+            vector: 80,
+        },
+        Census {
+            id: DnnId::YoloV3,
+            conv: 75,
+            depthwise: 0,
+            matmul: 0,
+            vector: 97,
+        },
+        Census {
+            id: DnnId::SsdResNet34,
+            conv: 47,
+            depthwise: 0,
+            matmul: 0,
+            vector: 36,
+        },
+        Census {
+            id: DnnId::Gnmt,
+            conv: 0,
+            depthwise: 0,
+            matmul: 20,
+            vector: 18,
+        },
+        Census {
+            id: DnnId::EfficientNetB0,
+            conv: 33,
+            depthwise: 16,
+            matmul: 33,
+            vector: 91,
+        },
+        Census {
+            id: DnnId::MobileNetV1,
+            conv: 14,
+            depthwise: 13,
+            matmul: 1,
+            vector: 28,
+        },
+        Census {
+            id: DnnId::SsdMobileNet,
+            conv: 34,
+            depthwise: 13,
+            matmul: 0,
+            vector: 35,
+        },
+        Census {
+            id: DnnId::TinyYolo,
+            conv: 9,
+            depthwise: 0,
+            matmul: 0,
+            vector: 14,
+        },
     ]
 }
 
@@ -56,7 +110,12 @@ fn layer_names_are_unique_suite_wide() {
 
 #[test]
 fn classification_nets_end_in_a_thousand_way_classifier() {
-    for id in [DnnId::ResNet50, DnnId::GoogLeNet, DnnId::MobileNetV1, DnnId::EfficientNetB0] {
+    for id in [
+        DnnId::ResNet50,
+        DnnId::GoogLeNet,
+        DnnId::MobileNetV1,
+        DnnId::EfficientNetB0,
+    ] {
         let net = id.build();
         let last_mm = net
             .layers()

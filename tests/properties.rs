@@ -1,6 +1,7 @@
-//! Property-based tests (proptest) on the core data structures and model
-//! invariants: timing monotonicity, scheduler resource conservation,
-//! fission-shape algebra, and configuration-register round-trips.
+//! Property-style tests (deterministic, `SplitMix64`-driven) on the core
+//! data structures and model invariants: timing monotonicity, scheduler
+//! resource conservation, fission-shape algebra, and configuration-register
+//! round-trips.
 
 use planaria::arch::subarray::ConfigWord;
 use planaria::arch::{AcceleratorConfig, Arrangement, Chip};
@@ -8,27 +9,27 @@ use planaria::compiler::compile;
 use planaria::core::{schedule_tasks_spatially, SchedTask};
 use planaria::model::{ConvSpec, DnnBuilder, Domain, GemmShape, LayerOp, MatMulSpec};
 use planaria::timing::{time_layer, ExecContext};
-use proptest::prelude::*;
+use planaria::SplitMix64;
 use std::sync::OnceLock;
+
+const CASES: usize = 64;
 
 fn cfg() -> AcceleratorConfig {
     AcceleratorConfig::planaria()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every ordered factorization of s is enumerated, exactly once, and
-    /// consumes exactly s subarrays.
-    #[test]
-    fn arrangement_enumeration_is_exact(s in 1u32..=16) {
+/// Every ordered factorization of `s` is enumerated, exactly once, and
+/// consumes exactly `s` subarrays.
+#[test]
+fn arrangement_enumeration_is_exact() {
+    for s in 1u32..=16 {
         let all = Arrangement::enumerate(s);
         for a in &all {
-            prop_assert_eq!(a.subarrays(), s);
+            assert_eq!(a.subarrays(), s);
         }
         let mut dedup = all.clone();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), all.len());
+        assert_eq!(dedup.len(), all.len());
         // Cross-check the count against a brute-force triple loop.
         let mut brute = 0;
         for g in 1..=s {
@@ -40,96 +41,125 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(all.len(), brute);
+        assert_eq!(all.len(), brute);
     }
+}
 
-    /// The 6-bit configuration word round-trips for all values and fanout
-    /// never exceeds four links.
-    #[test]
-    fn config_word_roundtrip(bits in 0u8..64) {
+/// The 6-bit configuration word round-trips for all values and fanout
+/// never exceeds four links.
+#[test]
+fn config_word_roundtrip() {
+    for bits in 0u8..64 {
         let w = ConfigWord::decode(bits);
-        prop_assert_eq!(w.encode(), bits);
-        prop_assert!(w.fanout() <= 4);
+        assert_eq!(w.encode(), bits);
+        assert!(w.fanout() <= 4);
     }
+}
 
-    /// GEMM timing: cycles are positive, MAC count is preserved, and
-    /// utilization never exceeds 1.
-    #[test]
-    fn gemm_timing_sane(
-        m in 1u64..4096,
-        k in 1u64..2048,
-        n in 1u64..2048,
-        idx in 0usize..15,
-    ) {
-        let ctx = ExecContext::full_chip(&cfg());
-        let arrs = Arrangement::enumerate(16);
-        let arr = arrs[idx % arrs.len()];
+/// GEMM timing: cycles are positive, MAC count is preserved, and
+/// utilization never exceeds 1.
+#[test]
+fn gemm_timing_sane() {
+    let mut rng = SplitMix64::new(0x9e3a_11);
+    let ctx = ExecContext::full_chip(&cfg());
+    let arrs = Arrangement::enumerate(16);
+    for case in 0..CASES {
+        let m = rng.next_range(1, 4095);
+        let k = rng.next_range(1, 2047);
+        let n = rng.next_range(1, 2047);
+        let arr = arrs[rng.next_below(arrs.len() as u64) as usize];
         let op = LayerOp::MatMul(MatMulSpec::new(m, k, n));
         let t = time_layer(&ctx, &op, arr);
-        prop_assert!(t.cycles > 0);
-        prop_assert_eq!(t.counts.mac_ops, GemmShape::new(m, k, n).macs());
-        prop_assert!(t.utilization <= 1.0 + 1e-9, "util {}", t.utilization);
-        prop_assert!(t.tiles >= 1);
-        prop_assert!(t.cycles_per_tile >= 1);
+        assert!(!t.cycles.is_zero(), "case {case}");
+        assert_eq!(
+            t.counts.mac_ops,
+            GemmShape::new(m, k, n).macs(),
+            "case {case}"
+        );
+        assert!(
+            t.utilization <= 1.0 + 1e-9,
+            "case {case}: util {}",
+            t.utilization
+        );
+        assert!(t.tiles >= 1, "case {case}");
+        assert!(t.cycles_per_tile.get() >= 1, "case {case}");
     }
+}
 
-    /// More compute never hurts: doubling both cluster-grid dimensions of a
-    /// GEMM's arrangement never increases cycle count.
-    #[test]
-    fn bigger_arrays_never_slower(
-        m in 64u64..4096,
-        k in 16u64..1024,
-        n in 16u64..1024,
-    ) {
-        let ctx = ExecContext::full_chip(&cfg());
+/// More compute never hurts: doubling both cluster-grid dimensions of a
+/// GEMM's arrangement never increases cycle count.
+#[test]
+fn bigger_arrays_never_slower() {
+    let mut rng = SplitMix64::new(0xb16a_44);
+    let ctx = ExecContext::full_chip(&cfg());
+    for case in 0..CASES {
+        let m = rng.next_range(64, 4095);
+        let k = rng.next_range(16, 1023);
+        let n = rng.next_range(16, 1023);
         let op = LayerOp::MatMul(MatMulSpec::new(m, k, n));
         let small = time_layer(&ctx, &op, Arrangement::new(1, 1, 1));
         let big = time_layer(&ctx, &op, Arrangement::new(1, 2, 2));
         // Allow fill-latency noise on tiny workloads.
-        prop_assert!(big.cycles <= small.cycles + 256,
-            "2x2 ({}) slower than 1x1 ({})", big.cycles, small.cycles);
+        assert!(
+            big.cycles.get() <= small.cycles.get() + 256,
+            "case {case}: 2x2 ({}) slower than 1x1 ({})",
+            big.cycles,
+            small.cycles
+        );
     }
+}
 
-    /// The spatial scheduler never allocates more subarrays than exist,
-    /// never allocates zero to everyone when the chip is free, and is
-    /// deterministic.
-    #[test]
-    fn scheduler_conserves_resources(
-        priorities in prop::collection::vec(1u32..=11, 1..6),
-        slack_ms in prop::collection::vec(0.1f64..50.0, 1..6),
-        dones in prop::collection::vec(0.0f64..0.99, 1..6),
-    ) {
-        static COMPILED: OnceLock<planaria::compiler::CompiledDnn> = OnceLock::new();
-        let compiled = COMPILED.get_or_init(|| {
-            let mut b = DnnBuilder::new("prop-net", Domain::ImageClassification);
-            b.push("c1", LayerOp::Conv(ConvSpec::new(32, 64, 3, 3, 1, 1, 56, 56)));
-            b.push("c2", LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 56, 56)));
-            compile(&cfg(), &b.build())
-        });
-        let n = priorities.len().min(slack_ms.len()).min(dones.len());
+/// The spatial scheduler never allocates more subarrays than exist, never
+/// allocates zero to everyone when the chip is free, and is deterministic.
+#[test]
+fn scheduler_conserves_resources() {
+    static COMPILED: OnceLock<planaria::compiler::CompiledDnn> = OnceLock::new();
+    let compiled = COMPILED.get_or_init(|| {
+        let mut b = DnnBuilder::new("prop-net", Domain::ImageClassification);
+        b.push(
+            "c1",
+            LayerOp::Conv(ConvSpec::new(32, 64, 3, 3, 1, 1, 56, 56)),
+        );
+        b.push(
+            "c2",
+            LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 2, 1, 56, 56)),
+        );
+        compile(&cfg(), &b.build())
+    });
+    let mut rng = SplitMix64::new(0x5c4e_d0);
+    for case in 0..CASES {
+        let n = rng.next_range(1, 5) as usize;
         let tasks: Vec<SchedTask> = (0..n)
-            .map(|i| SchedTask {
-                priority: priorities[i],
-                slack: slack_ms[i] * 1e-3,
-                done: dones[i],
+            .map(|_| SchedTask {
+                priority: rng.next_range(1, 11) as u32,
+                slack: rng.next_range(1, 500) as f64 * 1e-4,
+                done: rng.next_f64() * 0.99,
                 compiled,
             })
             .collect();
         let alloc = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
-        prop_assert_eq!(alloc.len(), tasks.len());
-        prop_assert!(alloc.iter().sum::<u32>() <= 16);
-        prop_assert!(alloc.iter().any(|&a| a > 0), "someone must run");
+        assert_eq!(alloc.len(), tasks.len(), "case {case}");
+        assert!(alloc.iter().sum::<u32>() <= 16, "case {case}");
+        assert!(
+            alloc.iter().any(|&a| a > 0),
+            "case {case}: someone must run"
+        );
         let again = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
-        prop_assert_eq!(alloc, again);
+        assert_eq!(alloc, again, "case {case}");
     }
+}
 
-    /// Chip placement: place/release round-trips restore the free count and
-    /// placements never overlap.
-    #[test]
-    fn chip_placement_is_consistent(sizes in prop::collection::vec(1u32..6, 1..6)) {
+/// Chip placement: place/release round-trips restore the free count and
+/// placements never overlap.
+#[test]
+fn chip_placement_is_consistent() {
+    let mut rng = SplitMix64::new(0x91ace);
+    for case in 0..CASES {
         let mut chip = Chip::new(cfg());
         let mut placed = Vec::new();
-        for (tenant, &s) in sizes.iter().enumerate() {
+        let tenants = rng.next_range(1, 5) as usize;
+        for tenant in 0..tenants {
+            let s = rng.next_range(1, 5) as u32;
             if let Some(a) = chip.place(tenant as u64, s) {
                 placed.push((tenant as u64, a));
             }
@@ -142,30 +172,33 @@ proptest! {
         let before = owned.len();
         owned.sort_unstable();
         owned.dedup();
-        prop_assert_eq!(owned.len(), before, "overlapping placements");
+        assert_eq!(owned.len(), before, "case {case}: overlapping placements");
         // Release everything: chip is whole again.
         for (t, a) in &placed {
-            prop_assert_eq!(chip.release(*t), a.len());
+            assert_eq!(chip.release(*t), a.len(), "case {case}");
         }
-        prop_assert_eq!(chip.free(), 16);
+        assert_eq!(chip.free(), 16, "case {case}");
     }
+}
 
-    /// Conv output geometry: output dims never exceed input dims (stride
-    /// >= 1, same-or-valid padding) and the GEMM view is consistent.
-    #[test]
-    fn conv_geometry(
-        in_ch in 1u64..64,
-        out_ch in 1u64..64,
-        k in prop::sample::select(vec![1u64, 3, 5, 7]),
-        stride in 1u64..3,
-        hw in 8u64..64,
-    ) {
+/// Conv output geometry: output dims never exceed input dims (stride >= 1,
+/// same-or-valid padding) and the GEMM view is consistent.
+#[test]
+fn conv_geometry() {
+    let mut rng = SplitMix64::new(0xc0_47e0);
+    const KERNELS: [u64; 4] = [1, 3, 5, 7];
+    for case in 0..CASES {
+        let in_ch = rng.next_range(1, 63);
+        let out_ch = rng.next_range(1, 63);
+        let k = KERNELS[rng.next_below(4) as usize];
+        let stride = rng.next_range(1, 2);
+        let hw = rng.next_range(8, 63);
         let pad = k / 2;
         let c = ConvSpec::new(in_ch, out_ch, k, k, stride, pad, hw, hw);
-        prop_assert!(c.out_h() <= hw);
+        assert!(c.out_h() <= hw, "case {case}");
         let g = c.gemm();
-        prop_assert_eq!(g.m, c.out_h() * c.out_w());
-        prop_assert_eq!(g.k, in_ch * k * k);
-        prop_assert_eq!(g.n, out_ch);
+        assert_eq!(g.m, c.out_h() * c.out_w(), "case {case}");
+        assert_eq!(g.k, in_ch * k * k, "case {case}");
+        assert_eq!(g.n, out_ch, "case {case}");
     }
 }

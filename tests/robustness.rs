@@ -33,7 +33,15 @@ fn req(id: u64, dnn: DnnId, arrival: f64, priority: u32, qos: f64) -> Request {
 #[test]
 fn simultaneous_burst_of_twenty() {
     let trace: Vec<Request> = (0..20)
-        .map(|i| req(i, DnnId::ALL[(i % 9) as usize], 0.5, (i % 11 + 1) as u32, 0.05))
+        .map(|i| {
+            req(
+                i,
+                DnnId::ALL[(i % 9) as usize],
+                0.5,
+                (i % 11 + 1) as u32,
+                0.05,
+            )
+        })
         .collect();
     for completions in [
         planaria_engine().run(&trace).completions,
