@@ -10,17 +10,20 @@
 //! the `planaria-checks` determinism lint only polices simulation crates.)
 
 use planaria_arch::{AcceleratorConfig, Arrangement};
-use planaria_compiler::compile;
+use planaria_compiler::{compile, compile_uncached, CompiledLibrary};
 use planaria_core::{schedule_tasks_spatially, PlanariaEngine, SchedTask};
 use planaria_model::{ConvSpec, DnnId, LayerOp};
+use planaria_parallel::{effective_jobs, par_map};
 use planaria_prema::PremaEngine;
 use planaria_timing::{time_layer, ExecContext};
 use planaria_workload::{QosLevel, Scenario, TraceConfig};
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Runs `f` for `iters` iterations and reports mean latency per iteration.
-fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+/// Runs `f` for `iters` iterations, reports mean latency per iteration,
+/// and returns it in seconds (for the machine-readable record).
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) -> f64 {
     // One warmup pass so first-touch effects don't pollute the mean.
     f();
     let start = Instant::now();
@@ -34,6 +37,7 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
         (per_iter * 1e6, "us")
     };
     println!("{name:<44} {scaled:>10.3} {unit}/iter  ({iters} iters)");
+    per_iter
 }
 
 fn bench_layer_timing() {
@@ -47,12 +51,88 @@ fn bench_layer_timing() {
     });
 }
 
-fn bench_compile() {
+fn bench_compile(record: &mut Vec<(String, f64)>) {
     let cfg = AcceleratorConfig::planaria();
     let net = DnnId::ResNet50.build();
-    bench("compiler/resnet50_16_tables", 20, || {
+    let cold = bench("compiler/resnet50_16_tables_uncached", 10, || {
+        black_box(compile_uncached(&cfg, black_box(&net)));
+    });
+    let memo = bench("compiler/resnet50_16_tables_memoized", 20, || {
         black_box(compile(&cfg, black_box(&net)));
     });
+    record.push(("compile_resnet50_uncached_s".into(), cold));
+    record.push(("compile_resnet50_memoized_s".into(), memo));
+    record.push(("memoization_speedup".into(), cold / memo));
+}
+
+/// Full nine-network library compilation: single-threaded vs the pool at
+/// the host's effective job count (on a 1-core host the two coincide and
+/// only the memoization win shows).
+fn bench_library_compile(record: &mut Vec<(String, f64)>) {
+    let cfg = AcceleratorConfig::planaria();
+    // The pre-memoization baseline: every network compiled with the
+    // reference (memo-free) per-layer search, serially.
+    let cold = bench("compiler/library_compile_uncached", 3, || {
+        for id in DnnId::ALL {
+            black_box(compile_uncached(&cfg, &id.build()));
+        }
+    });
+    let serial = bench("compiler/library_compile_jobs1", 3, || {
+        black_box(CompiledLibrary::with_jobs(cfg, 1));
+    });
+    let jobs = effective_jobs();
+    let par = bench(&format!("compiler/library_compile_jobs{jobs}"), 3, || {
+        black_box(CompiledLibrary::with_jobs(cfg, jobs));
+    });
+    record.push(("library_compile_uncached_s".into(), cold));
+    record.push(("library_compile_jobs1_s".into(), serial));
+    record.push(("library_compile_jobs_effective_s".into(), par));
+    record.push(("library_memoization_speedup".into(), cold / serial));
+    record.push(("library_parallel_speedup".into(), serial / par));
+}
+
+/// `par_map` scaling on a CPU-bound kernel (layer timing over all
+/// arrangements), at 1/2/4 workers. Scaling beyond the host's core count
+/// only adds scheduling overhead, which this bench makes visible.
+fn bench_par_map_scaling(record: &mut Vec<(String, f64)>) {
+    let cfg = AcceleratorConfig::planaria();
+    let ctx = ExecContext::full_chip(&cfg);
+    let items: Vec<u64> = (0..32).collect();
+    for jobs in [1usize, 2, 4] {
+        let name = format!("parallel/par_map_layer_timing_jobs{jobs}");
+        let t = bench(&name, 5, || {
+            black_box(par_map(items.clone(), jobs, |i| {
+                let conv = LayerOp::Conv(ConvSpec::new(64 + i, 128, 3, 3, 1, 1, 28, 28));
+                Arrangement::enumerate(16)
+                    .into_iter()
+                    .map(|arr| time_layer(&ctx, &conv, arr).cycles)
+                    .max()
+            }));
+        });
+        record.push((format!("par_map_layer_timing_jobs{jobs}_s"), t));
+    }
+}
+
+/// Writes the machine-readable record the PR acceptance asks for:
+/// `results/BENCH_compile.json`, keyed measurement → seconds (or ratio),
+/// plus the host's core count so speedups can be judged in context.
+fn emit_json(record: &[(String, f64)]) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"host_logical_cores\": {cores},");
+    let _ = writeln!(s, "  \"effective_jobs\": {},", effective_jobs());
+    for (i, (k, v)) in record.iter().enumerate() {
+        let comma = if i + 1 == record.len() { "" } else { "," };
+        let _ = writeln!(s, "  \"{k}\": {v:.9}{comma}");
+    }
+    s.push_str("}\n");
+    let path = planaria_bench::results_dir().join("BENCH_compile.json");
+    match std::fs::create_dir_all(planaria_bench::results_dir())
+        .and_then(|()| std::fs::write(&path, s))
+    {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 fn bench_scheduler() {
@@ -89,8 +169,12 @@ fn bench_engines() {
 }
 
 fn main() {
+    let mut record = Vec::new();
     bench_layer_timing();
-    bench_compile();
+    bench_compile(&mut record);
+    bench_library_compile(&mut record);
+    bench_par_map_scaling(&mut record);
     bench_scheduler();
     bench_engines();
+    emit_json(&record);
 }

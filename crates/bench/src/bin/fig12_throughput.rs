@@ -5,8 +5,9 @@
 //! Paper headline (Workload-C): 7.4× / 7.2× / 12.2× for QoS-S/M/H, and
 //! PREMA failing outright on Workload-B at QoS-H.
 
-use planaria_bench::{planaria_throughput, prema_throughput, ratio_label, ResultTable, Systems};
-use planaria_workload::{QosLevel, Scenario};
+use planaria_bench::{
+    par_grid, planaria_throughput, prema_throughput, ratio_label, ResultTable, Systems,
+};
 
 fn main() {
     let sys = Systems::new();
@@ -14,18 +15,20 @@ fn main() {
         "Fig. 12: throughput (queries/s) meeting SLA",
         &["workload", "qos", "planaria", "prema", "ratio"],
     );
-    for scenario in Scenario::ALL {
-        for qos in QosLevel::ALL {
-            let p = planaria_throughput(&sys, scenario, qos);
-            let r = prema_throughput(&sys, scenario, qos);
-            table.row(vec![
-                scenario.to_string(),
-                qos.to_string(),
-                format!("{p:.1}"),
-                format!("{r:.1}"),
-                ratio_label(p, r),
-            ]);
-        }
+    let cells = par_grid(|scenario, qos| {
+        (
+            planaria_throughput(&sys, scenario, qos),
+            prema_throughput(&sys, scenario, qos),
+        )
+    });
+    for ((scenario, qos), (p, r)) in cells {
+        table.row(vec![
+            scenario.to_string(),
+            qos.to_string(),
+            format!("{p:.1}"),
+            format!("{r:.1}"),
+            ratio_label(p, r),
+        ]);
     }
     table.emit("fig12_throughput");
 }

@@ -3,9 +3,10 @@
 //! (the paper's "for the same throughput 1/λ").
 
 use planaria_bench::{
-    planaria_throughput, prema_throughput, probe_rate, rate_seeds, trace, ResultTable, Systems,
+    par_grid, planaria_throughput, prema_throughput, probe_rate, rate_seeds, trace, ResultTable,
+    Systems,
 };
-use planaria_workload::{sla_satisfaction_rate, QosLevel, Scenario};
+use planaria_workload::sla_satisfaction_rate;
 
 fn main() {
     let sys = Systems::new();
@@ -21,37 +22,38 @@ fn main() {
             "improvement",
         ],
     );
-    for scenario in Scenario::ALL {
-        for qos in QosLevel::ALL {
-            let lambda = probe_rate(
-                planaria_throughput(&sys, scenario, qos),
-                prema_throughput(&sys, scenario, qos),
-            );
-            let p = sla_satisfaction_rate(
-                |seed| {
-                    sys.planaria
-                        .run(&trace(scenario, qos, lambda, seed))
-                        .completions
-                },
-                &seeds,
-            );
-            let r = sla_satisfaction_rate(
-                |seed| {
-                    sys.prema
-                        .run(&trace(scenario, qos, lambda, seed))
-                        .completions
-                },
-                &seeds,
-            );
-            table.row(vec![
-                scenario.to_string(),
-                qos.to_string(),
-                format!("{lambda:.1}"),
-                format!("{:.0}%", p * 100.0),
-                format!("{:.0}%", r * 100.0),
-                format!("+{:.0}pp", (p - r) * 100.0),
-            ]);
-        }
+    let cells = par_grid(|scenario, qos| {
+        let lambda = probe_rate(
+            planaria_throughput(&sys, scenario, qos),
+            prema_throughput(&sys, scenario, qos),
+        );
+        let p = sla_satisfaction_rate(
+            |seed| {
+                sys.planaria
+                    .run(&trace(scenario, qos, lambda, seed))
+                    .completions
+            },
+            &seeds,
+        );
+        let r = sla_satisfaction_rate(
+            |seed| {
+                sys.prema
+                    .run(&trace(scenario, qos, lambda, seed))
+                    .completions
+            },
+            &seeds,
+        );
+        (lambda, p, r)
+    });
+    for ((scenario, qos), (lambda, p, r)) in cells {
+        table.row(vec![
+            scenario.to_string(),
+            qos.to_string(),
+            format!("{lambda:.1}"),
+            format!("{:.0}%", p * 100.0),
+            format!("{:.0}%", r * 100.0),
+            format!("+{:.0}pp", (p - r) * 100.0),
+        ]);
     }
     table.emit("fig13_sla");
 }

@@ -4,9 +4,10 @@
 //! Paper headline: 2.1× / 2.3× / 1.9× improvements on Workload-C.
 
 use planaria_bench::{
-    planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+    par_grid, planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
 };
-use planaria_workload::{fairness, QosLevel, Scenario};
+use planaria_parallel::{effective_jobs, par_map};
+use planaria_workload::fairness;
 
 fn main() {
     let sys = Systems::new();
@@ -24,46 +25,37 @@ fn main() {
             "normalized",
         ],
     );
-    for scenario in Scenario::ALL {
-        for qos in QosLevel::ALL {
-            let lambda = probe_rate(
-                planaria_throughput(&sys, scenario, qos),
-                prema_throughput(&sys, scenario, qos),
-            );
-            let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
-            let fp = mean(
-                seeds
-                    .iter()
-                    .map(|&s| {
-                        fairness(
-                            &sys.planaria
-                                .run(&trace(scenario, qos, lambda, s))
-                                .completions,
-                            &iso_p,
-                        )
-                    })
-                    .collect(),
-            );
-            let fr = mean(
-                seeds
-                    .iter()
-                    .map(|&s| {
-                        fairness(
-                            &sys.prema.run(&trace(scenario, qos, lambda, s)).completions,
-                            &iso_r,
-                        )
-                    })
-                    .collect(),
-            );
-            table.row(vec![
-                scenario.to_string(),
-                qos.to_string(),
-                format!("{lambda:.1}"),
-                format!("{fp:.4}"),
-                format!("{fr:.4}"),
-                format!("{:.2}x", fp / fr.max(1e-9)),
-            ]);
-        }
+    let cells = par_grid(|scenario, qos| {
+        let lambda = probe_rate(
+            planaria_throughput(&sys, scenario, qos),
+            prema_throughput(&sys, scenario, qos),
+        );
+        let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
+        let fp = mean(par_map(seeds.clone(), effective_jobs(), |s| {
+            fairness(
+                &sys.planaria
+                    .run(&trace(scenario, qos, lambda, s))
+                    .completions,
+                &iso_p,
+            )
+        }));
+        let fr = mean(par_map(seeds.clone(), effective_jobs(), |s| {
+            fairness(
+                &sys.prema.run(&trace(scenario, qos, lambda, s)).completions,
+                &iso_r,
+            )
+        }));
+        (lambda, fp, fr)
+    });
+    for ((scenario, qos), (lambda, fp, fr)) in cells {
+        table.row(vec![
+            scenario.to_string(),
+            qos.to_string(),
+            format!("{lambda:.1}"),
+            format!("{fp:.4}"),
+            format!("{fr:.4}"),
+            format!("{:.2}x", fp / fr.max(1e-9)),
+        ]);
     }
     table.emit("fig14_fairness");
 }

@@ -7,9 +7,9 @@
 //! monolithic baseline burns leakage on underutilized runs.
 
 use planaria_bench::{
-    planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+    par_grid, planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
 };
-use planaria_workload::{QosLevel, Scenario};
+use planaria_parallel::{effective_jobs, par_map};
 
 fn main() {
     let sys = Systems::new();
@@ -25,34 +25,35 @@ fn main() {
             "reduction",
         ],
     );
-    for scenario in Scenario::ALL {
-        for qos in QosLevel::ALL {
-            let lambda = probe_rate(
-                planaria_throughput(&sys, scenario, qos),
-                prema_throughput(&sys, scenario, qos),
-            );
-            let mean = |f: &dyn Fn(u64) -> f64| {
-                seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
-            };
-            let ep = mean(&|s| {
-                sys.planaria
-                    .run(&trace(scenario, qos, lambda, s))
-                    .total_energy_j
-            });
-            let er = mean(&|s| {
-                sys.prema
-                    .run(&trace(scenario, qos, lambda, s))
-                    .total_energy_j
-            });
-            table.row(vec![
-                scenario.to_string(),
-                qos.to_string(),
-                format!("{lambda:.1}"),
-                format!("{ep:.2}"),
-                format!("{er:.2}"),
-                format!("{:.2}x", er / ep),
-            ]);
-        }
+    let cells = par_grid(|scenario, qos| {
+        let lambda = probe_rate(
+            planaria_throughput(&sys, scenario, qos),
+            prema_throughput(&sys, scenario, qos),
+        );
+        let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
+        let ep = mean(par_map(seeds.clone(), effective_jobs(), |s| {
+            sys.planaria
+                .run(&trace(scenario, qos, lambda, s))
+                .total_energy
+                .to_joules()
+        }));
+        let er = mean(par_map(seeds.clone(), effective_jobs(), |s| {
+            sys.prema
+                .run(&trace(scenario, qos, lambda, s))
+                .total_energy
+                .to_joules()
+        }));
+        (lambda, ep, er)
+    });
+    for ((scenario, qos), (lambda, ep, er)) in cells {
+        table.row(vec![
+            scenario.to_string(),
+            qos.to_string(),
+            format!("{lambda:.1}"),
+            format!("{ep:.2}"),
+            format!("{er:.2}"),
+            format!("{:.2}x", er / ep),
+        ]);
     }
     table.emit("fig15_energy");
 }

@@ -6,9 +6,10 @@
 //! relative bounds) needs the most nodes (2 → 7); Workload-A QoS-S fits on
 //! a single node.
 
-use planaria_bench::{trace, ResultTable, Systems};
+use planaria_bench::{par_grid, trace, ResultTable, Systems};
 use planaria_core::{min_nodes_for_sla, run_cluster};
-use planaria_workload::{meets_sla, QosLevel, Scenario};
+use planaria_parallel::{effective_jobs, par_map};
+use planaria_workload::meets_sla;
 
 /// One constant rate across all workloads and QoS levels (§VI-B1).
 const LAMBDA: f64 = 350.0;
@@ -21,23 +22,28 @@ fn main() {
         format!("Fig. 16: min Planaria nodes for SLA at {LAMBDA} q/s"),
         &["workload", "qos", "nodes"],
     );
-    for scenario in Scenario::ALL {
-        for qos in QosLevel::ALL {
-            let nodes = min_nodes_for_sla(
-                |n| {
-                    seeds.iter().all(|&s| {
-                        let t = trace(scenario, qos, LAMBDA, s);
-                        meets_sla(&run_cluster(&sys.planaria, n, &t).completions)
-                    })
-                },
-                MAX_NODES,
-            );
-            table.row(vec![
-                scenario.to_string(),
-                qos.to_string(),
-                nodes.map_or_else(|| format!(">{MAX_NODES}"), |n| n.to_string()),
-            ]);
-        }
+    // Grid cells fan out over the pool; within one cell the per-seed
+    // cluster runs at each probed node count fan out too (they run inline
+    // when nested under the grid's own workers).
+    let cells = par_grid(|scenario, qos| {
+        min_nodes_for_sla(
+            |n| {
+                par_map(seeds.clone(), effective_jobs(), |s| {
+                    let t = trace(scenario, qos, LAMBDA, s);
+                    meets_sla(&run_cluster(&sys.planaria, n, &t).completions)
+                })
+                .into_iter()
+                .all(|ok| ok)
+            },
+            MAX_NODES,
+        )
+    });
+    for ((scenario, qos), nodes) in cells {
+        table.row(vec![
+            scenario.to_string(),
+            qos.to_string(),
+            nodes.map_or_else(|| format!(">{MAX_NODES}"), |n| n.to_string()),
+        ]);
     }
     table.emit("fig16_scaleout");
 }

@@ -27,6 +27,7 @@
 use planaria_arch::AcceleratorConfig;
 use planaria_compiler::CompiledLibrary;
 use planaria_core::PlanariaEngine;
+use planaria_parallel::{effective_jobs, par_map};
 use planaria_prema::{Policy, PremaEngine};
 use planaria_workload::{QosLevel, Scenario, TraceConfig};
 use std::fmt::Write as _;
@@ -80,6 +81,33 @@ impl Default for Systems {
 /// Compiled library for a configuration, shared across experiment helpers.
 pub fn library(cfg: AcceleratorConfig) -> CompiledLibrary {
     CompiledLibrary::new(cfg)
+}
+
+/// The `scenario × QoS` grid every figure sweeps, in emission order.
+pub fn grid() -> Vec<(Scenario, QosLevel)> {
+    Scenario::ALL
+        .into_iter()
+        .flat_map(|s| QosLevel::ALL.into_iter().map(move |q| (s, q)))
+        .collect()
+}
+
+/// Fans an experiment cell out over the `scenario × QoS` grid on the
+/// deterministic [`planaria_parallel`] pool and returns
+/// `((scenario, qos), result)` pairs in emission order.
+///
+/// Grid cells are independent simulations; the pool joins results in
+/// input-index order, so the emitted table is bit-identical at any
+/// `PLANARIA_JOBS` setting. Nested fan-outs inside `f` (per-seed probes in
+/// [`planaria_workload::max_throughput`], per-node sweeps in Fig. 16) run
+/// inline on the worker thread, so parallelism never compounds.
+pub fn par_grid<R, F>(f: F) -> Vec<((Scenario, QosLevel), R)>
+where
+    R: Send,
+    F: Fn(Scenario, QosLevel) -> R + Sync,
+{
+    let cells = grid();
+    let results = par_map(cells.clone(), effective_jobs(), |(s, q)| f(s, q));
+    cells.into_iter().zip(results).collect()
 }
 
 /// A standard trace for `(scenario, qos, lambda, seed)`.

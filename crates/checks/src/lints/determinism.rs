@@ -7,6 +7,12 @@
 //! * Wall-clock and OS entropy (`thread_rng`, `SystemTime::now`,
 //!   `Instant::now`) must never feed simulation logic; all randomness goes
 //!   through the seeded `SplitMix64`.
+//! * Raw threading (`std::thread::spawn`, `std::thread::scope`) is banned
+//!   in the simulation crates: ad-hoc threads make result order depend on
+//!   scheduling. All fan-out goes through `planaria-parallel::par_map`,
+//!   whose index-ordered join is bit-identical at any job count. Only
+//!   `crates/parallel` (the pool itself) and `crates/bench` (the harness)
+//!   may touch `std::thread`.
 
 use crate::diagnostics::{Diagnostic, Lint};
 use crate::lints::find_word;
@@ -29,7 +35,22 @@ const CLOCK_SCOPE: [&str; 5] = [
     "crates/prema/src/",
 ];
 
+/// Crates where raw `std::thread` use is forbidden (the union of the order
+/// and clock scopes): fan-out must go through `planaria-parallel` so joins
+/// stay index-ordered. `crates/parallel/` and `crates/bench/` are outside
+/// this scope by construction.
+const THREAD_SCOPE: [&str; 7] = [
+    "crates/compiler/src/",
+    "crates/workload/src/",
+    "crates/prema/src/",
+    "crates/core/src/",
+    "crates/timing/src/",
+    "crates/energy/src/",
+    "crates/funcsim/src/",
+];
+
 const ORDER_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+const THREAD_TOKENS: [&str; 1] = ["thread"];
 const CLOCK_TOKENS: [(&str, &str); 3] = [
     (
         "thread_rng",
@@ -49,7 +70,8 @@ const CLOCK_TOKENS: [(&str, &str); 3] = [
 pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
     let order = ORDER_SCOPE.iter().any(|p| file.rel.starts_with(p));
     let clock = CLOCK_SCOPE.iter().any(|p| file.rel.starts_with(p));
-    if !order && !clock {
+    let thread = THREAD_SCOPE.iter().any(|p| file.rel.starts_with(p));
+    if !order && !clock && !thread {
         return Vec::new();
     }
     let mut diags = Vec::new();
@@ -84,6 +106,23 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                         ident: token.to_string(),
                         message: format!(
                             "`{token}` is nondeterministic in simulation logic; {fix}"
+                        ),
+                    });
+                }
+            }
+        }
+        if thread {
+            for token in THREAD_TOKENS {
+                if find_word(&line.code, token).is_some() {
+                    diags.push(Diagnostic {
+                        lint: Lint::Determinism,
+                        rel_path: file.rel.clone(),
+                        line: line.number,
+                        ident: token.to_string(),
+                        message: format!(
+                            "raw `{token}` use in a simulation crate; fan out through \
+                             `planaria_parallel::par_map`, whose index-ordered join is \
+                             deterministic at any job count"
                         ),
                     });
                 }
@@ -147,5 +186,37 @@ mod tests {
     fn bench_is_allowed_wall_clock() {
         let f = SourceFile::parse("crates/bench/src/lib.rs", "let t = Instant::now();\n");
         assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn raw_threading_in_sim_crates_is_flagged() {
+        for rel in [
+            "crates/compiler/src/library.rs",
+            "crates/workload/src/metrics.rs",
+            "crates/timing/src/lib.rs",
+        ] {
+            let f = SourceFile::parse(rel, "std::thread::scope(|s| {});\n");
+            let d = check(&f);
+            assert_eq!(d.len(), 1, "{rel}");
+            assert!(d[0].message.contains("par_map"), "{rel}");
+        }
+    }
+
+    #[test]
+    fn pool_and_bench_may_use_threads() {
+        for rel in ["crates/parallel/src/lib.rs", "crates/bench/src/lib.rs"] {
+            let f = SourceFile::parse(rel, "std::thread::scope(|s| {});\n");
+            assert!(check(&f).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn thread_rng_is_not_double_counted_as_threading() {
+        // `thread_rng` is one identifier: the clock lint owns it, the
+        // thread lint's whole-word match must not also fire.
+        let f = SourceFile::parse("crates/core/src/engine.rs", "let r = thread_rng();\n");
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "thread_rng");
     }
 }

@@ -1,5 +1,6 @@
 //! L1 unit-safety: public functions and struct fields in the quantity
-//! crates (`timing`, `energy`, `compiler`, `isa`) must not pass cycle,
+//! crates (`timing`, `energy`, `compiler`, `isa`) and the simulation
+//! result crates (`workload`, `core`, `prema`) must not pass cycle,
 //! byte, or energy quantities as bare `u64`/`usize`/`f64` — the
 //! `Cycles`/`Bytes`/`Picojoules` newtypes from `planaria-model` exist so
 //! the type system prevents cycles-vs-seconds and joules-vs-picojoules
@@ -9,12 +10,18 @@
 use crate::diagnostics::{Diagnostic, Lint};
 use crate::source::SourceFile;
 
-/// Crates whose public APIs carry physical quantities.
-const SCOPE: [&str; 4] = [
+/// Crates whose public APIs carry physical quantities. `workload`, `core`
+/// and `prema` joined the scope when their result structs
+/// (`Completion::energy`, `SimResult::total_energy`) moved from bare
+/// `f64` joules to the `Picojoules` newtype.
+const SCOPE: [&str; 7] = [
     "crates/timing/src/",
     "crates/energy/src/",
     "crates/compiler/src/",
     "crates/isa/src/",
+    "crates/workload/src/",
+    "crates/core/src/",
+    "crates/prema/src/",
 ];
 
 /// Bare numeric types that must not carry a unit-suggesting name.

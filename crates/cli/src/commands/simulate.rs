@@ -75,7 +75,10 @@ pub fn simulate(args: &Args) -> Result<(), ArgError> {
         "fairness         : {:.4}",
         fairness(&result.completions, &isolated)
     );
-    println!("energy           : {:.2} J", result.total_energy_j);
+    println!(
+        "energy           : {:.2} J",
+        result.total_energy.to_joules()
+    );
     println!("makespan         : {:.3} s", result.makespan);
     Ok(())
 }

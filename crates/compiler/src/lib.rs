@@ -29,10 +29,14 @@
 
 pub mod histogram;
 pub mod library;
+pub mod memo;
 pub mod table;
 
 pub use histogram::{config_histogram, ConfigUsage};
 pub use library::CompiledLibrary;
+pub use memo::{LayerShapeKey, ShapeTable, TimingMemo};
 pub use table::{
-    compile, compile_for_allocation, CompiledDnn, ConfigTable, LayerConfig, TilePosition,
+    compile, compile_for_allocation, compile_for_allocation_shaped,
+    compile_for_allocation_uncached, compile_for_allocation_with, compile_uncached, CompiledDnn,
+    ConfigTable, LayerConfig, TilePosition,
 };

@@ -3,6 +3,7 @@
 use crate::table::{compile, CompiledDnn};
 use planaria_arch::AcceleratorConfig;
 use planaria_model::DnnId;
+use planaria_parallel::{effective_jobs, par_map};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -18,12 +19,29 @@ pub struct CompiledLibrary {
 
 impl CompiledLibrary {
     /// Compiles every benchmark network for `cfg`.
+    ///
+    /// The nine networks are independent, so they fan out over the
+    /// [`planaria_parallel`] pool (worker count from `PLANARIA_JOBS` /
+    /// [`std::thread::available_parallelism`]). Each network compiles
+    /// with its own shape-keyed memo ([`crate::ShapeTable`] +
+    /// [`crate::TimingMemo`]) — built once per network and amortized
+    /// across all per-allocation tables — and results join in
+    /// `DnnId::ALL` index order, so the library is bit-identical at any
+    /// job count.
     pub fn new(cfg: AcceleratorConfig) -> Self {
-        let by_id = DnnId::ALL
-            .into_iter()
-            .map(|id| (id, Arc::new(compile(&cfg, &id.build()))))
-            .collect();
-        Self { cfg, by_id }
+        Self::with_jobs(cfg, effective_jobs())
+    }
+
+    /// [`CompiledLibrary::new`] with an explicit worker count
+    /// (determinism tests compare `jobs = 1` against `jobs = N`).
+    pub fn with_jobs(cfg: AcceleratorConfig, jobs: usize) -> Self {
+        let compiled = par_map(DnnId::ALL.to_vec(), jobs, |id| {
+            (id, Arc::new(compile(&cfg, &id.build())))
+        });
+        Self {
+            cfg,
+            by_id: compiled.into_iter().collect(),
+        }
     }
 
     /// The configuration the library was compiled for.
@@ -83,5 +101,18 @@ mod tests {
     fn monolithic_library_has_single_table() {
         let lib = CompiledLibrary::new(AcceleratorConfig::monolithic());
         assert_eq!(lib.get(DnnId::TinyYolo).num_tables(), 1);
+    }
+
+    #[test]
+    fn parallel_compile_is_bit_identical_to_serial() {
+        let serial = CompiledLibrary::with_jobs(AcceleratorConfig::planaria(), 1);
+        let par = CompiledLibrary::with_jobs(AcceleratorConfig::planaria(), 4);
+        for id in DnnId::ALL {
+            assert_eq!(
+                serial.get(id),
+                par.get(id),
+                "{id:?} differs across job counts"
+            );
+        }
     }
 }

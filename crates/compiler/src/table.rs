@@ -1,5 +1,6 @@
 //! Configuration tables: the compiler's output artifact.
 
+use crate::memo::{ShapeTable, TimingMemo};
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_energy::EnergyModel;
 use planaria_model::units::{Bytes, Cycles, Picojoules};
@@ -73,8 +74,17 @@ impl ConfigTable {
     }
 
     /// End-to-end cycles.
+    ///
+    /// Every `ConfigTable` covers at least one layer: the only
+    /// constructors are [`compile_for_allocation`] and friends, which
+    /// reject zero-layer networks (and [`planaria_model::DnnBuilder`]
+    /// cannot build one in the first place). A zero-layer table would
+    /// silently report 0 cycles everywhere, so the invariant is asserted
+    /// at compile time instead of papered over with `unwrap_or(&0)`.
     pub fn total_cycles(&self) -> Cycles {
-        Cycles::new(*self.cum_cycles.last().unwrap_or(&0))
+        // lint: compile_for_allocation rejects empty DNNs, so a table
+        // always has at least one cumulative-cycle entry
+        Cycles::new(*self.cum_cycles.last().expect("table covers >= 1 layer"))
     }
 
     /// End-to-end dynamic energy.
@@ -166,8 +176,169 @@ impl CompiledDnn {
     }
 }
 
-/// Compiles one table for a fixed allocation size.
+/// Compiles one table for a fixed allocation size (with a fresh
+/// shape-keyed memo; repeated layer shapes are timed once).
+///
+/// # Panics
+///
+/// Panics on a zero-layer network — an empty configuration table would
+/// silently report 0 cycles (see [`ConfigTable::total_cycles`]).
+/// `planaria_model::DnnBuilder::build` already rejects empty networks, so
+/// this is a defense-in-depth assertion.
 pub fn compile_for_allocation(cfg: &AcceleratorConfig, dnn: &Dnn, subarrays: u32) -> ConfigTable {
+    let mut memo = TimingMemo::new(cfg);
+    compile_for_allocation_with(cfg, dnn, subarrays, &mut memo)
+}
+
+/// Compiles one table for a fixed allocation size, consulting (and
+/// filling) a caller-provided [`TimingMemo`].
+///
+/// The memo must be bound to `cfg` (see [`TimingMemo::new`]); output is
+/// bit-identical to [`compile_for_allocation_uncached`] because every
+/// cached value is a pure function of `(cfg, shape, arrangement,
+/// allocation)`.
+///
+/// # Panics
+///
+/// Panics on a zero-layer network or a memo bound to a different
+/// configuration.
+pub fn compile_for_allocation_with(
+    cfg: &AcceleratorConfig,
+    dnn: &Dnn,
+    subarrays: u32,
+    memo: &mut TimingMemo,
+) -> ConfigTable {
+    assert!(
+        dnn.num_layers() > 0,
+        "cannot compile a zero-layer DNN (empty configuration tables are invalid)"
+    );
+    let ctx = ExecContext::for_allocation(cfg, subarrays);
+    let em = EnergyModel::for_config(cfg);
+    let mut layers = Vec::with_capacity(dnn.num_layers());
+    let mut cum_cycles = Vec::with_capacity(dnn.num_layers());
+    let mut cum = 0u64;
+    let mut total_energy = Picojoules::ZERO;
+    for layer in dnn.layers() {
+        let (arrangement, timing, energy) = if layer.op.is_systolic() {
+            memo.select(&ctx, &em, &layer.op, TIE_TOLERANCE)
+        } else {
+            let arr = Arrangement::new(1, 1, 1);
+            let (t, e) = memo.time(&ctx, &em, &layer.op, arr);
+            (arr, t, e)
+        };
+        cum += (timing.cycles * layer.repeat).get();
+        cum_cycles.push(cum);
+        total_energy += energy * layer.repeat as f64;
+        layers.push(LayerConfig {
+            name: layer.name.clone(),
+            arrangement,
+            timing,
+            repeat: layer.repeat,
+            energy,
+            systolic: layer.op.is_systolic(),
+        });
+    }
+    ConfigTable {
+        subarrays,
+        layers,
+        cum_cycles,
+        total_energy,
+    }
+}
+
+/// Compiles one table against a pre-built [`ShapeTable`], so
+/// whole-network compilation builds the dedup index once and amortizes it
+/// across all per-allocation tables.
+///
+/// The arrangement search runs once per *distinct* shape; each layer then
+/// fetches its configuration with an O(1) dense-id lookup. No associative
+/// cache sits on this path — within one table every `(shape, allocation)`
+/// pair is searched exactly once, so the dedup index *is* the memo, and
+/// `BTreeMap` probes would be pure overhead (measured: they cost more
+/// than the analytic timing model they'd save). Output is bit-identical
+/// to [`compile_for_allocation_uncached`] because the search is a pure
+/// function of `(cfg, shape, allocation)`.
+///
+/// # Panics
+///
+/// Panics on a zero-layer network or a `shapes` table built from a
+/// different network.
+pub fn compile_for_allocation_shaped(
+    cfg: &AcceleratorConfig,
+    dnn: &Dnn,
+    subarrays: u32,
+    shapes: &ShapeTable,
+) -> ConfigTable {
+    assert!(
+        dnn.num_layers() > 0,
+        "cannot compile a zero-layer DNN (empty configuration tables are invalid)"
+    );
+    assert_eq!(
+        shapes.num_layers(),
+        dnn.num_layers(),
+        "shape table was built from a different network"
+    );
+    let ctx = ExecContext::for_allocation(cfg, subarrays);
+    let em = EnergyModel::for_config(cfg);
+    // One search per distinct shape; layers below index this table.
+    let selections: Vec<(Arrangement, LayerTiming, Picojoules)> = shapes
+        .shapes()
+        .iter()
+        .map(|op| {
+            if op.is_systolic() {
+                select_arrangement(&ctx, &em, op)
+            } else {
+                let arr = Arrangement::new(1, 1, 1);
+                let t = time_layer(&ctx, op, arr);
+                let e = em.dynamic_energy(&t.counts);
+                (arr, t, e)
+            }
+        })
+        .collect();
+    let mut layers = Vec::with_capacity(dnn.num_layers());
+    let mut cum_cycles = Vec::with_capacity(dnn.num_layers());
+    let mut cum = 0u64;
+    let mut total_energy = Picojoules::ZERO;
+    for (i, layer) in dnn.layers().iter().enumerate() {
+        let (arrangement, timing, energy) = selections[shapes.shape_id(i)];
+        cum += (timing.cycles * layer.repeat).get();
+        cum_cycles.push(cum);
+        total_energy += energy * layer.repeat as f64;
+        layers.push(LayerConfig {
+            name: layer.name.clone(),
+            arrangement,
+            timing,
+            repeat: layer.repeat,
+            energy,
+            systolic: layer.op.is_systolic(),
+        });
+    }
+    ConfigTable {
+        subarrays,
+        layers,
+        cum_cycles,
+        total_energy,
+    }
+}
+
+/// Reference (memo-free) compilation of one table: re-evaluates
+/// `time_layer` for every layer occurrence, exactly as the compiler did
+/// before shape memoization. Kept as the oracle for the
+/// `compile_memoized_equals_unmemoized` equivalence tests and the
+/// cold-compile benchmark baseline.
+///
+/// # Panics
+///
+/// Panics on a zero-layer network.
+pub fn compile_for_allocation_uncached(
+    cfg: &AcceleratorConfig,
+    dnn: &Dnn,
+    subarrays: u32,
+) -> ConfigTable {
+    assert!(
+        dnn.num_layers() > 0,
+        "cannot compile a zero-layer DNN (empty configuration tables are invalid)"
+    );
     let ctx = ExecContext::for_allocation(cfg, subarrays);
     let em = EnergyModel::for_config(cfg);
     let mut layers = Vec::with_capacity(dnn.num_layers());
@@ -229,11 +400,35 @@ fn select_arrangement(
     best.expect("at least one arrangement")
 }
 
-/// Compiles `dnn` for every allocation size on `cfg`.
+/// Compiles `dnn` for every allocation size on `cfg`, deduplicating layer
+/// shapes once (via [`ShapeTable`]) so the arrangement search runs per
+/// distinct shape and allocation, not per layer occurrence.
+///
+/// # Panics
+///
+/// Panics on a zero-layer network.
 pub fn compile(cfg: &AcceleratorConfig, dnn: &Dnn) -> CompiledDnn {
     let n = cfg.num_subarrays();
+    let shapes = ShapeTable::for_dnn(dnn);
     let tables = (1..=n)
-        .map(|s| compile_for_allocation(cfg, dnn, s))
+        .map(|s| compile_for_allocation_shaped(cfg, dnn, s, &shapes))
+        .collect();
+    CompiledDnn {
+        name: dnn.name().to_string(),
+        tables,
+    }
+}
+
+/// Reference (memo-free) whole-network compilation; see
+/// [`compile_for_allocation_uncached`].
+///
+/// # Panics
+///
+/// Panics on a zero-layer network.
+pub fn compile_uncached(cfg: &AcceleratorConfig, dnn: &Dnn) -> CompiledDnn {
+    let n = cfg.num_subarrays();
+    let tables = (1..=n)
+        .map(|s| compile_for_allocation_uncached(cfg, dnn, s))
         .collect();
     CompiledDnn {
         name: dnn.name().to_string(),

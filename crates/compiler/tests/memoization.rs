@@ -1,0 +1,71 @@
+//! Equivalence proof for the compiler's shape-keyed memoization: the memo
+//! must be a pure cache, i.e. compiling with it on or off yields
+//! bit-identical `CompiledDnn` artifacts for every benchmark network.
+
+use planaria_arch::AcceleratorConfig;
+use planaria_compiler::{compile, compile_uncached, TimingMemo};
+use planaria_energy::EnergyModel;
+use planaria_model::{ConvSpec, DnnId, LayerOp};
+use planaria_timing::ExecContext;
+
+#[test]
+fn compile_memoized_equals_unmemoized() {
+    let cfg = AcceleratorConfig::planaria();
+    for id in DnnId::ALL {
+        let dnn = id.build();
+        let memoized = compile(&cfg, &dnn);
+        let uncached = compile_uncached(&cfg, &dnn);
+        assert_eq!(
+            memoized, uncached,
+            "{id:?}: memoized compilation diverged from the reference"
+        );
+    }
+}
+
+#[test]
+fn compile_memoized_equals_unmemoized_monolithic() {
+    let cfg = AcceleratorConfig::monolithic();
+    for id in DnnId::ALL {
+        let dnn = id.build();
+        assert_eq!(compile(&cfg, &dnn), compile_uncached(&cfg, &dnn), "{id:?}");
+    }
+}
+
+#[test]
+fn memo_actually_hits_on_repeated_shapes() {
+    // ResNet-50 repeats its residual-stage shapes dozens of times; the
+    // memo must turn those repetitions into lookups.
+    let cfg = AcceleratorConfig::planaria();
+    let dnn = DnnId::ResNet50.build();
+    let ctx = ExecContext::full_chip(&cfg);
+    let em = EnergyModel::for_config(&cfg);
+    let mut memo = TimingMemo::new(&cfg);
+    for layer in dnn.layers().iter().filter(|l| l.op.is_systolic()) {
+        let _ = memo.select(&ctx, &em, &layer.op, 1.02);
+    }
+    assert!(
+        memo.hits() > 0,
+        "ResNet-50 has repeated layer shapes; the memo must hit"
+    );
+}
+
+#[test]
+fn distinct_shapes_do_not_collide() {
+    let cfg = AcceleratorConfig::planaria();
+    let ctx = ExecContext::full_chip(&cfg);
+    let em = EnergyModel::for_config(&cfg);
+    let mut memo = TimingMemo::new(&cfg);
+    let a = LayerOp::Conv(ConvSpec::new(64, 64, 3, 3, 1, 1, 28, 28));
+    let b = LayerOp::Conv(ConvSpec::new(64, 128, 3, 3, 1, 1, 28, 28));
+    let (arr_a, t_a, _) = memo.select(&ctx, &em, &a, 1.02);
+    let (arr_b, t_b, _) = memo.select(&ctx, &em, &b, 1.02);
+    // Different shapes must be cached under different keys — re-querying
+    // returns each shape's own result, not the other's.
+    assert_eq!(
+        memo.select(&ctx, &em, &a, 1.02),
+        (arr_a, t_a, memo.select(&ctx, &em, &a, 1.02).2)
+    );
+    assert_eq!(memo.select(&ctx, &em, &b, 1.02).1, t_b);
+    assert_ne!(t_a.cycles, t_b.cycles, "timing of distinct shapes differs");
+    let _ = arr_b;
+}

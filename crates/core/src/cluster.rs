@@ -7,6 +7,7 @@
 //! outstanding estimated work.
 
 use crate::engine::PlanariaEngine;
+use planaria_model::units::Picojoules;
 use planaria_workload::{Completion, Request, SimResult};
 
 /// Policy for spreading requests over the cluster's nodes.
@@ -89,21 +90,21 @@ pub fn run_cluster_with(
     let per_node = dispatch(engine, nodes, trace, policy);
 
     let mut completions: Vec<Completion> = Vec::new();
-    let mut total_energy = 0.0;
+    let mut total_energy = Picojoules::ZERO;
     let mut makespan = 0.0f64;
     for node_trace in per_node {
         if node_trace.is_empty() {
             continue;
         }
         let r = engine.run(&node_trace);
-        total_energy += r.total_energy_j;
+        total_energy += r.total_energy;
         makespan = makespan.max(r.makespan);
         completions.extend(r.completions);
     }
     completions.sort_by_key(|c| c.request.id);
     SimResult {
         completions,
-        total_energy_j: total_energy,
+        total_energy,
         makespan,
     }
 }

@@ -12,7 +12,7 @@ use crate::trace::{EngineTrace, EventKind};
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
 use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
-use planaria_model::units::Cycles;
+use planaria_model::units::{Cycles, Picojoules};
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -30,8 +30,8 @@ struct Tenant {
     placement: Option<Allocation>,
     /// Cycles of reconfiguration overhead owed before progress resumes.
     overhead_cycles: f64,
-    /// Dynamic energy accumulated so far, joules.
-    energy_j: f64,
+    /// Dynamic energy accumulated so far.
+    energy: Picojoules,
 }
 
 /// How the engine assigns the chip to queued tenants.
@@ -171,7 +171,7 @@ impl PlanariaEngine {
                     alloc: 0,
                     placement: None,
                     overhead_cycles: 0.0,
-                    energy_j: 0.0,
+                    energy: Picojoules::ZERO,
                 });
                 next_arrival += 1;
             }
@@ -193,7 +193,7 @@ impl PlanariaEngine {
                     completions.push(Completion {
                         request: t.request,
                         finish: now,
-                        energy_j: t.energy_j,
+                        energy: t.energy,
                     });
                 } else {
                     i += 1;
@@ -206,12 +206,12 @@ impl PlanariaEngine {
 
         completions.sort_by_key(|c| c.request.id);
         let makespan = (now - start).max(0.0);
-        let dynamic: f64 = completions.iter().map(|c| c.energy_j).sum();
+        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
         // Static energy accrues while the chip serves tenants (idle gaps
         // between requests belong to whatever the node does next).
         SimResult {
             completions,
-            total_energy_j: dynamic + em.static_energy(busy_seconds).to_joules(),
+            total_energy: dynamic + em.static_energy(busy_seconds),
             makespan,
         }
     }
@@ -239,7 +239,7 @@ impl PlanariaEngine {
         if t.done > 1.0 - DONE_EPS {
             t.done = 1.0;
         }
-        t.energy_j += (t.done - before) * table.total_energy().to_joules();
+        t.energy += (t.done - before) * table.total_energy();
     }
 
     /// Runs the allocator and applies allocation changes (with
@@ -491,7 +491,7 @@ mod tests {
         let e = engine();
         let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 200.0, 20, 3).generate();
         let r = e.run(&trace);
-        assert!(r.total_energy_j > 0.0);
+        assert!(r.total_energy > Picojoules::ZERO);
         assert!(r.makespan > 0.0);
     }
 

@@ -27,7 +27,7 @@ pub const ACC_BYTES: u64 = 4;
 /// let g = GemmShape::new(49, 512, 2048);
 /// assert_eq!(g.macs(), 49 * 512 * 2048);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GemmShape {
     /// Streamed rows (output spatial positions × batch).
     pub m: u64,
@@ -76,7 +76,7 @@ impl fmt::Display for GemmShape {
 }
 
 /// A standard (dense) 2-D convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConvSpec {
     /// Input channels.
     pub in_ch: u64,
@@ -160,7 +160,7 @@ impl ConvSpec {
 /// On a weight-stationary systolic array a depthwise filter vectorizes onto a
 /// single column (§VI-B2 of the paper), so this operator class is the one
 /// that most rewards architecture fission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DepthwiseSpec {
     /// Number of channels (input = output).
     pub channels: u64,
@@ -241,7 +241,7 @@ impl DepthwiseSpec {
 
 /// A dense matrix multiplication (fully-connected layers, LSTM gates,
 /// attention projections).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MatMulSpec {
     /// GEMM shape.
     pub shape: GemmShape,
@@ -261,7 +261,7 @@ impl MatMulSpec {
 }
 
 /// Pooling kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PoolKind {
     /// Max pooling.
     Max,
@@ -270,7 +270,7 @@ pub enum PoolKind {
 }
 
 /// A pooling layer, executed on the SIMD vector unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PoolSpec {
     /// Pooling kind.
     pub kind: PoolKind,
@@ -342,7 +342,7 @@ impl PoolSpec {
 }
 
 /// Elementwise operator kind, executed on the SIMD vector unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EltwiseOp {
     /// ReLU / ReLU6 / leaky-ReLU style activation.
     Activation,
@@ -360,7 +360,7 @@ pub enum EltwiseOp {
 }
 
 /// An elementwise (SIMD vector unit) layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EltwiseSpec {
     /// Operator kind.
     pub op: EltwiseOp,
@@ -381,7 +381,7 @@ impl EltwiseSpec {
 }
 
 /// Operator payload of a [`Layer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LayerOp {
     /// Dense convolution.
     Conv(ConvSpec),

@@ -1,0 +1,237 @@
+//! `planaria-parallel`: a zero-dependency, std-only deterministic parallel
+//! map built on [`std::thread::scope`].
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] returns results **in input-index order regardless of
+//! scheduling**: worker threads pull items from a shared atomic cursor, but
+//! every result is written into the slot of the item that produced it, so
+//! the output is bit-identical at `jobs = 1` and `jobs = N`. The mapped
+//! closure must be a pure function of its item (no shared mutable state, no
+//! clocks, no ambient entropy) — exactly the property `planaria-checks`
+//! lint L2 enforces on the simulation crates that call into this one.
+//!
+//! # Job-count selection
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! is overridable with the `PLANARIA_JOBS` environment variable
+//! ([`effective_jobs`]). `PLANARIA_JOBS=1` (or one available core) runs
+//! every item inline on the caller's thread — no threads are spawned at
+//! all, which doubles as the reference execution for determinism checks.
+//!
+//! # Nesting
+//!
+//! Calls nested inside a `par_map` worker run inline instead of spawning a
+//! second generation of threads, so fan-out is bounded by the outermost
+//! call's `jobs` even when parallel helpers compose (e.g. a benchmark grid
+//! that fans out over scenarios whose rows each fan out over seeds).
+//!
+//! # Panics
+//!
+//! A panic in the mapped closure propagates to the caller (via
+//! [`std::thread::scope`]'s implicit join), the same observable behaviour
+//! as the serial loop.
+//!
+//! ```
+//! use planaria_parallel::par_map;
+//!
+//! let squares = par_map((0u64..8).collect(), 4, |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count.
+pub const JOBS_ENV: &str = "PLANARIA_JOBS";
+
+thread_local! {
+    /// Set while the current thread is a `par_map` worker; nested calls
+    /// run inline instead of spawning a second generation of threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count to use by default: `PLANARIA_JOBS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 when the host cannot report it).
+pub fn effective_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid {JOBS_ENV}={v:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// the results in input-index order.
+///
+/// Output is bit-identical for every `jobs >= 1` as long as `f` is a pure
+/// function of its item (see the crate docs for the full determinism
+/// contract). `jobs = 1` — and any call nested inside another `par_map`
+/// worker — runs inline on the calling thread without spawning.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, and propagates any panic raised by `f`.
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(jobs >= 1, "par_map needs at least one job");
+    let n = items.len();
+    let workers = jobs.min(n);
+    if workers <= 1 || IN_POOL.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Item and result slots. Workers claim indices from a shared cursor;
+    // each result lands in the slot of the item that produced it, so the
+    // join below reassembles input order no matter how the OS scheduled
+    // the workers. Mutexes are uncontended (each slot is touched by
+    // exactly one worker) and exist only to satisfy the borrow checker
+    // without `unsafe`.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let results = &results;
+    let cursor = &cursor;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        // lint: the cursor hands index i to exactly one worker
+                        .expect("each item is claimed exactly once");
+                    let out = f(item);
+                    *results[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                }
+                IN_POOL.with(|flag| flag.set(false));
+            });
+        }
+    });
+
+    results
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                // lint: the scope joined every worker, so all slots are full
+                .expect("worker filled every result slot")
+        })
+        .collect()
+}
+
+/// [`par_map`] with the worker count chosen by [`effective_jobs`].
+pub fn par_map_auto<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map(items, effective_jobs(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = par_map((0u64..100).collect(), jobs, |x| x * 2 + 1);
+            assert_eq!(out, (0u64..100).map(|x| x * 2 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_across_job_counts() {
+        let reference = par_map((0u64..57).collect(), 1, |x| format!("r{x}"));
+        for jobs in [2, 4, 7, 16] {
+            let out = par_map((0u64..57).collect(), jobs, |x| format!("r{x}"));
+            assert_eq!(out, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let empty: Vec<u32> = par_map(Vec::new(), 8, |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![42u32], 8, |x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_stay_ordered() {
+        let out = par_map((0u64..6).collect(), 4, |row| {
+            // Nested call: must not explode the thread count, and must
+            // stay index-ordered.
+            par_map((0u64..5).collect(), 4, move |col| row * 10 + col)
+        });
+        for (row, inner) in out.iter().enumerate() {
+            let want: Vec<u64> = (0..5).map(|c| row as u64 * 10 + c).collect();
+            assert_eq!(*inner, want);
+        }
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map((0u64..16).collect(), 4, |x| {
+                assert!(x != 7, "boom at 7");
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        let _ = par_map(vec![1u32], 0, |x| x);
+    }
+
+    #[test]
+    fn effective_jobs_is_positive() {
+        assert!(effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn splitmix_stream_is_jobs_invariant() {
+        // Property-style check on the in-tree deterministic RNG: hashing a
+        // per-item seeded stream must give identical results at any job
+        // count (the exact workload shape the bench harness fans out).
+        use planaria_model::SplitMix64;
+        let digest = |jobs| {
+            par_map((0u64..40).collect::<Vec<_>>(), jobs, |seed| {
+                let mut rng = SplitMix64::new(seed ^ 0xD1F7_A11A);
+                (0..100)
+                    .map(|_| rng.next_u64())
+                    .fold(0u64, u64::wrapping_add)
+            })
+        };
+        let reference = digest(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(digest(jobs), reference, "jobs={jobs}");
+        }
+    }
+}

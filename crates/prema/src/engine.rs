@@ -5,7 +5,7 @@ use crate::policy::{pick_with_threshold, Policy, PolicyTask, TokenState};
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
-use planaria_model::units::Cycles;
+use planaria_model::units::{Cycles, Picojoules};
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -19,7 +19,7 @@ struct Job {
     tokens: TokenState,
     /// Preemption overhead owed before useful progress, cycles.
     overhead_cycles: f64,
-    energy_j: f64,
+    energy: Picojoules,
 }
 
 /// A single node running the PREMA baseline.
@@ -131,7 +131,7 @@ impl PremaEngine {
                     if job.done > 1.0 - DONE_EPS {
                         job.done = 1.0;
                     }
-                    job.energy_j += (job.done - before) * table.total_energy().to_joules();
+                    job.energy += (job.done - before) * table.total_energy();
                 }
             }
             now = t_next;
@@ -146,7 +146,7 @@ impl PremaEngine {
                         last_update: now,
                     },
                     overhead_cycles: 0.0,
-                    energy_j: 0.0,
+                    energy: Picojoules::ZERO,
                 });
                 next_arrival += 1;
             }
@@ -158,7 +158,7 @@ impl PremaEngine {
                     completions.push(Completion {
                         request: job.request,
                         finish: now,
-                        energy_j: job.energy_j,
+                        energy: job.energy,
                     });
                     running = None;
                 }
@@ -201,11 +201,11 @@ impl PremaEngine {
 
         completions.sort_by_key(|c| c.request.id);
         let makespan = (now - start).max(0.0);
-        let dynamic: f64 = completions.iter().map(|c| c.energy_j).sum();
+        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
         // Static energy accrues while the accelerator serves a job.
         SimResult {
             completions,
-            total_energy_j: dynamic + em.static_energy(busy_seconds).to_joules(),
+            total_energy: dynamic + em.static_energy(busy_seconds),
             makespan,
         }
     }

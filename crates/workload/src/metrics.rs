@@ -3,6 +3,7 @@
 use crate::qos::sla_percentile;
 use crate::request::Completion;
 use planaria_model::DnnId;
+use planaria_parallel::{effective_jobs, par_map};
 use std::collections::BTreeMap;
 
 /// Fraction of requests that violated their QoS bound.
@@ -72,14 +73,21 @@ pub fn fairness(completions: &[Completion], isolated: &BTreeMap<DnnId, f64>) -> 
 /// SLA satisfaction rate (Fig. 13): the fraction of workload instances
 /// (one per seed) whose completions meet the SLA. `run` simulates one
 /// instance from a seed.
+///
+/// Seeds are independent simulations, so they fan out over the
+/// deterministic [`planaria_parallel`] pool; the rate is a count over
+/// index-ordered per-seed booleans and is identical at any job count.
 pub fn sla_satisfaction_rate<F>(run: F, seeds: &[u64]) -> f64
 where
-    F: Fn(u64) -> Vec<Completion>,
+    F: Fn(u64) -> Vec<Completion> + Sync,
 {
     if seeds.is_empty() {
         return 0.0;
     }
-    let ok = seeds.iter().filter(|&&s| meets_sla(&run(s))).count();
+    let ok = par_map(seeds.to_vec(), effective_jobs(), |s| meets_sla(&run(s)))
+        .into_iter()
+        .filter(|&b| b)
+        .count();
     ok as f64 / seeds.len() as f64
 }
 
@@ -91,12 +99,24 @@ where
 /// Returns `lo` when even the lowest rate fails — callers should treat a
 /// result at `lo` as "does not meet the SLA at any probed rate" (the
 /// paper's dash for PREMA on Workload-B, QoS-H).
+///
+/// The bisection itself is inherently sequential (each step depends on the
+/// previous verdict), but the per-seed probe instances at one rate are
+/// independent and fan out over the deterministic [`planaria_parallel`]
+/// pool. The verdict is a conjunction over all seeds, so the search path —
+/// and therefore the result — is bit-identical at any job count.
 pub fn max_throughput<F>(run: F, seeds: &[u64], lo: f64, hi: f64, iters: u32) -> f64
 where
-    F: Fn(f64, u64) -> Vec<Completion>,
+    F: Fn(f64, u64) -> Vec<Completion> + Sync,
 {
     assert!(lo > 0.0 && hi > lo, "invalid throughput search range");
-    let ok_at = |lambda: f64| seeds.iter().all(|&s| meets_sla(&run(lambda, s)));
+    let ok_at = |lambda: f64| {
+        par_map(seeds.to_vec(), effective_jobs(), |s| {
+            meets_sla(&run(lambda, s))
+        })
+        .into_iter()
+        .all(|ok| ok)
+    };
     if !ok_at(lo) {
         return lo;
     }
@@ -130,7 +150,7 @@ mod tests {
                 qos,
             },
             finish: latency,
-            energy_j: 0.0,
+            energy: planaria_model::units::Picojoules::ZERO,
         }
     }
 

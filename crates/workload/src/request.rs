@@ -1,6 +1,7 @@
 //! Inference requests and engine results — the vocabulary shared by the
 //! Planaria and PREMA simulation engines and the metrics.
 
+use planaria_model::units::Picojoules;
 use planaria_model::DnnId;
 
 /// One dispatched inference request.
@@ -33,8 +34,8 @@ pub struct Completion {
     pub request: Request,
     /// Completion time, seconds.
     pub finish: f64,
-    /// Dynamic energy attributed to this request, joules.
-    pub energy_j: f64,
+    /// Dynamic energy attributed to this request.
+    pub energy: Picojoules,
 }
 
 impl Completion {
@@ -54,8 +55,8 @@ impl Completion {
 pub struct SimResult {
     /// All completions (same cardinality as the input trace).
     pub completions: Vec<Completion>,
-    /// Total energy (dynamic + leakage over the makespan), joules.
-    pub total_energy_j: f64,
+    /// Total energy (dynamic + leakage over the makespan).
+    pub total_energy: Picojoules,
     /// Time from first arrival to last completion, seconds.
     pub makespan: f64,
 }
@@ -110,11 +111,11 @@ mod tests {
         let mk = |latency: f64| Completion {
             request: req(0.0, 1.0),
             finish: latency,
-            energy_j: 0.0,
+            energy: Picojoules::ZERO,
         };
         let r = crate::request::SimResult {
             completions: (1..=100).map(|i| mk(i as f64 / 1000.0)).collect(),
-            total_energy_j: 0.0,
+            total_energy: Picojoules::ZERO,
             makespan: 1.0,
         };
         assert!((r.percentile_latency(0.99) - 0.099).abs() < 1e-12);
@@ -130,14 +131,14 @@ mod tests {
         let c = Completion {
             request: r,
             finish: 1.010,
-            energy_j: 0.0,
+            energy: Picojoules::ZERO,
         };
         assert!((c.latency() - 0.010).abs() < 1e-12);
         assert!(c.met_qos());
         let late = Completion {
             request: r,
             finish: 1.020,
-            energy_j: 0.0,
+            energy: Picojoules::ZERO,
         };
         assert!(!late.met_qos());
     }

@@ -58,6 +58,8 @@ fn main() {
     );
     println!(
         "{:<28}{:>12.2}{:>12.2}",
-        "energy (J)", rp.total_energy_j, rr.total_energy_j
+        "energy (J)",
+        rp.total_energy.to_joules(),
+        rr.total_energy.to_joules()
     );
 }

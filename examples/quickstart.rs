@@ -48,5 +48,8 @@ fn main() {
             if c.met_qos() { "met" } else { "missed" }
         );
     }
-    println!("total energy: {:.2} mJ", result.total_energy_j * 1e3);
+    println!(
+        "total energy: {:.2} mJ",
+        result.total_energy.to_joules() * 1e3
+    );
 }

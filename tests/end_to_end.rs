@@ -40,7 +40,7 @@ fn identical_seeds_give_identical_simulations() {
     let a = planaria_engine().run(&trace);
     let b = planaria_engine().run(&trace);
     assert_eq!(a.completions, b.completions);
-    assert!((a.total_energy_j - b.total_energy_j).abs() < 1e-12);
+    assert!((a.total_energy.to_joules() - b.total_energy.to_joules()).abs() < 1e-12);
 }
 
 #[test]
@@ -130,8 +130,8 @@ fn energy_grows_with_request_count() {
     let e = planaria_engine();
     let short = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 40, 2).generate();
     let long = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 160, 2).generate();
-    let es = e.run(&short).total_energy_j;
-    let el = e.run(&long).total_energy_j;
+    let es = e.run(&short).total_energy.to_joules();
+    let el = e.run(&long).total_energy.to_joules();
     assert!(
         el > es * 2.0,
         "4x the requests should cost >2x energy: {es} -> {el}"

@@ -148,5 +148,5 @@ fn thousand_request_stress() {
     let r = planaria_engine().run(&trace);
     assert_eq!(r.completions.len(), 1000);
     assert!(r.makespan.is_finite() && r.makespan > 0.0);
-    assert!(r.total_energy_j.is_finite() && r.total_energy_j > 0.0);
+    assert!(r.total_energy.to_joules().is_finite() && r.total_energy.to_joules() > 0.0);
 }
