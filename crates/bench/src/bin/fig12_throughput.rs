@@ -6,7 +6,8 @@
 //! PREMA failing outright on Workload-B at QoS-H.
 
 use planaria_bench::{
-    par_grid, planaria_throughput, prema_throughput, ratio_label, ResultTable, Systems,
+    export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, ratio_label,
+    ResultTable, Systems,
 };
 
 fn main() {
@@ -31,4 +32,5 @@ fn main() {
         ]);
     }
     table.emit("fig12_throughput");
+    export_trace_if_requested(&sys);
 }

@@ -4,7 +4,8 @@
 //! Paper headline: 2.1× / 2.3× / 1.9× improvements on Workload-C.
 
 use planaria_bench::{
-    par_grid, planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+    export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, probe_rate, trace,
+    ResultTable, Systems,
 };
 use planaria_parallel::{effective_jobs, par_map};
 use planaria_workload::fairness;
@@ -58,4 +59,5 @@ fn main() {
         ]);
     }
     table.emit("fig14_fairness");
+    export_trace_if_requested(&sys);
 }

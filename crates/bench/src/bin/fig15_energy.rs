@@ -7,7 +7,8 @@
 //! monolithic baseline burns leakage on underutilized runs.
 
 use planaria_bench::{
-    par_grid, planaria_throughput, prema_throughput, probe_rate, trace, ResultTable, Systems,
+    export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, probe_rate, trace,
+    ResultTable, Systems,
 };
 use planaria_parallel::{effective_jobs, par_map};
 
@@ -56,4 +57,5 @@ fn main() {
         ]);
     }
     table.emit("fig15_energy");
+    export_trace_if_requested(&sys);
 }

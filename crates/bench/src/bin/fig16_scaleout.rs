@@ -6,7 +6,7 @@
 //! relative bounds) needs the most nodes (2 → 7); Workload-A QoS-S fits on
 //! a single node.
 
-use planaria_bench::{par_grid, trace, ResultTable, Systems};
+use planaria_bench::{export_trace_if_requested, par_grid, trace, ResultTable, Systems};
 use planaria_core::{min_nodes_for_sla, run_cluster};
 use planaria_parallel::{effective_jobs, par_map};
 use planaria_workload::meets_sla;
@@ -46,4 +46,5 @@ fn main() {
         ]);
     }
     table.emit("fig16_scaleout");
+    export_trace_if_requested(&sys);
 }

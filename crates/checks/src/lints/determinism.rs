@@ -13,6 +13,11 @@
 //!   whose index-ordered join is bit-identical at any job count. Only
 //!   `crates/parallel` (the pool itself) and `crates/bench` (the harness)
 //!   may touch `std::thread`.
+//! * Ad-hoc printing (`println!`/`eprintln!`/`dbg!` and friends) is banned
+//!   in library code: observability goes through a
+//!   `planaria_telemetry::Collector`, and presentation through the CLI and
+//!   bench binaries. Stray prints interleave nondeterministically under
+//!   `par_map` and silently corrupt table/TSV output.
 
 use crate::diagnostics::{Diagnostic, Lint};
 use crate::lints::find_word;
@@ -49,7 +54,26 @@ const THREAD_SCOPE: [&str; 7] = [
     "crates/funcsim/src/",
 ];
 
+/// Library crates whose code must not print: telemetry is the only
+/// sanctioned side channel there. The CLI (`crates/cli`) and the
+/// experiment harness (`crates/bench`) are presentation layers and stay
+/// out of scope, as does `crates/checks` itself.
+const PRINT_SCOPE: [&str; 11] = [
+    "crates/model/src/",
+    "crates/arch/src/",
+    "crates/timing/src/",
+    "crates/energy/src/",
+    "crates/funcsim/src/",
+    "crates/compiler/src/",
+    "crates/workload/src/",
+    "crates/core/src/",
+    "crates/prema/src/",
+    "crates/parallel/src/",
+    "crates/telemetry/src/",
+];
+
 const ORDER_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+const PRINT_TOKENS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
 const THREAD_TOKENS: [&str; 1] = ["thread"];
 const CLOCK_TOKENS: [(&str, &str); 3] = [
     (
@@ -71,7 +95,11 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
     let order = ORDER_SCOPE.iter().any(|p| file.rel.starts_with(p));
     let clock = CLOCK_SCOPE.iter().any(|p| file.rel.starts_with(p));
     let thread = THREAD_SCOPE.iter().any(|p| file.rel.starts_with(p));
-    if !order && !clock && !thread {
+    // Binaries inside an otherwise-library crate are presentation code.
+    let print = PRINT_SCOPE.iter().any(|p| file.rel.starts_with(p))
+        && !file.rel.contains("/bin/")
+        && !file.rel.ends_with("/main.rs");
+    if !order && !clock && !thread && !print {
         return Vec::new();
     }
     let mut diags = Vec::new();
@@ -123,6 +151,23 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                             "raw `{token}` use in a simulation crate; fan out through \
                              `planaria_parallel::par_map`, whose index-ordered join is \
                              deterministic at any job count"
+                        ),
+                    });
+                }
+            }
+        }
+        if print {
+            for token in PRINT_TOKENS {
+                if find_word(&line.code, token).is_some() {
+                    diags.push(Diagnostic {
+                        lint: Lint::Determinism,
+                        rel_path: file.rel.clone(),
+                        line: line.number,
+                        ident: token.to_string(),
+                        message: format!(
+                            "`{token}!` in library code; record through a \
+                             `planaria_telemetry::Collector` (or report from the \
+                             CLI/bench binaries) instead of printing"
                         ),
                     });
                 }
@@ -208,6 +253,60 @@ mod tests {
             let f = SourceFile::parse(rel, "std::thread::scope(|s| {});\n");
             assert!(check(&f).is_empty(), "{rel}");
         }
+    }
+
+    #[test]
+    fn print_in_library_code_is_flagged() {
+        for rel in [
+            "crates/core/src/engine.rs",
+            "crates/telemetry/src/report.rs",
+            "crates/parallel/src/lib.rs",
+        ] {
+            let f = SourceFile::parse(rel, "println!(\"progress\");\n");
+            let d = check(&f);
+            assert_eq!(d.len(), 1, "{rel}");
+            assert_eq!(d[0].ident, "println", "{rel}");
+            assert!(d[0].message.contains("Collector"), "{rel}");
+        }
+    }
+
+    #[test]
+    fn print_tokens_match_whole_words_only() {
+        // `println` must not additionally fire the `print` token.
+        let f = SourceFile::parse("crates/core/src/engine.rs", "eprintln!(\"x\");\n");
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "eprintln");
+    }
+
+    #[test]
+    fn dbg_macro_is_flagged() {
+        let f = SourceFile::parse("crates/compiler/src/table.rs", "dbg!(&shape);\n");
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "dbg");
+    }
+
+    #[test]
+    fn presentation_layers_may_print() {
+        for rel in [
+            "crates/cli/src/commands/trace.rs",
+            "crates/bench/src/lib.rs",
+            "crates/bench/src/bin/fig12_throughput.rs",
+            "crates/checks/src/main.rs",
+        ] {
+            let f = SourceFile::parse(rel, "println!(\"table\");\n");
+            assert!(check(&f).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn prints_in_tests_are_fine() {
+        let f = SourceFile::parse(
+            "crates/core/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"dbg\");\n    }\n}\n",
+        );
+        assert!(check(&f).is_empty());
     }
 
     #[test]

@@ -4,8 +4,10 @@ mod compile;
 mod explore;
 mod nets;
 mod simulate;
+mod trace;
 
 pub use compile::compile;
 pub use explore::explore;
 pub use nets::nets;
 pub use simulate::simulate;
+pub use trace::{trace, validate_trace};

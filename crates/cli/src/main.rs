@@ -7,6 +7,11 @@
 //! planaria-cli simulate [--scenario C] [--qos M] [--lambda 60]
 //!                       [--requests 200] [--seed 1] [--system planaria|prema]
 //!                       [--timeline 1]
+//! planaria-cli trace [--scenario A] [--qos S] [--lambda 100] [--requests 40]
+//!                    [--seed 1] [--system planaria|prema]
+//!                    [--trace-out t.json] [--metrics-out m.json]
+//!                    [--occupancy-out o.tsv]
+//! planaria-cli validate-trace <t.json>
 //! ```
 
 mod args;
@@ -28,6 +33,13 @@ USAGE:
                         [--requests N] [--seed S]
                         [--system planaria|prema] [--timeline 1]
                                              run a multi-tenant workload
+  planaria-cli trace [--scenario A] [--qos S] [--lambda QPS] [--requests N]
+                     [--seed S] [--system planaria|prema]
+                     [--trace-out t.json] [--metrics-out m.json]
+                     [--occupancy-out o.tsv]
+                                             run with full telemetry and export
+                                             a Perfetto-loadable Chrome trace
+  planaria-cli validate-trace <t.json>       structurally check a trace file
 ";
 
 fn main() -> ExitCode {
@@ -48,6 +60,8 @@ fn main() -> ExitCode {
         "compile" => commands::compile(&parsed),
         "explore" => commands::explore(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "trace" => commands::trace(&parsed),
+        "validate-trace" => commands::validate_trace(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

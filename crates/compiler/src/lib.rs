@@ -37,6 +37,6 @@ pub use library::CompiledLibrary;
 pub use memo::{LayerShapeKey, ShapeTable, TimingMemo};
 pub use table::{
     compile, compile_for_allocation, compile_for_allocation_shaped,
-    compile_for_allocation_uncached, compile_for_allocation_with, compile_uncached, CompiledDnn,
-    ConfigTable, LayerConfig, TilePosition,
+    compile_for_allocation_uncached, compile_for_allocation_with, compile_uncached,
+    compile_with_collector, CompiledDnn, ConfigTable, LayerConfig, TilePosition,
 };

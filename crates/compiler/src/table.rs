@@ -419,6 +419,56 @@ pub fn compile(cfg: &AcceleratorConfig, dnn: &Dnn) -> CompiledDnn {
     }
 }
 
+/// Like [`compile`], streaming compilation telemetry into `c`: one
+/// [`Event::TableCompiled`](planaria_telemetry::Event::TableCompiled) per
+/// allocation size, plus memo hit/miss, distinct-shape, and
+/// layers-compiled counters.
+///
+/// Uses the shared-memo path ([`compile_for_allocation_with`]) so the
+/// hit/miss counts reflect a real cross-allocation cache; output is
+/// bit-identical to [`compile`] because every cached value is a pure
+/// function of `(cfg, shape, arrangement, allocation)` (asserted by a
+/// test below).
+///
+/// # Panics
+///
+/// Panics on a zero-layer network.
+pub fn compile_with_collector<C: planaria_telemetry::Collector>(
+    cfg: &AcceleratorConfig,
+    dnn: &Dnn,
+    c: &mut C,
+) -> CompiledDnn {
+    use planaria_telemetry::{Counter, Event};
+    let n = cfg.num_subarrays();
+    let shapes = ShapeTable::for_dnn(dnn);
+    let mut memo = TimingMemo::new(cfg);
+    let layers = dnn.num_layers() as u32;
+    let mut tables = Vec::with_capacity(n as usize);
+    for s in 1..=n {
+        tables.push(compile_for_allocation_with(cfg, dnn, s, &mut memo));
+        if c.is_enabled() {
+            c.record(
+                planaria_model::units::Cycles::ZERO,
+                Event::TableCompiled {
+                    subarrays: s,
+                    layers,
+                    distinct_shapes: shapes.num_shapes() as u32,
+                },
+            );
+        }
+    }
+    if c.is_enabled() {
+        c.add(Counter::MemoHits, memo.hits());
+        c.add(Counter::MemoMisses, memo.misses());
+        c.add(Counter::DistinctShapes, shapes.num_shapes() as u64);
+        c.add(Counter::LayersCompiled, u64::from(layers) * u64::from(n));
+    }
+    CompiledDnn {
+        name: dnn.name().to_string(),
+        tables,
+    }
+}
+
 /// Reference (memo-free) whole-network compilation; see
 /// [`compile_for_allocation_uncached`].
 ///
@@ -452,6 +502,32 @@ mod tests {
         for s in 1..=16 {
             assert_eq!(c.table(s).subarrays(), s);
         }
+    }
+
+    #[test]
+    fn collector_compile_is_bit_identical_and_counts_memo_traffic() {
+        use planaria_telemetry::{Counter, Event, RecordingCollector};
+        let cfg = AcceleratorConfig::planaria();
+        let net = DnnId::TinyYolo.build();
+        let plain = compile(&cfg, &net);
+        let mut c = RecordingCollector::new();
+        let instrumented = compile_with_collector(&cfg, &net, &mut c);
+        assert_eq!(plain, instrumented);
+        let tables_done = c
+            .events()
+            .iter()
+            .filter(|te| matches!(te.event, Event::TableCompiled { .. }))
+            .count();
+        assert_eq!(tables_done, 16);
+        let hits = c.counter(Counter::MemoHits);
+        let misses = c.counter(Counter::MemoMisses);
+        assert!(misses > 0, "search must run at least once per shape");
+        assert!(hits > 0, "repeated shapes must hit the memo");
+        let layers = c.counter(Counter::LayersCompiled);
+        assert_eq!(layers, net.num_layers() as u64 * 16);
+        assert!(c.counter(Counter::DistinctShapes) <= net.num_layers() as u64);
+        // Every layer of every table was served by the memo.
+        assert_eq!(hits + misses, layers);
     }
 
     #[test]

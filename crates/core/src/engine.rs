@@ -8,11 +8,12 @@
 //! resumes under the new table.
 
 use crate::scheduler::{schedule_tasks_spatially, SchedTask};
-use crate::trace::{EngineTrace, EventKind};
+use crate::trace::EngineTrace;
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
 use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
 use planaria_model::units::{Cycles, Picojoules};
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector, SimMeta};
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -32,6 +33,28 @@ struct Tenant {
     overhead_cycles: f64,
     /// Dynamic energy accumulated so far.
     energy: Picojoules,
+    /// When the current queue wait began (telemetry only; seconds).
+    queued_since: f64,
+    /// When the current execution slice began (telemetry only; seconds).
+    slice_start: f64,
+}
+
+/// Converts seconds-since-run-start to exact telemetry cycles.
+#[inline]
+fn to_cycles(seconds: f64, freq_hz: f64) -> Cycles {
+    Cycles::new((seconds * freq_hz).max(0.0).round() as u64)
+}
+
+/// Physical-placement bitmask (bit *i* set ⇔ subarray *i* owned; ids
+/// beyond 63 saturate into bit 63 so masks stay `u64`).
+fn placement_mask(p: Option<&Allocation>) -> u64 {
+    let mut mask = 0u64;
+    if let Some(p) = p {
+        for id in p.subarrays() {
+            mask |= 1u64 << (id.0.min(63));
+        }
+    }
+    mask
 }
 
 /// How the engine assigns the chip to queued tenants.
@@ -92,7 +115,7 @@ impl PlanariaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run(&self, trace: &[Request]) -> SimResult {
-        self.run_inner(trace, None)
+        self.run_with_collector(trace, &mut NullCollector)
     }
 
     /// Like [`run`](Self::run), additionally recording the scheduling-event
@@ -102,12 +125,21 @@ impl PlanariaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run_traced(&self, trace: &[Request]) -> (SimResult, EngineTrace) {
-        let mut t = EngineTrace::new(self.cfg().num_subarrays());
-        let result = self.run_inner(trace, Some(&mut t));
+        let mut t = EngineTrace::new(self.cfg().num_subarrays(), self.cfg().freq_hz);
+        let result = self.run_with_collector(trace, &mut t);
         (result, t)
     }
 
-    fn run_inner(&self, trace: &[Request], mut telemetry: Option<&mut EngineTrace>) -> SimResult {
+    /// Simulates one trace, streaming telemetry into `c`.
+    ///
+    /// The simulation itself never branches on the collector: with
+    /// [`NullCollector`] every hook inlines to a no-op and the results are
+    /// bit-identical to [`run`](Self::run) (proven by a test below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival.
+    pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
         assert!(
             trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "trace must be sorted by arrival time"
@@ -116,6 +148,10 @@ impl PlanariaEngine {
         let freq = cfg.freq_hz;
         let total = cfg.num_subarrays();
         let em = EnergyModel::for_config(&cfg);
+        c.set_meta(SimMeta {
+            freq_hz: freq,
+            total_subarrays: total,
+        });
 
         let mut tenants: Vec<Tenant> = Vec::new();
         let mut completions: Vec<Completion> = Vec::new();
@@ -156,14 +192,15 @@ impl PlanariaEngine {
             // Admit all arrivals at t_next.
             while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
                 let req = trace[next_arrival];
-                if let Some(t) = telemetry.as_deref_mut() {
-                    t.push(
-                        now,
-                        EventKind::Arrival {
-                            request: req.id,
+                if c.is_enabled() {
+                    c.record(
+                        to_cycles(now - start, freq),
+                        Event::Arrival {
+                            tenant: req.id,
                             dnn: req.dnn,
                         },
                     );
+                    c.add(Counter::Arrivals, 1);
                 }
                 tenants.push(Tenant {
                     request: req,
@@ -172,6 +209,8 @@ impl PlanariaEngine {
                     placement: None,
                     overhead_cycles: 0.0,
                     energy: Picojoules::ZERO,
+                    queued_since: now,
+                    slice_start: now,
                 });
                 next_arrival += 1;
             }
@@ -181,14 +220,29 @@ impl PlanariaEngine {
             while i < tenants.len() {
                 if tenants[i].done >= 1.0 - DONE_EPS {
                     let t = tenants.swap_remove(i);
-                    if let Some(tr) = telemetry.as_deref_mut() {
-                        tr.push(
-                            now,
-                            EventKind::Completion {
-                                request: t.request.id,
-                                latency: now - t.request.arrival,
+                    if c.is_enabled() {
+                        let ts_now = to_cycles(now - start, freq);
+                        if t.alloc > 0 {
+                            let s = to_cycles(t.slice_start - start, freq);
+                            c.record(
+                                ts_now,
+                                Event::ExecSlice {
+                                    tenant: t.request.id,
+                                    subarrays: t.alloc,
+                                    mask: placement_mask(t.placement.as_ref()),
+                                    start: s,
+                                    duration: ts_now.saturating_sub(s),
+                                },
+                            );
+                        }
+                        c.record(
+                            ts_now,
+                            Event::Completion {
+                                tenant: t.request.id,
+                                latency: to_cycles(now - t.request.arrival, freq),
                             },
                         );
+                        c.add(Counter::Completions, 1);
                     }
                     completions.push(Completion {
                         request: t.request,
@@ -201,7 +255,7 @@ impl PlanariaEngine {
             }
 
             // Scheduling event: re-run the allocator over the queue.
-            self.reschedule(&mut tenants, now, total, freq, telemetry.as_deref_mut());
+            self.reschedule(&mut tenants, now, start, total, freq, c);
         }
 
         completions.sort_by_key(|c| c.request.id);
@@ -244,13 +298,14 @@ impl PlanariaEngine {
 
     /// Runs the allocator and applies allocation changes (with
     /// reconfiguration overheads for preempted tenants).
-    fn reschedule(
+    fn reschedule<C: Collector>(
         &self,
         tenants: &mut [Tenant],
         now: f64,
+        start: f64,
         total: u32,
         freq: f64,
-        mut telemetry: Option<&mut EngineTrace>,
+        c: &mut C,
     ) {
         if tenants.is_empty() {
             return;
@@ -362,7 +417,14 @@ impl PlanariaEngine {
             }
         }
 
+        let telemetry_on = c.is_enabled();
+        let ts_now = to_cycles(now - start, freq);
         for (i, (t, &a)) in tenants.iter_mut().zip(&alloc).enumerate() {
+            let old_mask = if telemetry_on {
+                placement_mask(t.placement.as_ref())
+            } else {
+                0
+            };
             t.placement = placements[i].take();
             if a == t.alloc && !migrated[i] {
                 continue;
@@ -373,15 +435,55 @@ impl PlanariaEngine {
             if t.alloc > 0 && a == t.alloc + 1 && !migrated[i] {
                 continue;
             }
-            if let Some(tr) = telemetry.as_deref_mut() {
-                tr.push(
-                    now,
-                    EventKind::Allocation {
-                        request: t.request.id,
+            if telemetry_on {
+                // Close the execution slice the tenant just left.
+                if t.alloc > 0 {
+                    let s = to_cycles(t.slice_start - start, freq);
+                    c.record(
+                        ts_now,
+                        Event::ExecSlice {
+                            tenant: t.request.id,
+                            subarrays: t.alloc,
+                            mask: old_mask,
+                            start: s,
+                            duration: ts_now.saturating_sub(s),
+                        },
+                    );
+                }
+                c.record(
+                    ts_now,
+                    Event::Allocation {
+                        tenant: t.request.id,
                         from: t.alloc,
                         to: a,
+                        mask: placement_mask(t.placement.as_ref()),
                     },
                 );
+                if t.alloc == 0 && a > 0 {
+                    // Leaving the queue: emit the closed wait interval.
+                    let qs = to_cycles(t.queued_since - start, freq);
+                    let wait = ts_now.saturating_sub(qs);
+                    c.record(
+                        ts_now,
+                        Event::QueueWait {
+                            tenant: t.request.id,
+                            start: qs,
+                            duration: wait,
+                        },
+                    );
+                    c.sample(Metric::QueueWaitCycles, wait.as_f64());
+                }
+                if a > 0 {
+                    c.sample(Metric::AllocationSize, f64::from(a));
+                }
+            }
+            // Unconditional, branch-free bookkeeping (never read by the
+            // simulation itself, so the NullCollector path stays
+            // bit-identical).
+            if a > 0 {
+                t.slice_start = now;
+            } else {
+                t.queued_since = now;
             }
             if t.alloc > 0 && t.done > 0.0 && t.done < 1.0 {
                 // Preempted or resized mid-flight: finish the in-flight
@@ -396,6 +498,27 @@ impl PlanariaEngine {
                 };
                 let ctx = ExecContext::for_allocation(cfg, t.alloc.max(1));
                 let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
+                if telemetry_on {
+                    c.record(
+                        ts_now,
+                        Event::Reconfig {
+                            tenant: t.request.id,
+                            boundary: pos.cycles_to_boundary,
+                            drain: cost.drain,
+                            checkpoint: cost.checkpoint,
+                            config_swap: cost.config_swap,
+                            refill: cost.refill,
+                            checkpoint_bytes: pos.tile_bytes,
+                        },
+                    );
+                    c.add(Counter::Reconfigurations, 1);
+                    c.add(Counter::DrainCycles, cost.drain.get());
+                    c.add(Counter::CheckpointCycles, cost.checkpoint.get());
+                    c.add(Counter::ConfigSwapCycles, cost.config_swap.get());
+                    c.add(Counter::RefillCycles, cost.refill.get());
+                    c.add(Counter::CheckpointBytes, pos.tile_bytes.get());
+                    c.sample(Metric::ReconfigCycles, cost.total().as_f64());
+                }
                 t.overhead_cycles += (pos.cycles_to_boundary + cost.total()).as_f64();
             } else if a > 0 && t.alloc == 0 {
                 // Fresh start on a new logical accelerator: pipeline fill
@@ -404,6 +527,16 @@ impl PlanariaEngine {
                 t.overhead_cycles += 16.0;
             }
             t.alloc = a;
+        }
+        if telemetry_on {
+            c.add(Counter::SchedulingEvents, 1);
+            let queued = tenants.iter().filter(|t| t.alloc == 0).count();
+            let used: u32 = tenants.iter().map(|t| t.alloc).sum();
+            c.sample(Metric::QueueDepth, queued as f64);
+            c.sample(
+                Metric::OccupancyPct,
+                100.0 * f64::from(used) / f64::from(total.max(1)),
+            );
         }
     }
 }

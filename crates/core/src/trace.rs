@@ -5,15 +5,32 @@
 //! post-hoc analysis of the scheduler's behaviour (reconfiguration counts,
 //! chip occupancy over time, per-tenant allocation histories) and a text
 //! timeline for quick inspection.
+//!
+//! Since the telemetry refactor, [`EngineTrace`] is a thin view over a
+//! [`planaria_telemetry::RecordingCollector`]: it implements
+//! [`Collector`], forwards everything to the recorder (so the full event
+//! stream, counters, and histograms are available for Chrome-trace
+//! export), and *additionally* mirrors the three legacy event kinds into
+//! its own compact [`TraceEvent`] list so the pre-existing analysis API
+//! (`reconfigurations`, `mean_occupancy`, `render_occupancy`) keeps
+//! working unchanged.
+//!
+//! Times are carried in [`Cycles`] (exact integers); conversion to
+//! seconds happens once, at render time, using the engine clock.
 
+use planaria_model::units::Cycles;
 use planaria_model::DnnId;
+use planaria_telemetry::{
+    chrome_trace, occupancy_tsv, Collector, Counter, Event, Metric, MetricsReport,
+    RecordingCollector, SimMeta,
+};
 use std::fmt::Write as _;
 
 /// One scheduling event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
-    /// Simulation time, seconds.
-    pub time: f64,
+    /// Simulation time in cycles since the run's first arrival.
+    pub time: Cycles,
     /// What happened.
     pub kind: EventKind,
 }
@@ -41,35 +58,62 @@ pub enum EventKind {
     Completion {
         /// Request id.
         request: u64,
-        /// End-to-end latency, seconds.
-        latency: f64,
+        /// End-to-end latency in cycles.
+        latency: Cycles,
     },
 }
 
 /// The recorded event stream of one simulation.
 #[derive(Debug, Clone, Default)]
 pub struct EngineTrace {
+    recording: RecordingCollector,
     events: Vec<TraceEvent>,
     total_subarrays: u32,
+    freq_hz: f64,
 }
 
 impl EngineTrace {
-    /// Creates an empty trace for a chip of `total_subarrays` granules.
-    pub fn new(total_subarrays: u32) -> Self {
+    /// Creates an empty trace for a chip of `total_subarrays` granules
+    /// clocked at `freq_hz`.
+    pub fn new(total_subarrays: u32, freq_hz: f64) -> Self {
         Self {
+            recording: RecordingCollector::new(),
             events: Vec::new(),
             total_subarrays,
+            freq_hz,
         }
     }
 
-    /// Records an event (engine-internal).
-    pub(crate) fn push(&mut self, time: f64, kind: EventKind) {
+    /// Records a legacy event directly (tests and manual construction).
+    pub(crate) fn push(&mut self, time: Cycles, kind: EventKind) {
         self.events.push(TraceEvent { time, kind });
     }
 
-    /// All events in time order.
+    /// All legacy-view events in time order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// The full underlying recording (every event kind, counters,
+    /// histograms) for export.
+    pub fn collector(&self) -> &RecordingCollector {
+        &self.recording
+    }
+
+    /// The aggregated counters and histograms of the run.
+    pub fn metrics(&self) -> MetricsReport {
+        self.recording.report()
+    }
+
+    /// Renders the full recording as Chrome trace-event JSON
+    /// (Perfetto-loadable).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.recording)
+    }
+
+    /// Renders the chip-occupancy timeline as TSV.
+    pub fn occupancy_tsv(&self) -> String {
+        occupancy_tsv(&self.recording)
     }
 
     /// Number of allocation changes that resized or preempted a *running*
@@ -85,12 +129,12 @@ impl EngineTrace {
     /// the span of the trace.
     pub fn mean_occupancy(&self) -> f64 {
         let mut alloc: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
-        let mut last_t: Option<f64> = None;
+        let mut last_t: Option<Cycles> = None;
         let mut acc = 0.0;
         let mut span = 0.0;
         for e in &self.events {
             if let Some(prev) = last_t {
-                let dt = (e.time - prev).max(0.0);
+                let dt = e.time.saturating_sub(prev).as_f64();
                 let used: u32 = alloc.values().sum();
                 acc += dt * f64::from(used) / f64::from(self.total_subarrays.max(1));
                 span += dt;
@@ -114,22 +158,23 @@ impl EngineTrace {
     }
 
     /// Renders a coarse text timeline of chip occupancy: `buckets` columns,
-    /// each showing the occupancy decile (0-9) at that moment.
+    /// each showing the occupancy decile (0-9) at that moment. Bounds are
+    /// shown in seconds (converted from cycles at the engine clock).
     pub fn render_occupancy(&self, buckets: usize) -> String {
         if self.events.is_empty() || buckets == 0 {
             return String::from("(empty trace)");
         }
         // lint: the is_empty() guard above ensures first/last exist
-        let t0 = self.events.first().unwrap().time;
+        let c0 = self.events.first().unwrap().time;
         // lint: the is_empty() guard above ensures first/last exist
-        let t1 = self.events.last().unwrap().time;
-        let span = (t1 - t0).max(1e-12);
+        let c1 = self.events.last().unwrap().time;
+        let span = (c1.as_f64() - c0.as_f64()).max(1e-12);
         let mut samples = vec![0u32; buckets];
         let mut alloc: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
         let mut ei = 0;
         for (b, sample) in samples.iter_mut().enumerate() {
-            let t = t0 + span * (b as f64 + 0.5) / buckets as f64;
-            while ei < self.events.len() && self.events[ei].time <= t {
+            let t = c0.as_f64() + span * (b as f64 + 0.5) / buckets as f64;
+            while ei < self.events.len() && self.events[ei].time.as_f64() <= t {
                 match self.events[ei].kind {
                     EventKind::Allocation { request, to, .. } => {
                         alloc.insert(request, to);
@@ -143,6 +188,13 @@ impl EngineTrace {
             }
             *sample = alloc.values().sum();
         }
+        let freq = if self.freq_hz > 0.0 {
+            self.freq_hz
+        } else {
+            1.0
+        };
+        let t0 = c0.seconds_at(freq);
+        let t1 = c1.seconds_at(freq);
         let mut out = String::new();
         let _ = write!(out, "occupancy [{t0:.4}s..{t1:.4}s] ");
         for s in samples {
@@ -153,21 +205,76 @@ impl EngineTrace {
     }
 }
 
+impl Collector for EngineTrace {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn set_meta(&mut self, meta: SimMeta) {
+        self.total_subarrays = meta.total_subarrays;
+        self.freq_hz = meta.freq_hz;
+        self.recording.set_meta(meta);
+    }
+
+    fn record(&mut self, ts: Cycles, event: Event) {
+        // Mirror the legacy event kinds for the analysis helpers, then
+        // forward everything to the full recording.
+        match event {
+            Event::Arrival { tenant, dnn } => self.push(
+                ts,
+                EventKind::Arrival {
+                    request: tenant,
+                    dnn,
+                },
+            ),
+            Event::Allocation {
+                tenant, from, to, ..
+            } => self.push(
+                ts,
+                EventKind::Allocation {
+                    request: tenant,
+                    from,
+                    to,
+                },
+            ),
+            Event::Completion { tenant, latency } => self.push(
+                ts,
+                EventKind::Completion {
+                    request: tenant,
+                    latency,
+                },
+            ),
+            _ => {}
+        }
+        self.recording.record(ts, event);
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64) {
+        self.recording.add(counter, delta);
+    }
+
+    fn sample(&mut self, metric: Metric, value: f64) {
+        self.recording.sample(metric, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn demo_trace() -> EngineTrace {
-        let mut t = EngineTrace::new(16);
+        // One cycle == one second (freq 1 Hz) keeps expectations readable.
+        let mut t = EngineTrace::new(16, 1.0);
         t.push(
-            0.0,
+            Cycles::ZERO,
             EventKind::Arrival {
                 request: 0,
                 dnn: DnnId::ResNet50,
             },
         );
         t.push(
-            0.0,
+            Cycles::ZERO,
             EventKind::Allocation {
                 request: 0,
                 from: 0,
@@ -175,14 +282,14 @@ mod tests {
             },
         );
         t.push(
-            1.0,
+            Cycles::new(1),
             EventKind::Arrival {
                 request: 1,
                 dnn: DnnId::Gnmt,
             },
         );
         t.push(
-            1.0,
+            Cycles::new(1),
             EventKind::Allocation {
                 request: 0,
                 from: 16,
@@ -190,7 +297,7 @@ mod tests {
             },
         );
         t.push(
-            1.0,
+            Cycles::new(1),
             EventKind::Allocation {
                 request: 1,
                 from: 0,
@@ -198,17 +305,17 @@ mod tests {
             },
         );
         t.push(
-            2.0,
+            Cycles::new(2),
             EventKind::Completion {
                 request: 0,
-                latency: 2.0,
+                latency: Cycles::new(2),
             },
         );
         t.push(
-            3.0,
+            Cycles::new(3),
             EventKind::Completion {
                 request: 1,
-                latency: 2.0,
+                latency: Cycles::new(2),
             },
         );
         t
@@ -238,7 +345,65 @@ mod tests {
 
     #[test]
     fn empty_trace_renders_placeholder() {
-        assert_eq!(EngineTrace::new(16).render_occupancy(8), "(empty trace)");
-        assert_eq!(EngineTrace::new(16).mean_occupancy(), 0.0);
+        assert_eq!(
+            EngineTrace::new(16, 1.0).render_occupancy(8),
+            "(empty trace)"
+        );
+        assert_eq!(EngineTrace::new(16, 1.0).mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn collector_impl_mirrors_legacy_kinds_and_forwards_all() {
+        let mut t = EngineTrace::new(16, 1e9);
+        assert!(t.is_enabled());
+        t.set_meta(SimMeta {
+            freq_hz: 700e6,
+            total_subarrays: 16,
+        });
+        assert_eq!(t.total_subarrays, 16);
+        t.record(
+            Cycles::ZERO,
+            Event::Arrival {
+                tenant: 3,
+                dnn: DnnId::YoloV3,
+            },
+        );
+        t.record(
+            Cycles::new(5),
+            Event::Allocation {
+                tenant: 3,
+                from: 0,
+                to: 4,
+                mask: 0b1111,
+            },
+        );
+        // Non-legacy kinds are recorded but not mirrored.
+        t.record(
+            Cycles::new(5),
+            Event::QueueWait {
+                tenant: 3,
+                start: Cycles::ZERO,
+                duration: Cycles::new(5),
+            },
+        );
+        t.record(
+            Cycles::new(9),
+            Event::Completion {
+                tenant: 3,
+                latency: Cycles::new(9),
+            },
+        );
+        t.add(Counter::Arrivals, 1);
+        t.sample(Metric::QueueDepth, 1.0);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.collector().events().len(), 4);
+        assert_eq!(t.metrics().counter(Counter::Arrivals), 1);
+        assert!(matches!(
+            t.events()[2].kind,
+            EventKind::Completion {
+                request: 3,
+                latency
+            } if latency == Cycles::new(9)
+        ));
     }
 }

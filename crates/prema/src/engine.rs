@@ -6,6 +6,7 @@ use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_compiler::CompiledLibrary;
 use planaria_energy::EnergyModel;
 use planaria_model::units::{Cycles, Picojoules};
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector, SimMeta};
 use planaria_timing::{reconfiguration_cycles, ExecContext};
 use planaria_workload::{Completion, Request, SimResult};
 
@@ -20,6 +21,23 @@ struct Job {
     /// Preemption overhead owed before useful progress, cycles.
     overhead_cycles: f64,
     energy: Picojoules,
+    /// When the current wait for the accelerator began (telemetry only).
+    queued_since: f64,
+}
+
+/// Converts seconds-since-run-start to exact telemetry cycles.
+#[inline]
+fn to_cycles(seconds: f64, freq_hz: f64) -> Cycles {
+    Cycles::new((seconds * freq_hz).max(0.0).round() as u64)
+}
+
+/// PREMA always owns the whole chip: every subarray bit is set.
+fn full_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
 }
 
 /// A single node running the PREMA baseline.
@@ -83,6 +101,19 @@ impl PremaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run(&self, trace: &[Request]) -> SimResult {
+        self.run_with_collector(trace, &mut NullCollector)
+    }
+
+    /// Simulates one trace, streaming telemetry into `c`.
+    ///
+    /// The simulation never branches on the collector: with
+    /// [`NullCollector`] every hook inlines to a no-op and the results are
+    /// bit-identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival.
+    pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
         assert!(
             trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "trace must be sorted by arrival time"
@@ -91,7 +122,13 @@ impl PremaEngine {
         let freq = cfg.freq_hz;
         let em = EnergyModel::for_config(&cfg);
         let ctx = ExecContext::full_chip(&cfg);
-        let mono = Arrangement::monolithic(cfg.num_subarrays());
+        let total = cfg.num_subarrays();
+        let mono = Arrangement::monolithic(total);
+        let mask = full_mask(total);
+        c.set_meta(SimMeta {
+            freq_hz: freq,
+            total_subarrays: total,
+        });
 
         let mut jobs: Vec<Job> = Vec::new();
         let mut running: Option<usize> = None;
@@ -100,6 +137,8 @@ impl PremaEngine {
         let mut now = trace.first().map_or(0.0, |r| r.arrival);
         let start = now;
         let mut busy_seconds = 0.0f64;
+        // When the current occupant's slice began (telemetry only).
+        let mut slice_since = now;
 
         while next_arrival < trace.len() || !jobs.is_empty() {
             let arrival_t = trace.get(next_arrival).map(|r| r.arrival);
@@ -138,8 +177,19 @@ impl PremaEngine {
 
             // Admit arrivals.
             while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
+                let req = trace[next_arrival];
+                if c.is_enabled() {
+                    c.record(
+                        to_cycles(now - start, freq),
+                        Event::Arrival {
+                            tenant: req.id,
+                            dnn: req.dnn,
+                        },
+                    );
+                    c.add(Counter::Arrivals, 1);
+                }
                 jobs.push(Job {
-                    request: trace[next_arrival],
+                    request: req,
                     done: 0.0,
                     tokens: TokenState {
                         tokens: 0.0,
@@ -147,6 +197,7 @@ impl PremaEngine {
                     },
                     overhead_cycles: 0.0,
                     energy: Picojoules::ZERO,
+                    queued_since: now,
                 });
                 next_arrival += 1;
             }
@@ -155,6 +206,28 @@ impl PremaEngine {
             if let Some(i) = running {
                 if jobs[i].done >= 1.0 - DONE_EPS {
                     let job = jobs.swap_remove(i);
+                    if c.is_enabled() {
+                        let ts_now = to_cycles(now - start, freq);
+                        let s = to_cycles(slice_since - start, freq);
+                        c.record(
+                            ts_now,
+                            Event::ExecSlice {
+                                tenant: job.request.id,
+                                subarrays: total,
+                                mask,
+                                start: s,
+                                duration: ts_now.saturating_sub(s),
+                            },
+                        );
+                        c.record(
+                            ts_now,
+                            Event::Completion {
+                                tenant: job.request.id,
+                                latency: to_cycles(now - job.request.arrival, freq),
+                            },
+                        );
+                        c.add(Counter::Completions, 1);
+                    }
                     completions.push(Completion {
                         request: job.request,
                         finish: now,
@@ -186,16 +259,88 @@ impl PremaEngine {
                 .collect();
             let chosen = pick_with_threshold(self.policy, &views, self.token_threshold);
             if chosen != running {
+                let ts_now = to_cycles(now - start, freq);
+                if let Some(cur) = running {
+                    // The incumbent loses the accelerator mid-flight.
+                    if c.is_enabled() {
+                        let s = to_cycles(slice_since - start, freq);
+                        c.record(
+                            ts_now,
+                            Event::ExecSlice {
+                                tenant: jobs[cur].request.id,
+                                subarrays: total,
+                                mask,
+                                start: s,
+                                duration: ts_now.saturating_sub(s),
+                            },
+                        );
+                        c.record(
+                            ts_now,
+                            Event::Allocation {
+                                tenant: jobs[cur].request.id,
+                                from: total,
+                                to: 0,
+                                mask: 0,
+                            },
+                        );
+                    }
+                    jobs[cur].queued_since = now;
+                }
                 if let Some(next) = chosen {
                     // Context switch: checkpoint the preempted job's tile and
                     // restore the incoming job's weights/pipeline.
                     if let Some(cur) = running {
                         let pos = self.table_for(&jobs[cur]).position(jobs[cur].done);
                         let cost = reconfiguration_cycles(&ctx, mono, mono, pos.tile_bytes);
+                        if c.is_enabled() {
+                            c.record(
+                                ts_now,
+                                Event::Preemption {
+                                    preempted: jobs[cur].request.id,
+                                    incoming: jobs[next].request.id,
+                                    overhead: cost.total(),
+                                },
+                            );
+                            c.add(Counter::Preemptions, 1);
+                            c.sample(Metric::ReconfigCycles, cost.total().as_f64());
+                        }
                         jobs[next].overhead_cycles += cost.total().as_f64();
                     }
+                    if c.is_enabled() {
+                        let qs = to_cycles(jobs[next].queued_since - start, freq);
+                        let wait = ts_now.saturating_sub(qs);
+                        c.record(
+                            ts_now,
+                            Event::QueueWait {
+                                tenant: jobs[next].request.id,
+                                start: qs,
+                                duration: wait,
+                            },
+                        );
+                        c.record(
+                            ts_now,
+                            Event::Allocation {
+                                tenant: jobs[next].request.id,
+                                from: 0,
+                                to: total,
+                                mask,
+                            },
+                        );
+                        c.sample(Metric::QueueWaitCycles, wait.as_f64());
+                        c.sample(Metric::AllocationSize, f64::from(total));
+                    }
+                    slice_since = now;
                 }
                 running = chosen;
+            }
+            if c.is_enabled() {
+                c.add(Counter::SchedulingEvents, 1);
+                let waiting = jobs.len() - usize::from(running.is_some());
+                c.sample(Metric::QueueDepth, waiting as f64);
+                c.sample(
+                    Metric::OccupancyPct,
+                    if running.is_some() { 100.0 } else { 0.0 },
+                );
             }
         }
 

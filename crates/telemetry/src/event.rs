@@ -1,0 +1,235 @@
+//! The event taxonomy shared by every instrumented engine.
+//!
+//! Events carry [`Cycles`] (and [`Bytes`]) — never floating-point
+//! seconds — so traces stay exact under the workspace's unit-safety
+//! discipline; conversion to wall-clock units happens once, at render
+//! time, using the [`SimMeta`] clock.
+
+use planaria_model::units::{Bytes, Cycles};
+use planaria_model::DnnId;
+
+/// Per-run metadata a collector needs to render its recordings:
+/// the simulated clock and the chip size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimMeta {
+    /// Accelerator clock, hertz (cycles → seconds at render time).
+    pub freq_hz: f64,
+    /// Subarrays on the chip (occupancy denominators, track count).
+    pub total_subarrays: u32,
+}
+
+impl Default for SimMeta {
+    fn default() -> Self {
+        Self {
+            freq_hz: 1.0,
+            total_subarrays: 0,
+        }
+    }
+}
+
+/// One recorded event with its simulation timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Simulation time in cycles since the run's first arrival.
+    pub ts: Cycles,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// What happened. Instantaneous facts carry a single timestamp (the
+/// [`TimedEvent::ts`] they are recorded at); interval facts (`QueueWait`,
+/// `ExecSlice`, `LayerSlice`) carry their own `start`/`duration` so they
+/// can be emitted once the interval closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A request entered the node's queue.
+    Arrival {
+        /// Request id (the tenant).
+        tenant: u64,
+        /// Its network.
+        dnn: DnnId,
+    },
+    /// A tenant waited in the queue before (re-)gaining subarrays.
+    QueueWait {
+        /// Request id.
+        tenant: u64,
+        /// When the wait began.
+        start: Cycles,
+        /// How long it lasted.
+        duration: Cycles,
+    },
+    /// The scheduler changed a tenant's allocation (0 = queued).
+    Allocation {
+        /// Request id.
+        tenant: u64,
+        /// Previous subarray count.
+        from: u32,
+        /// New subarray count.
+        to: u32,
+        /// Bitmask of the physical subarrays now owned (bit *i* set ⇔
+        /// subarray *i* belongs to this tenant; 0 when queued).
+        mask: u64,
+    },
+    /// A closed interval during which a tenant ran on a fixed
+    /// allocation and placement.
+    ExecSlice {
+        /// Request id.
+        tenant: u64,
+        /// Subarrays held during the slice.
+        subarrays: u32,
+        /// Physical placement bitmask during the slice.
+        mask: u64,
+        /// Slice start.
+        start: Cycles,
+        /// Slice length.
+        duration: Cycles,
+    },
+    /// A running tenant paid the §IV-C fission/reconfiguration cost.
+    Reconfig {
+        /// Request id.
+        tenant: u64,
+        /// Cycles to the in-flight tile boundary (drain prelude).
+        boundary: Cycles,
+        /// Pipeline drain cycles.
+        drain: Cycles,
+        /// Checkpoint (tile writeback) cycles.
+        checkpoint: Cycles,
+        /// Configuration-swap cycles.
+        config_swap: Cycles,
+        /// Weight-refill cycles.
+        refill: Cycles,
+        /// Checkpointed tile footprint.
+        checkpoint_bytes: Bytes,
+    },
+    /// PREMA context switch: the incoming job pays the switch cost.
+    Preemption {
+        /// Request id losing the accelerator.
+        preempted: u64,
+        /// Request id gaining it.
+        incoming: u64,
+        /// Context-switch overhead charged to the incoming job.
+        overhead: Cycles,
+    },
+    /// A request finished.
+    Completion {
+        /// Request id.
+        tenant: u64,
+        /// End-to-end latency in cycles (exact; convert at render).
+        latency: Cycles,
+    },
+    /// The timing model executed one layer (including repeats) within a
+    /// whole-network evaluation.
+    LayerSlice {
+        /// Layer index within the network.
+        layer: u32,
+        /// Cumulative start offset within the network's execution.
+        start: Cycles,
+        /// Total cycles (including repeats).
+        duration: Cycles,
+        /// Total tiles (including repeats).
+        tiles: u64,
+        /// Whether DRAM traffic, not compute, bounds the layer.
+        dram_bound: bool,
+    },
+    /// The compiler finished one per-allocation configuration table.
+    TableCompiled {
+        /// Allocation size the table serves.
+        subarrays: u32,
+        /// Layers in the network.
+        layers: u32,
+        /// Distinct layer shapes after dedup (the search ran once per
+        /// shape, not per layer).
+        distinct_shapes: u32,
+    },
+}
+
+impl Event {
+    /// A short, stable name for renderers and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Arrival { .. } => "arrival",
+            Event::QueueWait { .. } => "queue_wait",
+            Event::Allocation { .. } => "allocation",
+            Event::ExecSlice { .. } => "exec_slice",
+            Event::Reconfig { .. } => "reconfig",
+            Event::Preemption { .. } => "preemption",
+            Event::Completion { .. } => "completion",
+            Event::LayerSlice { .. } => "layer_slice",
+            Event::TableCompiled { .. } => "table_compiled",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let events = [
+            Event::Arrival {
+                tenant: 0,
+                dnn: DnnId::ResNet50,
+            },
+            Event::QueueWait {
+                tenant: 0,
+                start: Cycles::ZERO,
+                duration: Cycles::new(1),
+            },
+            Event::Allocation {
+                tenant: 0,
+                from: 0,
+                to: 4,
+                mask: 0b1111,
+            },
+            Event::ExecSlice {
+                tenant: 0,
+                subarrays: 4,
+                mask: 0b1111,
+                start: Cycles::ZERO,
+                duration: Cycles::new(1),
+            },
+            Event::Reconfig {
+                tenant: 0,
+                boundary: Cycles::ZERO,
+                drain: Cycles::ZERO,
+                checkpoint: Cycles::ZERO,
+                config_swap: Cycles::ZERO,
+                refill: Cycles::ZERO,
+                checkpoint_bytes: Bytes::ZERO,
+            },
+            Event::Preemption {
+                preempted: 0,
+                incoming: 1,
+                overhead: Cycles::ZERO,
+            },
+            Event::Completion {
+                tenant: 0,
+                latency: Cycles::new(10),
+            },
+            Event::LayerSlice {
+                layer: 0,
+                start: Cycles::ZERO,
+                duration: Cycles::new(1),
+                tiles: 1,
+                dram_bound: false,
+            },
+            Event::TableCompiled {
+                subarrays: 16,
+                layers: 105,
+                distinct_shapes: 36,
+            },
+        ];
+        let mut names: Vec<&str> = events.iter().map(Event::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len(), "event names must be distinct");
+    }
+
+    #[test]
+    fn default_meta_is_identity_clock() {
+        let m = SimMeta::default();
+        assert_eq!(m.freq_hz, 1.0);
+        assert_eq!(m.total_subarrays, 0);
+    }
+}

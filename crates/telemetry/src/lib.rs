@@ -1,0 +1,52 @@
+//! Unified tracing & metrics for the Planaria reproduction.
+//!
+//! The paper's evaluation (Figs. 12–18) is entirely about *scheduler
+//! behaviour over time* — fission/reconfiguration events, per-tenant
+//! subarray occupancy, SLA slack. This crate gives every engine in the
+//! workspace one structured way to expose that behaviour:
+//!
+//! * a [`Collector`] trait with two implementations:
+//!   [`NullCollector`], whose methods are all `#[inline]` no-ops so the
+//!   disabled path costs nothing and simulation results stay
+//!   bit-identical, and [`RecordingCollector`], a deterministic
+//!   `BTreeMap`-backed recorder;
+//! * an [`Event`] taxonomy covering engine arrivals, queue waits,
+//!   allocation/fission changes, reconfiguration drain/checkpoint
+//!   overheads, PREMA preemptions, per-layer timing-model slices, and
+//!   compiler table/memoization activity — all timestamped in
+//!   [`Cycles`](planaria_model::units::Cycles), never lossy seconds;
+//! * [`Counter`]s and [`Metric`] histograms (queue depth, occupancy,
+//!   reconfiguration breakdowns, DRAM- vs compute-bound cycles, memo
+//!   hit-rate) aggregated into a [`MetricsReport`] with text and JSON
+//!   renderings;
+//! * exporters: Chrome trace-event JSON ([`chrome_trace`], loadable in
+//!   Perfetto / `chrome://tracing`, one "process" per tenant and one
+//!   track per subarray pod) and a TSV occupancy timeline
+//!   ([`occupancy_tsv`]);
+//! * an in-repo validator ([`validate_chrome_trace`]) backed by a
+//!   minimal std-only JSON parser ([`json`]), so exported traces are
+//!   checked structurally (event nesting, monotonic timestamps) without
+//!   external tooling.
+//!
+//! # Determinism contract
+//!
+//! Everything recorded is a pure function of the simulation state:
+//! timestamps are simulated [`Cycles`](planaria_model::units::Cycles)
+//! (converted to microseconds only at render time), aggregation uses
+//! `BTreeMap`s, and no wall clock or entropy is consulted anywhere.
+//! Recording the same run twice yields byte-identical exports, and
+//! running with [`NullCollector`] is bit-identical to not instrumenting
+//! at all (the engines' `run` methods *are* the `NullCollector` path).
+
+pub mod chrome;
+pub mod collector;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod validate;
+
+pub use chrome::{chrome_trace, occupancy_tsv};
+pub use collector::{Collector, NullCollector, RecordingCollector};
+pub use event::{Event, SimMeta, TimedEvent};
+pub use metrics::{Counter, Histogram, Metric, MetricsReport};
+pub use validate::{validate_chrome_trace, TraceStats};

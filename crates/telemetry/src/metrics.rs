@@ -1,0 +1,376 @@
+//! Counters, histograms, and the aggregated [`MetricsReport`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Monotonic counters. Every variant is a plain occurrence or cycle/byte
+/// total; derived ratios (memo hit-rate, DRAM-bound share) are computed
+/// by [`MetricsReport`] at render time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// Requests admitted to a queue.
+    Arrivals,
+    /// Requests finished.
+    Completions,
+    /// Scheduler invocations (arrival/completion triggers).
+    SchedulingEvents,
+    /// Running tenants resized or preempted (paid §IV-C costs).
+    Reconfigurations,
+    /// PREMA context switches.
+    Preemptions,
+    /// Cycles spent draining pipelines during reconfiguration.
+    DrainCycles,
+    /// Cycles spent checkpointing in-flight tiles.
+    CheckpointCycles,
+    /// Cycles spent swapping fission configurations.
+    ConfigSwapCycles,
+    /// Cycles spent re-streaming weights after reconfiguration.
+    RefillCycles,
+    /// Bytes checkpointed across all reconfigurations.
+    CheckpointBytes,
+    /// Compiler timing-memo cache hits.
+    MemoHits,
+    /// Compiler timing-memo cache misses (entries computed).
+    MemoMisses,
+    /// Distinct layer shapes after dedup.
+    DistinctShapes,
+    /// Layer-table entries compiled (layers × allocations).
+    LayersCompiled,
+    /// Layer cycles classified as DRAM-bandwidth-bound.
+    DramBoundCycles,
+    /// Layer cycles classified as compute-bound.
+    ComputeBoundCycles,
+}
+
+impl Counter {
+    /// Stable snake_case name (JSON keys, text report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Arrivals => "arrivals",
+            Counter::Completions => "completions",
+            Counter::SchedulingEvents => "scheduling_events",
+            Counter::Reconfigurations => "reconfigurations",
+            Counter::Preemptions => "preemptions",
+            Counter::DrainCycles => "drain_cycles",
+            Counter::CheckpointCycles => "checkpoint_cycles",
+            Counter::ConfigSwapCycles => "config_swap_cycles",
+            Counter::RefillCycles => "refill_cycles",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::MemoHits => "memo_hits",
+            Counter::MemoMisses => "memo_misses",
+            Counter::DistinctShapes => "distinct_shapes",
+            Counter::LayersCompiled => "layers_compiled",
+            Counter::DramBoundCycles => "dram_bound_cycles",
+            Counter::ComputeBoundCycles => "compute_bound_cycles",
+        }
+    }
+}
+
+/// Histogram-sampled metrics (distributions, not totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Queued (unallocated) tenants at each scheduling event.
+    QueueDepth,
+    /// Allocated-subarray share of the chip, percent, at each
+    /// scheduling event.
+    OccupancyPct,
+    /// Granted allocation sizes (subarrays) at grant time.
+    AllocationSize,
+    /// Queue-wait lengths, cycles.
+    QueueWaitCycles,
+    /// Per-reconfiguration total overhead, cycles.
+    ReconfigCycles,
+    /// Per-layer effective MAC utilization (0–1) from the timing model.
+    Utilization,
+}
+
+impl Metric {
+    /// Stable snake_case name (JSON keys, text report rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::QueueDepth => "queue_depth",
+            Metric::OccupancyPct => "occupancy_pct",
+            Metric::AllocationSize => "allocation_size",
+            Metric::QueueWaitCycles => "queue_wait_cycles",
+            Metric::ReconfigCycles => "reconfig_cycles",
+            Metric::Utilization => "utilization",
+        }
+    }
+}
+
+/// Number of log₂ buckets per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-size log₂ histogram with count/sum/min/max sidecars.
+///
+/// Bucket 0 holds values `< 1`; bucket *i* (for `i ≥ 1`) holds values in
+/// `[2^(i-1), 2^i)`; the last bucket additionally absorbs everything
+/// larger. Deterministic: bucketing is pure integer/float math on the
+/// sampled value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Log₂ buckets (see type docs).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one sample (negative samples clamp into bucket 0).
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_of(value: f64) -> usize {
+        if !(value >= 1.0) {
+            return 0;
+        }
+        // floor(log2(v)) + 1 without float log: count the integer bits.
+        let bits = 64 - (value as u64).leading_zeros() as usize;
+        bits.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Aggregated counters and histograms of one run, renderable as an
+/// aligned text table or a JSON object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Counter totals in deterministic (enum-order) iteration order.
+    pub counters: BTreeMap<Counter, u64>,
+    /// Histograms in deterministic iteration order.
+    pub histograms: BTreeMap<Metric, Histogram>,
+    /// Total events recorded alongside the aggregates.
+    pub events: u64,
+}
+
+impl MetricsReport {
+    /// The value of one counter (0 when never incremented).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(&c).copied().unwrap_or(0)
+    }
+
+    /// The histogram for one metric, if any samples were recorded.
+    pub fn histogram(&self, m: Metric) -> Option<&Histogram> {
+        self.histograms.get(&m)
+    }
+
+    /// Compiler memo hit-rate in [0, 1] (`None` when the memo was never
+    /// consulted).
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter(Counter::MemoHits);
+        let misses = self.counter(Counter::MemoMisses);
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Share of layer cycles that were DRAM-bound, in [0, 1] (`None`
+    /// when the timing model was not instrumented).
+    pub fn dram_bound_share(&self) -> Option<f64> {
+        let d = self.counter(Counter::DramBoundCycles);
+        let c = self.counter(Counter::ComputeBoundCycles);
+        let total = d + c;
+        if total == 0 {
+            None
+        } else {
+            Some(d as f64 / total as f64)
+        }
+    }
+
+    /// Renders an aligned, human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry report ({} events) ==", self.events);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (c, v) in &self.counters {
+                let _ = writeln!(out, "  {:<22} {v}", c.name());
+            }
+        }
+        if let Some(rate) = self.memo_hit_rate() {
+            let _ = writeln!(out, "  {:<22} {:.1}%", "memo_hit_rate", rate * 100.0);
+        }
+        if let Some(share) = self.dram_bound_share() {
+            let _ = writeln!(out, "  {:<22} {:.1}%", "dram_bound_share", share * 100.0);
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms (count / mean / min / max):");
+            for (m, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {} / {:.3} / {:.3} / {:.3}",
+                    m.name(),
+                    h.count,
+                    h.mean(),
+                    if h.is_empty() { 0.0 } else { h.min },
+                    if h.is_empty() { 0.0 } else { h.max },
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object (stable key order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"events\":{}", self.events);
+        out.push_str(",\"counters\":{");
+        for (i, (c, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", c.name());
+        }
+        out.push('}');
+        if let Some(rate) = self.memo_hit_rate() {
+            let _ = write!(out, ",\"memo_hit_rate\":{}", fmt_f64(rate));
+        }
+        if let Some(share) = self.dram_bound_share() {
+            let _ = write!(out, ",\"dram_bound_share\":{}", fmt_f64(share));
+        }
+        out.push_str(",\"histograms\":{");
+        for (i, (m, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                m.name(),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(if h.is_empty() { 0.0 } else { h.min }),
+                fmt_f64(if h.is_empty() { 0.0 } else { h.max }),
+            );
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Formats an `f64` as JSON (finite guaranteed by construction; callers
+/// only pass sums/means of finite samples).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never produces exponents for our magnitudes, and
+        // always includes a leading digit; it is valid JSON as-is.
+        s
+    } else {
+        String::from("0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-3.0), 0);
+        assert_eq!(Histogram::bucket_of(0.9), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 1);
+        assert_eq!(Histogram::bucket_of(1.9), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 2);
+        assert_eq!(Histogram::bucket_of(3.0), 2);
+        assert_eq!(Histogram::bucket_of(4.0), 3);
+        assert_eq!(Histogram::bucket_of(1e18), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_aggregates() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut r = MetricsReport::default();
+        r.events = 3;
+        r.counters.insert(Counter::Arrivals, 2);
+        r.counters.insert(Counter::MemoHits, 3);
+        r.counters.insert(Counter::MemoMisses, 1);
+        let mut h = Histogram::new();
+        h.record(2.0);
+        r.histograms.insert(Metric::QueueDepth, h);
+        let text = r.render_text();
+        assert!(text.contains("arrivals"));
+        assert!(text.contains("memo_hit_rate"));
+        assert!(text.contains("queue_depth"));
+        let json = r.render_json();
+        assert!(json.contains("\"arrivals\":2"));
+        assert!(json.contains("\"memo_hit_rate\":0.75"));
+        // The JSON must parse with the in-crate parser.
+        let parsed = crate::json::parse(&json).expect("report JSON parses");
+        assert!(parsed.get("counters").is_some());
+    }
+
+    #[test]
+    fn derived_ratios_absent_without_samples() {
+        let r = MetricsReport::default();
+        assert_eq!(r.memo_hit_rate(), None);
+        assert_eq!(r.dram_bound_share(), None);
+        assert_eq!(r.counter(Counter::Arrivals), 0);
+        assert!(r.histogram(Metric::QueueDepth).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Structural validator for exported Chrome trace-event JSON.
+//!
+//! Used by the `planaria-cli validate-trace` subcommand, the CI trace
+//! artifact step, and the golden round-trip tests: parse the JSON back
+//! (with the in-crate [`json`](crate::json) parser) and check the
+//! invariants a trace viewer relies on — required fields per phase,
+//! globally monotonic timestamps, and properly nested (or disjoint)
+//! duration events per track.
+
+use crate::json::{parse, Json};
+
+/// Nesting slop, in microseconds, allowed between a span's computed end
+/// (`ts + dur`) and a successor's start on the same track.
+///
+/// Timestamps are formatted with six decimals, so a round trip through
+/// the text can shift `ts + dur` by ~1e-6 µs relative to the successor's
+/// `ts` even when the two spans touch exactly in cycle space. 1e-5 µs is
+/// far below one clock cycle at any realistic frequency (one 700 MHz
+/// cycle is 1.43e-3 µs), so the tolerance cannot hide a real overlap.
+const NEST_EPS_US: f64 = 1e-5;
+
+/// Summary statistics of a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `X` (complete) events.
+    pub complete: usize,
+    /// `i`/`I` (instant) events.
+    pub instants: usize,
+    /// `C` (counter) events.
+    pub counters: usize,
+    /// `M` (metadata) events.
+    pub metadata: usize,
+    /// Distinct `pid`s observed.
+    pub processes: usize,
+}
+
+/// Validates `text` as Chrome trace-event JSON.
+///
+/// # Errors
+///
+/// Returns a message describing the first violation: malformed JSON,
+/// missing `traceEvents`, missing/invalid per-event fields, negative
+/// durations, a timestamp regression, or overlapping (neither nested
+/// nor disjoint) duration events on one `(pid, tid)` track.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    let mut pids: Vec<u64> = Vec::new();
+    let mut last_ts: Option<f64> = None;
+    // Per-(pid, tid) stack of open `X` span end-times.
+    let mut open: std::collections::BTreeMap<(u64, u64), Vec<f64>> =
+        std::collections::BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing `pid`"))? as u64;
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?;
+        if ph == "M" {
+            stats.metadata += 1;
+            continue; // metadata carries no timeline semantics
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing `ts`"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: non-finite or negative ts {ts}"));
+        }
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: timestamp regression ({ts} after {prev})"
+                ));
+            }
+        }
+        last_ts = Some(ts);
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing `tid`"))? as u64;
+        match ph {
+            "X" => {
+                stats.complete += 1;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: X event missing `dur`"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: invalid dur {dur}"));
+                }
+                let stack = open.entry((pid, tid)).or_default();
+                // Close every span that ended at or before this start
+                // (up to formatting slop).
+                while stack.last().is_some_and(|&end| end <= ts + NEST_EPS_US) {
+                    stack.pop();
+                }
+                let end = ts + dur;
+                if let Some(&enclosing_end) = stack.last() {
+                    // Overlapping-but-not-nested spans cannot render.
+                    if end > enclosing_end + NEST_EPS_US {
+                        return Err(format!(
+                            "event {i}: span [{ts}, {end}] on pid {pid} tid {tid} \
+                             overlaps an open span ending at {enclosing_end}"
+                        ));
+                    }
+                }
+                stack.push(end);
+            }
+            "i" | "I" => stats.instants += 1,
+            "C" => stats.counters += 1,
+            other => {
+                return Err(format!("event {i}: unsupported phase '{other}'"));
+            }
+        }
+    }
+    stats.processes = pids.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrap(events: &str) -> String {
+        format!("{{\"traceEvents\":[{events}]}}")
+    }
+
+    #[test]
+    fn accepts_a_minimal_valid_trace() {
+        let t = wrap(
+            r#"{"name":"process_name","ph":"M","pid":1,"args":{"name":"t"}},
+               {"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":10.0},
+               {"name":"b","ph":"X","pid":1,"tid":0,"ts":2.0,"dur":3.0},
+               {"name":"c","ph":"i","s":"t","pid":1,"tid":0,"ts":4.0},
+               {"name":"occ","ph":"C","pid":0,"tid":0,"ts":5.0,"args":{"v":1}}"#,
+        );
+        let stats = validate_chrome_trace(&t).expect("valid");
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.complete, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.metadata, 1);
+        assert_eq!(stats.processes, 2);
+    }
+
+    #[test]
+    fn accepts_touching_spans() {
+        let t = wrap(
+            r#"{"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":5.0},
+               {"name":"b","ph":"X","pid":1,"tid":0,"ts":5.0,"dur":5.0}"#,
+        );
+        assert!(validate_chrome_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn rejects_timestamp_regression() {
+        let t = wrap(
+            r#"{"name":"a","ph":"i","s":"t","pid":1,"tid":0,"ts":5.0},
+               {"name":"b","ph":"i","s":"t","pid":1,"tid":0,"ts":4.0}"#,
+        );
+        let err = validate_chrome_trace(&t).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overlapping_spans_on_one_track() {
+        let t = wrap(
+            r#"{"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":5.0},
+               {"name":"b","ph":"X","pid":1,"tid":0,"ts":3.0,"dur":5.0}"#,
+        );
+        let err = validate_chrome_trace(&t).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+    }
+
+    #[test]
+    fn accepts_nested_spans() {
+        let t = wrap(
+            r#"{"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":10.0},
+               {"name":"b","ph":"X","pid":1,"tid":0,"ts":2.0,"dur":4.0},
+               {"name":"c","ph":"X","pid":1,"tid":0,"ts":3.0,"dur":1.0}"#,
+        );
+        assert!(validate_chrome_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn overlap_on_different_tracks_is_fine() {
+        let t = wrap(
+            r#"{"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":5.0},
+               {"name":"b","ph":"X","pid":1,"tid":1,"ts":3.0,"dur":5.0}"#,
+        );
+        assert!(validate_chrome_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_phases() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        let no_dur = wrap(r#"{"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0}"#);
+        assert!(validate_chrome_trace(&no_dur).is_err());
+        let bad_ph = wrap(r#"{"name":"a","ph":"Z","pid":1,"tid":0,"ts":0.0}"#);
+        assert!(validate_chrome_trace(&bad_ph).is_err());
+        let neg_ts = wrap(r#"{"name":"a","ph":"i","s":"t","pid":1,"tid":0,"ts":-1.0}"#);
+        assert!(validate_chrome_trace(&neg_ts).is_err());
+    }
+}

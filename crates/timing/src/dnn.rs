@@ -6,6 +6,11 @@ use crate::layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
 use planaria_arch::Arrangement;
 use planaria_model::units::Cycles;
 use planaria_model::Dnn;
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector};
+
+/// A layer is DRAM-bound when streaming its bytes at peak bandwidth takes
+/// at least this share of its modeled cycles.
+const DRAM_BOUND_SHARE: f64 = 0.95;
 
 /// The execution plan of one layer: chosen arrangement and its timing.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,16 +64,46 @@ impl DnnTiming {
 /// arrangement by minimum cycles (energy-aware selection lives in
 /// `planaria-compiler`).
 pub fn time_dnn(ctx: &ExecContext, dnn: &Dnn) -> DnnTiming {
+    time_dnn_with_collector(ctx, dnn, &mut NullCollector)
+}
+
+/// Like [`time_dnn`], streaming a per-layer execution profile into `c`:
+/// one [`Event::LayerSlice`] per layer (with its DRAM-bound/compute-bound
+/// classification), cycle counters for each class, and a utilization
+/// histogram sample. Results are identical to [`time_dnn`].
+pub fn time_dnn_with_collector<C: Collector>(ctx: &ExecContext, dnn: &Dnn, c: &mut C) -> DnnTiming {
     let mut plans = Vec::with_capacity(dnn.num_layers());
     let mut total_cycles = Cycles::ZERO;
     let mut counts = AccessCounts::zero();
-    for layer in dnn.layers() {
+    for (i, layer) in dnn.layers().iter().enumerate() {
         let (arrangement, timing) = if layer.op.is_systolic() {
             best_arrangement_by_cycles(ctx, &layer.op)
         } else {
             let arr = Arrangement::new(1, 1, 1);
             (arr, time_layer(ctx, &layer.op, arr))
         };
+        if c.is_enabled() {
+            let duration = timing.cycles * layer.repeat;
+            let stream_cycles = timing.counts.dram_bytes.as_f64() / ctx.dram_bytes_per_cycle();
+            let dram_bound = stream_cycles >= timing.cycles.as_f64() * DRAM_BOUND_SHARE;
+            c.record(
+                total_cycles,
+                Event::LayerSlice {
+                    layer: i as u32,
+                    start: total_cycles,
+                    duration,
+                    tiles: timing.tiles * layer.repeat,
+                    dram_bound,
+                },
+            );
+            let class = if dram_bound {
+                Counter::DramBoundCycles
+            } else {
+                Counter::ComputeBoundCycles
+            };
+            c.add(class, duration.get());
+            c.sample(Metric::Utilization, timing.utilization);
+        }
         total_cycles += timing.cycles * layer.repeat;
         counts += timing.counts.scaled(layer.repeat);
         plans.push(LayerPlan {
@@ -144,6 +179,41 @@ mod tests {
             );
             prev = t.total_cycles;
         }
+    }
+
+    #[test]
+    fn collector_path_matches_plain_and_profiles_every_layer() {
+        use planaria_telemetry::RecordingCollector;
+        let cfg = AcceleratorConfig::planaria();
+        let ctx = ExecContext::full_chip(&cfg);
+        let net = DnnId::MobileNetV1.build();
+        let plain = time_dnn(&ctx, &net);
+        let mut c = RecordingCollector::new();
+        let profiled = time_dnn_with_collector(&ctx, &net, &mut c);
+        assert_eq!(plain, profiled);
+        let slices: Vec<_> = c
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::LayerSlice {
+                    duration,
+                    dram_bound,
+                    ..
+                } => Some((duration, dram_bound)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slices.len(), net.num_layers());
+        let total: Cycles = slices.iter().map(|(d, _)| *d).sum();
+        assert_eq!(total, plain.total_cycles);
+        // The classification cycle counters partition the total.
+        let dram = c.counter(Counter::DramBoundCycles);
+        let compute = c.counter(Counter::ComputeBoundCycles);
+        assert_eq!(dram + compute, plain.total_cycles.get());
+        // MobileNet's depthwise layers are bandwidth-starved on the big
+        // chip: at least one layer of each class must appear.
+        assert!(slices.iter().any(|(_, b)| *b), "no DRAM-bound layer");
+        assert!(slices.iter().any(|(_, b)| !*b), "no compute-bound layer");
     }
 
     #[test]

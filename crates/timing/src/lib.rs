@@ -52,6 +52,6 @@ pub mod vector;
 
 pub use context::ExecContext;
 pub use counts::AccessCounts;
-pub use dnn::{time_dnn, DnnTiming, LayerPlan};
+pub use dnn::{time_dnn, time_dnn_with_collector, DnnTiming, LayerPlan};
 pub use layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
 pub use reconfig::{reconfiguration_cycles, ReconfigCost};

@@ -30,6 +30,7 @@ pub use planaria_funcsim as funcsim;
 pub use planaria_isa as isa;
 pub use planaria_model as model;
 pub use planaria_prema as prema;
+pub use planaria_telemetry as telemetry;
 pub use planaria_timing as timing;
 pub use planaria_workload as workload;
 
