@@ -146,13 +146,13 @@ fn bench_scheduler() {
         .enumerate()
         .map(|(i, n)| SchedTask {
             priority: (i as u32 % 11) + 1,
-            slack: 0.005 + 0.001 * i as f64,
+            slack: ((0.005 + 0.001 * i as f64) * cfg.freq_hz) as i64,
             done: 0.1 * i as f64 / 9.0,
             compiled: n,
         })
         .collect();
     bench("scheduler/algorithm1_nine_tasks", 2000, || {
-        black_box(schedule_tasks_spatially(black_box(&tasks), 16, cfg.freq_hz));
+        black_box(schedule_tasks_spatially(black_box(&tasks), 16));
     });
 }
 

@@ -13,7 +13,11 @@
 //!   no `HashMap`/`HashSet` (iteration order is randomized per process) in
 //!   scheduler/compiler/workload code, and no wall-clock or OS entropy
 //!   (`thread_rng`, `SystemTime::now`, `Instant::now`) inside simulation
-//!   logic. Use `BTreeMap`/`BTreeSet` and the seeded `SplitMix64`.
+//!   logic. Use `BTreeMap`/`BTreeSet` and the seeded `SplitMix64`. A
+//!   time-domain sub-pass additionally bans float-seconds arithmetic and
+//!   raw `as u64` cycle casts inside the event-loop files
+//!   (`crates/sim/src/`, the two engines); the only sanctioned float↔cycle
+//!   boundary is `crates/sim/src/clock.rs`.
 //! * **L3 hygiene** — no `unwrap()`/`expect(...)` in library code outside
 //!   tests, and no `#[allow(...)]` attribute, unless annotated with a
 //!   `// lint: <reason>` justification comment.
@@ -41,6 +45,7 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Diagnostic>> {
     for file in &files {
         diags.extend(lints::units::check(file));
         diags.extend(lints::determinism::check(file));
+        diags.extend(lints::timedomain::check(file));
         diags.extend(lints::hygiene::check(file));
     }
     diags.sort_by(|a, b| {

@@ -24,27 +24,29 @@ use crate::lints::find_word;
 use crate::source::SourceFile;
 
 /// Crates where container iteration order can leak into results.
-const ORDER_SCOPE: [&str; 4] = [
+const ORDER_SCOPE: [&str; 5] = [
     "crates/compiler/src/",
     "crates/workload/src/",
     "crates/prema/src/",
     "crates/core/src/",
+    "crates/sim/src/",
 ];
 
 /// Crates forming the simulation core, where clocks/entropy are forbidden.
-const CLOCK_SCOPE: [&str; 5] = [
+const CLOCK_SCOPE: [&str; 6] = [
     "crates/timing/src/",
     "crates/energy/src/",
     "crates/funcsim/src/",
     "crates/core/src/",
     "crates/prema/src/",
+    "crates/sim/src/",
 ];
 
 /// Crates where raw `std::thread` use is forbidden (the union of the order
 /// and clock scopes): fan-out must go through `planaria-parallel` so joins
 /// stay index-ordered. `crates/parallel/` and `crates/bench/` are outside
 /// this scope by construction.
-const THREAD_SCOPE: [&str; 7] = [
+const THREAD_SCOPE: [&str; 8] = [
     "crates/compiler/src/",
     "crates/workload/src/",
     "crates/prema/src/",
@@ -52,13 +54,15 @@ const THREAD_SCOPE: [&str; 7] = [
     "crates/timing/src/",
     "crates/energy/src/",
     "crates/funcsim/src/",
+    "crates/sim/src/",
 ];
 
 /// Library crates whose code must not print: telemetry is the only
 /// sanctioned side channel there. The CLI (`crates/cli`) and the
 /// experiment harness (`crates/bench`) are presentation layers and stay
 /// out of scope, as does `crates/checks` itself.
-const PRINT_SCOPE: [&str; 11] = [
+const PRINT_SCOPE: [&str; 12] = [
+    "crates/sim/src/",
     "crates/model/src/",
     "crates/arch/src/",
     "crates/timing/src/",

@@ -1,7 +1,8 @@
-//! The three lint passes.
+//! The lint passes.
 
 pub mod determinism;
 pub mod hygiene;
+pub mod timedomain;
 pub mod units;
 
 /// Whether `text[pos..pos+len]` is a whole word (not embedded in a larger

@@ -60,6 +60,19 @@ impl CompiledLibrary {
         self.by_id.get(&id).expect("library covers all benchmarks")
     }
 
+    /// A shared handle to the compiled form of one network (engines
+    /// cache this per tenant to avoid a map lookup per scheduling
+    /// event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the library (never happens for the
+    /// nine-network suite).
+    pub fn shared(&self, id: DnnId) -> Arc<CompiledDnn> {
+        // lint: the constructor inserts every DnnId, so lookup cannot fail
+        Arc::clone(self.by_id.get(&id).expect("library covers all benchmarks"))
+    }
+
     /// Isolated full-chip latency of one network, seconds — the
     /// `T_isolated` term of the fairness metric.
     pub fn isolated_latency(&self, id: DnnId) -> f64 {

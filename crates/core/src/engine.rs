@@ -1,61 +1,25 @@
-//! The Planaria node engine: a discrete-event simulator of spatial
-//! multi-tenant execution.
+//! The Planaria node engine: spatial multi-tenant execution on the
+//! shared discrete-event kernel.
 //!
 //! Events are task arrivals and completions (the paper's two scheduler
-//! triggers, §V). Between events every allocated task progresses at the
-//! rate given by its configuration table; a task whose allocation changes
-//! finishes its in-flight tile, pays the reconfiguration cost of §IV-C, and
-//! resumes under the new table.
+//! triggers, §V). The integer-cycle event loop — admission, work
+//! advancement, completion detection, retirement — lives in
+//! [`planaria_sim`]; this module keeps only Planaria's *decisions*:
+//! Algorithm 1 allocation, physical ring placement with defragmentation,
+//! hysteresis, and the §IV-C reconfiguration costs an allocation change
+//! incurs. No float-seconds arithmetic happens here; seconds exist only
+//! at the [`SimResult`] boundary inside the kernel.
 
-use crate::scheduler::{schedule_tasks_spatially, SchedTask};
+use crate::scheduler::{schedule_tasks_spatially_hinted, SchedTask};
 use crate::trace::EngineTrace;
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
-use planaria_compiler::CompiledLibrary;
-use planaria_energy::EnergyModel;
-use planaria_model::units::{Cycles, Picojoules};
-use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector, SimMeta};
-use planaria_timing::{reconfiguration_cycles, ExecContext};
-use planaria_workload::{Completion, Request, SimResult};
-
-/// Work-fraction tolerance for completion detection.
-const DONE_EPS: f64 = 1e-9;
-
-#[derive(Debug, Clone)]
-struct Tenant {
-    request: Request,
-    /// Completed work fraction.
-    done: f64,
-    /// Current allocation in subarrays (0 = queued).
-    alloc: u32,
-    /// Physical placement on the ring (None while queued).
-    placement: Option<Allocation>,
-    /// Cycles of reconfiguration overhead owed before progress resumes.
-    overhead_cycles: f64,
-    /// Dynamic energy accumulated so far.
-    energy: Picojoules,
-    /// When the current queue wait began (telemetry only; seconds).
-    queued_since: f64,
-    /// When the current execution slice began (telemetry only; seconds).
-    slice_start: f64,
-}
-
-/// Converts seconds-since-run-start to exact telemetry cycles.
-#[inline]
-fn to_cycles(seconds: f64, freq_hz: f64) -> Cycles {
-    Cycles::new((seconds * freq_hz).max(0.0).round() as u64)
-}
-
-/// Physical-placement bitmask (bit *i* set ⇔ subarray *i* owned; ids
-/// beyond 63 saturate into bit 63 so masks stay `u64`).
-fn placement_mask(p: Option<&Allocation>) -> u64 {
-    let mut mask = 0u64;
-    if let Some(p) = p {
-        for id in p.subarrays() {
-            mask |= 1u64 << (id.0.min(63));
-        }
-    }
-    mask
-}
+use planaria_compiler::{CompiledDnn, CompiledLibrary};
+use planaria_model::units::Cycles;
+use planaria_sim::{subarray_mask, EnginePolicy, SimState};
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector};
+use planaria_timing::{reconfiguration_cycles, ExecContext, CONFIG_LOAD_CYCLES};
+use planaria_workload::{Request, SimResult};
+use std::sync::Arc;
 
 /// How the engine assigns the chip to queued tenants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -140,208 +104,111 @@ impl PlanariaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
-        assert!(
-            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-            "trace must be sorted by arrival time"
-        );
-        let cfg = *self.cfg();
-        let freq = cfg.freq_hz;
-        let total = cfg.num_subarrays();
-        let em = EnergyModel::for_config(&cfg);
-        c.set_meta(SimMeta {
-            freq_hz: freq,
-            total_subarrays: total,
-        });
+        let mut policy = SpatialPolicy {
+            library: &self.library,
+            mode: self.mode,
+            hints: Vec::new(),
+        };
+        planaria_sim::run(self.cfg(), trace, &mut policy, c)
+    }
+}
 
-        let mut tenants: Vec<Tenant> = Vec::new();
-        let mut completions: Vec<Completion> = Vec::new();
-        let mut next_arrival = 0usize;
-        let mut now = trace.first().map_or(0.0, |r| r.arrival);
-        let start = now;
-        let mut busy_seconds = 0.0f64;
+/// The Planaria scheduling policy plugged into the kernel: Algorithm 1
+/// plus ring placement and reconfiguration accounting.
+struct SpatialPolicy<'a> {
+    library: &'a CompiledLibrary,
+    mode: SchedulingMode,
+    /// Estimate floors memoized from the previous scheduling event,
+    /// position-aligned with `sim.tenants` as of that event.
+    hints: Vec<HintEntry>,
+}
 
-        while next_arrival < trace.len() || !tenants.is_empty() {
-            // Next event: earliest of the next arrival and the earliest
-            // completion among allocated tenants.
-            let arrival_t = trace.get(next_arrival).map(|r| r.arrival);
-            let completion_t = tenants
-                .iter()
-                .filter(|t| t.alloc > 0)
-                .map(|t| now + self.remaining_seconds(t, freq))
-                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))));
-            let t_next = match (arrival_t, completion_t) {
-                (Some(a), Some(c)) => a.min(c),
-                (Some(a), None) => a,
-                (None, Some(c)) => c,
-                (None, None) => break,
-            };
+/// One memoized `ESTIMATERESOURCES` result. The floor is sound only
+/// while the tenant's work counters are frozen (queued tenants between
+/// events): `done` fixed means every `predict_cycles(s)` is unchanged,
+/// and slack only shrinks, so the minimal fitting subarray count can
+/// only grow (see [`SchedTask::estimate_resources_from`]). Any change
+/// to the work counters — progress, a table switch, or a different
+/// tenant landing at this index after a `swap_remove` — fails the
+/// validity check and falls back to a full scan from 1.
+#[derive(Debug, Clone, Copy)]
+struct HintEntry {
+    id: u64,
+    floor: u32,
+    done: Cycles,
+    total: Cycles,
+}
 
-            // Advance every allocated tenant to t_next.
-            let dt = (t_next - now).max(0.0);
-            if tenants.iter().any(|t| t.alloc > 0) {
-                busy_seconds += dt;
-            }
-            let dt_cycles = dt * freq;
-            for t in &mut tenants {
-                if t.alloc > 0 {
-                    self.advance(t, dt_cycles);
-                }
-            }
-            now = t_next;
+/// Signed cycles from `now` to `deadline` (negative when past due).
+fn slack_cycles(deadline: Cycles, now: Cycles) -> i64 {
+    deadline.get() as i64 - now.get() as i64
+}
 
-            // Admit all arrivals at t_next.
-            while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
-                let req = trace[next_arrival];
-                if c.is_enabled() {
-                    c.record(
-                        to_cycles(now - start, freq),
-                        Event::Arrival {
-                            tenant: req.id,
-                            dnn: req.dnn,
-                        },
-                    );
-                    c.add(Counter::Arrivals, 1);
-                }
-                tenants.push(Tenant {
-                    request: req,
-                    done: 0.0,
-                    alloc: 0,
-                    placement: None,
-                    overhead_cycles: 0.0,
-                    energy: Picojoules::ZERO,
-                    queued_since: now,
-                    slice_start: now,
-                });
-                next_arrival += 1;
-            }
-
-            // Retire finished tenants.
-            let mut i = 0;
-            while i < tenants.len() {
-                if tenants[i].done >= 1.0 - DONE_EPS {
-                    let t = tenants.swap_remove(i);
-                    if c.is_enabled() {
-                        let ts_now = to_cycles(now - start, freq);
-                        if t.alloc > 0 {
-                            let s = to_cycles(t.slice_start - start, freq);
-                            c.record(
-                                ts_now,
-                                Event::ExecSlice {
-                                    tenant: t.request.id,
-                                    subarrays: t.alloc,
-                                    mask: placement_mask(t.placement.as_ref()),
-                                    start: s,
-                                    duration: ts_now.saturating_sub(s),
-                                },
-                            );
-                        }
-                        c.record(
-                            ts_now,
-                            Event::Completion {
-                                tenant: t.request.id,
-                                latency: to_cycles(now - t.request.arrival, freq),
-                            },
-                        );
-                        c.add(Counter::Completions, 1);
-                    }
-                    completions.push(Completion {
-                        request: t.request,
-                        finish: now,
-                        energy: t.energy,
-                    });
-                } else {
-                    i += 1;
-                }
-            }
-
-            // Scheduling event: re-run the allocator over the queue.
-            self.reschedule(&mut tenants, now, start, total, freq, c);
-        }
-
-        completions.sort_by_key(|c| c.request.id);
-        let makespan = (now - start).max(0.0);
-        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
-        // Static energy accrues while the chip serves tenants (idle gaps
-        // between requests belong to whatever the node does next).
-        SimResult {
-            completions,
-            total_energy: dynamic + em.static_energy(busy_seconds),
-            makespan,
-        }
+impl EnginePolicy for SpatialPolicy<'_> {
+    fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn> {
+        self.library.shared(request.dnn)
     }
 
-    /// Seconds until `t` completes at its current allocation.
-    fn remaining_seconds(&self, t: &Tenant, freq: f64) -> f64 {
-        let table = self.library.get(t.request.dnn).table(t.alloc);
-        (t.overhead_cycles + table.remaining_cycles(t.done).as_f64()) / freq
-    }
-
-    /// Consumes `cycles` of execution: overhead first, then table progress
-    /// (also accrues the pro-rata dynamic energy).
-    fn advance(&self, t: &mut Tenant, mut cycles: f64) {
-        if t.overhead_cycles > 0.0 {
-            let burn = t.overhead_cycles.min(cycles);
-            t.overhead_cycles -= burn;
-            cycles -= burn;
-        }
-        if cycles <= 0.0 {
+    fn reschedule<C: Collector>(&mut self, sim: &mut SimState, c: &mut C) {
+        if sim.tenants.is_empty() {
             return;
         }
-        let table = self.library.get(t.request.dnn).table(t.alloc);
-        let before = t.done;
-        t.done = table.advance(t.done, Cycles::new(cycles.round() as u64));
-        if t.done > 1.0 - DONE_EPS {
-            t.done = 1.0;
-        }
-        t.energy += (t.done - before) * table.total_energy();
-    }
-
-    /// Runs the allocator and applies allocation changes (with
-    /// reconfiguration overheads for preempted tenants).
-    fn reschedule<C: Collector>(
-        &self,
-        tenants: &mut [Tenant],
-        now: f64,
-        start: f64,
-        total: u32,
-        freq: f64,
-        c: &mut C,
-    ) {
-        if tenants.is_empty() {
-            return;
-        }
-        let alloc = match self.mode {
+        let total = sim.total_subarrays();
+        let now = sim.now;
+        let cfg = *sim.config();
+        let alloc: Vec<u32> = match self.mode {
             SchedulingMode::Spatial => {
-                let views: Vec<SchedTask<'_>> = tenants
+                let views: Vec<SchedTask<'_>> = sim
+                    .tenants
                     .iter()
                     .map(|t| SchedTask {
                         priority: t.request.priority,
-                        slack: t.request.deadline() - now,
-                        done: t.done,
-                        compiled: self.library.get(t.request.dnn),
+                        slack: slack_cycles(t.deadline_cycle, now),
+                        done: t.fraction_done(),
+                        compiled: &t.compiled,
                     })
                     .collect();
-                schedule_tasks_spatially(&views, total, freq)
-            }
-            SchedulingMode::ExclusiveFifo => {
-                let oldest = tenants
+                let floors: Vec<u32> = sim
+                    .tenants
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| {
-                        a.1.request
-                            .arrival
-                            .partial_cmp(&b.1.request.arrival)
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                    .map(|(i, t)| match self.hints.get(i) {
+                        Some(h)
+                            if h.id == t.request.id
+                                && h.done == t.work_done
+                                && h.total == t.work_total =>
+                        {
+                            h.floor
+                        }
+                        _ => 1,
                     })
+                    .collect();
+                let (alloc, estimates) = schedule_tasks_spatially_hinted(&views, total, &floors);
+                self.hints.clear();
+                self.hints
+                    .extend(sim.tenants.iter().zip(&estimates).map(|(t, &e)| HintEntry {
+                        id: t.request.id,
+                        floor: e,
+                        done: t.work_done,
+                        total: t.work_total,
+                    }));
+                alloc
+            }
+            SchedulingMode::ExclusiveFifo => {
+                let oldest = sim
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| t.arrival_cycle)
                     .map(|(i, _)| i);
-                let mut v = vec![0u32; tenants.len()];
+                let mut v = vec![0u32; sim.tenants.len()];
                 if let Some(i) = oldest {
                     v[i] = total;
                 }
                 v
             }
         };
-        let cfg = self.cfg();
+        let tenants = &mut sim.tenants;
 
         // Physical placement on the ring. Tenants keeping their allocation
         // keep their segment; changed tenants are re-placed into the free
@@ -349,7 +216,7 @@ impl PlanariaEngine {
         // defragmented: every tenant is re-placed in descending size order
         // and the *moved* ones pay a migration (their stationary weights
         // must be re-streamed into different physical subarrays).
-        let mut chip = Chip::new(*cfg);
+        let mut chip = Chip::new(cfg);
         let mut keep = vec![false; tenants.len()];
         for (i, (t, &a)) in tenants.iter().zip(&alloc).enumerate() {
             let kept_count = a == t.alloc || (t.alloc > 0 && a == t.alloc + 1);
@@ -418,14 +285,14 @@ impl PlanariaEngine {
         }
 
         let telemetry_on = c.is_enabled();
-        let ts_now = to_cycles(now - start, freq);
         for (i, (t, &a)) in tenants.iter_mut().zip(&alloc).enumerate() {
-            let old_mask = if telemetry_on {
-                placement_mask(t.placement.as_ref())
-            } else {
-                0
-            };
+            let old_mask = t.mask;
             t.placement = placements[i].take();
+            if telemetry_on {
+                // The mask is telemetry-only; skip the bit scan entirely
+                // on the NullCollector hot path (it is never read there).
+                t.mask = subarray_mask(t.placement.as_ref());
+            }
             if a == t.alloc && !migrated[i] {
                 continue;
             }
@@ -438,36 +305,34 @@ impl PlanariaEngine {
             if telemetry_on {
                 // Close the execution slice the tenant just left.
                 if t.alloc > 0 {
-                    let s = to_cycles(t.slice_start - start, freq);
                     c.record(
-                        ts_now,
+                        now,
                         Event::ExecSlice {
                             tenant: t.request.id,
                             subarrays: t.alloc,
                             mask: old_mask,
-                            start: s,
-                            duration: ts_now.saturating_sub(s),
+                            start: t.slice_start,
+                            duration: now.saturating_sub(t.slice_start),
                         },
                     );
                 }
                 c.record(
-                    ts_now,
+                    now,
                     Event::Allocation {
                         tenant: t.request.id,
                         from: t.alloc,
                         to: a,
-                        mask: placement_mask(t.placement.as_ref()),
+                        mask: t.mask,
                     },
                 );
                 if t.alloc == 0 && a > 0 {
                     // Leaving the queue: emit the closed wait interval.
-                    let qs = to_cycles(t.queued_since - start, freq);
-                    let wait = ts_now.saturating_sub(qs);
+                    let wait = now.saturating_sub(t.queued_since);
                     c.record(
-                        ts_now,
+                        now,
                         Event::QueueWait {
                             tenant: t.request.id,
-                            start: qs,
+                            start: t.queued_since,
                             duration: wait,
                         },
                     );
@@ -485,30 +350,33 @@ impl PlanariaEngine {
             } else {
                 t.queued_since = now;
             }
-            if t.alloc > 0 && t.done > 0.0 && t.done < 1.0 {
+            if t.alloc > 0 && !t.work_done.is_zero() && t.work_done < t.work_total {
                 // Preempted or resized mid-flight: finish the in-flight
                 // tile, checkpoint it, swap configurations, refill.
-                let old_table = self.library.get(t.request.dnn).table(t.alloc);
-                let pos = old_table.position(t.done);
-                let old_arr = old_table.layers()[pos.layer].arrangement;
-                let new_arr = if a > 0 {
-                    Arrangement::monolithic(a)
-                } else {
-                    old_arr
+                let (boundary, tile_bytes, cost) = {
+                    let old_table = t.compiled.table(t.alloc);
+                    let pos = old_table.position(t.fraction_done());
+                    let old_arr = old_table.layers()[pos.layer].arrangement;
+                    let new_arr = if a > 0 {
+                        Arrangement::monolithic(a)
+                    } else {
+                        old_arr
+                    };
+                    let ctx = ExecContext::for_allocation(&cfg, t.alloc.max(1));
+                    let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
+                    (pos.cycles_to_boundary, pos.tile_bytes, cost)
                 };
-                let ctx = ExecContext::for_allocation(cfg, t.alloc.max(1));
-                let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
                 if telemetry_on {
                     c.record(
-                        ts_now,
+                        now,
                         Event::Reconfig {
                             tenant: t.request.id,
-                            boundary: pos.cycles_to_boundary,
+                            boundary,
                             drain: cost.drain,
                             checkpoint: cost.checkpoint,
                             config_swap: cost.config_swap,
                             refill: cost.refill,
-                            checkpoint_bytes: pos.tile_bytes,
+                            checkpoint_bytes: tile_bytes,
                         },
                     );
                     c.add(Counter::Reconfigurations, 1);
@@ -516,17 +384,26 @@ impl PlanariaEngine {
                     c.add(Counter::CheckpointCycles, cost.checkpoint.get());
                     c.add(Counter::ConfigSwapCycles, cost.config_swap.get());
                     c.add(Counter::RefillCycles, cost.refill.get());
-                    c.add(Counter::CheckpointBytes, pos.tile_bytes.get());
+                    c.add(Counter::CheckpointBytes, tile_bytes.get());
                     c.sample(Metric::ReconfigCycles, cost.total().as_f64());
                 }
-                t.overhead_cycles += (pos.cycles_to_boundary + cost.total()).as_f64();
+                t.overhead += boundary + cost.total();
             } else if a > 0 && t.alloc == 0 {
                 // Fresh start on a new logical accelerator: pipeline fill
                 // is already inside the table; charge the configuration
                 // load only.
-                t.overhead_cycles += 16.0;
+                t.overhead += CONFIG_LOAD_CYCLES;
             }
             t.alloc = a;
+            if a > 0 {
+                // Progress is a work *fraction*; the new table rescales it
+                // exactly (no-op when the table is unchanged).
+                let (work_total, table_energy) = {
+                    let table = t.compiled.table(a);
+                    (table.total_cycles(), table.total_energy())
+                };
+                t.switch_table(work_total, table_energy);
+            }
         }
         if telemetry_on {
             c.add(Counter::SchedulingEvents, 1);
@@ -544,8 +421,9 @@ impl PlanariaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use planaria_model::units::Picojoules;
     use planaria_model::DnnId;
-    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+    use planaria_workload::{Completion, QosLevel, Scenario, TraceConfig};
 
     fn engine() -> PlanariaEngine {
         PlanariaEngine::new(AcceleratorConfig::planaria())

@@ -7,17 +7,24 @@
 //! `priority / remaining-time` score; otherwise `ALLOCATEUNFITTASKS` ranks
 //! tasks by `priority / (slack × estimate)` and packs the chip greedily,
 //! leaving the rest queued.
+//!
+//! Since the discrete-event kernel refactor, time flows through the
+//! scheduler in integer cycles: slack is signed cycles to the deadline and
+//! predictions are table cycles. (The scores stay `f64` — they are
+//! dimensionless ratios, and because every term scales by the same clock,
+//! the ranking is identical to the old seconds-based one.)
 
 use planaria_compiler::CompiledDnn;
+use planaria_model::units::Cycles;
 
 /// Scheduler view of one task in the queue (running or waiting).
 #[derive(Debug, Clone, Copy)]
 pub struct SchedTask<'a> {
     /// Task priority (1..=11).
     pub priority: u32,
-    /// Remaining slack to the QoS deadline, seconds (may be negative when
-    /// the deadline has already passed).
-    pub slack: f64,
+    /// Remaining slack to the QoS deadline, cycles (negative when the
+    /// deadline has already passed).
+    pub slack: i64,
     /// Completed work fraction ∈ [0, 1].
     pub done: f64,
     /// The task's compiled configuration tables.
@@ -25,21 +32,39 @@ pub struct SchedTask<'a> {
 }
 
 impl SchedTask<'_> {
-    /// Predicted remaining time on `subarrays` granules, seconds
-    /// (the `PREDICTTIME` table lookup).
+    /// Predicted remaining cycles on `subarrays` granules (the
+    /// `PREDICTTIME` table lookup).
+    pub fn predict_cycles(&self, subarrays: u32) -> Cycles {
+        self.compiled.table(subarrays).remaining_cycles(self.done)
+    }
+
+    /// [`predict_cycles`](Self::predict_cycles) in seconds, for
+    /// presentation at the simulation boundary (examples, reports).
     pub fn predict_time(&self, subarrays: u32, freq_hz: f64) -> f64 {
-        self.compiled
-            .table(subarrays)
-            .remaining_cycles(self.done)
-            .as_f64()
-            / freq_hz
+        self.predict_cycles(subarrays).as_f64() / freq_hz
     }
 
     /// `ESTIMATERESOURCES`: the minimum subarray count whose predicted
-    /// remaining time fits the slack; the full chip when none does.
-    pub fn estimate_resources(&self, total: u32, freq_hz: f64) -> u32 {
-        for s in 1..=total {
-            if self.predict_time(s, freq_hz) <= self.slack {
+    /// remaining cycles fit the slack; the full chip when none does.
+    pub fn estimate_resources(&self, total: u32) -> u32 {
+        self.estimate_resources_from(1, total)
+    }
+
+    /// [`estimate_resources`](Self::estimate_resources) scanning upward
+    /// from `floor` instead of 1.
+    ///
+    /// Passing a `floor` above the true minimum changes the answer, so the
+    /// floor must be a *proven lower bound*. The engines derive one from
+    /// monotonicity: for a queued task, `done` is frozen (so every
+    /// `predict_cycles(s)` is unchanged) while `slack = deadline − now`
+    /// only shrinks as time advances — therefore the minimal fitting `s`
+    /// can only grow between scheduling events, and the previous event's
+    /// estimate is an exact floor for the next. That turns the per-event
+    /// estimate scan from `O(total)` table lookups into `O(1)` for the
+    /// queued majority without changing a single allocation.
+    pub fn estimate_resources_from(&self, floor: u32, total: u32) -> u32 {
+        for s in floor.clamp(1, total)..=total {
+            if self.predict_cycles(s).get() as i64 <= self.slack {
                 return s;
             }
         }
@@ -47,33 +72,49 @@ impl SchedTask<'_> {
     }
 }
 
+/// Minimum slack used by the unfit-path urgency score: 1 µs at the
+/// Planaria clock. Past-deadline tasks rank as most urgent without a
+/// division blow-up (same clamp the old seconds-based scheduler applied
+/// at `1e-6 s`).
+const MIN_SLACK_CYCLES: i64 = 700;
+
 /// `SCHEDULETASKSSPATIALLY`: returns the subarray allocation for each task,
 /// aligned with the input slice (0 = stay queued). The allocations always
 /// sum to at most `total`.
-pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32, freq_hz: f64) -> Vec<u32> {
+pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32) -> Vec<u32> {
+    schedule_tasks_spatially_hinted(tasks, total, &[]).0
+}
+
+/// [`schedule_tasks_spatially`] with per-task estimate floors, returning
+/// `(allocations, estimates)` so the caller can seed the next call's
+/// floors (see [`SchedTask::estimate_resources_from`] for when a floor is
+/// sound). `floors` may be empty (all 1) or aligned with `tasks`; the
+/// returned estimates are aligned with `tasks`.
+pub fn schedule_tasks_spatially_hinted(
+    tasks: &[SchedTask<'_>],
+    total: u32,
+    floors: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
     if tasks.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let estimates: Vec<u32> = tasks
         .iter()
-        .map(|t| t.estimate_resources(total, freq_hz))
+        .enumerate()
+        .map(|(i, t)| t.estimate_resources_from(floors.get(i).copied().unwrap_or(1), total))
         .collect();
     let need: u32 = estimates.iter().sum();
-    if need <= total {
-        allocate_fit_tasks(tasks, &estimates, total, freq_hz)
+    let alloc = if need <= total {
+        allocate_fit_tasks(tasks, &estimates, total)
     } else {
         allocate_unfit_tasks(tasks, &estimates, total)
-    }
+    };
+    (alloc, estimates)
 }
 
 /// `ALLOCATEFITTASKS`: everyone gets their minimum; the spare subarrays are
 /// split proportionally to `priority / remaining-time`.
-fn allocate_fit_tasks(
-    tasks: &[SchedTask<'_>],
-    estimates: &[u32],
-    total: u32,
-    freq_hz: f64,
-) -> Vec<u32> {
+fn allocate_fit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) -> Vec<u32> {
     let mut alloc = estimates.to_vec();
     let mut spare = total - estimates.iter().sum::<u32>();
     if spare == 0 {
@@ -82,7 +123,7 @@ fn allocate_fit_tasks(
     let scores: Vec<f64> = tasks
         .iter()
         .zip(estimates)
-        .map(|(t, &e)| f64::from(t.priority) / t.predict_time(e, freq_hz).max(1e-9))
+        .map(|(t, &e)| f64::from(t.priority) / t.predict_cycles(e).as_f64().max(1.0))
         .collect();
     let sum: f64 = scores.iter().sum();
     // Integer proportional share; remainders go to the largest fractions.
@@ -115,7 +156,7 @@ fn allocate_unfit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) 
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     let score = |i: usize| {
         // Tasks already past their deadline get the most urgent score.
-        let slack = tasks[i].slack.max(1e-6);
+        let slack = tasks[i].slack.max(MIN_SLACK_CYCLES) as f64;
         f64::from(tasks[i].priority) / (slack * f64::from(estimates[i]))
     };
     order.sort_by(|&a, &b| {
@@ -143,30 +184,31 @@ mod tests {
     use planaria_compiler::compile;
     use planaria_model::DnnId;
 
-    fn freq() -> f64 {
-        AcceleratorConfig::planaria().freq_hz
-    }
-
     fn compiled(id: DnnId) -> planaria_compiler::CompiledDnn {
         compile(&AcceleratorConfig::planaria(), &id.build())
+    }
+
+    /// Seconds → cycles at the Planaria clock, for readable test slacks.
+    fn cy(seconds: f64) -> i64 {
+        (seconds * AcceleratorConfig::planaria().freq_hz) as i64
     }
 
     #[test]
     fn estimate_is_minimal() {
         let c = compiled(DnnId::TinyYolo);
-        let isolated_full = c.table(16).total_cycles().as_f64() / freq();
+        let isolated_full = c.table(16).total_cycles().get() as i64;
         let t = SchedTask {
             priority: 5,
-            slack: isolated_full * 20.0, // loose: smallest allocations work
+            slack: isolated_full * 20, // loose: smallest allocations work
             done: 0.0,
             compiled: &c,
         };
-        let est_loose = t.estimate_resources(16, freq());
+        let est_loose = t.estimate_resources(16);
         let tight = SchedTask {
-            slack: isolated_full * 1.05,
+            slack: isolated_full + isolated_full / 20,
             ..t
         };
-        let est_tight = tight.estimate_resources(16, freq());
+        let est_tight = tight.estimate_resources(16);
         assert!(est_loose <= est_tight);
         assert!(est_loose >= 1 && est_tight <= 16);
     }
@@ -176,11 +218,11 @@ mod tests {
         let c = compiled(DnnId::SsdResNet34);
         let t = SchedTask {
             priority: 5,
-            slack: -1.0,
+            slack: cy(-1.0),
             done: 0.0,
             compiled: &c,
         };
-        assert_eq!(t.estimate_resources(16, freq()), 16);
+        assert_eq!(t.estimate_resources(16), 16);
     }
 
     #[test]
@@ -188,11 +230,11 @@ mod tests {
         let c = compiled(DnnId::ResNet50);
         let t = SchedTask {
             priority: 5,
-            slack: 10.0,
+            slack: cy(10.0),
             done: 0.0,
             compiled: &c,
         };
-        let alloc = schedule_tasks_spatially(&[t], 16, freq());
+        let alloc = schedule_tasks_spatially(&[t], 16);
         assert_eq!(alloc, vec![16]);
     }
 
@@ -207,19 +249,22 @@ mod tests {
         .iter()
         .map(|&id| compiled(id))
         .collect();
-        for slack in [0.001, 0.01, 0.1, 1.0] {
+        for slack_s in [0.001, 0.01, 0.1, 1.0] {
             let tasks: Vec<SchedTask> = nets
                 .iter()
                 .enumerate()
                 .map(|(i, c)| SchedTask {
                     priority: (i as u32 % 11) + 1,
-                    slack,
+                    slack: cy(slack_s),
                     done: 0.1 * i as f64,
                     compiled: c,
                 })
                 .collect();
-            let alloc = schedule_tasks_spatially(&tasks, 16, freq());
-            assert!(alloc.iter().sum::<u32>() <= 16, "slack {slack}: {alloc:?}");
+            let alloc = schedule_tasks_spatially(&tasks, 16);
+            assert!(
+                alloc.iter().sum::<u32>() <= 16,
+                "slack {slack_s}: {alloc:?}"
+            );
         }
     }
 
@@ -229,11 +274,11 @@ mod tests {
         let b = compiled(DnnId::TinyYolo);
         let mk = |priority, c| SchedTask {
             priority,
-            slack: 10.0, // very loose: both estimate 1
+            slack: cy(10.0), // very loose: both estimate 1
             done: 0.0,
             compiled: c,
         };
-        let alloc = schedule_tasks_spatially(&[mk(11, &a), mk(1, &b)], 16, freq());
+        let alloc = schedule_tasks_spatially(&[mk(11, &a), mk(1, &b)], 16);
         assert_eq!(alloc.iter().sum::<u32>(), 16);
         assert!(
             alloc[0] > alloc[1],
@@ -246,22 +291,86 @@ mod tests {
         let heavy = compiled(DnnId::SsdResNet34);
         // Three heavy tasks with slack just above the full-chip isolated
         // latency: estimates are 16 each; only the best-scored one fits.
-        let iso = heavy.table(16).total_cycles().as_f64() / freq();
+        let iso = heavy.table(16).total_cycles().get() as i64;
         let mk = |priority, slack| SchedTask {
             priority,
             slack,
             done: 0.0,
             compiled: &heavy,
         };
-        let tight = iso * 1.02;
+        let tight = iso + iso / 50;
         let tasks = [mk(1, tight), mk(11, tight), mk(5, tight)];
-        let alloc = schedule_tasks_spatially(&tasks, 16, freq());
+        let alloc = schedule_tasks_spatially(&tasks, 16);
         assert_eq!(alloc[1], 16, "priority 11 should win: {alloc:?}");
         assert_eq!(alloc[0] + alloc[2], 0);
     }
 
     #[test]
+    fn seconds_prediction_matches_cycles_at_the_clock() {
+        let c = compiled(DnnId::TinyYolo);
+        let t = SchedTask {
+            priority: 5,
+            slack: cy(1.0),
+            done: 0.5,
+            compiled: &c,
+        };
+        let freq = AcceleratorConfig::planaria().freq_hz;
+        let secs = t.predict_time(8, freq);
+        assert!((secs * freq - t.predict_cycles(8).as_f64()).abs() < 1e-6);
+    }
+
+    #[test]
     fn empty_queue_yields_empty_allocation() {
-        assert!(schedule_tasks_spatially(&[], 16, freq()).is_empty());
+        assert!(schedule_tasks_spatially(&[], 16).is_empty());
+    }
+
+    #[test]
+    fn hinted_with_unit_floors_matches_plain() {
+        let nets: Vec<_> = [DnnId::ResNet50, DnnId::TinyYolo, DnnId::Gnmt]
+            .iter()
+            .map(|&id| compiled(id))
+            .collect();
+        for slack_s in [0.001, 0.01, 0.1] {
+            let tasks: Vec<SchedTask> = nets
+                .iter()
+                .enumerate()
+                .map(|(i, c)| SchedTask {
+                    priority: (i as u32 % 11) + 1,
+                    slack: cy(slack_s),
+                    done: 0.2 * i as f64,
+                    compiled: c,
+                })
+                .collect();
+            let plain = schedule_tasks_spatially(&tasks, 16);
+            let (hinted, estimates) = schedule_tasks_spatially_hinted(&tasks, 16, &[1, 1, 1]);
+            assert_eq!(plain, hinted, "slack {slack_s}");
+            for (t, &e) in tasks.iter().zip(&estimates) {
+                assert_eq!(e, t.estimate_resources(16), "slack {slack_s}");
+            }
+        }
+    }
+
+    #[test]
+    fn earlier_estimate_is_a_sound_floor_under_shrinking_slack() {
+        // The engine's memoization contract: with `done` frozen and slack
+        // only shrinking, an earlier estimate used as the floor for a
+        // later (tighter-slack) scan returns the same estimate as a full
+        // scan from 1.
+        let c = compiled(DnnId::ResNet50);
+        let iso = c.table(16).total_cycles().get() as i64;
+        let mut prev_floor = 1u32;
+        for k in (1..=24).rev() {
+            let t = SchedTask {
+                priority: 5,
+                slack: iso * i64::from(k) / 8, // monotonically shrinking
+                done: 0.3,
+                compiled: &c,
+            };
+            let full = t.estimate_resources(16);
+            let hinted = t.estimate_resources_from(prev_floor, 16);
+            assert_eq!(full, hinted, "k={k} floor={prev_floor}");
+            assert!(hinted >= prev_floor);
+            prev_floor = hinted;
+        }
     }
 }

@@ -1,50 +1,32 @@
 //! The PREMA node engine: one task at a time on a monolithic 128×128
 //! systolic accelerator, scheduled by the token-based policy.
+//!
+//! The integer-cycle event loop — admission, work advancement, exact
+//! completion detection, retirement — lives in [`planaria_sim`]; this
+//! module keeps only PREMA's *decisions*: token accrual, the
+//! threshold + shortest-job pick, and the context-switch cost a
+//! preemption charges to the incoming job. The monolithic chip maps onto
+//! the kernel as "the runner holds every subarray" (`alloc = total`),
+//! so retirement, busy-time and completion logic are shared with
+//! Planaria verbatim.
 
 use crate::policy::{pick_with_threshold, Policy, PolicyTask, TokenState};
 use planaria_arch::{AcceleratorConfig, Arrangement};
-use planaria_compiler::CompiledLibrary;
-use planaria_energy::EnergyModel;
-use planaria_model::units::{Cycles, Picojoules};
-use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector, SimMeta};
+use planaria_compiler::{CompiledDnn, CompiledLibrary};
+use planaria_sim::{full_mask, EnginePolicy, SimClock, SimState};
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector};
 use planaria_timing::{reconfiguration_cycles, ExecContext};
-use planaria_workload::{Completion, Request, SimResult};
-
-/// Work-fraction tolerance for completion detection.
-const DONE_EPS: f64 = 1e-9;
-
-#[derive(Debug, Clone)]
-struct Job {
-    request: Request,
-    done: f64,
-    tokens: TokenState,
-    /// Preemption overhead owed before useful progress, cycles.
-    overhead_cycles: f64,
-    energy: Picojoules,
-    /// When the current wait for the accelerator began (telemetry only).
-    queued_since: f64,
-}
-
-/// Converts seconds-since-run-start to exact telemetry cycles.
-#[inline]
-fn to_cycles(seconds: f64, freq_hz: f64) -> Cycles {
-    Cycles::new((seconds * freq_hz).max(0.0).round() as u64)
-}
-
-/// PREMA always owns the whole chip: every subarray bit is set.
-fn full_mask(n: u32) -> u64 {
-    if n >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << n) - 1
-    }
-}
+use planaria_workload::{Request, SimResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A single node running the PREMA baseline.
 #[derive(Debug, Clone)]
 pub struct PremaEngine {
     library: CompiledLibrary,
     policy: Policy,
+    /// Starvation threshold, seconds of priority-weighted waiting
+    /// (converted to token units once per run).
     token_threshold: f64,
 }
 
@@ -65,7 +47,8 @@ impl PremaEngine {
         }
     }
 
-    /// Overrides the starvation token threshold (sensitivity-study hook).
+    /// Overrides the starvation token threshold, in seconds of
+    /// priority-weighted waiting (sensitivity-study hook).
     pub fn with_token_threshold(mut self, threshold: f64) -> Self {
         self.token_threshold = threshold;
         self
@@ -84,15 +67,6 @@ impl PremaEngine {
     /// The compiled library backing this engine.
     pub fn library(&self) -> &CompiledLibrary {
         &self.library
-    }
-
-    fn table_for(&self, job: &Job) -> &planaria_compiler::ConfigTable {
-        let n = self.library.config().num_subarrays();
-        self.library.get(job.request.dnn).table(n)
-    }
-
-    fn remaining_seconds(&self, job: &Job, freq: f64) -> f64 {
-        (job.overhead_cycles + self.table_for(job).remaining_cycles(job.done).as_f64()) / freq
     }
 
     /// Simulates one trace (must be sorted by arrival time).
@@ -114,244 +88,187 @@ impl PremaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
-        assert!(
-            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
-            "trace must be sorted by arrival time"
-        );
         let cfg = *self.library.config();
-        let freq = cfg.freq_hz;
-        let em = EnergyModel::for_config(&cfg);
-        let ctx = ExecContext::full_chip(&cfg);
         let total = cfg.num_subarrays();
-        let mono = Arrangement::monolithic(total);
-        let mask = full_mask(total);
-        c.set_meta(SimMeta {
-            freq_hz: freq,
-            total_subarrays: total,
-        });
+        let mut policy = TemporalPolicy {
+            library: &self.library,
+            policy: self.policy,
+            threshold: SimClock::for_config(&cfg)
+                .duration_cycles(self.token_threshold)
+                .get(),
+            ctx: ExecContext::full_chip(&cfg),
+            mono: Arrangement::monolithic(total),
+            mask: full_mask(total),
+            total,
+            running: None,
+            tokens: BTreeMap::new(),
+        };
+        planaria_sim::run(&cfg, trace, &mut policy, c)
+    }
+}
 
-        let mut jobs: Vec<Job> = Vec::new();
-        let mut running: Option<usize> = None;
-        let mut completions: Vec<Completion> = Vec::new();
-        let mut next_arrival = 0usize;
-        let mut now = trace.first().map_or(0.0, |r| r.arrival);
-        let start = now;
-        let mut busy_seconds = 0.0f64;
-        // When the current occupant's slice began (telemetry only).
-        let mut slice_since = now;
+/// The PREMA scheduling policy plugged into the kernel: token-based
+/// temporal multiplexing of the whole chip.
+struct TemporalPolicy<'a> {
+    library: &'a CompiledLibrary,
+    policy: Policy,
+    /// Starvation bar in token units (priority-weighted cycles).
+    threshold: u64,
+    ctx: ExecContext,
+    mono: Arrangement,
+    /// The whole-chip placement bitmask every runner owns.
+    mask: u128,
+    total: u32,
+    /// Request id of the current occupant, if any.
+    running: Option<u64>,
+    /// Token bookkeeping per request id (outlives queue reordering).
+    tokens: BTreeMap<u64, TokenState>,
+}
 
-        while next_arrival < trace.len() || !jobs.is_empty() {
-            let arrival_t = trace.get(next_arrival).map(|r| r.arrival);
-            let completion_t = running.map(|i| now + self.remaining_seconds(&jobs[i], freq));
-            let t_next = match (arrival_t, completion_t) {
-                (Some(a), Some(c)) => a.min(c),
-                (Some(a), None) => a,
-                (None, Some(c)) => c,
-                (None, None) => break,
-            };
+impl EnginePolicy for TemporalPolicy<'_> {
+    fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn> {
+        self.library.shared(request.dnn)
+    }
 
-            // Advance the running job.
-            if let Some(i) = running {
-                busy_seconds += (t_next - now).max(0.0);
-                let mut cycles = (t_next - now).max(0.0) * freq;
-                let job = &mut jobs[i];
-                if job.overhead_cycles > 0.0 {
-                    let burn = job.overhead_cycles.min(cycles);
-                    job.overhead_cycles -= burn;
-                    cycles -= burn;
-                }
-                if cycles > 0.0 {
-                    let table = {
-                        let n = cfg.num_subarrays();
-                        self.library.get(job.request.dnn).table(n)
-                    };
-                    let before = job.done;
-                    job.done = table.advance(job.done, Cycles::new(cycles.round() as u64));
-                    if job.done > 1.0 - DONE_EPS {
-                        job.done = 1.0;
-                    }
-                    job.energy += (job.done - before) * table.total_energy();
-                }
+    fn admit_subarrays(&self) -> u32 {
+        // The monolithic baseline has exactly one configuration table;
+        // seed work accounting with it directly (never rescaled).
+        self.total
+    }
+
+    fn reschedule<C: Collector>(&mut self, sim: &mut SimState, c: &mut C) {
+        let now = sim.now;
+        // The kernel retired the runner: the chip is free again.
+        if let Some(id) = self.running {
+            if sim.index_of(id).is_none() {
+                self.running = None;
             }
-            now = t_next;
-
-            // Admit arrivals.
-            while next_arrival < trace.len() && trace[next_arrival].arrival <= now + 1e-12 {
-                let req = trace[next_arrival];
-                if c.is_enabled() {
-                    c.record(
-                        to_cycles(now - start, freq),
-                        Event::Arrival {
-                            tenant: req.id,
-                            dnn: req.dnn,
-                        },
-                    );
-                    c.add(Counter::Arrivals, 1);
-                }
-                jobs.push(Job {
-                    request: req,
-                    done: 0.0,
-                    tokens: TokenState {
-                        tokens: 0.0,
-                        last_update: now,
-                    },
-                    overhead_cycles: 0.0,
-                    energy: Picojoules::ZERO,
-                    queued_since: now,
-                });
-                next_arrival += 1;
-            }
-
-            // Retire the running job if finished.
-            if let Some(i) = running {
-                if jobs[i].done >= 1.0 - DONE_EPS {
-                    let job = jobs.swap_remove(i);
-                    if c.is_enabled() {
-                        let ts_now = to_cycles(now - start, freq);
-                        let s = to_cycles(slice_since - start, freq);
-                        c.record(
-                            ts_now,
-                            Event::ExecSlice {
-                                tenant: job.request.id,
-                                subarrays: total,
-                                mask,
-                                start: s,
-                                duration: ts_now.saturating_sub(s),
-                            },
-                        );
-                        c.record(
-                            ts_now,
-                            Event::Completion {
-                                tenant: job.request.id,
-                                latency: to_cycles(now - job.request.arrival, freq),
-                            },
-                        );
-                        c.add(Counter::Completions, 1);
-                    }
-                    completions.push(Completion {
-                        request: job.request,
-                        finish: now,
-                        energy: job.energy,
-                    });
-                    running = None;
-                }
-            }
-
-            // Accrue tokens for waiting jobs; the runner does not collect.
-            for (i, job) in jobs.iter_mut().enumerate() {
-                if Some(i) != running {
-                    job.tokens.accrue(job.request.priority, now);
-                } else {
-                    job.tokens.last_update = now;
-                }
-            }
-
-            // Policy decision (a scheduling event fired).
-            let views: Vec<PolicyTask> = jobs
-                .iter()
-                .enumerate()
-                .map(|(i, j)| PolicyTask {
-                    index: i,
-                    tokens: j.tokens.tokens,
-                    arrival: j.request.arrival,
-                    remaining: self.remaining_seconds(j, freq),
-                })
-                .collect();
-            let chosen = pick_with_threshold(self.policy, &views, self.token_threshold);
-            if chosen != running {
-                let ts_now = to_cycles(now - start, freq);
-                if let Some(cur) = running {
-                    // The incumbent loses the accelerator mid-flight.
-                    if c.is_enabled() {
-                        let s = to_cycles(slice_since - start, freq);
-                        c.record(
-                            ts_now,
-                            Event::ExecSlice {
-                                tenant: jobs[cur].request.id,
-                                subarrays: total,
-                                mask,
-                                start: s,
-                                duration: ts_now.saturating_sub(s),
-                            },
-                        );
-                        c.record(
-                            ts_now,
-                            Event::Allocation {
-                                tenant: jobs[cur].request.id,
-                                from: total,
-                                to: 0,
-                                mask: 0,
-                            },
-                        );
-                    }
-                    jobs[cur].queued_since = now;
-                }
-                if let Some(next) = chosen {
-                    // Context switch: checkpoint the preempted job's tile and
-                    // restore the incoming job's weights/pipeline.
-                    if let Some(cur) = running {
-                        let pos = self.table_for(&jobs[cur]).position(jobs[cur].done);
-                        let cost = reconfiguration_cycles(&ctx, mono, mono, pos.tile_bytes);
-                        if c.is_enabled() {
-                            c.record(
-                                ts_now,
-                                Event::Preemption {
-                                    preempted: jobs[cur].request.id,
-                                    incoming: jobs[next].request.id,
-                                    overhead: cost.total(),
-                                },
-                            );
-                            c.add(Counter::Preemptions, 1);
-                            c.sample(Metric::ReconfigCycles, cost.total().as_f64());
-                        }
-                        jobs[next].overhead_cycles += cost.total().as_f64();
-                    }
-                    if c.is_enabled() {
-                        let qs = to_cycles(jobs[next].queued_since - start, freq);
-                        let wait = ts_now.saturating_sub(qs);
-                        c.record(
-                            ts_now,
-                            Event::QueueWait {
-                                tenant: jobs[next].request.id,
-                                start: qs,
-                                duration: wait,
-                            },
-                        );
-                        c.record(
-                            ts_now,
-                            Event::Allocation {
-                                tenant: jobs[next].request.id,
-                                from: 0,
-                                to: total,
-                                mask,
-                            },
-                        );
-                        c.sample(Metric::QueueWaitCycles, wait.as_f64());
-                        c.sample(Metric::AllocationSize, f64::from(total));
-                    }
-                    slice_since = now;
-                }
-                running = chosen;
-            }
-            if c.is_enabled() {
-                c.add(Counter::SchedulingEvents, 1);
-                let waiting = jobs.len() - usize::from(running.is_some());
-                c.sample(Metric::QueueDepth, waiting as f64);
-                c.sample(
-                    Metric::OccupancyPct,
-                    if running.is_some() { 100.0 } else { 0.0 },
-                );
+        }
+        // Bound the token map: drop entries for long-retired requests.
+        if self.tokens.len() > sim.tenants.len() + 64 {
+            let live: std::collections::BTreeSet<u64> =
+                sim.tenants.iter().map(|t| t.request.id).collect();
+            self.tokens.retain(|id, _| live.contains(id));
+        }
+        // Accrue tokens for waiting tenants; the runner does not collect.
+        for t in &sim.tenants {
+            let id = t.request.id;
+            let entry = self.tokens.entry(id).or_insert(TokenState {
+                tokens: 0,
+                last_update: now,
+            });
+            if Some(id) == self.running {
+                entry.last_update = now;
+            } else {
+                entry.accrue(t.request.priority, now);
             }
         }
 
-        completions.sort_by_key(|c| c.request.id);
-        let makespan = (now - start).max(0.0);
-        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
-        // Static energy accrues while the accelerator serves a job.
-        SimResult {
-            completions,
-            total_energy: dynamic + em.static_energy(busy_seconds),
-            makespan,
+        // Policy decision (a scheduling event fired).
+        let views: Vec<PolicyTask> = sim
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| PolicyTask {
+                index: i,
+                tokens: self.tokens[&t.request.id].tokens,
+                arrival: t.arrival_cycle,
+                remaining: t.remaining(),
+            })
+            .collect();
+        let chosen_idx = pick_with_threshold(self.policy, &views, self.threshold);
+        let chosen_id = chosen_idx.map(|i| sim.tenants[i].request.id);
+        if chosen_id != self.running {
+            let running_idx = self.running.and_then(|id| sim.index_of(id));
+            if let Some(cur) = running_idx {
+                // The incumbent loses the accelerator mid-flight.
+                if c.is_enabled() {
+                    let t = &sim.tenants[cur];
+                    c.record(
+                        now,
+                        Event::ExecSlice {
+                            tenant: t.request.id,
+                            subarrays: self.total,
+                            mask: self.mask,
+                            start: t.slice_start,
+                            duration: now.saturating_sub(t.slice_start),
+                        },
+                    );
+                    c.record(
+                        now,
+                        Event::Allocation {
+                            tenant: t.request.id,
+                            from: self.total,
+                            to: 0,
+                            mask: 0,
+                        },
+                    );
+                }
+                let t = &mut sim.tenants[cur];
+                t.queued_since = now;
+                t.alloc = 0;
+                t.mask = 0;
+            }
+            if let Some(next) = chosen_idx {
+                // Context switch: checkpoint the preempted job's tile and
+                // restore the incoming job's weights/pipeline.
+                if let Some(cur) = running_idx {
+                    let cost = {
+                        let t = &sim.tenants[cur];
+                        let pos = t.compiled.table(self.total).position(t.fraction_done());
+                        reconfiguration_cycles(&self.ctx, self.mono, self.mono, pos.tile_bytes)
+                    };
+                    if c.is_enabled() {
+                        c.record(
+                            now,
+                            Event::Preemption {
+                                preempted: sim.tenants[cur].request.id,
+                                incoming: sim.tenants[next].request.id,
+                                overhead: cost.total(),
+                            },
+                        );
+                        c.add(Counter::Preemptions, 1);
+                        c.sample(Metric::ReconfigCycles, cost.total().as_f64());
+                    }
+                    sim.tenants[next].overhead += cost.total();
+                }
+                let t = &mut sim.tenants[next];
+                if c.is_enabled() {
+                    let wait = now.saturating_sub(t.queued_since);
+                    c.record(
+                        now,
+                        Event::QueueWait {
+                            tenant: t.request.id,
+                            start: t.queued_since,
+                            duration: wait,
+                        },
+                    );
+                    c.record(
+                        now,
+                        Event::Allocation {
+                            tenant: t.request.id,
+                            from: 0,
+                            to: self.total,
+                            mask: self.mask,
+                        },
+                    );
+                    c.sample(Metric::QueueWaitCycles, wait.as_f64());
+                    c.sample(Metric::AllocationSize, f64::from(self.total));
+                }
+                t.slice_start = now;
+                t.alloc = self.total;
+                t.mask = self.mask;
+            }
+            self.running = chosen_id;
+        }
+        if c.is_enabled() {
+            c.add(Counter::SchedulingEvents, 1);
+            let waiting = sim.tenants.len() - usize::from(self.running.is_some());
+            c.sample(Metric::QueueDepth, waiting as f64);
+            c.sample(
+                Metric::OccupancyPct,
+                if self.running.is_some() { 100.0 } else { 0.0 },
+            );
         }
     }
 }
@@ -360,7 +277,7 @@ impl PremaEngine {
 mod tests {
     use super::*;
     use planaria_model::DnnId;
-    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+    use planaria_workload::{Completion, QosLevel, Scenario, TraceConfig};
 
     fn engine() -> PremaEngine {
         PremaEngine::new_default()
@@ -454,5 +371,20 @@ mod tests {
         let mut trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 10.0, 5, 3).generate();
         trace.reverse();
         let _ = engine().run(&trace);
+    }
+
+    #[test]
+    fn preemptions_show_up_in_telemetry() {
+        // Two heavy jobs plus a late short high-priority one: PREMA must
+        // preempt at least once, and the kernel-side events must balance.
+        let e = engine();
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 200.0, 30, 5).generate();
+        let mut c = planaria_telemetry::RecordingCollector::new();
+        let r = e.run_with_collector(&trace, &mut c);
+        assert_eq!(r.completions.len(), 30);
+        let report = c.report();
+        assert_eq!(report.counter(Counter::Arrivals), 30);
+        assert_eq!(report.counter(Counter::Completions), 30);
+        assert!(report.counter(Counter::Preemptions) > 0);
     }
 }

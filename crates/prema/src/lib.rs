@@ -27,4 +27,4 @@ pub mod engine;
 pub mod policy;
 
 pub use engine::PremaEngine;
-pub use policy::{pick, pick_with_threshold, Policy, TokenState, TOKEN_THRESHOLD};
+pub use policy::{pick_with_threshold, Policy, TokenState, TOKEN_THRESHOLD};

@@ -1,19 +1,32 @@
 //! Temporal scheduling policies for the monolithic baseline.
+//!
+//! Since the discrete-event kernel refactor the policy operates in the
+//! integer-cycle domain: tokens accrue as `priority × waited-cycles`
+//! (`u64`), FCFS compares arrival cycles and SJF compares exact remaining
+//! cycles. The starvation threshold stays a seconds-valued knob at the
+//! engine API ([`TOKEN_THRESHOLD`]); the engine converts it to token
+//! units once per run (tokens scale with the clock, so the conversion is
+//! just `seconds × freq_hz` — the ranking is identical to the old
+//! seconds-based policy).
+
+use planaria_model::units::Cycles;
 
 /// Per-task token bookkeeping for PREMA's policy.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TokenState {
-    /// Accumulated tokens.
-    pub tokens: f64,
-    /// Last time tokens were accrued, seconds.
-    pub last_update: f64,
+    /// Accumulated tokens (priority-weighted waiting cycles).
+    pub tokens: u64,
+    /// Last cycle tokens were accrued at.
+    pub last_update: Cycles,
 }
 
 impl TokenState {
-    /// Accrues `priority × waited` tokens up to `now`.
-    pub fn accrue(&mut self, priority: u32, now: f64) {
-        let waited = (now - self.last_update).max(0.0);
-        self.tokens += f64::from(priority) * waited;
+    /// Accrues `priority × waited-cycles` tokens up to `now`.
+    pub fn accrue(&mut self, priority: u32, now: Cycles) {
+        let waited = now.saturating_sub(self.last_update);
+        self.tokens = self
+            .tokens
+            .saturating_add(u64::from(priority).saturating_mul(waited.get()));
         self.last_update = now;
     }
 }
@@ -31,66 +44,51 @@ pub enum Policy {
 }
 
 /// View of one task for the policy decision.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyTask {
     /// Index in the caller's task list.
     pub index: usize,
-    /// Accumulated tokens.
-    pub tokens: f64,
-    /// Arrival time (for FCFS).
-    pub arrival: f64,
-    /// Predicted remaining time, seconds.
-    pub remaining: f64,
+    /// Accumulated tokens (priority-weighted waiting cycles).
+    pub tokens: u64,
+    /// Arrival cycle (for FCFS).
+    pub arrival: Cycles,
+    /// Predicted remaining work, cycles.
+    pub remaining: Cycles,
 }
 
-/// Default token threshold above which a task is considered starved and
-/// must be serviced ahead of newcomers. Tokens accrue at `priority` per
-/// second of waiting, so a median-priority (6) task crosses the threshold
-/// after ~10 ms of queueing. (`ext_prema_threshold` sweeps this knob to
-/// show the baseline is not adversarially tuned.)
+/// Default starvation threshold, **seconds** of priority-weighted waiting.
+/// Tokens accrue at `priority` per cycle, so the engine converts this knob
+/// to token units with one `seconds × freq_hz` multiply per run; a
+/// median-priority (6) task crosses the threshold after ~10 ms of
+/// queueing. (`ext_prema_threshold` sweeps this knob to show the baseline
+/// is not adversarially tuned.)
 pub const TOKEN_THRESHOLD: f64 = 0.06;
 
-/// Picks the next task to occupy the accelerator with the default token
-/// threshold; `None` when the queue is empty.
-pub fn pick(policy: Policy, tasks: &[PolicyTask]) -> Option<usize> {
-    pick_with_threshold(policy, tasks, TOKEN_THRESHOLD)
-}
-
-/// Like [`pick`], with an explicit starvation threshold for the PREMA
-/// policy (ignored by FCFS/SJF).
-pub fn pick_with_threshold(policy: Policy, tasks: &[PolicyTask], threshold: f64) -> Option<usize> {
+/// Picks the next task to occupy the accelerator; `None` when the queue
+/// is empty. `threshold` is the starvation bar in token units
+/// (priority-weighted cycles), used only by [`Policy::Prema`].
+pub fn pick_with_threshold(policy: Policy, tasks: &[PolicyTask], threshold: u64) -> Option<usize> {
     if tasks.is_empty() {
         return None;
     }
-    let by = |f: &dyn Fn(&PolicyTask) -> f64| {
-        tasks
-            .iter()
-            .min_by(|a, b| f(a).partial_cmp(&f(b)).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|t| t.index)
-    };
     match policy {
-        Policy::Fcfs => by(&|t| t.arrival),
-        Policy::Sjf => by(&|t| t.remaining),
+        Policy::Fcfs => tasks.iter().min_by_key(|t| t.arrival).map(|t| t.index),
+        Policy::Sjf => tasks.iter().min_by_key(|t| t.remaining).map(|t| t.index),
         Policy::Prema => {
             // Starved tasks (tokens over the threshold) form the candidate
-            // set, highest-token first mattering only through the shortest-
-            // job tie-break; with nobody starved the policy degenerates to
-            // throughput-maximizing SJF over the whole queue.
+            // set, shortest predicted job first; with nobody starved the
+            // policy degenerates to throughput-maximizing SJF over the
+            // whole queue.
             let starved: Vec<&PolicyTask> =
                 tasks.iter().filter(|t| t.tokens >= threshold).collect();
-            let pool: &[&PolicyTask] = if starved.is_empty() { &[] } else { &starved };
-            let candidates: Vec<&PolicyTask> = if pool.is_empty() {
+            let candidates: Vec<&PolicyTask> = if starved.is_empty() {
                 tasks.iter().collect()
             } else {
-                pool.to_vec()
+                starved
             };
             candidates
                 .iter()
-                .min_by(|a, b| {
-                    a.remaining
-                        .partial_cmp(&b.remaining)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .min_by_key(|t| t.remaining)
                 .map(|t| t.index)
         }
     }
@@ -100,34 +98,45 @@ pub fn pick_with_threshold(policy: Policy, tasks: &[PolicyTask], threshold: f64)
 mod tests {
     use super::*;
 
-    fn task(index: usize, tokens: f64, arrival: f64, remaining: f64) -> PolicyTask {
+    fn task(index: usize, tokens: u64, arrival: u64, remaining: u64) -> PolicyTask {
         PolicyTask {
             index,
             tokens,
-            arrival,
-            remaining,
+            arrival: Cycles::new(arrival),
+            remaining: Cycles::new(remaining),
         }
     }
 
     #[test]
     fn tokens_accrue_with_priority_and_time() {
         let mut s = TokenState::default();
-        s.accrue(5, 2.0);
-        assert!((s.tokens - 10.0).abs() < 1e-12);
-        s.accrue(5, 3.0);
-        assert!((s.tokens - 15.0).abs() < 1e-12);
+        s.accrue(5, Cycles::new(2));
+        assert_eq!(s.tokens, 10);
+        s.accrue(5, Cycles::new(3));
+        assert_eq!(s.tokens, 15);
+        assert_eq!(s.last_update, Cycles::new(3));
+    }
+
+    #[test]
+    fn accrual_saturates_instead_of_overflowing() {
+        let mut s = TokenState {
+            tokens: u64::MAX - 1,
+            last_update: Cycles::ZERO,
+        };
+        s.accrue(11, Cycles::new(u64::MAX));
+        assert_eq!(s.tokens, u64::MAX);
     }
 
     #[test]
     fn fcfs_takes_earliest_arrival() {
-        let tasks = [task(0, 0.0, 5.0, 1.0), task(1, 100.0, 2.0, 9.0)];
-        assert_eq!(pick(Policy::Fcfs, &tasks), Some(1));
+        let tasks = [task(0, 0, 5, 1), task(1, 100, 2, 9)];
+        assert_eq!(pick_with_threshold(Policy::Fcfs, &tasks, 50), Some(1));
     }
 
     #[test]
     fn sjf_takes_shortest() {
-        let tasks = [task(0, 0.0, 5.0, 1.0), task(1, 100.0, 2.0, 9.0)];
-        assert_eq!(pick(Policy::Sjf, &tasks), Some(0));
+        let tasks = [task(0, 0, 5, 1), task(1, 100, 2, 9)];
+        assert_eq!(pick_with_threshold(Policy::Sjf, &tasks, 50), Some(0));
     }
 
     #[test]
@@ -135,22 +144,28 @@ mod tests {
         // Tasks 1 and 2 are starved (tokens over the threshold); task 2 is
         // shorter. Task 0 has few tokens and is excluded even though it is
         // shortest overall.
-        let tasks = [
-            task(0, 0.001, 0.0, 0.1),
-            task(1, 100.0, 0.0, 9.0),
-            task(2, 95.0, 0.0, 2.0),
-        ];
-        assert_eq!(pick(Policy::Prema, &tasks), Some(2));
+        let tasks = [task(0, 1, 0, 10), task(1, 100, 0, 900), task(2, 95, 0, 200)];
+        assert_eq!(pick_with_threshold(Policy::Prema, &tasks, 50), Some(2));
     }
 
     #[test]
     fn prema_runs_sjf_when_nobody_is_starved() {
-        let tasks = [task(0, 0.01, 0.0, 0.5), task(1, 0.02, 0.0, 0.2)];
-        assert_eq!(pick(Policy::Prema, &tasks), Some(1));
+        let tasks = [task(0, 10, 0, 500), task(1, 20, 0, 200)];
+        assert_eq!(pick_with_threshold(Policy::Prema, &tasks, 50), Some(1));
+    }
+
+    #[test]
+    fn ties_resolve_to_the_first_task() {
+        // Deterministic tie-break: equal minima pick the earliest index in
+        // the caller's list (the kernel's admission order).
+        let tasks = [task(3, 0, 7, 4), task(9, 0, 7, 4)];
+        assert_eq!(pick_with_threshold(Policy::Fcfs, &tasks, 50), Some(3));
+        assert_eq!(pick_with_threshold(Policy::Sjf, &tasks, 50), Some(3));
+        assert_eq!(pick_with_threshold(Policy::Prema, &tasks, 50), Some(3));
     }
 
     #[test]
     fn empty_queue_picks_nothing() {
-        assert_eq!(pick(Policy::Prema, &[]), None);
+        assert_eq!(pick_with_threshold(Policy::Prema, &[], 50), None);
     }
 }

@@ -1,0 +1,389 @@
+//! The discrete-event loop: pop event → advance → admit → retire →
+//! reschedule → refresh completion estimates.
+
+use crate::clock::SimClock;
+use crate::queue::{EventKind, EventQueue};
+use crate::tenant::TenantState;
+use planaria_arch::AcceleratorConfig;
+use planaria_compiler::CompiledDnn;
+use planaria_energy::EnergyModel;
+use planaria_model::units::{Cycles, Picojoules};
+use planaria_telemetry::{Collector, Counter, Event};
+use planaria_workload::{Completion, Request, SimResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A scheduling policy plugged into the kernel.
+///
+/// The kernel owns time, tenant admission, work advancement, completion
+/// detection and retirement; the policy owns *decisions*: which tenants
+/// hold how many subarrays, what reconfiguration overhead a change
+/// costs, and the engine-specific telemetry those decisions emit.
+pub trait EnginePolicy {
+    /// The compiled network a new arrival will execute.
+    fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn>;
+
+    /// Subarray count whose configuration table seeds a new tenant's
+    /// work accounting (rescaled exactly on the first allocation, so any
+    /// valid table works; single-table engines return their only one).
+    fn admit_subarrays(&self) -> u32 {
+        1
+    }
+
+    /// Reacts to a scheduling event at `sim.now` (an arrival and/or
+    /// completion just processed): reassign `alloc`/`placement`/`mask`,
+    /// charge reconfiguration `overhead`, switch tables, and emit
+    /// engine-specific telemetry.
+    fn reschedule<C: Collector>(&mut self, sim: &mut SimState, c: &mut C);
+}
+
+/// Kernel-owned simulation state visible to policies.
+#[derive(Debug)]
+pub struct SimState {
+    cfg: AcceleratorConfig,
+    clock: SimClock,
+    /// Current simulation time, cycles since the run origin.
+    pub now: Cycles,
+    /// Live tenants (running or queued), in admission order modulo
+    /// `swap_remove` retirement — policies must not reorder this list
+    /// (stable tie-breaks depend on it).
+    pub tenants: Vec<TenantState>,
+    index: BTreeMap<u64, usize>,
+}
+
+impl SimState {
+    /// The accelerator configuration of this run.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// The run's clock (for boundary conversions only).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Total subarrays on the chip.
+    pub fn total_subarrays(&self) -> u32 {
+        self.cfg.num_subarrays()
+    }
+
+    /// Index of the live tenant serving request `id`, if any.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+}
+
+/// Pops the next *valid* event: stale heap entries — superseded
+/// completion estimates (epoch mismatch), estimates for retired tenants,
+/// already-admitted arrivals — are skipped.
+fn next_event(queue: &mut EventQueue, sim: &SimState, next_arrival: usize) -> Option<Cycles> {
+    while let Some((at, kind)) = queue.pop() {
+        match kind {
+            EventKind::Arrival { index } => {
+                if index == next_arrival {
+                    return Some(at);
+                }
+            }
+            EventKind::Completion { tenant, epoch } => {
+                if let Some(i) = sim.index_of(tenant) {
+                    if sim.tenants[i].epoch == epoch {
+                        return Some(at);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs the discrete-event loop over `trace` with `policy`, streaming
+/// telemetry into `c`.
+///
+/// Seconds appear only at the boundary: arrivals and deadlines are
+/// converted to cycles on admission, and [`Completion::finish`] /
+/// [`SimResult::makespan`] / static energy are converted back once at
+/// the end.
+///
+/// # Panics
+///
+/// Panics if the trace is not sorted by arrival time.
+pub fn run<P: EnginePolicy, C: Collector>(
+    cfg: &AcceleratorConfig,
+    trace: &[Request],
+    policy: &mut P,
+    c: &mut C,
+) -> SimResult {
+    assert!(
+        trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "trace must be sorted by arrival time"
+    );
+    let clock = SimClock::new(trace.first().map_or(0.0, |r| r.arrival), cfg.freq_hz);
+    let em = EnergyModel::for_config(cfg);
+    c.set_meta(clock.meta(cfg.num_subarrays()));
+
+    let mut sim = SimState {
+        cfg: *cfg,
+        clock,
+        now: Cycles::ZERO,
+        tenants: Vec::new(),
+        index: BTreeMap::new(),
+    };
+    let mut queue = EventQueue::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut busy = Cycles::ZERO;
+
+    if !trace.is_empty() {
+        queue.push(
+            clock.cycles_from_seconds(trace[0].arrival),
+            EventKind::Arrival { index: 0 },
+        );
+    }
+
+    while let Some(t_next) = next_event(&mut queue, &sim, next_arrival) {
+        // Advance every allocated tenant to the event time. The chip is
+        // busy whenever anyone holds subarrays.
+        let dt = t_next.saturating_sub(sim.now);
+        let mut any_allocated = false;
+        for t in &mut sim.tenants {
+            if t.alloc > 0 {
+                any_allocated = true;
+                t.advance(dt);
+            }
+        }
+        if any_allocated {
+            busy += dt;
+        }
+        sim.now = t_next;
+
+        // Admit every arrival due now; keep exactly one future arrival
+        // event outstanding.
+        while next_arrival < trace.len() {
+            let at = clock.cycles_from_seconds(trace[next_arrival].arrival);
+            if at > sim.now {
+                queue.push(
+                    at,
+                    EventKind::Arrival {
+                        index: next_arrival,
+                    },
+                );
+                break;
+            }
+            let req = trace[next_arrival];
+            if c.is_enabled() {
+                c.record(
+                    sim.now,
+                    Event::Arrival {
+                        tenant: req.id,
+                        dnn: req.dnn,
+                    },
+                );
+                c.add(Counter::Arrivals, 1);
+            }
+            let compiled = policy.compiled_for(&req);
+            let deadline = clock.cycles_from_seconds(req.deadline());
+            sim.index.insert(req.id, sim.tenants.len());
+            sim.tenants.push(TenantState::new(
+                req,
+                compiled,
+                policy.admit_subarrays(),
+                at,
+                deadline,
+                sim.now,
+            ));
+            next_arrival += 1;
+        }
+
+        // Retire finished tenants (ascending swap_remove scan, preserving
+        // the admission-order prefix that stable scheduling relies on).
+        let mut i = 0;
+        while i < sim.tenants.len() {
+            if sim.tenants[i].is_done() {
+                let t = sim.tenants.swap_remove(i);
+                sim.index.remove(&t.request.id);
+                if let Some(moved) = sim.tenants.get(i) {
+                    sim.index.insert(moved.request.id, i);
+                }
+                if c.is_enabled() {
+                    if t.alloc > 0 {
+                        c.record(
+                            sim.now,
+                            Event::ExecSlice {
+                                tenant: t.request.id,
+                                subarrays: t.alloc,
+                                mask: t.mask,
+                                start: t.slice_start,
+                                duration: sim.now.saturating_sub(t.slice_start),
+                            },
+                        );
+                    }
+                    c.record(
+                        sim.now,
+                        Event::Completion {
+                            tenant: t.request.id,
+                            latency: sim.now.saturating_sub(t.arrival_cycle),
+                        },
+                    );
+                    c.add(Counter::Completions, 1);
+                }
+                completions.push(Completion {
+                    request: t.request,
+                    finish: clock.to_seconds(sim.now),
+                    energy: t.energy,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        // A scheduling event fired: let the policy reassign the chip.
+        policy.reschedule(&mut sim, c);
+
+        // Refresh completion estimates. `now + remaining` is invariant
+        // under plain advancement, so an estimate changes only when the
+        // policy touched the tenant; superseded heap entries are
+        // invalidated by the epoch bump rather than removed.
+        for t in &mut sim.tenants {
+            let target = if t.alloc > 0 {
+                Some(sim.now + t.remaining())
+            } else {
+                None
+            };
+            if target != t.scheduled_completion {
+                t.scheduled_completion = target;
+                t.epoch = t.epoch.wrapping_add(1);
+                if let Some(at) = target {
+                    queue.push(
+                        at,
+                        EventKind::Completion {
+                            tenant: t.request.id,
+                            epoch: t.epoch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    completions.sort_by_key(|c| c.request.id);
+    let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
+    // Static energy accrues while the chip serves tenants (idle gaps
+    // between requests belong to whatever the node does next).
+    SimResult {
+        completions,
+        total_energy: dynamic + em.static_energy(clock.span_seconds(busy)),
+        makespan: clock.span_seconds(sim.now),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_model::DnnId;
+    use planaria_telemetry::{NullCollector, RecordingCollector};
+
+    /// A minimal policy: the oldest queued tenant gets the whole chip.
+    struct WholeChipFifo {
+        library: planaria_compiler::CompiledLibrary,
+    }
+
+    impl EnginePolicy for WholeChipFifo {
+        fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn> {
+            self.library.shared(request.dnn)
+        }
+
+        fn reschedule<C: Collector>(&mut self, sim: &mut SimState, _c: &mut C) {
+            let total = sim.total_subarrays();
+            if sim.tenants.iter().any(|t| t.alloc > 0) {
+                return;
+            }
+            let Some(i) = sim
+                .tenants
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.arrival_cycle)
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let t = &mut sim.tenants[i];
+            t.alloc = total;
+            let (wt, en) = {
+                let table = t.compiled.table(total);
+                (table.total_cycles(), table.total_energy())
+            };
+            t.switch_table(wt, en);
+            t.slice_start = sim.now;
+        }
+    }
+
+    fn policy() -> WholeChipFifo {
+        WholeChipFifo {
+            library: planaria_compiler::CompiledLibrary::new(
+                planaria_arch::AcceleratorConfig::planaria(),
+            ),
+        }
+    }
+
+    fn req(id: u64, arrival: f64) -> Request {
+        Request {
+            id,
+            dnn: DnnId::TinyYolo,
+            arrival,
+            priority: 5,
+            qos: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_result() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let r = run(&cfg, &[], &mut policy(), &mut NullCollector);
+        assert!(r.completions.is_empty());
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn serial_fifo_completes_everything_in_admission_order() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = vec![req(0, 0.0), req(1, 0.0), req(2, 0.001)];
+        let mut c = RecordingCollector::new();
+        let r = run(&cfg, &trace, &mut policy(), &mut c);
+        assert_eq!(r.completions.len(), 3);
+        for (i, done) in r.completions.iter().enumerate() {
+            assert_eq!(done.request.id, i as u64);
+            assert!(done.finish >= done.request.arrival);
+        }
+        assert!(r.makespan > 0.0);
+        assert!(r.total_energy > Picojoules::ZERO);
+        // Completions serialize: each one finishes before the next starts.
+        assert!(r.completions[0].finish <= r.completions[1].finish);
+        use planaria_telemetry::Counter as Ct;
+        let report = c.report();
+        assert_eq!(report.counter(Ct::Arrivals), 3);
+        assert_eq!(report.counter(Ct::Completions), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = vec![req(0, 1.0), req(1, 0.0)];
+        let _ = run(&cfg, &trace, &mut policy(), &mut NullCollector);
+    }
+
+    #[test]
+    fn makespan_counts_from_first_arrival() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let late = vec![req(0, 5.0)];
+        let r = run(&cfg, &late, &mut policy(), &mut NullCollector);
+        assert_eq!(r.completions.len(), 1);
+        // Finish is absolute; makespan is relative to the first arrival.
+        assert!(r.completions[0].finish >= 5.0);
+        assert!(
+            r.makespan < 1.0,
+            "makespan {} must exclude the 5 s lead-in",
+            r.makespan
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `planaria-sim`: the deterministic integer-cycle discrete-event kernel
+//! shared by the Planaria and PREMA engines.
+//!
+//! The paper's scheduler is event-triggered — task arrival and task
+//! completion (§V). Both engines used to hand-roll that event loop in
+//! float seconds, duplicating tenant state, arrival dequeue, completion
+//! scans and `seconds × freq → round()` conversions. This crate factors
+//! the loop out once and owns time as integer
+//! [`Cycles`](planaria_model::units::Cycles) end-to-end:
+//!
+//! - [`EventQueue`]: a binary-heap event queue keyed
+//!   `(Cycles, EventKind, seq)` so pop order is a total order —
+//!   independent of insertion order for distinct events, FIFO for
+//!   identical ones.
+//! - [`TenantState`]: the shared per-request record (work accounting in
+//!   exact cycles, reconfiguration overhead owed, accrued energy,
+//!   queue/slice timestamps, placement mask).
+//! - [`SimClock`]: the *only* place seconds and cycles meet. Engines and
+//!   the kernel never do float time arithmetic; conversion happens once
+//!   at the trace/`SimResult` boundary (enforced by the `planaria-checks`
+//!   time-domain lint, which allowlists exactly `clock.rs`).
+//! - [`run`]: the event loop. Engines plug in as [`EnginePolicy`]
+//!   implementations that keep only their scheduling decision logic.
+//!
+//! Completion detection is exact — a tenant is done when its integer
+//! work counter reaches the table total and its overhead is burned; no
+//! `DONE_EPS`-style float tolerance. Completion heap entries are
+//! invalidated by per-tenant epochs instead of being removed, so a
+//! scheduling decision costs O(log T) heap pushes rather than an
+//! O(T) min-scan per event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod kernel;
+mod queue;
+mod tenant;
+
+pub use clock::SimClock;
+pub use kernel::{run, EnginePolicy, SimState};
+pub use queue::{EventKind, EventQueue};
+pub use tenant::{full_mask, subarray_mask, TenantState};

@@ -1,0 +1,147 @@
+//! The kernel's event queue: a binary heap with a totally ordered key.
+
+use planaria_model::units::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What can wake the kernel.
+///
+/// The derived ordering is part of the determinism contract: at the same
+/// cycle, arrivals process before completions (matching the combined
+/// single-iteration semantics of the pre-kernel engines — a request that
+/// arrives exactly when another finishes sees the event in one pass),
+/// and the payload fields break remaining ties so distinct events always
+/// compare unequal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// `trace[index]` becomes visible to the scheduler.
+    Arrival {
+        /// Index into the run's request trace.
+        index: usize,
+    },
+    /// A tenant's completion estimate matured. Valid only while the
+    /// tenant is live *and* its epoch still matches — superseded
+    /// estimates are left in the heap and skipped on pop.
+    Completion {
+        /// Request id of the tenant.
+        tenant: u64,
+        /// Estimate generation this entry belongs to.
+        epoch: u64,
+    },
+}
+
+/// Min-heap of `(Cycles, EventKind, seq)`.
+///
+/// The trailing sequence number makes the key a total order even for
+/// byte-identical duplicate events (FIFO among exact duplicates), so pop
+/// order never depends on `BinaryHeap`'s internal layout.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Cycles, EventKind, u64)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at cycle `at`.
+    pub fn push(&mut self, at: Cycles, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, kind, seq)));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycles, EventKind)> {
+        self.heap.pop().map(|Reverse((at, kind, _))| (at, kind))
+    }
+
+    /// Number of pending entries (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_arrivals_first() {
+        let mut q = EventQueue::new();
+        q.push(
+            Cycles::new(5),
+            EventKind::Completion {
+                tenant: 1,
+                epoch: 0,
+            },
+        );
+        q.push(Cycles::new(5), EventKind::Arrival { index: 0 });
+        q.push(Cycles::new(2), EventKind::Arrival { index: 1 });
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(2), EventKind::Arrival { index: 1 }))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(5), EventKind::Arrival { index: 0 }))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((
+                Cycles::new(5),
+                EventKind::Completion {
+                    tenant: 1,
+                    epoch: 0
+                }
+            ))
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_completions_order_by_tenant_then_epoch() {
+        let mut q = EventQueue::new();
+        for (tenant, epoch) in [(9u64, 1u64), (3, 7), (3, 2)] {
+            q.push(Cycles::new(4), EventKind::Completion { tenant, epoch });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, k)| k).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::Completion {
+                    tenant: 3,
+                    epoch: 2
+                },
+                EventKind::Completion {
+                    tenant: 3,
+                    epoch: 7
+                },
+                EventKind::Completion {
+                    tenant: 9,
+                    epoch: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn len_counts_pending_entries() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(Cycles::ZERO, EventKind::Arrival { index: 0 });
+        q.push(Cycles::ZERO, EventKind::Arrival { index: 0 });
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -153,8 +153,8 @@ pub fn chrome_trace(rec: &RecordingCollector) -> String {
                 );
                 push(&mut body, start, line);
                 // One slice per owned subarray pod on the chip process.
-                for s in 0..64u64 {
-                    if mask & (1 << s) != 0 {
+                for s in 0..128u64 {
+                    if mask & (1u128 << s) != 0 {
                         let line = format!(
                             "{{\"name\":\"tenant {tenant}\",\"ph\":\"X\",\"pid\":{CHIP_PID},\"tid\":{},\"ts\":{},\"dur\":{}}}",
                             s + 1,

@@ -67,8 +67,9 @@ pub enum Event {
         /// New subarray count.
         to: u32,
         /// Bitmask of the physical subarrays now owned (bit *i* set ⇔
-        /// subarray *i* belongs to this tenant; 0 when queued).
-        mask: u64,
+        /// subarray *i* belongs to this tenant; 0 when queued). Wide
+        /// enough for 128-granule chips — no bit-63 saturation.
+        mask: u128,
     },
     /// A closed interval during which a tenant ran on a fixed
     /// allocation and placement.
@@ -78,7 +79,7 @@ pub enum Event {
         /// Subarrays held during the slice.
         subarrays: u32,
         /// Physical placement bitmask during the slice.
-        mask: u64,
+        mask: u128,
         /// Slice start.
         start: Cycles,
         /// Slice length.

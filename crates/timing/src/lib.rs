@@ -54,4 +54,4 @@ pub use context::ExecContext;
 pub use counts::AccessCounts;
 pub use dnn::{time_dnn, time_dnn_with_collector, DnnTiming, LayerPlan};
 pub use layer::{best_arrangement_by_cycles, time_layer, LayerTiming};
-pub use reconfig::{reconfiguration_cycles, ReconfigCost};
+pub use reconfig::{reconfiguration_cycles, ReconfigCost, CONFIG_LOAD_CYCLES};

@@ -35,6 +35,12 @@ impl ReconfigCost {
 /// prefetches during the drain, so only a small commit cost remains.
 const CONFIG_SWAP_CYCLES: Cycles = Cycles::new(16);
 
+/// Cycles to load the configuration registers when a task starts fresh
+/// on a newly fissioned logical accelerator (no drain/checkpoint/refill:
+/// pipeline fill is already inside the configuration tables). Same
+/// register-commit cost as [`ReconfigCost::config_swap`].
+pub const CONFIG_LOAD_CYCLES: Cycles = CONFIG_SWAP_CYCLES;
+
 /// Computes the cost of switching a task from `old` to `new` arrangement,
 /// checkpointing `tile_bytes` of in-flight results.
 pub fn reconfiguration_cycles(

@@ -53,22 +53,24 @@ fn main() {
 
     // Ask Algorithm 1 how it would split the chip between the spotter
     // (tight 2 ms budget, high priority) and a translation request
-    // (15 ms slack, lower priority).
+    // (15 ms slack, lower priority). The scheduler thinks in integer
+    // cycles, so convert the millisecond budgets at the chip clock.
+    let slack_cycles = |seconds: f64| (seconds * cfg.freq_hz) as i64;
     let tasks = [
         SchedTask {
             priority: 9,
-            slack: 0.002,
+            slack: slack_cycles(0.002),
             done: 0.0,
             compiled: &kws,
         },
         SchedTask {
             priority: 3,
-            slack: 0.015,
+            slack: slack_cycles(0.015),
             done: 0.0,
             compiled: &gnmt,
         },
     ];
-    let alloc = schedule_tasks_spatially(&tasks, cfg.num_subarrays(), cfg.freq_hz);
+    let alloc = schedule_tasks_spatially(&tasks, cfg.num_subarrays());
     println!(
         "\nAlgorithm 1 splits the chip: kws -> {} subarrays, GNMT -> {}",
         alloc[0], alloc[1]
@@ -78,7 +80,7 @@ fn main() {
             println!(
                 "  predicted time on {a:>2} subarrays: {:.2} ms (slack {:.1} ms)",
                 t.predict_time(a, cfg.freq_hz) * 1e3,
-                t.slack * 1e3
+                t.slack as f64 / cfg.freq_hz * 1e3
             );
         }
     }

@@ -8,6 +8,7 @@
 //! * [`timing`] — cycle-level execution model.
 //! * [`energy`] — energy / power / area model.
 //! * [`compiler`] — per-allocation fission configuration tables.
+//! * [`sim`] — the shared integer-cycle discrete-event kernel.
 //! * [`prema`] — the PREMA temporal multi-tenancy baseline.
 //! * [`workload`] — INFaaS scenarios, QoS, and evaluation metrics.
 //! * [`core`] — the spatial task scheduler (Algorithm 1) and the
@@ -30,6 +31,7 @@ pub use planaria_funcsim as funcsim;
 pub use planaria_isa as isa;
 pub use planaria_model as model;
 pub use planaria_prema as prema;
+pub use planaria_sim as sim;
 pub use planaria_telemetry as telemetry;
 pub use planaria_timing as timing;
 pub use planaria_workload as workload;

@@ -1,0 +1,157 @@
+//! Golden equivalence for the discrete-event kernel refactor.
+//!
+//! `tests/golden/*.tsv` hold exact (`%.17e`) per-completion dumps from the
+//! pre-refactor float-time engines over a 3×3 scenario/QoS grid. The
+//! kernel-backed engines must reproduce them to cycle-level accuracy: the
+//! old loops quantized every advancement with a `round()` (≤ ½ cycle of
+//! drift per scheduling event), so per-task finish times may differ by a
+//! few hundred cycles — sub-microsecond at 700 MHz, far below the
+//! millisecond QoS scale — while completion sets and ordering must match
+//! exactly.
+
+use planaria::arch::AcceleratorConfig;
+use planaria::core::PlanariaEngine;
+use planaria::prema::PremaEngine;
+use planaria::workload::{QosLevel, Scenario, SimResult, TraceConfig};
+use std::collections::BTreeMap;
+
+/// Max |Δfinish| and |Δmakespan| in seconds: 2 µs = 1400 cycles at
+/// 700 MHz. The old engine accumulated up to ½ cycle of rounding drift
+/// per scheduling event; traces here see a few hundred events.
+const TIME_TOL: f64 = 2e-6;
+/// Relative energy tolerance (energy integrates the same work fractions,
+/// so it drifts with the same rounding).
+const ENERGY_RTOL: f64 = 1e-3;
+
+struct GoldenRun {
+    makespan: f64,
+    energy: f64,
+    /// id → (finish, energy_joules)
+    completions: BTreeMap<u64, (f64, f64)>,
+}
+
+fn parse_goldens(text: &str) -> BTreeMap<String, GoldenRun> {
+    let mut runs: BTreeMap<String, GoldenRun> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut it = rest.split_whitespace();
+            let tag = it.next().expect("tag").to_string();
+            let makespan = it
+                .next()
+                .and_then(|s| s.strip_prefix("makespan="))
+                .expect("makespan")
+                .parse()
+                .expect("makespan value");
+            let energy = it
+                .next()
+                .and_then(|s| s.strip_prefix("energy="))
+                .expect("energy")
+                .parse()
+                .expect("energy value");
+            runs.insert(
+                tag,
+                GoldenRun {
+                    makespan,
+                    energy,
+                    completions: BTreeMap::new(),
+                },
+            );
+        } else if !line.trim().is_empty() {
+            let mut it = line.split('\t');
+            let tag = it.next().expect("tag");
+            let id: u64 = it.next().expect("id").parse().expect("id value");
+            let finish: f64 = it.next().expect("finish").parse().expect("finish value");
+            let energy: f64 = it.next().expect("energy").parse().expect("energy value");
+            runs.get_mut(tag)
+                .expect("header precedes rows")
+                .completions
+                .insert(id, (finish, energy));
+        }
+    }
+    runs
+}
+
+fn grid() -> Vec<(String, Vec<planaria::workload::Request>)> {
+    let mut out = Vec::new();
+    for (si, scenario) in [Scenario::A, Scenario::B, Scenario::C]
+        .into_iter()
+        .enumerate()
+    {
+        for (qi, qos) in [QosLevel::Soft, QosLevel::Medium, QosLevel::Hard]
+            .into_iter()
+            .enumerate()
+        {
+            let seed = 1 + (si * 3 + qi) as u64;
+            let trace = TraceConfig::new(scenario, qos, 120.0, 48, seed).generate();
+            out.push((format!("{scenario:?}-{qos:?}-s{seed}"), trace));
+        }
+    }
+    out
+}
+
+fn check(tag: &str, golden: &GoldenRun, actual: &SimResult) {
+    assert_eq!(
+        actual.completions.len(),
+        golden.completions.len(),
+        "{tag}: completion count"
+    );
+    let mut worst_dt = 0.0f64;
+    for c in &actual.completions {
+        let (gf, ge) = golden
+            .completions
+            .get(&c.request.id)
+            .unwrap_or_else(|| panic!("{tag}: golden lacks request {}", c.request.id));
+        let dt = (c.finish - gf).abs();
+        worst_dt = worst_dt.max(dt);
+        assert!(
+            dt <= TIME_TOL,
+            "{tag} request {}: finish {} vs golden {gf} (Δ {dt:.3e} s)",
+            c.request.id,
+            c.finish
+        );
+        let de = (c.energy.to_joules() - ge).abs();
+        assert!(
+            de <= ENERGY_RTOL * ge.abs().max(1e-12),
+            "{tag} request {}: energy {} vs golden {ge}",
+            c.request.id,
+            c.energy.to_joules()
+        );
+    }
+    assert!(
+        (actual.makespan - golden.makespan).abs() <= TIME_TOL,
+        "{tag}: makespan {} vs golden {} (worst completion Δ {worst_dt:.3e})",
+        actual.makespan,
+        golden.makespan
+    );
+    let de = (actual.total_energy.to_joules() - golden.energy).abs();
+    assert!(
+        de <= ENERGY_RTOL * golden.energy.abs().max(1e-12),
+        "{tag}: total energy {} vs golden {}",
+        actual.total_energy.to_joules(),
+        golden.energy
+    );
+}
+
+#[test]
+fn planaria_engine_matches_pre_refactor_goldens() {
+    let goldens = parse_goldens(include_str!("golden/planaria_smoke.tsv"));
+    let engine = PlanariaEngine::new(AcceleratorConfig::planaria());
+    for (tag, trace) in grid() {
+        let golden = goldens
+            .get(&tag)
+            .unwrap_or_else(|| panic!("missing golden run {tag}"));
+        check(&tag, golden, &engine.run(&trace));
+    }
+}
+
+#[test]
+fn prema_engine_matches_pre_refactor_goldens() {
+    let goldens = parse_goldens(include_str!("golden/prema_smoke.tsv"));
+    let engine = PremaEngine::new_default();
+    for (tag, trace) in grid() {
+        let golden = goldens
+            .get(&tag)
+            .unwrap_or_else(|| panic!("missing golden run {tag}"));
+        check(&tag, golden, &engine.run(&trace));
+    }
+}

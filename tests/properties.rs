@@ -132,19 +132,20 @@ fn scheduler_conserves_resources() {
         let tasks: Vec<SchedTask> = (0..n)
             .map(|_| SchedTask {
                 priority: rng.next_range(1, 11) as u32,
-                slack: rng.next_range(1, 500) as f64 * 1e-4,
+                // 0.1–50 ms of slack, expressed in 700 MHz cycles.
+                slack: rng.next_range(1, 500) as i64 * 70_000,
                 done: rng.next_f64() * 0.99,
                 compiled,
             })
             .collect();
-        let alloc = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
+        let alloc = schedule_tasks_spatially(&tasks, 16);
         assert_eq!(alloc.len(), tasks.len(), "case {case}");
         assert!(alloc.iter().sum::<u32>() <= 16, "case {case}");
         assert!(
             alloc.iter().any(|&a| a > 0),
             "case {case}: someone must run"
         );
-        let again = schedule_tasks_spatially(&tasks, 16, cfg().freq_hz);
+        let again = schedule_tasks_spatially(&tasks, 16);
         assert_eq!(alloc, again, "case {case}");
     }
 }
@@ -200,5 +201,73 @@ fn conv_geometry() {
         assert_eq!(g.m, c.out_h() * c.out_w(), "case {case}");
         assert_eq!(g.k, in_ch * k * k, "case {case}");
         assert_eq!(g.n, out_ch, "case {case}");
+    }
+}
+
+/// The discrete-event kernel's heap yields a total event order that is
+/// independent of insertion order: `(cycle, kind, seq)` keys sort by time
+/// first, arrivals before completions at the same cycle, and payload
+/// tie-breaks make equal-time events deterministic.
+#[test]
+fn event_queue_order_is_insertion_independent() {
+    use planaria::sim::{EventKind, EventQueue};
+    use planaria::Cycles;
+    let mut rng = SplitMix64::new(0xeeee_5eed);
+    for case in 0..CASES {
+        let n = rng.next_range(2, 64) as usize;
+        let mut events: Vec<(Cycles, EventKind)> = (0..n)
+            .map(|_| {
+                let at = Cycles::new(rng.next_below(50));
+                let kind = if rng.next_bool(0.3) {
+                    EventKind::Arrival {
+                        index: rng.next_below(8) as usize,
+                    }
+                } else {
+                    EventKind::Completion {
+                        tenant: rng.next_below(8),
+                        epoch: rng.next_below(4),
+                    }
+                };
+                (at, kind)
+            })
+            .collect();
+        let drain = |evs: &[(Cycles, EventKind)]| {
+            let mut q = EventQueue::new();
+            for &(at, kind) in evs {
+                q.push(at, kind);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let reference = drain(&events);
+        // Times never decrease; arrivals precede completions at a cycle.
+        for w in reference.windows(2) {
+            assert!(w[0].0 <= w[1].0, "case {case}: time went backwards");
+            if w[0].0 == w[1].0 {
+                let rank = |k: &EventKind| match k {
+                    EventKind::Arrival { .. } => 0,
+                    EventKind::Completion { .. } => 1,
+                };
+                assert!(
+                    rank(&w[0].1) <= rank(&w[1].1),
+                    "case {case}: completion popped before same-cycle arrival"
+                );
+            }
+        }
+        // Fisher–Yates shuffles: every permutation drains identically.
+        for _ in 0..4 {
+            for i in (1..events.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                events.swap(i, j);
+            }
+            assert_eq!(
+                drain(&events),
+                reference,
+                "case {case}: drain order depends on insertion order"
+            );
+        }
     }
 }
