@@ -4,7 +4,7 @@
 
 use planaria_bench::{
     export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, probe_rate,
-    rate_seeds, trace, ResultTable, Systems,
+    rate_seeds, run_planaria, run_prema, ResultTable, Systems,
 };
 use planaria_workload::sla_satisfaction_rate;
 
@@ -28,19 +28,11 @@ fn main() {
             prema_throughput(&sys, scenario, qos),
         );
         let p = sla_satisfaction_rate(
-            |seed| {
-                sys.planaria
-                    .run(&trace(scenario, qos, lambda, seed))
-                    .completions
-            },
+            |seed| run_planaria(&sys, scenario, qos, lambda, seed).completions,
             &seeds,
         );
         let r = sla_satisfaction_rate(
-            |seed| {
-                sys.prema
-                    .run(&trace(scenario, qos, lambda, seed))
-                    .completions
-            },
+            |seed| run_prema(&sys, scenario, qos, lambda, seed).completions,
             &seeds,
         );
         (lambda, p, r)

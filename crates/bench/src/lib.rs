@@ -111,24 +111,69 @@ where
     cells.into_iter().zip(results).collect()
 }
 
-/// A standard trace for `(scenario, qos, lambda, seed)`.
+/// The standard workload configuration for `(scenario, qos, lambda,
+/// seed)` — the single definition both the materialized and streamed run
+/// paths draw from.
+pub fn trace_config(scenario: Scenario, qos: QosLevel, lambda: f64, seed: u64) -> TraceConfig {
+    TraceConfig::new(scenario, qos, lambda, TRACE_LEN, seed)
+}
+
+/// A standard materialized trace for `(scenario, qos, lambda, seed)`.
 pub fn trace(
     scenario: Scenario,
     qos: QosLevel,
     lambda: f64,
     seed: u64,
 ) -> Vec<planaria_workload::Request> {
-    TraceConfig::new(scenario, qos, lambda, TRACE_LEN, seed).generate()
+    trace_config(scenario, qos, lambda, seed).generate()
+}
+
+/// Whether experiment binaries should feed the engines through the lazy
+/// `TraceConfig::stream()` path instead of materialized request Vecs
+/// (`PLANARIA_STREAM_TRACES=1`). Results are bit-identical either way —
+/// CI byte-diffs the figure TSVs under both settings.
+pub fn stream_traces() -> bool {
+    std::env::var("PLANARIA_STREAM_TRACES").is_ok_and(|v| v == "1")
+}
+
+/// Runs one workload cell on the Planaria engine, honoring
+/// [`stream_traces`].
+pub fn run_planaria(
+    sys: &Systems,
+    scenario: Scenario,
+    qos: QosLevel,
+    lambda: f64,
+    seed: u64,
+) -> planaria_workload::SimResult {
+    let cfg = trace_config(scenario, qos, lambda, seed);
+    if stream_traces() {
+        sys.planaria.run_streamed(cfg.stream())
+    } else {
+        sys.planaria.run(&cfg.generate())
+    }
+}
+
+/// Runs one workload cell on the PREMA baseline, honoring
+/// [`stream_traces`].
+pub fn run_prema(
+    sys: &Systems,
+    scenario: Scenario,
+    qos: QosLevel,
+    lambda: f64,
+    seed: u64,
+) -> planaria_workload::SimResult {
+    let cfg = trace_config(scenario, qos, lambda, seed);
+    if stream_traces() {
+        sys.prema.run_streamed(cfg.stream())
+    } else {
+        sys.prema.run(&cfg.generate())
+    }
 }
 
 /// Maximum SLA-meeting arrival rate for Planaria.
 pub fn planaria_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> f64 {
     planaria_workload::max_throughput(
-        |lambda, seed| {
-            sys.planaria
-                .run(&trace(scenario, qos, lambda, seed))
-                .completions
-        },
+        |lambda, seed| run_planaria(sys, scenario, qos, lambda, seed).completions,
         &PROBE_SEEDS,
         THROUGHPUT_FLOOR,
         THROUGHPUT_CEIL,
@@ -139,11 +184,7 @@ pub fn planaria_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> 
 /// Maximum SLA-meeting arrival rate for PREMA.
 pub fn prema_throughput(sys: &Systems, scenario: Scenario, qos: QosLevel) -> f64 {
     planaria_workload::max_throughput(
-        |lambda, seed| {
-            sys.prema
-                .run(&trace(scenario, qos, lambda, seed))
-                .completions
-        },
+        |lambda, seed| run_prema(sys, scenario, qos, lambda, seed).completions,
         &PROBE_SEEDS,
         THROUGHPUT_FLOOR,
         THROUGHPUT_CEIL,

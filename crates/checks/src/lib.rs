@@ -17,7 +17,10 @@
 //!   time-domain sub-pass additionally bans float-seconds arithmetic and
 //!   raw `as u64` cycle casts inside the event-loop files
 //!   (`crates/sim/src/`, the two engines); the only sanctioned float↔cycle
-//!   boundary is `crates/sim/src/clock.rs`.
+//!   boundary is `crates/sim/src/clock.rs`. A hot-loop sub-pass bans
+//!   per-event allocation idioms (`collect`, `to_vec`, `with_capacity`,
+//!   `Vec::new`, `vec!`) in the kernel event loop, both engine policies
+//!   and the scheduler memo; the one-time setup buffers are allowlisted.
 //! * **L3 hygiene** — no `unwrap()`/`expect(...)` in library code outside
 //!   tests, and no `#[allow(...)]` attribute, unless annotated with a
 //!   `// lint: <reason>` justification comment.
@@ -46,6 +49,7 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Diagnostic>> {
         diags.extend(lints::units::check(file));
         diags.extend(lints::determinism::check(file));
         diags.extend(lints::timedomain::check(file));
+        diags.extend(lints::hotloop::check(file));
         diags.extend(lints::hygiene::check(file));
     }
     diags.sort_by(|a, b| {

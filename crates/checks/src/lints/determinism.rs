@@ -33,10 +33,14 @@ const ORDER_SCOPE: [&str; 5] = [
 ];
 
 /// Crates forming the simulation core, where clocks/entropy are forbidden.
-const CLOCK_SCOPE: [&str; 6] = [
+/// `crates/workload/src/` joined when trace generation went streaming:
+/// `TraceStream` draws lazily from `SplitMix64`, and any OS entropy there
+/// would silently break `generate() == stream().collect()`.
+const CLOCK_SCOPE: [&str; 7] = [
     "crates/timing/src/",
     "crates/energy/src/",
     "crates/funcsim/src/",
+    "crates/workload/src/",
     "crates/core/src/",
     "crates/prema/src/",
     "crates/sim/src/",

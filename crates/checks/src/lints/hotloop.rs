@@ -1,0 +1,172 @@
+//! L2 hot-loop allocation: event-loop files must not allocate per event.
+//!
+//! The million-request scale path made the steady-state scheduling event
+//! allocation-free: the kernel and both engine policies own reusable
+//! scratch buffers (columnar views, keep masks, placement slots, the
+//! persistent chip map, the id-keyed floor memo) that are `clear()`ed
+//! per event, never reallocated. This lint keeps it that way by banning
+//! the materializing idioms inside the event-loop files:
+//!
+//! * `collect` / `to_vec` / `with_capacity` — per-event `Vec`
+//!   materialization; extend a policy-owned scratch buffer instead;
+//! * `Vec::new` / the `vec!` macro — fresh heap buffers; the only
+//!   sanctioned sites are one-time run setup, carried in the allowlist.
+//!
+//! Scope: the kernel event loop, both engine policies, and the scheduler
+//! memo (`crates/core/src/sched_state.rs`). The materializing scheduler
+//! wrappers in `crates/core/src/scheduler.rs` stay out of scope on
+//! purpose — they are the convenience API; the engines call the
+//! `*_into` variants.
+
+use crate::diagnostics::{Diagnostic, Lint};
+use crate::lints::{find_word, is_word_at};
+use crate::source::SourceFile;
+
+/// Files forming the per-event path.
+const HOT_SCOPE: [&str; 4] = [
+    "crates/sim/src/kernel.rs",
+    "crates/core/src/engine.rs",
+    "crates/prema/src/engine.rs",
+    "crates/core/src/sched_state.rs",
+];
+
+/// Banned whole-word tokens and why.
+const HOT_TOKENS: [(&str, &str); 3] = [
+    (
+        "collect",
+        "materializes a fresh buffer per event; extend a policy-owned \
+         scratch `Vec` instead",
+    ),
+    (
+        "to_vec",
+        "clones a fresh buffer per event; reuse caller-owned scratch",
+    ),
+    (
+        "with_capacity",
+        "allocates per call; hoist the buffer into the policy and reuse it",
+    ),
+];
+
+/// Runs the hot-loop allocation lint over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !HOT_SCOPE.iter().any(|p| file.rel == *p) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for (token, why) in HOT_TOKENS {
+            if find_word(&line.code, token).is_some() {
+                diags.push(Diagnostic {
+                    lint: Lint::Determinism,
+                    rel_path: file.rel.clone(),
+                    line: line.number,
+                    ident: token.to_string(),
+                    message: format!("`{token}` in the per-event path; {why}"),
+                });
+            }
+        }
+        // `Vec::new` spans two identifiers; match it as a path pattern
+        // whose trailing `new` is a whole word.
+        if let Some(pos) = line.code.find("Vec::new") {
+            if is_word_at(&line.code, pos + 5, 3) {
+                diags.push(Diagnostic {
+                    lint: Lint::Determinism,
+                    rel_path: file.rel.clone(),
+                    line: line.number,
+                    ident: "Vec_new".to_string(),
+                    message: "`Vec::new` in the per-event path; one-time setup buffers \
+                              belong in the allowlist, per-event ones in policy scratch"
+                        .to_string(),
+                });
+            }
+        }
+        if line.code.contains("vec!") {
+            diags.push(Diagnostic {
+                lint: Lint::Determinism,
+                rel_path: file.rel.clone(),
+                line: line.number,
+                ident: "vec_macro".to_string(),
+                message: "`vec!` allocates a fresh buffer per event; `clear()` and \
+                          `resize()` a policy-owned scratch `Vec` instead"
+                    .to_string(),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_in_kernel_is_flagged() {
+        let f = SourceFile::parse(
+            "crates/sim/src/kernel.rs",
+            "let views: Vec<u32> = tenants.iter().map(|t| t.alloc).collect();\n",
+        );
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ident, "collect");
+        assert!(d[0].message.contains("scratch"));
+    }
+
+    #[test]
+    fn vec_new_and_macro_are_flagged_in_engines() {
+        for rel in ["crates/core/src/engine.rs", "crates/prema/src/engine.rs"] {
+            let f = SourceFile::parse(rel, "let mut keep = vec![false; n];\nlet v = Vec::new();\n");
+            let d = check(&f);
+            let idents: Vec<&str> = d.iter().map(|d| d.ident.as_str()).collect();
+            assert!(idents.contains(&"vec_macro"), "{rel}");
+            assert!(idents.contains(&"Vec_new"), "{rel}");
+        }
+    }
+
+    #[test]
+    fn to_vec_and_with_capacity_are_flagged() {
+        let f = SourceFile::parse(
+            "crates/core/src/sched_state.rs",
+            "let a = estimates.to_vec();\nlet b = Vec::with_capacity(n);\n",
+        );
+        let idents: Vec<String> = check(&f).into_iter().map(|d| d.ident).collect();
+        assert!(idents.contains(&"to_vec".to_string()));
+        assert!(idents.contains(&"with_capacity".to_string()));
+    }
+
+    #[test]
+    fn identifiers_embedding_the_tokens_do_not_fire() {
+        // `Collector`, `std::collections` and friends embed `collect` but
+        // are not whole-word matches; `VecDeque::new` is not `Vec::new`.
+        let f = SourceFile::parse(
+            "crates/sim/src/kernel.rs",
+            "use std::collections::BTreeMap;\nfn f<C: Collector>(c: &mut C) {}\n\
+             let q = VecDeque::new_in();\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        // The materializing scheduler wrappers are the convenience API.
+        for rel in [
+            "crates/core/src/scheduler.rs",
+            "crates/workload/src/trace.rs",
+            "crates/sim/src/queue.rs",
+        ] {
+            let f = SourceFile::parse(rel, "let v: Vec<u32> = xs.iter().collect();\n");
+            assert!(check(&f).is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = SourceFile::parse(
+            "crates/core/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<u32> = it.collect(); }\n}\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

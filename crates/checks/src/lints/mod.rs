@@ -1,6 +1,7 @@
 //! The lint passes.
 
 pub mod determinism;
+pub mod hotloop;
 pub mod hygiene;
 pub mod timedomain;
 pub mod units;

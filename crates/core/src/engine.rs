@@ -10,7 +10,8 @@
 //! incurs. No float-seconds arithmetic happens here; seconds exist only
 //! at the [`SimResult`] boundary inside the kernel.
 
-use crate::scheduler::{schedule_tasks_spatially_hinted, SchedTask};
+use crate::sched_state::{SchedState, Seed};
+use crate::scheduler::{allocate_spatially_into, AllocScratch, SchedTask};
 use crate::trace::EngineTrace;
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
 use planaria_compiler::{CompiledDnn, CompiledLibrary};
@@ -38,6 +39,7 @@ pub enum SchedulingMode {
 pub struct PlanariaEngine {
     library: CompiledLibrary,
     mode: SchedulingMode,
+    incremental: bool,
 }
 
 impl PlanariaEngine {
@@ -46,6 +48,7 @@ impl PlanariaEngine {
         Self {
             library: CompiledLibrary::new(cfg),
             mode: SchedulingMode::Spatial,
+            incremental: true,
         }
     }
 
@@ -55,12 +58,23 @@ impl PlanariaEngine {
         Self {
             library,
             mode: SchedulingMode::Spatial,
+            incremental: true,
         }
     }
 
     /// Selects the scheduling mode (ablation hook).
     pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Toggles incremental Algorithm 1 (default **on**). With `false`, every
+    /// scheduling event rescans `ESTIMATERESOURCES` from 1 for every tenant
+    /// — the full-rescan oracle the `incremental_equivalence` property test
+    /// and the `scale` bench race against. Both settings produce bit-
+    /// identical results; the knob only trades scheduler work.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 
@@ -104,39 +118,86 @@ impl PlanariaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
-        let mut policy = SpatialPolicy {
+        let mut policy = self.policy();
+        planaria_sim::run(self.cfg(), trace, &mut policy, c)
+    }
+
+    /// [`run`](Self::run) over a pull-based request source: requests are
+    /// drawn lazily (the kernel keeps one not-yet-due arrival outstanding),
+    /// so a million-request [`TraceStream`](planaria_workload::TraceStream)
+    /// is simulated with O(live tenants) resident request memory and
+    /// results bit-identical to the materialized path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run_streamed<I: IntoIterator<Item = Request>>(&self, requests: I) -> SimResult {
+        self.run_streamed_with_collector(requests, &mut NullCollector)
+    }
+
+    /// [`run_streamed`](Self::run_streamed) with a telemetry collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run_streamed_with_collector<C: Collector, I: IntoIterator<Item = Request>>(
+        &self,
+        requests: I,
+        c: &mut C,
+    ) -> SimResult {
+        let mut policy = self.policy();
+        planaria_sim::run_streamed(self.cfg(), requests, &mut policy, c)
+    }
+
+    fn policy(&self) -> SpatialPolicy<'_> {
+        SpatialPolicy {
             library: &self.library,
             mode: self.mode,
-            hints: Vec::new(),
-        };
-        planaria_sim::run(self.cfg(), trace, &mut policy, c)
+            incremental: self.incremental,
+            state: SchedState::new(),
+            chip: Chip::new(*self.cfg()),
+            s: Scratch::default(),
+        }
     }
 }
 
 /// The Planaria scheduling policy plugged into the kernel: Algorithm 1
 /// plus ring placement and reconfiguration accounting.
+///
+/// Everything the per-event path needs lives here and is reused across
+/// events: the id-keyed floor memo ([`SchedState`]), the physical chip
+/// map, and the columnar scratch buffers — so a steady-state scheduling
+/// event performs no heap allocation beyond the `Allocation` segments of
+/// tenants whose placement actually changed.
 struct SpatialPolicy<'a> {
     library: &'a CompiledLibrary,
     mode: SchedulingMode,
-    /// Estimate floors memoized from the previous scheduling event,
-    /// position-aligned with `sim.tenants` as of that event.
-    hints: Vec<HintEntry>,
+    /// Whether to consult the floor memo (the full-rescan oracle sets
+    /// `false` and scans every tenant from 1; results are identical).
+    incremental: bool,
+    /// Persistent per-tenant estimate memo, keyed by request id — immune
+    /// to the kernel's `swap_remove` retirement reordering.
+    state: SchedState,
+    /// Persistent chip map, `reset()` per event instead of reallocated.
+    chip: Chip,
+    /// Reusable per-event working memory.
+    s: Scratch,
 }
 
-/// One memoized `ESTIMATERESOURCES` result. The floor is sound only
-/// while the tenant's work counters are frozen (queued tenants between
-/// events): `done` fixed means every `predict_cycles(s)` is unchanged,
-/// and slack only shrinks, so the minimal fitting subarray count can
-/// only grow (see [`SchedTask::estimate_resources_from`]). Any change
-/// to the work counters — progress, a table switch, or a different
-/// tenant landing at this index after a `swap_remove` — fails the
-/// validity check and falls back to a full scan from 1.
-#[derive(Debug, Clone, Copy)]
-struct HintEntry {
-    id: u64,
-    floor: u32,
-    done: Cycles,
-    total: Cycles,
+/// Columnar scratch reused across scheduling events. Buffers grow to the
+/// live-tenant high-water mark once and are only `clear()`ed afterwards.
+#[derive(Debug, Default)]
+struct Scratch {
+    priorities: Vec<u32>,
+    slacks: Vec<i64>,
+    estimates: Vec<u32>,
+    fit: Vec<Cycles>,
+    alloc: Vec<u32>,
+    keep: Vec<bool>,
+    migrated: Vec<bool>,
+    placements: Vec<Option<Allocation>>,
+    order: Vec<usize>,
+    sched: AllocScratch,
 }
 
 /// Signed cycles from `now` to `deadline` (negative when past due).
@@ -156,58 +217,75 @@ impl EnginePolicy for SpatialPolicy<'_> {
         let total = sim.total_subarrays();
         let now = sim.now;
         let cfg = *sim.config();
-        let alloc: Vec<u32> = match self.mode {
+        let s = &mut self.s;
+        let state = &mut self.state;
+        let chip = &mut self.chip;
+        s.alloc.clear();
+        match self.mode {
             SchedulingMode::Spatial => {
-                let views: Vec<SchedTask<'_>> = sim
-                    .tenants
-                    .iter()
-                    .map(|t| SchedTask {
+                // Estimate phase: columnar views plus `ESTIMATERESOURCES`,
+                // seeded from the id-keyed memo. Clean entries inside the
+                // slack band answer with zero table lookups; clean-but-
+                // tight entries scan from their proven floor; dirty ones
+                // (progress, table switch, new tenant) scan from 1.
+                s.priorities.clear();
+                s.slacks.clear();
+                s.estimates.clear();
+                s.fit.clear();
+                for t in &sim.tenants {
+                    let slack = slack_cycles(t.deadline_cycle, now);
+                    let view = SchedTask {
                         priority: t.request.priority,
-                        slack: slack_cycles(t.deadline_cycle, now),
+                        slack,
                         done: t.fraction_done(),
                         compiled: &t.compiled,
-                    })
-                    .collect();
-                let floors: Vec<u32> = sim
-                    .tenants
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| match self.hints.get(i) {
-                        Some(h)
-                            if h.id == t.request.id
-                                && h.done == t.work_done
-                                && h.total == t.work_total =>
-                        {
-                            h.floor
+                    };
+                    let (est, fit) = if self.incremental {
+                        match state.seed(t.request.id, t.work_done, t.work_total, slack) {
+                            // Exact hits skip the refresh too: the stored
+                            // entry is bit-identical to what `record`
+                            // would rewrite.
+                            Seed::Exact(floor, fit) => (floor, fit),
+                            Seed::Floor(floor) => {
+                                let (est, fit) = view.estimate_resources_with_fit(floor, total);
+                                state.record(t.request.id, est, t.work_done, t.work_total, fit);
+                                (est, fit)
+                            }
                         }
-                        _ => 1,
-                    })
-                    .collect();
-                let (alloc, estimates) = schedule_tasks_spatially_hinted(&views, total, &floors);
-                self.hints.clear();
-                self.hints
-                    .extend(sim.tenants.iter().zip(&estimates).map(|(t, &e)| HintEntry {
-                        id: t.request.id,
-                        floor: e,
-                        done: t.work_done,
-                        total: t.work_total,
-                    }));
-                alloc
+                    } else {
+                        view.estimate_resources_with_fit(1, total)
+                    };
+                    s.priorities.push(t.request.priority);
+                    s.slacks.push(slack);
+                    s.estimates.push(est);
+                    s.fit.push(fit);
+                }
+                if self.incremental {
+                    state.prune(sim.tenants.len(), |id| sim.index_of(id).is_some());
+                }
+                allocate_spatially_into(
+                    &s.priorities,
+                    &s.slacks,
+                    &s.estimates,
+                    &s.fit,
+                    total,
+                    &mut s.alloc,
+                    &mut s.sched,
+                );
             }
             SchedulingMode::ExclusiveFifo => {
+                s.alloc.resize(sim.tenants.len(), 0);
                 let oldest = sim
                     .tenants
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, t)| t.arrival_cycle)
                     .map(|(i, _)| i);
-                let mut v = vec![0u32; sim.tenants.len()];
                 if let Some(i) = oldest {
-                    v[i] = total;
+                    s.alloc[i] = total;
                 }
-                v
             }
-        };
+        }
         let tenants = &mut sim.tenants;
 
         // Physical placement on the ring. Tenants keeping their allocation
@@ -216,9 +294,10 @@ impl EnginePolicy for SpatialPolicy<'_> {
         // defragmented: every tenant is re-placed in descending size order
         // and the *moved* ones pay a migration (their stationary weights
         // must be re-streamed into different physical subarrays).
-        let mut chip = Chip::new(cfg);
-        let mut keep = vec![false; tenants.len()];
-        for (i, (t, &a)) in tenants.iter().zip(&alloc).enumerate() {
+        chip.reset();
+        s.keep.clear();
+        s.keep.resize(tenants.len(), false);
+        for (i, (t, &a)) in tenants.iter().zip(&s.alloc).enumerate() {
             let kept_count = a == t.alloc || (t.alloc > 0 && a == t.alloc + 1);
             if kept_count && t.alloc > 0 {
                 if let Some(p) = &t.placement {
@@ -229,77 +308,86 @@ impl EnginePolicy for SpatialPolicy<'_> {
                         // Re-claim the exact segment.
                         let claimed = chip.claim(t.request.id, p);
                         debug_assert!(claimed);
-                        keep[i] = true;
+                        s.keep[i] = true;
                     }
                 }
             }
         }
-        let mut placements: Vec<Option<Allocation>> = tenants
-            .iter()
-            .enumerate()
-            .map(|(i, t)| if keep[i] { t.placement.clone() } else { None })
-            .collect();
-        let mut order: Vec<usize> = (0..tenants.len()).filter(|&i| !keep[i]).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(alloc[i]));
+        // Kept tenants keep their `Allocation` in place (no clone); only
+        // re-placed tenants get a fresh segment here.
+        s.placements.clear();
+        s.placements.resize(tenants.len(), None);
+        s.order.clear();
+        s.order.extend((0..tenants.len()).filter(|&i| !s.keep[i]));
+        s.order.sort_by_key(|&i| std::cmp::Reverse(s.alloc[i]));
         let mut defrag_needed = false;
-        for &i in &order {
-            if alloc[i] == 0 {
+        for &i in &s.order {
+            if s.alloc[i] == 0 {
                 continue;
             }
-            match chip.place(tenants[i].request.id, alloc[i]) {
-                Some(p) => placements[i] = Some(p),
+            match chip.place(tenants[i].request.id, s.alloc[i]) {
+                Some(p) => s.placements[i] = Some(p),
                 None => {
                     defrag_needed = true;
                     break;
                 }
             }
         }
-        let mut migrated = vec![false; tenants.len()];
+        s.migrated.clear();
+        s.migrated.resize(tenants.len(), false);
         if defrag_needed {
             // Global defragmentation: lay everyone out afresh, largest
             // first (a multiset summing to <= total always packs a ring).
             chip.reset();
-            let mut all: Vec<usize> = (0..tenants.len()).collect();
-            all.sort_by_key(|&i| std::cmp::Reverse(alloc[i]));
-            placements.fill(None);
-            for &i in &all {
-                if alloc[i] == 0 {
+            s.order.clear();
+            s.order.extend(0..tenants.len());
+            s.order.sort_by_key(|&i| std::cmp::Reverse(s.alloc[i]));
+            s.placements.fill(None);
+            for &i in &s.order {
+                if s.alloc[i] == 0 {
                     continue;
                 }
                 let p = chip
-                    .place(tenants[i].request.id, alloc[i])
+                    .place(tenants[i].request.id, s.alloc[i])
                     // lint: every tenant was released above and Σalloc ≤ chip
                     // capacity, so a contiguous placement always exists
                     .expect("defragmented ring always packs");
-                if keep[i]
-                    && tenants[i]
+                if s.keep[i] {
+                    if tenants[i]
                         .placement
                         .as_ref()
                         .is_some_and(|old| old.subarrays() != p.subarrays())
-                {
-                    migrated[i] = true;
-                    keep[i] = false;
+                    {
+                        s.migrated[i] = true;
+                        s.keep[i] = false;
+                        s.placements[i] = Some(p);
+                    }
+                    // Unmoved kept tenant: the fresh segment equals the old
+                    // one; keep the existing `Allocation` in place.
+                } else {
+                    s.placements[i] = Some(p);
                 }
-                placements[i] = Some(p);
             }
         }
 
         let telemetry_on = c.is_enabled();
-        for (i, (t, &a)) in tenants.iter_mut().zip(&alloc).enumerate() {
+        for (i, (t, &a)) in tenants.iter_mut().zip(&s.alloc).enumerate() {
             let old_mask = t.mask;
-            t.placement = placements[i].take();
+            if !s.keep[i] {
+                t.placement = s.placements[i].take();
+            }
             if telemetry_on {
                 // The mask is telemetry-only; skip the bit scan entirely
                 // on the NullCollector hot path (it is never read there).
                 t.mask = subarray_mask(t.placement.as_ref());
             }
-            if a == t.alloc && !migrated[i] {
+            if a == t.alloc && !s.migrated[i] {
                 continue;
             }
             // Hysteresis: growing a running tenant by a single subarray is
             // not worth a drain + checkpoint + refill cycle; keep the old
             // allocation (this only releases capacity, never over-commits).
-            if t.alloc > 0 && a == t.alloc + 1 && !migrated[i] {
+            if t.alloc > 0 && a == t.alloc + 1 && !s.migrated[i] {
                 continue;
             }
             if telemetry_on {

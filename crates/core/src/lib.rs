@@ -27,6 +27,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod sched_state;
 pub mod scheduler;
 pub mod trace;
 
@@ -35,5 +36,6 @@ pub use engine::{PlanariaEngine, SchedulingMode};
 pub use planaria_compiler::CompiledLibrary;
 pub use planaria_model::units::{Bytes, Cycles, Picojoules};
 pub use planaria_model::SplitMix64;
-pub use scheduler::{schedule_tasks_spatially, SchedTask};
+pub use sched_state::{FloorEntry, SchedState, Seed};
+pub use scheduler::{allocate_spatially_into, schedule_tasks_spatially, AllocScratch, SchedTask};
 pub use trace::{EngineTrace, EventKind, TraceEvent};

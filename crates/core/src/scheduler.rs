@@ -63,12 +63,30 @@ impl SchedTask<'_> {
     /// estimate scan from `O(total)` table lookups into `O(1)` for the
     /// queued majority without changing a single allocation.
     pub fn estimate_resources_from(&self, floor: u32, total: u32) -> u32 {
+        self.estimate_resources_with_fit(floor, total).0
+    }
+
+    /// [`estimate_resources_from`](Self::estimate_resources_from) that also
+    /// returns the predicted remaining cycles *at* the returned estimate —
+    /// the quantity `ALLOCATEFITTASKS` divides by. Returning it here lets
+    /// the fit path reuse the scan's last table lookup instead of
+    /// re-querying, and lets the engines memoize it per tenant (the
+    /// [`SchedState`](crate::sched_state::SchedState) band fastpath): when
+    /// a memoized `(estimate, fit)` still satisfies `fit <= slack`, the
+    /// whole estimate phase is O(1) with **zero** table lookups.
+    ///
+    /// When no subarray count fits the slack, the estimate is `total` and
+    /// the fit is `predict_cycles(total)` — exactly what the fit path
+    /// would look up.
+    pub fn estimate_resources_with_fit(&self, floor: u32, total: u32) -> (u32, Cycles) {
+        let mut last = Cycles::ZERO;
         for s in floor.clamp(1, total)..=total {
-            if self.predict_cycles(s).get() as i64 <= self.slack {
-                return s;
+            last = self.predict_cycles(s);
+            if last.get() as i64 <= self.slack {
+                return (s, last);
             }
         }
-        total
+        (total, last)
     }
 }
 
@@ -90,6 +108,10 @@ pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32) -> Vec<u32>
 /// floors (see [`SchedTask::estimate_resources_from`] for when a floor is
 /// sound). `floors` may be empty (all 1) or aligned with `tasks`; the
 /// returned estimates are aligned with `tasks`.
+///
+/// This is the convenient materializing wrapper; the engines' hot loop
+/// calls [`allocate_spatially_into`] directly with reusable scratch
+/// buffers so steady-state events allocate nothing.
 pub fn schedule_tasks_spatially_hinted(
     tasks: &[SchedTask<'_>],
     total: u32,
@@ -98,75 +120,151 @@ pub fn schedule_tasks_spatially_hinted(
     if tasks.is_empty() {
         return (Vec::new(), Vec::new());
     }
-    let estimates: Vec<u32> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| t.estimate_resources_from(floors.get(i).copied().unwrap_or(1), total))
-        .collect();
-    let need: u32 = estimates.iter().sum();
-    let alloc = if need <= total {
-        allocate_fit_tasks(tasks, &estimates, total)
-    } else {
-        allocate_unfit_tasks(tasks, &estimates, total)
-    };
+    let mut estimates = Vec::with_capacity(tasks.len());
+    let mut fit = Vec::with_capacity(tasks.len());
+    let mut priorities = Vec::with_capacity(tasks.len());
+    let mut slacks = Vec::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        let (e, f) = t.estimate_resources_with_fit(floors.get(i).copied().unwrap_or(1), total);
+        estimates.push(e);
+        fit.push(f);
+        priorities.push(t.priority);
+        slacks.push(t.slack);
+    }
+    let mut alloc = Vec::new();
+    let mut scratch = AllocScratch::default();
+    allocate_spatially_into(
+        &priorities,
+        &slacks,
+        &estimates,
+        &fit,
+        total,
+        &mut alloc,
+        &mut scratch,
+    );
     (alloc, estimates)
+}
+
+/// Reusable working memory for [`allocate_spatially_into`]. Owned by the
+/// caller (the engines keep one per policy), so repeated scheduling events
+/// reuse the same buffers instead of allocating fresh `Vec`s: once the
+/// buffers have grown to the live-tenant high-water mark, allocation runs
+/// with zero heap traffic.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    scores: Vec<f64>,
+    fractional: Vec<(usize, f64)>,
+    order: Vec<usize>,
+}
+
+/// The allocation phase of Algorithm 1 over plain columnar inputs, writing
+/// into a caller-owned output buffer.
+///
+/// The estimate phase (`ESTIMATERESOURCES`) is the caller's: `estimates[i]`
+/// is task *i*'s minimum subarray count and `fit[i]` the predicted
+/// remaining cycles at that count (both from
+/// [`SchedTask::estimate_resources_with_fit`], possibly memoized). Given
+/// those, this function needs no table access at all — it is the pure
+/// `ALLOCATEFITTASKS` / `ALLOCATEUNFITTASKS` arithmetic of §V, bit-for-bit
+/// identical to the materializing wrappers above.
+///
+/// `alloc` is cleared and refilled aligned with the inputs; allocations
+/// always sum to at most `total`.
+pub fn allocate_spatially_into(
+    priorities: &[u32],
+    slacks: &[i64],
+    estimates: &[u32],
+    fit: &[Cycles],
+    total: u32,
+    alloc: &mut Vec<u32>,
+    scratch: &mut AllocScratch,
+) {
+    alloc.clear();
+    if estimates.is_empty() {
+        return;
+    }
+    let need: u32 = estimates.iter().sum();
+    if need <= total {
+        allocate_fit_into(priorities, estimates, fit, total, alloc, scratch);
+    } else {
+        allocate_unfit_into(priorities, slacks, estimates, total, alloc, scratch);
+    }
 }
 
 /// `ALLOCATEFITTASKS`: everyone gets their minimum; the spare subarrays are
 /// split proportionally to `priority / remaining-time`.
-fn allocate_fit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) -> Vec<u32> {
-    let mut alloc = estimates.to_vec();
+fn allocate_fit_into(
+    priorities: &[u32],
+    estimates: &[u32],
+    fit: &[Cycles],
+    total: u32,
+    alloc: &mut Vec<u32>,
+    scratch: &mut AllocScratch,
+) {
+    alloc.extend_from_slice(estimates);
     let mut spare = total - estimates.iter().sum::<u32>();
     if spare == 0 {
-        return alloc;
+        return;
     }
-    let scores: Vec<f64> = tasks
-        .iter()
-        .zip(estimates)
-        .map(|(t, &e)| f64::from(t.priority) / t.predict_cycles(e).as_f64().max(1.0))
-        .collect();
-    let sum: f64 = scores.iter().sum();
+    scratch.scores.clear();
+    scratch.scores.extend(
+        priorities
+            .iter()
+            .zip(fit)
+            .map(|(&p, f)| f64::from(p) / f.as_f64().max(1.0)),
+    );
+    let sum: f64 = scratch.scores.iter().sum();
     // Integer proportional share; remainders go to the largest fractions.
-    let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(tasks.len());
-    for (i, score) in scores.iter().enumerate() {
+    scratch.fractional.clear();
+    for (i, score) in scratch.scores.iter().enumerate() {
         let share = score / sum * f64::from(spare);
         let whole = share.floor() as u32;
         alloc[i] += whole;
-        fractional.push((i, share - share.floor()));
+        scratch.fractional.push((i, share - share.floor()));
     }
-    spare -= fractional
+    spare -= scratch
+        .fractional
         .iter()
         .map(|&(i, _)| alloc[i] - estimates[i])
         .sum::<u32>();
-    fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    for (i, _) in fractional {
+    scratch
+        .fractional
+        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for &(i, _) in scratch.fractional.iter() {
         if spare == 0 {
             break;
         }
         alloc[i] += 1;
         spare -= 1;
     }
-    alloc
 }
 
 /// `ALLOCATEUNFITTASKS`: rank by `priority / (slack × estimate)` and pack
 /// the chip; the last packed task may receive a partial grant, everyone
 /// else waits.
-fn allocate_unfit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) -> Vec<u32> {
-    let mut order: Vec<usize> = (0..tasks.len()).collect();
+fn allocate_unfit_into(
+    priorities: &[u32],
+    slacks: &[i64],
+    estimates: &[u32],
+    total: u32,
+    alloc: &mut Vec<u32>,
+    scratch: &mut AllocScratch,
+) {
+    scratch.order.clear();
+    scratch.order.extend(0..estimates.len());
     let score = |i: usize| {
         // Tasks already past their deadline get the most urgent score.
-        let slack = tasks[i].slack.max(MIN_SLACK_CYCLES) as f64;
-        f64::from(tasks[i].priority) / (slack * f64::from(estimates[i]))
+        let slack = slacks[i].max(MIN_SLACK_CYCLES) as f64;
+        f64::from(priorities[i]) / (slack * f64::from(estimates[i]))
     };
-    order.sort_by(|&a, &b| {
+    scratch.order.sort_by(|&a, &b| {
         score(b)
             .partial_cmp(&score(a))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut alloc = vec![0u32; tasks.len()];
+    alloc.resize(estimates.len(), 0);
     let mut remaining = total;
-    for i in order {
+    for &i in scratch.order.iter() {
         if remaining == 0 {
             break;
         }
@@ -174,7 +272,6 @@ fn allocate_unfit_tasks(tasks: &[SchedTask<'_>], estimates: &[u32], total: u32) 
         alloc[i] = grant;
         remaining -= grant;
     }
-    alloc
 }
 
 #[cfg(test)]

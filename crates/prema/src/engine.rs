@@ -89,21 +89,52 @@ impl PremaEngine {
     /// Panics if the trace is not sorted by arrival.
     pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
         let cfg = *self.library.config();
+        let mut policy = self.temporal_policy(&cfg);
+        planaria_sim::run(&cfg, trace, &mut policy, c)
+    }
+
+    /// [`run`](Self::run) over a pull-based request source: requests are
+    /// drawn lazily, so resident request memory is O(live tenants) and the
+    /// results are bit-identical to the materialized path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run_streamed<I: IntoIterator<Item = Request>>(&self, requests: I) -> SimResult {
+        self.run_streamed_with_collector(requests, &mut NullCollector)
+    }
+
+    /// [`run_streamed`](Self::run_streamed) with a telemetry collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run_streamed_with_collector<C: Collector, I: IntoIterator<Item = Request>>(
+        &self,
+        requests: I,
+        c: &mut C,
+    ) -> SimResult {
+        let cfg = *self.library.config();
+        let mut policy = self.temporal_policy(&cfg);
+        planaria_sim::run_streamed(&cfg, requests, &mut policy, c)
+    }
+
+    fn temporal_policy(&self, cfg: &AcceleratorConfig) -> TemporalPolicy<'_> {
         let total = cfg.num_subarrays();
-        let mut policy = TemporalPolicy {
+        TemporalPolicy {
             library: &self.library,
             policy: self.policy,
-            threshold: SimClock::for_config(&cfg)
+            threshold: SimClock::for_config(cfg)
                 .duration_cycles(self.token_threshold)
                 .get(),
-            ctx: ExecContext::full_chip(&cfg),
+            ctx: ExecContext::full_chip(cfg),
             mono: Arrangement::monolithic(total),
             mask: full_mask(total),
             total,
             running: None,
             tokens: BTreeMap::new(),
-        };
-        planaria_sim::run(&cfg, trace, &mut policy, c)
+            views: Vec::new(),
+        }
     }
 }
 
@@ -123,6 +154,9 @@ struct TemporalPolicy<'a> {
     running: Option<u64>,
     /// Token bookkeeping per request id (outlives queue reordering).
     tokens: BTreeMap<u64, TokenState>,
+    /// Reusable per-event policy view buffer (grows to the live-tenant
+    /// high-water mark once; steady-state events allocate nothing).
+    views: Vec<PolicyTask>,
 }
 
 impl EnginePolicy for TemporalPolicy<'_> {
@@ -144,11 +178,11 @@ impl EnginePolicy for TemporalPolicy<'_> {
                 self.running = None;
             }
         }
-        // Bound the token map: drop entries for long-retired requests.
+        // Bound the token map: drop entries for long-retired requests
+        // (amortized; the membership probe is the kernel's id index, so
+        // the sweep allocates nothing).
         if self.tokens.len() > sim.tenants.len() + 64 {
-            let live: std::collections::BTreeSet<u64> =
-                sim.tenants.iter().map(|t| t.request.id).collect();
-            self.tokens.retain(|id, _| live.contains(id));
+            self.tokens.retain(|id, _| sim.index_of(*id).is_some());
         }
         // Accrue tokens for waiting tenants; the runner does not collect.
         for t in &sim.tenants {
@@ -164,19 +198,18 @@ impl EnginePolicy for TemporalPolicy<'_> {
             }
         }
 
-        // Policy decision (a scheduling event fired).
-        let views: Vec<PolicyTask> = sim
-            .tenants
-            .iter()
-            .enumerate()
-            .map(|(i, t)| PolicyTask {
+        // Policy decision (a scheduling event fired). The view buffer is
+        // owned scratch: cleared, not reallocated, per event.
+        self.views.clear();
+        for (i, t) in sim.tenants.iter().enumerate() {
+            self.views.push(PolicyTask {
                 index: i,
                 tokens: self.tokens[&t.request.id].tokens,
                 arrival: t.arrival_cycle,
                 remaining: t.remaining(),
-            })
-            .collect();
-        let chosen_idx = pick_with_threshold(self.policy, &views, self.threshold);
+            });
+        }
+        let chosen_idx = pick_with_threshold(self.policy, &self.views, self.threshold);
         let chosen_id = chosen_idx.map(|i| sim.tenants[i].request.id);
         if chosen_id != self.running {
             let running_idx = self.running.and_then(|id| sim.index_of(id));

@@ -76,21 +76,29 @@ impl SimState {
 /// Pops the next *valid* event: stale heap entries — superseded
 /// completion estimates (epoch mismatch), estimates for retired tenants,
 /// already-admitted arrivals — are skipped.
+///
+/// Same-cycle coalescing: once a valid event fixes the wake-up cycle,
+/// every remaining heap entry at that cycle is drained in the same pass.
+/// Events are pure wake-ups — admission is driven by the trace cursor and
+/// retirement by the exact `is_done` scan — so when *k* arrivals and
+/// completions land on one `Cycles` timestamp the kernel advances once,
+/// admits/retires them all, and invokes `reschedule` once. The
+/// `(Cycles, EventKind, seq)` heap order is unchanged: the first valid
+/// entry at the cycle still decides the wake-up exactly as before, and
+/// the drained entries carry no payload the loop body would have read.
 fn next_event(queue: &mut EventQueue, sim: &SimState, next_arrival: usize) -> Option<Cycles> {
     while let Some((at, kind)) = queue.pop() {
-        match kind {
-            EventKind::Arrival { index } => {
-                if index == next_arrival {
-                    return Some(at);
-                }
+        let valid = match kind {
+            EventKind::Arrival { index } => index == next_arrival,
+            EventKind::Completion { tenant, epoch } => sim
+                .index_of(tenant)
+                .is_some_and(|i| sim.tenants[i].epoch == epoch),
+        };
+        if valid {
+            while queue.next_at() == Some(at) {
+                let _ = queue.pop();
             }
-            EventKind::Completion { tenant, epoch } => {
-                if let Some(i) = sim.index_of(tenant) {
-                    if sim.tenants[i].epoch == epoch {
-                        return Some(at);
-                    }
-                }
-            }
+            return Some(at);
         }
     }
     None
@@ -117,7 +125,33 @@ pub fn run<P: EnginePolicy, C: Collector>(
         trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
         "trace must be sorted by arrival time"
     );
-    let clock = SimClock::new(trace.first().map_or(0.0, |r| r.arrival), cfg.freq_hz);
+    run_streamed(cfg, trace.iter().copied(), policy, c)
+}
+
+/// [`run`] over a pull-based request source instead of a materialized
+/// slice: requests are drawn lazily, one at a time, so resident request
+/// memory is O(live tenants) — a million-request
+/// [`TraceStream`](planaria_workload::TraceStream) never exists as a
+/// `Vec`. The kernel keeps exactly one not-yet-due arrival outstanding
+/// (the `pending` cursor); everything else about the loop — admission,
+/// advancement, retirement, rescheduling — is byte-identical to the
+/// slice path, and `run(&v)` is definitionally
+/// `run_streamed(v.iter().copied())`.
+///
+/// # Panics
+///
+/// Panics if the source yields arrivals out of order (checked
+/// incrementally as requests are pulled).
+pub fn run_streamed<P: EnginePolicy, C: Collector, I: IntoIterator<Item = Request>>(
+    cfg: &AcceleratorConfig,
+    requests: I,
+    policy: &mut P,
+    c: &mut C,
+) -> SimResult {
+    let mut source = requests.into_iter();
+    let mut pending: Option<Request> = source.next();
+    let mut last_arrival = pending.map_or(0.0, |r| r.arrival);
+    let clock = SimClock::new(last_arrival, cfg.freq_hz);
     let em = EnergyModel::for_config(cfg);
     c.set_meta(clock.meta(cfg.num_subarrays()));
 
@@ -131,13 +165,17 @@ pub fn run<P: EnginePolicy, C: Collector>(
     let mut queue = EventQueue::new();
     let mut completions: Vec<Completion> = Vec::new();
     let mut next_arrival = 0usize;
+    // Whether an arrival event for the current `pending` is already in
+    // the heap (avoids re-pushing a duplicate wake-up on every event).
+    let mut arrival_queued = false;
     let mut busy = Cycles::ZERO;
 
-    if !trace.is_empty() {
+    if let Some(first) = pending {
         queue.push(
-            clock.cycles_from_seconds(trace[0].arrival),
+            clock.cycles_from_seconds(first.arrival),
             EventKind::Arrival { index: 0 },
         );
+        arrival_queued = true;
     }
 
     while let Some(t_next) = next_event(&mut queue, &sim, next_arrival) {
@@ -158,18 +196,20 @@ pub fn run<P: EnginePolicy, C: Collector>(
 
         // Admit every arrival due now; keep exactly one future arrival
         // event outstanding.
-        while next_arrival < trace.len() {
-            let at = clock.cycles_from_seconds(trace[next_arrival].arrival);
+        while let Some(req) = pending {
+            let at = clock.cycles_from_seconds(req.arrival);
             if at > sim.now {
-                queue.push(
-                    at,
-                    EventKind::Arrival {
-                        index: next_arrival,
-                    },
-                );
+                if !arrival_queued {
+                    queue.push(
+                        at,
+                        EventKind::Arrival {
+                            index: next_arrival,
+                        },
+                    );
+                    arrival_queued = true;
+                }
                 break;
             }
-            let req = trace[next_arrival];
             if c.is_enabled() {
                 c.record(
                     sim.now,
@@ -192,6 +232,15 @@ pub fn run<P: EnginePolicy, C: Collector>(
                 sim.now,
             ));
             next_arrival += 1;
+            pending = source.next();
+            arrival_queued = false;
+            if let Some(next) = &pending {
+                assert!(
+                    next.arrival >= last_arrival,
+                    "trace must be sorted by arrival time"
+                );
+                last_arrival = next.arrival;
+            }
         }
 
         // Retire finished tenants (ascending swap_remove scan, preserving

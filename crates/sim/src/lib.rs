@@ -38,6 +38,6 @@ mod queue;
 mod tenant;
 
 pub use clock::SimClock;
-pub use kernel::{run, EnginePolicy, SimState};
+pub use kernel::{run, run_streamed, EnginePolicy, SimState};
 pub use queue::{EventKind, EventQueue};
 pub use tenant::{full_mask, subarray_mask, TenantState};

@@ -59,6 +59,16 @@ impl EventQueue {
         self.heap.pop().map(|Reverse((at, kind, _))| (at, kind))
     }
 
+    /// The cycle of the earliest pending event, without removing it.
+    ///
+    /// Used by the kernel's same-cycle coalescing: once it has decided to
+    /// wake at cycle `t`, every remaining event at `t` is drained in the
+    /// same pass so the policy resches exactly once per distinct
+    /// timestamp.
+    pub fn next_at(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
     /// Number of pending entries (including stale ones).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -132,6 +142,18 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn next_at_peeks_without_removing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_at(), None);
+        q.push(Cycles::new(9), EventKind::Arrival { index: 1 });
+        q.push(Cycles::new(4), EventKind::Arrival { index: 0 });
+        assert_eq!(q.next_at(), Some(Cycles::new(4)));
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.next_at(), Some(Cycles::new(9)));
     }
 
     #[test]

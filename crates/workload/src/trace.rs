@@ -98,43 +98,152 @@ impl TraceConfig {
     /// Generates the trace: exponential inter-arrival gaps (Poisson
     /// process), request types uniform over the scenario's members,
     /// priorities uniform in 1..=11.
+    ///
+    /// Definitionally equal to [`stream`](Self::stream)`().collect()` —
+    /// the materialized and streamed paths share one generator, so they
+    /// cannot drift apart.
     pub fn generate(&self) -> Vec<Request> {
-        let mut rng = SplitMix64::new(self.seed);
-        let members = self.scenario.members();
-        let mut t = 0.0f64;
-        // Two-state modulated process: half the requests arrive in bursts
-        // at `b·λ`, the other half in calm stretches at a rate chosen so
-        // the harmonic mean of the gap lengths keeps the long-run rate at
-        // λ: 1/λ = ½/λ_burst + ½/λ_calm. State dwell is geometric with a
-        // mean of 20 requests.
-        const SWITCH_PROB: f64 = 0.05;
-        let rate_burst = self.lambda_qps * self.burstiness;
-        let rate_calm = self.lambda_qps / (2.0 - 1.0 / self.burstiness);
-        let mut bursting = false;
-        (0..self.requests)
-            .map(|i| {
-                if self.burstiness > 1.0 && rng.next_bool(SWITCH_PROB) {
-                    bursting = !bursting;
-                }
-                let rate = if bursting { rate_burst } else { rate_calm };
-                // Inverse-CDF exponential sampling on the open interval.
-                t += rng.next_exp(rate);
-                let dnn = members[rng.next_below(members.len() as u64) as usize];
-                Request {
-                    id: i as u64,
-                    dnn,
-                    arrival: t,
-                    priority: rng.next_range(1, 11) as u32,
-                    qos: qos_bound(dnn, self.qos),
-                }
-            })
-            .collect()
+        self.stream().collect()
+    }
+
+    /// A pull-based request generator: the same deterministic sequence as
+    /// [`generate`](Self::generate), produced one request at a time so a
+    /// million-request trace never has to be resident in memory. The
+    /// simulation kernel consumes this lazily (it keeps exactly one
+    /// not-yet-due arrival outstanding), giving O(live tenants) — not
+    /// O(requests) — resident request state.
+    pub fn stream(&self) -> TraceStream {
+        TraceStream {
+            rng: SplitMix64::new(self.seed),
+            members: self.scenario.members(),
+            qos: self.qos,
+            burstiness: self.burstiness,
+            rate_burst: self.lambda_qps * self.burstiness,
+            rate_calm: self.lambda_qps / (2.0 - 1.0 / self.burstiness),
+            bursting: false,
+            t: 0.0,
+            next: 0,
+            requests: self.requests,
+        }
     }
 }
+
+/// Lazy request generator for one [`TraceConfig`] (see
+/// [`TraceConfig::stream`]).
+///
+/// Two-state modulated Poisson process: half the requests arrive in
+/// bursts at `b·λ`, the other half in calm stretches at a rate chosen so
+/// the harmonic mean of the gap lengths keeps the long-run rate at λ:
+/// `1/λ = ½/λ_burst + ½/λ_calm`. State dwell is geometric with a mean of
+/// 20 requests. With `b = 1` this degenerates to a pure Poisson process.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    rng: SplitMix64,
+    members: Vec<DnnId>,
+    qos: QosLevel,
+    burstiness: f64,
+    rate_burst: f64,
+    rate_calm: f64,
+    bursting: bool,
+    /// Absolute time of the last emitted arrival, seconds.
+    t: f64,
+    /// Next request id to emit.
+    next: usize,
+    /// Total requests this stream will emit.
+    requests: usize,
+}
+
+/// Probability per request of flipping the burst/calm state.
+const SWITCH_PROB: f64 = 0.05;
+
+impl TraceStream {
+    /// Requests not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.requests - self.next
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.next >= self.requests {
+            return None;
+        }
+        if self.burstiness > 1.0 && self.rng.next_bool(SWITCH_PROB) {
+            self.bursting = !self.bursting;
+        }
+        let rate = if self.bursting {
+            self.rate_burst
+        } else {
+            self.rate_calm
+        };
+        // Inverse-CDF exponential sampling on the open interval.
+        self.t += self.rng.next_exp(rate);
+        let dnn = self.members[self.rng.next_below(self.members.len() as u64) as usize];
+        let id = self.next as u64;
+        self.next += 1;
+        Some(Request {
+            id,
+            dnn,
+            arrival: self.t,
+            priority: self.rng.next_range(1, 11) as u32,
+            qos: qos_bound(dnn, self.qos),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_equals_generate_across_the_grid() {
+        // The materialized and streamed paths must be bit-identical for
+        // every scenario × burstiness × seed cell (definitional since
+        // `generate` is `stream().collect()`, but pinned here so a future
+        // bespoke `generate` cannot silently fork the sequence).
+        for scenario in Scenario::ALL {
+            for qos in [QosLevel::Soft, QosLevel::Hard] {
+                for burstiness in [1.0, 2.0, 8.0] {
+                    for seed in [1u64, 42, 0xdead_beef] {
+                        let c = TraceConfig::new(scenario, qos, 120.0, 300, seed)
+                            .with_burstiness(burstiness);
+                        let materialized = c.generate();
+                        let streamed: Vec<Request> = c.stream().collect();
+                        assert_eq!(
+                            materialized, streamed,
+                            "{scenario} {qos:?} b={burstiness} seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_lazy_and_sized() {
+        let c = TraceConfig::new(Scenario::B, QosLevel::Soft, 50.0, 1000, 7);
+        let mut s = c.stream();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.remaining(), 1000);
+        let first = s.next().expect("first request");
+        assert_eq!(first.id, 0);
+        assert_eq!(s.remaining(), 999);
+        assert_eq!(s.size_hint(), (999, Some(999)));
+        // Pulling the rest matches the tail of the materialized trace.
+        let rest: Vec<Request> = s.collect();
+        let full = c.generate();
+        assert_eq!(&full[1..], rest.as_slice());
+        assert_eq!(full[0], first);
+    }
 
     #[test]
     fn trace_is_deterministic_per_seed() {
