@@ -3,8 +3,14 @@
 //! Format: one entry per line, `CODE PATH IDENT`, whitespace-separated.
 //! `#` starts a comment (full-line or trailing). `IDENT` may be `*` to
 //! match any identifier at that path.
+//!
+//! `CODE` is a qualified lint code (`L2-HOT`, `L1-FLOW`, ...). A bare
+//! family code (`L2`) also matches its qualified sub-codes (`L2-TIME`,
+//! `L2-HOT`, `L2-FLOW`) so pre-split allowlists keep working;
+//! [`Allowlist::fix`] migrates such entries to the exact codes they
+//! matched and prunes stale ones.
 
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::{Diagnostic, Lint};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -12,7 +18,8 @@ use std::path::Path;
 /// One allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    /// Lint code (`L1`/`L2`/`L3`).
+    /// Lint code (`L1`, `L2-HOT`, ...). A bare family code also matches
+    /// its qualified sub-codes.
     pub code: String,
     /// Workspace-relative path the escape applies to.
     pub path: String,
@@ -22,9 +29,18 @@ pub struct Entry {
     pub source_line: usize,
 }
 
+/// Whether an entry code covers a diagnostic code: exact, or family
+/// prefix (`L2` covers `L2-TIME`).
+fn code_covers(entry: &str, diag: &str) -> bool {
+    entry == diag
+        || (diag.len() > entry.len() + 1
+            && diag.as_bytes()[entry.len()] == b'-'
+            && diag.starts_with(entry))
+}
+
 impl Entry {
     fn matches(&self, d: &Diagnostic) -> bool {
-        self.code == d.lint.code()
+        code_covers(&self.code, d.lint.code())
             && self.path == d.rel_path
             && (self.ident == "*" || self.ident == d.ident)
     }
@@ -50,6 +66,35 @@ pub struct ParseError {
     pub reason: String,
 }
 
+/// Parses one non-comment allowlist line into its three fields.
+fn parse_fields(raw: &str, idx: usize) -> Result<Option<(String, String, String)>, ParseError> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.is_empty() {
+        return Ok(None);
+    }
+    if fields.len() != 3 {
+        return Err(ParseError {
+            line: idx + 1,
+            reason: format!("expected `CODE PATH IDENT`, got {} field(s)", fields.len()),
+        });
+    }
+    if Lint::from_code(fields[0]).is_none() {
+        return Err(ParseError {
+            line: idx + 1,
+            reason: format!("unknown lint code {:?}", fields[0]),
+        });
+    }
+    Ok(Some((
+        fields[0].to_string(),
+        fields[1].to_string(),
+        fields[2].to_string(),
+    )))
+}
+
 impl Allowlist {
     /// An empty allowlist (filters nothing).
     pub fn empty() -> Allowlist {
@@ -70,32 +115,14 @@ impl Allowlist {
     pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
         let mut entries = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
-            let line = match raw.find('#') {
-                Some(pos) => &raw[..pos],
-                None => raw,
-            };
-            let fields: Vec<&str> = line.split_whitespace().collect();
-            if fields.is_empty() {
-                continue;
-            }
-            if fields.len() != 3 {
-                return Err(ParseError {
-                    line: idx + 1,
-                    reason: format!("expected `CODE PATH IDENT`, got {} field(s)", fields.len()),
+            if let Some((code, path, ident)) = parse_fields(raw, idx)? {
+                entries.push(Entry {
+                    code,
+                    path,
+                    ident,
+                    source_line: idx + 1,
                 });
             }
-            if !matches!(fields[0], "L1" | "L2" | "L3") {
-                return Err(ParseError {
-                    line: idx + 1,
-                    reason: format!("unknown lint code {:?}", fields[0]),
-                });
-            }
-            entries.push(Entry {
-                code: fields[0].to_string(),
-                path: fields[1].to_string(),
-                ident: fields[2].to_string(),
-                source_line: idx + 1,
-            });
         }
         Ok(Allowlist { entries })
     }
@@ -136,6 +163,51 @@ impl Allowlist {
             .collect();
         (kept, unused)
     }
+
+    /// Rewrites allowlist text against the current raw diagnostics:
+    /// stale entries (matching nothing) are pruned, and entries carrying
+    /// a bare family code are migrated to the exact qualified code(s)
+    /// they matched — one line per code, comments and all other lines
+    /// preserved verbatim. Returns the new text and the rendered entries
+    /// that were pruned.
+    pub fn fix(text: &str, diags: &[Diagnostic]) -> Result<(String, Vec<String>), ParseError> {
+        let mut out = String::new();
+        let mut pruned = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let Some((code, path, ident)) = parse_fields(raw, idx)? else {
+                out.push_str(raw);
+                out.push('\n');
+                continue;
+            };
+            let entry = Entry {
+                code,
+                path,
+                ident,
+                source_line: idx + 1,
+            };
+            let mut matched: Vec<&str> = diags
+                .iter()
+                .filter(|d| entry.matches(d))
+                .map(|d| d.lint.code())
+                .collect();
+            matched.sort_unstable();
+            matched.dedup();
+            if matched.is_empty() {
+                pruned.push(entry.render());
+                continue;
+            }
+            let comment = raw.find('#').map(|p| &raw[p..]).unwrap_or("");
+            for code in matched {
+                out.push_str(&format!("{} {} {}", code, entry.path, entry.ident));
+                if !comment.is_empty() {
+                    out.push(' ');
+                    out.push_str(comment);
+                }
+                out.push('\n');
+            }
+        }
+        Ok((out, pruned))
+    }
 }
 
 #[cfg(test)]
@@ -144,8 +216,12 @@ mod tests {
     use crate::diagnostics::Lint;
 
     fn diag(path: &str, ident: &str) -> Diagnostic {
+        diag_with(Lint::UnitSafety, path, ident)
+    }
+
+    fn diag_with(lint: Lint, path: &str, ident: &str) -> Diagnostic {
         Diagnostic {
-            lint: Lint::UnitSafety,
+            lint,
             rel_path: path.into(),
             line: 1,
             ident: ident.into(),
@@ -167,6 +243,15 @@ mod tests {
     }
 
     #[test]
+    fn qualified_codes_parse() {
+        let a = Allowlist::parse(
+            "L2-HOT crates/x/src/lib.rs Vec_new\nL1-FLOW crates/x/src/lib.rs *\nL4 crates/x/src/lib.rs *\n",
+        )
+        .unwrap();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
     fn filter_removes_matches_and_reports_stale() {
         let a =
             Allowlist::parse("L1 crates/x/src/lib.rs foo\nL1 crates/x/src/lib.rs stale\n").unwrap();
@@ -185,5 +270,52 @@ mod tests {
         let (kept, unused) = a.filter(vec![diag("crates/x/src/lib.rs", "anything")]);
         assert!(kept.is_empty());
         assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn family_codes_cover_qualified_sub_codes() {
+        let a = Allowlist::parse("L2 crates/x/src/lib.rs *\n").unwrap();
+        let (kept, unused) = a.filter(vec![
+            diag_with(Lint::TimeDomain, "crates/x/src/lib.rs", "round"),
+            diag_with(Lint::HotLoop, "crates/x/src/lib.rs", "collect"),
+            diag_with(Lint::Determinism, "crates/x/src/lib.rs", "HashMap"),
+        ]);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert!(unused.is_empty());
+        // But a qualified entry does NOT cover its siblings or family.
+        let b = Allowlist::parse("L2-HOT crates/x/src/lib.rs *\n").unwrap();
+        let (kept, _) = b.filter(vec![
+            diag_with(Lint::TimeDomain, "crates/x/src/lib.rs", "round"),
+            diag_with(Lint::Determinism, "crates/x/src/lib.rs", "HashMap"),
+        ]);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn fix_prunes_stale_and_migrates_family_codes() {
+        let text = "# keep this header\nL2 crates/x/src/lib.rs * # one-time setup\nL1 crates/x/src/lib.rs stale\n";
+        let diags = vec![
+            diag_with(Lint::HotLoop, "crates/x/src/lib.rs", "Vec_new"),
+            diag_with(Lint::TimeDomain, "crates/x/src/lib.rs", "round"),
+        ];
+        let (fixed, pruned) = Allowlist::fix(text, &diags).unwrap();
+        assert_eq!(
+            fixed,
+            "# keep this header\nL2-HOT crates/x/src/lib.rs * # one-time setup\nL2-TIME crates/x/src/lib.rs * # one-time setup\n"
+        );
+        assert_eq!(pruned, vec!["L1 crates/x/src/lib.rs stale".to_string()]);
+        // A fixed allowlist is idempotent under fix.
+        let (again, pruned2) = Allowlist::fix(&fixed, &diags).unwrap();
+        assert_eq!(again, fixed);
+        assert!(pruned2.is_empty());
+    }
+
+    #[test]
+    fn fix_keeps_exact_entries_verbatim() {
+        let text = "L3 crates/x/src/lib.rs unwrap # guarded\n";
+        let diags = vec![diag_with(Lint::Hygiene, "crates/x/src/lib.rs", "unwrap")];
+        let (fixed, pruned) = Allowlist::fix(text, &diags).unwrap();
+        assert_eq!(fixed, text);
+        assert!(pruned.is_empty());
     }
 }

@@ -7,19 +7,147 @@ use std::fmt;
 pub enum Lint {
     /// L1: bare numeric types where a unit newtype is required.
     UnitSafety,
+    /// L1-FLOW: raw newtype extraction flowing into a bare pub parameter.
+    UnitFlow,
     /// L2: nondeterministic containers or entropy/clock sources.
     Determinism,
+    /// L2-TIME: float-seconds idioms inside event-loop files.
+    TimeDomain,
+    /// L2-HOT: per-event allocation idioms inside the event loop.
+    HotLoop,
+    /// L2-FLOW: float-seconds taint reaching the event loop via helpers.
+    FloatFlow,
     /// L3: unjustified `unwrap`/`expect`/`#[allow]`.
     Hygiene,
+    /// L4: nondeterministic state captured by a `par_map` closure.
+    Parallelism,
 }
 
 impl Lint {
+    /// Every lint, in code order.
+    pub const ALL: [Lint; 8] = [
+        Lint::UnitSafety,
+        Lint::UnitFlow,
+        Lint::Determinism,
+        Lint::TimeDomain,
+        Lint::HotLoop,
+        Lint::FloatFlow,
+        Lint::Hygiene,
+        Lint::Parallelism,
+    ];
+
     /// Stable short code used in output and the allowlist.
     pub fn code(self) -> &'static str {
         match self {
             Lint::UnitSafety => "L1",
+            Lint::UnitFlow => "L1-FLOW",
             Lint::Determinism => "L2",
+            Lint::TimeDomain => "L2-TIME",
+            Lint::HotLoop => "L2-HOT",
+            Lint::FloatFlow => "L2-FLOW",
             Lint::Hygiene => "L3",
+            Lint::Parallelism => "L4",
+        }
+    }
+
+    /// Parses a lint code back to the lint.
+    pub fn from_code(code: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.code() == code)
+    }
+
+    /// A long-form explanation for `--explain <CODE>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Lint::UnitSafety => {
+                "L1 unit-safety (line-local)\n\
+                 \n\
+                 Public functions and struct fields in the quantity crates\n\
+                 (timing, energy, compiler, isa, workload, core, prema) must\n\
+                 not pass cycle/byte/energy quantities as bare u64/usize/f64.\n\
+                 Use the Cycles/Bytes/Picojoules newtypes from planaria-model\n\
+                 so the type system prevents cycles-vs-seconds and\n\
+                 joules-vs-picojoules mix-ups. Rates (e.g. bytes per cycle)\n\
+                 are legitimately dimensionless and belong in the allowlist."
+            }
+            Lint::UnitFlow => {
+                "L1-FLOW newtype escape (interprocedural)\n\
+                 \n\
+                 A raw extraction (`.0`, `.get()`, `.as_f64()`) of a\n\
+                 Cycles/Bytes/Picojoules value is passed as an argument whose\n\
+                 receiving `pub fn` parameter is typed bare u64/usize/f64 in a\n\
+                 guarded crate. The quantity loses its unit at a public API\n\
+                 boundary — exactly what L1 exists to prevent — but through a\n\
+                 call, where the line-local L1 signature check cannot see it.\n\
+                 Change the callee parameter to the newtype, or keep the raw\n\
+                 value crate-internal."
+            }
+            Lint::Determinism => {
+                "L2 determinism (line-local)\n\
+                 \n\
+                 Simulation results must be bit-reproducible run-to-run: no\n\
+                 HashMap/HashSet (per-process randomized iteration order) in\n\
+                 scheduler/compiler/workload code, no wall-clock or OS entropy\n\
+                 (thread_rng, SystemTime::now, Instant::now) in simulation\n\
+                 logic, no raw std::thread (fan out via planaria_parallel::\n\
+                 par_map), and no ad-hoc printing in library code (use a\n\
+                 planaria_telemetry::Collector)."
+            }
+            Lint::TimeDomain => {
+                "L2-TIME integer time domain (line-local)\n\
+                 \n\
+                 Event-loop files (crates/sim/src/, the two engines) keep time\n\
+                 in integer Cycles end-to-end: float-era idioms (DONE_EPS,\n\
+                 to_cycles, round, seconds_at, 1e-12/1e-9 epsilons) and raw\n\
+                 `as u64` casts are banned. The single sanctioned float<->cycle\n\
+                 boundary is crates/sim/src/clock.rs (SimClock)."
+            }
+            Lint::HotLoop => {
+                "L2-HOT hot-loop allocation (line-local)\n\
+                 \n\
+                 The per-event path (kernel event loop, both engine policies,\n\
+                 the scheduler memo) must not allocate per event: collect,\n\
+                 to_vec, with_capacity, Vec::new, vec!, format!, String::new,\n\
+                 Box::new, and .clone() on collection-typed values are banned.\n\
+                 Extend a policy-owned scratch buffer that is clear()ed per\n\
+                 event instead; one-time setup buffers go in the allowlist."
+            }
+            Lint::FloatFlow => {
+                "L2-FLOW float-seconds taint (interprocedural)\n\
+                 \n\
+                 Seeds: f64-returning functions of crates/sim/src/clock.rs\n\
+                 (the sanctioned boundary) and any f64-returning function with\n\
+                 a seconds-suggestive name (contains `sec`/`second`/`time`, or\n\
+                 ends in `_s`). Taint propagates caller-ward through functions\n\
+                 that themselves return f64 — a helper `fn secs(c: Cycles) ->\n\
+                 f64` defined in an unguarded crate is tainted even though no\n\
+                 banned token appears in the event loop. Reported: any call in\n\
+                 an event-loop file to a tainted function defined outside\n\
+                 clock.rs, and any tainted function defined in an event-loop\n\
+                 file. Calling clock.rs directly is the sanctioned conversion\n\
+                 and is never reported."
+            }
+            Lint::Hygiene => {
+                "L3 hygiene (line-local)\n\
+                 \n\
+                 Library code must not panic on recoverable paths: .unwrap()/\n\
+                 .expect(...) and #[allow(...)] require an adjacent\n\
+                 `// lint: <reason>` justification. Binary targets (src/bin/,\n\
+                 main.rs, the cli crate) are exempt."
+            }
+            Lint::Parallelism => {
+                "L4 parallel determinism (closure analysis)\n\
+                 \n\
+                 Closures passed to par_map/par_map_auto must be pure\n\
+                 functions of their item: the index-ordered join is only\n\
+                 bit-deterministic if workers share no mutable state. Flagged\n\
+                 inside the closure body: `&mut` captures of outer state,\n\
+                 interior mutability (Cell/RefCell/Mutex/RwLock/UnsafeCell/\n\
+                 atomics), `static mut` access, and order-sensitive\n\
+                 accumulation through shared state (.lock()/.borrow_mut()/\n\
+                 .fetch_*) in reduction position. Move per-item state into\n\
+                 the closure or reduce over the ordered result vector after\n\
+                 the join."
+            }
         }
     }
 }

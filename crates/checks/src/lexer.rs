@@ -1,0 +1,309 @@
+//! A spanned token lexer over the stripped code view.
+//!
+//! [`SourceFile`] already blanks comments and literal contents, so the
+//! lexer only has to split identifiers, numbers, lifetimes, and
+//! punctuation. Every token carries its 1-based source line and the
+//! line's `#[cfg(test)]` flag, so downstream passes (the item parser,
+//! the call-graph extractor, the closure analysis) can report precise
+//! locations and skip test code without re-deriving line state.
+//!
+//! Only the multi-character punctuators that change *parsing structure*
+//! are fused (`::`, `->`, `=>`, `..`); operator pairs like `>>` stay as
+//! two tokens so nested generic closers (`Vec<Vec<u8>>`) count depth
+//! correctly.
+
+use crate::source::SourceFile;
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A numeric literal (exact spelling is irrelevant downstream).
+    Num,
+    /// A string literal (contents already blanked).
+    Str,
+    /// A char literal (contents already blanked).
+    Char,
+    /// A lifetime tick such as `'a`.
+    Life,
+    /// Punctuation: single characters plus the fused `::`/`->`/`=>`/`..`.
+    P(&'static str),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether the token sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether the token is the punctuator `p`.
+    pub fn is_p(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::P(s) if *s == p)
+    }
+
+    /// Whether the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == word)
+    }
+}
+
+/// The fused multi-character punctuators, longest first.
+const FUSED: [&str; 5] = ["...", "..=", "::", "->", "=>"];
+
+/// Single-character punctuators we keep as static strings.
+fn single(c: u8) -> &'static str {
+    match c {
+        b'(' => "(",
+        b')' => ")",
+        b'{' => "{",
+        b'}' => "}",
+        b'[' => "[",
+        b']' => "]",
+        b'<' => "<",
+        b'>' => ">",
+        b',' => ",",
+        b';' => ";",
+        b':' => ":",
+        b'.' => ".",
+        b'&' => "&",
+        b'|' => "|",
+        b'=' => "=",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'!' => "!",
+        b'?' => "?",
+        b'#' => "#",
+        b'@' => "@",
+        b'^' => "^",
+        b'~' => "~",
+        b'$' => "$",
+        _ => "",
+    }
+}
+
+/// Lexes the stripped code view of `file` into tokens.
+pub fn lex(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        let mut prev_was_dot = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            let push = |kind: TokKind, out: &mut Vec<Token>| {
+                out.push(Token {
+                    kind,
+                    line: line.number,
+                    in_test: line.in_test,
+                });
+            };
+            if b.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if b == b'"' {
+                push(TokKind::Str, &mut out);
+                i += 1;
+                prev_was_dot = false;
+                continue;
+            }
+            if b == b'\'' {
+                // Char literal `'_'` (contents blanked) or a lifetime tick.
+                if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    push(TokKind::Char, &mut out);
+                    i += 3;
+                } else {
+                    // Lifetime: consume the tick and the following word.
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    push(TokKind::Life, &mut out);
+                    i = j;
+                }
+                prev_was_dot = false;
+                continue;
+            }
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                push(TokKind::Ident(line.code[i..j].to_string()), &mut out);
+                i = j;
+                prev_was_dot = false;
+                continue;
+            }
+            if b.is_ascii_digit() {
+                // A number. After a `.` punct this is tuple-field access
+                // (`x.0`), so never consume a fraction there.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if !prev_was_dot
+                    && j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    j += 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                }
+                push(TokKind::Num, &mut out);
+                i = j;
+                prev_was_dot = false;
+                continue;
+            }
+            // Punctuation: fused pairs first.
+            if let Some(p) = FUSED.iter().find(|p| line.code[i..].starts_with(**p)) {
+                push(TokKind::P(p), &mut out);
+                i += p.len();
+                prev_was_dot = false;
+                continue;
+            }
+            let p = single(b);
+            if !p.is_empty() {
+                push(TokKind::P(p), &mut out);
+                prev_was_dot = p == ".";
+                i += 1;
+                continue;
+            }
+            // Unknown byte (non-ASCII in code position is unexpected after
+            // stripping); skip it.
+            i += 1;
+            prev_was_dot = false;
+        }
+    }
+    out
+}
+
+/// Finds the index of the token matching the opener at `open` (`(`/`[`/
+/// `{`), counting all three bracket kinds. Returns `tokens.len()` when
+/// unmatched.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::P("(") | TokKind::P("[") | TokKind::P("{") => depth += 1,
+            TokKind::P(")") | TokKind::P("]") | TokKind::P("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(&SourceFile::parse("x.rs", src))
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts_split() {
+        let k = kinds("fn f(x: u64) -> f64 { x as f64 * 1.5 }\n");
+        assert_eq!(k[0], TokKind::Ident("fn".into()));
+        assert_eq!(k[1], TokKind::Ident("f".into()));
+        assert!(k.contains(&TokKind::P("->")));
+        assert!(k.contains(&TokKind::Num));
+    }
+
+    #[test]
+    fn paths_fuse_double_colon() {
+        let k = kinds("a::b::c(x)\n");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::P("::"),
+                TokKind::Ident("b".into()),
+                TokKind::P("::"),
+                TokKind::Ident("c".into()),
+                TokKind::P("("),
+                TokKind::Ident("x".into()),
+                TokKind::P(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_access_is_dot_then_number() {
+        let k = kinds("c.0 + 1.5\n");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("c".into()),
+                TokKind::P("."),
+                TokKind::Num,
+                TokKind::P("+"),
+                TokKind::Num,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_and_chars_are_distinct() {
+        let k = kinds("fn f<'a>(s: &'a str) { let c = 'q'; }\n");
+        assert!(k.contains(&TokKind::Life));
+        assert!(k.contains(&TokKind::Char));
+    }
+
+    #[test]
+    fn nested_generics_keep_single_closers() {
+        let k = kinds("let v: Vec<Vec<u8>> = make();\n");
+        assert_eq!(k.iter().filter(|t| **t == TokKind::P(">")).count(), 2);
+    }
+
+    #[test]
+    fn lines_and_test_flags_are_carried() {
+        let toks = lex(&SourceFile::parse(
+            "x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod t { fn b() {} }\n",
+        ));
+        let a = toks.iter().find(|t| t.is_ident("a")).expect("a");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(a.line, 1);
+        assert!(!a.in_test);
+        assert_eq!(b.line, 3);
+        assert!(b.in_test);
+    }
+
+    #[test]
+    fn matching_close_counts_all_brackets() {
+        let toks = lex(&SourceFile::parse("x.rs", "f(a, (b), [c{d}])\n"));
+        assert!(toks[1].is_p("("));
+        assert_eq!(matching_close(&toks, 1), toks.len() - 1);
+    }
+}

@@ -1,8 +1,10 @@
 //! The lint passes.
 
 pub mod determinism;
+pub mod flow;
 pub mod hotloop;
 pub mod hygiene;
+pub mod parallelism;
 pub mod timedomain;
 pub mod units;
 

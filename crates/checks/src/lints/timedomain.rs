@@ -78,7 +78,7 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
         for (token, why) in TIME_TOKENS {
             if find_word(&line.code, token).is_some() {
                 diags.push(Diagnostic {
-                    lint: Lint::Determinism,
+                    lint: Lint::TimeDomain,
                     rel_path: file.rel.clone(),
                     line: line.number,
                     ident: token.to_string(),
@@ -89,7 +89,7 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
         // `as u64` is a substring pattern (two tokens), not a word.
         if line.code.contains("as u64") {
             diags.push(Diagnostic {
-                lint: Lint::Determinism,
+                lint: Lint::TimeDomain,
                 rel_path: file.rel.clone(),
                 line: line.number,
                 ident: "as_u64".to_string(),

@@ -1,10 +1,12 @@
-//! The `planaria-checks` binary: walks the workspace, runs the L1/L2/L3
-//! lints, filters through the checked-in allowlist, and reports.
+//! The `planaria-checks` binary: walks the workspace, runs the
+//! line-local and interprocedural lints, filters through the checked-in
+//! allowlist, and reports.
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` violations found, `2` usage error, I/O
+//! error, or stale allowlist entries (run `--fix-allowlist` to repair).
 
 use planaria_checks::diagnostics::render_json_report;
-use planaria_checks::{run_filtered, Allowlist};
+use planaria_checks::{analyze, Allowlist, Lint, Options as AnalyzeOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -18,16 +20,35 @@ struct Options {
     root: PathBuf,
     format: Format,
     allowlist: Option<PathBuf>,
+    jobs: Option<usize>,
+    cache: Option<PathBuf>,
+    fix_allowlist: bool,
 }
 
 const USAGE: &str = "usage: planaria-checks [--root DIR] [--format text|json] [--allowlist FILE]
+                       [--jobs N] [--cache FILE] [--fix-allowlist]
+       planaria-checks --explain CODE
 
 Runs the workspace's domain-invariant lints:
-  L1 unit-safety   bare u64/usize/f64 where Cycles/Bytes/Picojoules belong
-  L2 determinism   HashMap/HashSet or clocks/entropy in simulation code
-  L3 hygiene       unjustified unwrap()/expect()/#[allow(...)]
+  L1 unit-safety    bare u64/usize/f64 where Cycles/Bytes/Picojoules belong
+  L1-FLOW           raw newtype extraction crossing a guarded pub fn (call graph)
+  L2 determinism    HashMap/HashSet or clocks/entropy in simulation code
+  L2-TIME           float-seconds idioms inside the event-loop files
+  L2-HOT            per-event allocation idioms in the per-event path
+  L2-FLOW           float-seconds taint reaching the event loop via helpers (call graph)
+  L3 hygiene        unjustified unwrap()/expect()/#[allow(...)]
+  L4 parallelism    par_map closures capturing shared mutable state
 
-Exits 0 when clean, 1 on violations, 2 on errors.";
+Options:
+  --jobs N          per-file fan-out width (default: PLANARIA_JOBS or cores);
+                    output is byte-identical for any N
+  --cache FILE      incremental cache keyed by content hash; warm reruns
+                    re-lex only changed files
+  --fix-allowlist   rewrite the allowlist: prune stale entries, migrate bare
+                    family codes (L2) to the exact codes they match (L2-HOT)
+  --explain CODE    print the long-form rule text for a lint code
+
+Exits 0 when clean, 1 on violations, 2 on errors or stale allowlist entries.";
 
 /// Walks upward from `start` to find the workspace root (a directory
 /// containing both `Cargo.toml` and `crates/`).
@@ -48,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
     let mut root = None;
     let mut format = Format::Text;
     let mut allowlist = None;
+    let mut jobs = None;
+    let mut cache = None;
+    let mut fix_allowlist = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
@@ -62,6 +86,38 @@ fn parse_args() -> Result<Options, String> {
                 allowlist = Some(PathBuf::from(
                     args.next().ok_or("--allowlist requires a value")?,
                 ));
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs must be a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                jobs = Some(n);
+            }
+            "--cache" => {
+                cache = Some(PathBuf::from(
+                    args.next().ok_or("--cache requires a value")?,
+                ));
+            }
+            "--fix-allowlist" => fix_allowlist = true,
+            "--explain" => {
+                let code = args.next().ok_or("--explain requires a lint code")?;
+                match Lint::from_code(&code) {
+                    Some(lint) => {
+                        println!("{}", lint.explain());
+                        std::process::exit(0);
+                    }
+                    None => {
+                        let known: Vec<&str> = Lint::ALL.iter().map(|l| l.code()).collect();
+                        return Err(format!(
+                            "unknown lint code {code:?}; known codes: {}",
+                            known.join(", ")
+                        ));
+                    }
+                }
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -81,6 +137,9 @@ fn parse_args() -> Result<Options, String> {
         root,
         format,
         allowlist,
+        jobs,
+        cache,
+        fix_allowlist,
     })
 }
 
@@ -103,13 +162,68 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (violations, unused) = match run_filtered(&opts.root, &allow) {
-        Ok(r) => r,
+    let analysis = match analyze(
+        &opts.root,
+        &AnalyzeOptions {
+            jobs: opts.jobs,
+            cache: opts.cache.clone(),
+        },
+    ) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("planaria-checks: {e}");
             return ExitCode::from(2);
         }
     };
+    if opts.cache.is_some() {
+        eprintln!(
+            "planaria-checks: {} file(s) scanned, {} re-lexed ({} cached)",
+            analysis.files_total,
+            analysis.files_relexed,
+            analysis.files_total - analysis.files_relexed
+        );
+    }
+    if opts.fix_allowlist {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                eprintln!("planaria-checks: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (fixed, pruned) = match Allowlist::fix(&text, &analysis.diagnostics) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "planaria-checks: bad allowlist: {}:{}: {}",
+                    allow_path.display(),
+                    e.line,
+                    e.reason
+                );
+                return ExitCode::from(2);
+            }
+        };
+        if fixed == text {
+            eprintln!("planaria-checks: allowlist already clean");
+            return ExitCode::SUCCESS;
+        }
+        if let Err(e) = std::fs::write(&allow_path, &fixed) {
+            eprintln!("planaria-checks: {e}");
+            return ExitCode::from(2);
+        }
+        for entry in &pruned {
+            eprintln!("planaria-checks: pruned stale allowlist entry `{entry}`");
+        }
+        eprintln!(
+            "planaria-checks: rewrote {} ({} stale entr{} pruned)",
+            allow_path.display(),
+            pruned.len(),
+            if pruned.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (violations, unused) = allow.filter(analysis.diagnostics);
     match opts.format {
         Format::Json => println!("{}", render_json_report(&violations)),
         Format::Text => {
@@ -119,19 +233,26 @@ fn main() -> ExitCode {
         }
     }
     for entry in &unused {
-        eprintln!("planaria-checks: warning: stale allowlist entry `{entry}`");
+        eprintln!("planaria-checks: stale allowlist entry `{entry}` (run --fix-allowlist)");
     }
-    if violations.is_empty() {
-        if opts.format == Format::Text {
-            eprintln!(
-                "planaria-checks: clean ({} allowlist entr{})",
-                allow.len(),
-                if allow.len() == 1 { "y" } else { "ies" }
-            );
-        }
-        ExitCode::SUCCESS
-    } else {
+    if !violations.is_empty() {
         eprintln!("planaria-checks: {} violation(s)", violations.len());
-        ExitCode::from(1)
+        return ExitCode::from(1);
     }
+    if !unused.is_empty() {
+        eprintln!(
+            "planaria-checks: {} stale allowlist entr{}",
+            unused.len(),
+            if unused.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::from(2);
+    }
+    if opts.format == Format::Text {
+        eprintln!(
+            "planaria-checks: clean ({} allowlist entr{})",
+            allow.len(),
+            if allow.len() == 1 { "y" } else { "ies" }
+        );
+    }
+    ExitCode::SUCCESS
 }

@@ -36,6 +36,18 @@ enum Mode {
     Code,
     /// Inside `/* ... */`, with nesting depth.
     BlockComment(u32),
+    /// Inside a string literal. `raw_hashes` is `None` for a plain
+    /// `"..."` string (backslash escapes apply) and `Some(n)` for a raw
+    /// `r"..."` / `r#"..."#` string closed by `"` followed by `n` hashes.
+    Str {
+        raw_hashes: Option<u8>,
+    },
+}
+
+/// Whether `bytes[i]` starts a word (is not preceded by an identifier
+/// character), so `r"` raw-string detection never fires mid-identifier.
+fn is_word_start(bytes: &[u8], i: usize) -> bool {
+    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
 }
 
 /// Blanks comments and literal contents from one line, returning the code
@@ -68,6 +80,51 @@ fn strip_line(raw: &str, mode: Mode) -> (String, Mode) {
                     i += 1;
                 }
             }
+            Mode::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        // Plain string: `\x` escapes (including `\"`) are
+                        // blanked as a pair; a backslash ending the line
+                        // escapes the newline, so the string continues.
+                        if bytes[i] == b'\\' {
+                            if i + 1 < bytes.len() {
+                                out.push(' ');
+                                out.push(' ');
+                                i += 2;
+                            } else {
+                                out.push(' ');
+                                i += 1;
+                            }
+                        } else if bytes[i] == b'"' {
+                            out.push('"');
+                            i += 1;
+                            mode = Mode::Code;
+                        } else {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Some(h) => {
+                        // Raw string: closes on `"` followed by `h` hashes;
+                        // no escapes, may span any number of lines.
+                        let h = h as usize;
+                        if bytes[i] == b'"'
+                            && bytes[i + 1..].len() >= h
+                            && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                        {
+                            out.push('"');
+                            for _ in 0..h {
+                                out.push(' ');
+                            }
+                            i += 1 + h;
+                            mode = Mode::Code;
+                        } else {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
             Mode::Code => {
                 if bytes[i..].starts_with(b"//") {
                     // Line comment: blank the rest of the line.
@@ -80,52 +137,37 @@ fn strip_line(raw: &str, mode: Mode) -> (String, Mode) {
                     out.push(' ');
                     out.push(' ');
                     i += 2;
-                } else if bytes[i] == b'"'
-                    || bytes[i..].starts_with(b"r\"")
-                    || bytes[i..].starts_with(b"r#\"")
-                {
-                    // String literal (plain or raw). Raw strings spanning
-                    // multiple lines are rare in this workspace; contents on
-                    // this line are blanked and the literal is assumed to
-                    // close on the same line (true for all current sources).
-                    let (skip, hashes) = if bytes[i] == b'"' {
-                        (1, 0)
-                    } else if bytes[i..].starts_with(b"r#\"") {
-                        (3, 1)
-                    } else {
-                        (2, 0)
-                    };
+                } else if bytes[i] == b'"' {
                     out.push('"');
-                    for _ in 1..skip {
+                    i += 1;
+                    mode = Mode::Str { raw_hashes: None };
+                } else if bytes[i] == b'r'
+                    && {
+                        // `r"`, `r#"`, `r##"`, ... — count the hashes.
+                        let mut j = i + 1;
+                        while j < bytes.len() && bytes[j] == b'#' {
+                            j += 1;
+                        }
+                        j < bytes.len() && bytes[j] == b'"' && j - i - 1 <= u8::MAX as usize
+                    }
+                    && is_word_start(bytes, i)
+                {
+                    let mut j = i + 1;
+                    while bytes[j] == b'#' {
+                        j += 1;
+                    }
+                    let hashes = (j - i - 1) as u8;
+                    // Keep the opening delimiter as `"` so token
+                    // boundaries survive; hashes become spaces.
+                    out.push(' ');
+                    for _ in 0..hashes {
                         out.push(' ');
                     }
-                    i += skip;
-                    let raw_str = skip > 1;
-                    while i < bytes.len() {
-                        if !raw_str && bytes[i] == b'\\' && i + 1 < bytes.len() {
-                            out.push(' ');
-                            out.push(' ');
-                            i += 2;
-                        } else if bytes[i] == b'"' {
-                            if hashes == 1 {
-                                if bytes[i..].starts_with(b"\"#") {
-                                    out.push('"');
-                                    out.push(' ');
-                                    i += 2;
-                                    break;
-                                }
-                                out.push(' ');
-                                i += 1;
-                            } else {
-                                out.push('"');
-                                i += 1;
-                                break;
-                            }
-                        } else {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    }
+                    out.push('"');
+                    i = j + 1;
+                    mode = Mode::Str {
+                        raw_hashes: Some(hashes),
+                    };
                 } else if bytes[i] == b'\'' {
                     // Char literal or lifetime. Treat as a char literal only
                     // when it closes within a few bytes; otherwise it is a
@@ -271,9 +313,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Collects and parses the workspace's library sources: `crates/*/src/**`
-/// plus the root facade's `src/**`, in deterministic path order.
-pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+/// Collects the workspace's library source paths: `crates/*/src/**` plus
+/// the root facade's `src/**`, in deterministic path order.
+fn workspace_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut paths = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -290,7 +332,34 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     if root_src.is_dir() {
         collect_rs(&root_src, &mut paths)?;
     }
-    paths.iter().map(|p| SourceFile::load(root, p)).collect()
+    Ok(paths)
+}
+
+/// Collects and parses the workspace's library sources, in deterministic
+/// path order.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    workspace_paths(root)?
+        .iter()
+        .map(|p| SourceFile::load(root, p))
+        .collect()
+}
+
+/// Collects the workspace's library sources as raw `(rel, text)` pairs,
+/// in deterministic path order. The analysis pipeline hashes the text for
+/// the incremental cache before deciding whether to parse at all.
+pub fn workspace_source_texts(root: &Path) -> io::Result<Vec<(String, String)>> {
+    workspace_paths(root)?
+        .iter()
+        .map(|p| {
+            let text = fs::read_to_string(p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Ok((rel, text))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -325,6 +394,60 @@ mod tests {
         assert!(!f.lines[0].code.contains("HashMap"));
         assert!(!f.lines[1].code.contains("HashMap"));
         assert!(f.lines[1].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let q = r#\"first HashMap\nsecond .unwrap() line\ntail\"# ; let x = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("; let x = 1;"));
+        assert!(!f.lines[2].code.contains("tail"));
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_span_lines() {
+        let src = "let q = r##\"a \"# quote\nstill HashMap inside\"## ; Instant::now();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains("quote"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn plain_strings_span_lines() {
+        // Rust string literals may contain literal newlines; the contents
+        // on every line must be blanked until the closing quote.
+        let src = "let s = \"first HashMap\nsecond line\"; thread_rng();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("second"));
+        assert!(f.lines[1].code.contains("thread_rng"));
+    }
+
+    #[test]
+    fn backslash_continuation_keeps_string_open() {
+        let src = "let s = \"ends with \\\nescaped start\"; let y = 2;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].code.contains("escaped"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn escaped_quote_in_multiline_string_does_not_close_it() {
+        let src = "let s = \"line one \\\" still\ninside HashMap\"; done();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("done()"));
+    }
+
+    #[test]
+    fn raw_string_prefix_mid_identifier_does_not_open_string() {
+        // `var"` never occurs in valid Rust, but an identifier ending in
+        // `r` directly before a string must not eat the whole line.
+        let f = SourceFile::parse("x.rs", "let nr = 1; let s = \"x\"; f(nr);\n");
+        assert!(f.lines[0].code.contains("f(nr);"));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Fixture: `par_map` fan-out closures. The shared-state captures here
+//! compile fine and even produce correct *sums* — but worker-completion
+//! order leaks into observable state, which L4 must catch.
+
+/// L4: the closure mutates captured state through `&mut`.
+pub fn fan_out(shards: Vec<u64>, total: &mut u64) -> Vec<u64> {
+    par_map(shards, 2, |s| {
+        accumulate(&mut total, s);
+        s
+    })
+}
+
+/// L4 (twice): the captured atomic is resolved through the declared
+/// parameter type, and `.fetch_add` is order-sensitive accumulation.
+pub fn tally(shards: Vec<u64>, hits: &AtomicU64) -> Vec<u64> {
+    par_map(shards, 2, |s| {
+        hits.fetch_add(s, Ordering::SeqCst);
+        s
+    })
+}
+
+/// Clean: a pure closure; reduce over the ordered results after the join.
+pub fn fan_out_pure(shards: Vec<u64>) -> Vec<u64> {
+    par_map(shards, 2, |s| s + 1)
+}

@@ -1,0 +1,32 @@
+//! Fixture: an event-loop file that launders float seconds through
+//! helpers. No banned L2-TIME token appears on any line of this file —
+//! the old line-local lints pass it clean. L2-FLOW must fire on the two
+//! tainted calls and stay silent on the sanctioned clock call.
+
+pub struct Engine {
+    clock: SimClock,
+}
+
+impl Engine {
+    /// L2-FLOW: `span_secs` is a direct float-seconds seed.
+    pub fn lag(&self, now: Cycles) -> bool {
+        let s = span_secs(now);
+        s > 1.0
+    }
+
+    /// L2-FLOW: `window` carries the same taint through an f64 wrapper.
+    pub fn drift(&self, now: Cycles) -> bool {
+        let w = window(now);
+        w > 1.0
+    }
+
+    /// Clean: the call resolves to the sanctioned `SimClock` boundary.
+    pub fn finish(&self, now: Cycles) -> SimResult {
+        pack(self.clock.to_seconds(now))
+    }
+
+    /// Clean: `utilization` is a dimensionless, taint-free f64 helper.
+    pub fn load(&self, used: Cycles, total: Cycles) -> bool {
+        utilization(used, total) > 0.5
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: call sites that strip a newtype before a guarded boundary.
+
+/// L1-FLOW: the raw `.get()` extraction crosses `admit`'s bare `u64`.
+pub fn dispatch(budget: Cycles) -> bool {
+    admit(budget.get())
+}
+
+/// Clean: the newtype is passed whole.
+pub fn dispatch_typed(budget: Cycles) -> bool {
+    admit_typed(budget)
+}
+
+/// Clean: `scale` lives in an unguarded crate, so the extraction is a
+/// legitimate exit from the typed domain.
+pub fn stretch(budget: Cycles) -> f64 {
+    scale(budget.as_f64())
+}

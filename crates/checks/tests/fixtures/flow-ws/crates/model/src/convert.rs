@@ -1,0 +1,23 @@
+//! Fixture: float-seconds helpers in an unguarded crate. No line-local
+//! lint scopes this file, so these definitions are invisible to L2-TIME;
+//! only the call graph connects them to the event loop.
+
+/// Direct taint seed: f64 return + seconds-suggestive name.
+pub fn span_secs(c: Cycles) -> f64 {
+    c.as_f64() / 1.4e9
+}
+
+/// Not a seed by name — taint reaches it through the f64 wrapper chain.
+pub fn window(c: Cycles) -> f64 {
+    span_secs(c)
+}
+
+/// Dimensionless f64 ratio: taint-free, callable from anywhere.
+pub fn utilization(used: Cycles, total: Cycles) -> f64 {
+    used.as_f64() / total.as_f64()
+}
+
+/// Bare-f64 sink in an unguarded crate: L1-FLOW ignores extractions here.
+pub fn scale(x: f64) -> f64 {
+    x * 2.0
+}

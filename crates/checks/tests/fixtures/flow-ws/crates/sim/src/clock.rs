@@ -1,0 +1,13 @@
+//! Fixture: the one sanctioned float<->cycle boundary. Its f64-returning
+//! functions seed the L2-FLOW taint, but calls that resolve here are
+//! never reported.
+
+pub struct SimClock {
+    freq: f64,
+}
+
+impl SimClock {
+    pub fn to_seconds(&self, c: Cycles) -> f64 {
+        c.as_f64() / self.freq
+    }
+}

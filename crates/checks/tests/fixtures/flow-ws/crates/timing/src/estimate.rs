@@ -1,0 +1,13 @@
+//! Fixture: a guarded public API whose parameter names are unit-neutral.
+//! Line-local L1 checks names against types, so `limit: u64` passes it —
+//! the escape is only visible when an extraction flows into it (L1-FLOW).
+
+/// Bare `u64` parameter with a unit-neutral name: L1 is silent here.
+pub fn admit(limit: u64) -> bool {
+    limit > 0
+}
+
+/// Newtype-taking twin: the clean way through the same boundary.
+pub fn admit_typed(limit: Cycles) -> bool {
+    limit.get() > 0
+}

@@ -1,0 +1,199 @@
+//! Integration tests for the interprocedural lints over the `flow-ws`
+//! fixture workspace — a workspace the old line-local lints pass clean,
+//! where only the call graph exposes the violations — plus the
+//! production affordances: the golden `--format json` snapshot, byte
+//! determinism across `--jobs` counts, and warm-cache reruns that re-lex
+//! only changed files.
+
+use planaria_checks::{analyze, run_all, Options};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/flow-ws")
+}
+
+#[test]
+fn interprocedural_fixtures_fire_only_the_flow_lints() {
+    let diags = run_all(&fixture_root()).expect("fixture scan");
+    let got: Vec<(String, String, usize, String)> = diags
+        .iter()
+        .map(|d| {
+            (
+                d.lint.code().to_string(),
+                d.rel_path.clone(),
+                d.line,
+                d.ident.clone(),
+            )
+        })
+        .collect();
+    let expect = [
+        ("L4", "crates/core/src/cluster.rs", 8, "total"),
+        ("L4", "crates/core/src/cluster.rs", 17, "fetch_add"),
+        ("L4", "crates/core/src/cluster.rs", 17, "hits"),
+        ("L2-FLOW", "crates/core/src/engine.rs", 13, "span_secs"),
+        ("L2-FLOW", "crates/core/src/engine.rs", 19, "window"),
+        ("L1-FLOW", "crates/core/src/run.rs", 5, "admit"),
+    ];
+    let want: Vec<(String, String, usize, String)> = expect
+        .iter()
+        .map(|(c, p, l, i)| (c.to_string(), p.to_string(), *l, i.to_string()))
+        .collect();
+    assert_eq!(got, want, "diagnostics:\n{diags:#?}");
+    // The whole point of the fixture: every diagnostic comes from a lint
+    // the line-local passes cannot express — none from the old ones.
+    assert!(
+        diags
+            .iter()
+            .all(|d| matches!(d.lint.code(), "L1-FLOW" | "L2-FLOW" | "L4")),
+        "line-local lint fired on a flow fixture:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn golden_json_snapshot_is_stable() {
+    let bin = env!("CARGO_BIN_EXE_planaria-checks");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture_root())
+        .args(["--allowlist", "/nonexistent-allowlist", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let golden = include_str!("fixtures/flow-ws.json");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "JSON report drifted from tests/fixtures/flow-ws.json; if the \
+         change is intentional, regenerate the snapshot with:\n  cargo run \
+         -p planaria-checks -- --root crates/checks/tests/fixtures/flow-ws \
+         --allowlist /nonexistent-allowlist --format json"
+    );
+}
+
+#[test]
+fn diagnostics_are_byte_identical_for_any_job_count() {
+    let root = fixture_root();
+    let serial = analyze(
+        &root,
+        &Options {
+            jobs: Some(1),
+            cache: None,
+        },
+    )
+    .expect("serial scan");
+    let wide = analyze(
+        &root,
+        &Options {
+            jobs: Some(8),
+            cache: None,
+        },
+    )
+    .expect("parallel scan");
+    assert_eq!(serial.diagnostics, wide.diagnostics);
+    // And at the binary level, where the JSON bytes are what CI diffs.
+    let bin = env!("CARGO_BIN_EXE_planaria-checks");
+    let run = |jobs: &str| {
+        Command::new(bin)
+            .args(["--root"])
+            .arg(&root)
+            .args(["--allowlist", "/nonexistent-allowlist"])
+            .args(["--format", "json", "--jobs", jobs])
+            .output()
+            .expect("binary runs")
+            .stdout
+    };
+    assert_eq!(run("1"), run("4"));
+}
+
+/// Copies the fixture tree into a scratch dir so a file can be touched.
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("mkdir");
+    for entry in fs::read_dir(from).expect("readdir") {
+        let entry = entry.expect("entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            fs::copy(&src, &dst).expect("copy");
+        }
+    }
+}
+
+#[test]
+fn warm_cache_rerun_relexes_only_changed_files() {
+    let scratch = std::env::temp_dir().join(format!("planaria-flow-ws-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root(), &scratch);
+    let cache = scratch.join("checks.cache");
+    let opts = Options {
+        jobs: None,
+        cache: Some(cache.clone()),
+    };
+    // Cold run: every file is lexed and the cache is written.
+    let cold = analyze(&scratch, &opts).expect("cold scan");
+    assert_eq!(cold.files_total, 6);
+    assert_eq!(cold.files_relexed, 6);
+    assert!(cache.is_file(), "cache file written");
+    // Warm run: nothing changed, nothing re-lexed, identical output.
+    let warm = analyze(&scratch, &opts).expect("warm scan");
+    assert_eq!(warm.files_relexed, 0);
+    assert_eq!(warm.diagnostics, cold.diagnostics);
+    // Touch one file (a trailing comment — stripped before linting):
+    // exactly that file is re-lexed and the diagnostics are unchanged.
+    let engine = scratch.join("crates/core/src/engine.rs");
+    let mut text = fs::read_to_string(&engine).expect("read engine");
+    text.push_str("// trailing fixture comment\n");
+    fs::write(&engine, text).expect("write engine");
+    let touched = analyze(&scratch, &opts).expect("touched scan");
+    assert_eq!(touched.files_relexed, 1);
+    assert_eq!(touched.diagnostics, cold.diagnostics);
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn corrupt_cache_is_discarded_not_trusted() {
+    let scratch = std::env::temp_dir().join(format!("planaria-flow-cc-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).expect("mkdir");
+    let cache = scratch.join("checks.cache");
+    fs::write(&cache, "not a planaria cache\n\x01garbage").expect("write garbage");
+    let opts = Options {
+        jobs: None,
+        cache: Some(cache.clone()),
+    };
+    let a = analyze(&fixture_root(), &opts).expect("scan");
+    // The garbage cache is ignored: everything re-lexes, output matches
+    // an uncached run, and the cache file is rewritten valid.
+    assert_eq!(a.files_relexed, a.files_total);
+    let fresh = run_all(&fixture_root()).expect("uncached scan");
+    assert_eq!(a.diagnostics, fresh);
+    let warm = analyze(&fixture_root(), &opts).expect("warm scan");
+    assert_eq!(warm.files_relexed, 0);
+    assert_eq!(warm.diagnostics, fresh);
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn explain_prints_rule_text_for_every_code() {
+    let bin = env!("CARGO_BIN_EXE_planaria-checks");
+    for code in [
+        "L1", "L1-FLOW", "L2", "L2-TIME", "L2-HOT", "L2-FLOW", "L3", "L4",
+    ] {
+        let out = Command::new(bin)
+            .args(["--explain", code])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "--explain {code}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.len() > 80, "--explain {code} too short:\n{text}");
+        assert!(text.contains(code), "--explain {code} must name the code");
+    }
+    let out = Command::new(bin)
+        .args(["--explain", "L9"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
