@@ -1,0 +1,87 @@
+//! Extension — online dispatch policy shoot-out at million-request
+//! scale: every [`DispatchPolicy`] routes the same 10^6-request streamed
+//! trace across an 8-node Planaria cluster.
+//!
+//! Not a paper figure: the paper provisions clusters offline (Fig. 16
+//! asks "how many nodes"), while this extension asks "given the nodes,
+//! how should a front-end route?" — the natural follow-on question for a
+//! datacenter deployment. The trace streams through the fabric without
+//! ever being materialized (the 10^6-request Vec alone would dwarf the
+//! simulator's working set), exercising the same lazy path CI pins
+//! bit-identical to the materialized one.
+//!
+//! Expected shape: load-aware policies (least-work, JSQ, power-of-two)
+//! hold p99 and SLA rate under load where round-robin interleaves heavy
+//! and light models onto the same node; power-of-two tracks JSQ at a
+//! fraction of the feedback; QoS-aware routing buys tight-deadline
+//! requests headroom by segregating them from relaxed traffic.
+
+use planaria_bench::{ResultTable, Systems};
+use planaria_core::{run_cluster_fabric, DispatchPolicy, FabricTuning};
+use planaria_workload::{Completion, QosLevel, Scenario, TraceConfig};
+
+const NODES: usize = 8;
+/// ~8× the single-node saturation rate of the fig16 sweep: the cluster
+/// runs loaded but not hopeless, so routing quality is visible in both
+/// the SLA rate and the latency tail.
+const LAMBDA: f64 = 2_500.0;
+
+/// Requests per policy run: 10^6 by default, overridable with
+/// `PLANARIA_EXT_REQUESTS` for quick local iterations.
+fn requests() -> usize {
+    std::env::var("PLANARIA_EXT_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn sla_rate(completions: &[Completion]) -> f64 {
+    if completions.is_empty() {
+        return 0.0;
+    }
+    completions.iter().filter(|c| c.met_qos()).count() as f64 / completions.len() as f64
+}
+
+fn main() {
+    let sys = Systems::new();
+    let n = requests();
+    let cfg = TraceConfig::new(Scenario::C, QosLevel::Medium, LAMBDA, n, 0xd15b);
+    let mut table = ResultTable::new(
+        format!(
+            "Ext: dispatch policies, {NODES}-node cluster, {n} streamed requests at {LAMBDA} q/s"
+        ),
+        &[
+            "policy",
+            "sla_rate",
+            "mean_ms",
+            "p99_ms",
+            "makespan_s",
+            "energy_j",
+            "events",
+            "rounds",
+        ],
+    );
+    for policy in DispatchPolicy::ALL {
+        let start = std::time::Instant::now();
+        let (result, stats) = run_cluster_fabric(
+            &sys.planaria,
+            NODES,
+            cfg.stream(),
+            policy,
+            &FabricTuning::default(),
+        );
+        eprintln!("[{policy:?}: {:.1}s]", start.elapsed().as_secs_f64());
+        assert_eq!(result.completions.len(), n, "{policy:?} lost requests");
+        table.row(vec![
+            format!("{policy:?}"),
+            format!("{:.4}", sla_rate(&result.completions)),
+            format!("{:.3}", result.mean_latency() * 1e3),
+            format!("{:.3}", result.percentile_latency(0.99) * 1e3),
+            format!("{:.3}", result.makespan),
+            format!("{:.3}", result.total_energy.to_joules()),
+            stats.events.to_string(),
+            stats.rounds.to_string(),
+        ]);
+    }
+    table.emit("ext_dispatch");
+}

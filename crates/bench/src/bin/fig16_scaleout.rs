@@ -5,11 +5,20 @@
 //! Paper shape: node count grows from QoS-S to QoS-H; Workload-B (tightest
 //! relative bounds) needs the most nodes (2 → 7); Workload-A QoS-S fits on
 //! a single node.
+//!
+//! Each seed's trace is generated once per grid cell and reused by every
+//! probed node count — regeneration inside the probe loop was pure waste
+//! (the trace depends only on the cell and the seed, never on the node
+//! count). Under `PLANARIA_STREAM_TRACES=1` the probes instead feed the
+//! cluster through the lazy `TraceConfig::stream()` path; results are
+//! bit-identical either way and CI diffs the TSV under both.
 
-use planaria_bench::{export_trace_if_requested, par_grid, trace, ResultTable, Systems};
-use planaria_core::{min_nodes_for_sla, run_cluster};
+use planaria_bench::{
+    export_trace_if_requested, par_grid, stream_traces, trace_config, ResultTable, Systems,
+};
+use planaria_core::{min_nodes_for_sla, run_cluster, run_cluster_streamed, DispatchPolicy};
 use planaria_parallel::{effective_jobs, par_map};
-use planaria_workload::meets_sla;
+use planaria_workload::{meets_sla, Request};
 
 /// One constant rate across all workloads and QoS levels (§VI-B1).
 const LAMBDA: f64 = 350.0;
@@ -26,11 +35,31 @@ fn main() {
     // cluster runs at each probed node count fan out too (they run inline
     // when nested under the grid's own workers).
     let cells = par_grid(|scenario, qos| {
+        let cfgs: Vec<_> = seeds
+            .iter()
+            .map(|&s| trace_config(scenario, qos, LAMBDA, s))
+            .collect();
+        // Materialized path: one trace per seed for the whole node sweep.
+        let traces: Vec<Vec<Request>> = if stream_traces() {
+            Vec::new()
+        } else {
+            cfgs.iter().map(|cfg| cfg.generate()).collect()
+        };
         min_nodes_for_sla(
             |n| {
-                par_map(seeds.clone(), effective_jobs(), |s| {
-                    let t = trace(scenario, qos, LAMBDA, s);
-                    meets_sla(&run_cluster(&sys.planaria, n, &t).completions)
+                let indices: Vec<usize> = (0..cfgs.len()).collect();
+                par_map(indices, effective_jobs(), |i| {
+                    let result = if stream_traces() {
+                        run_cluster_streamed(
+                            &sys.planaria,
+                            n,
+                            cfgs[i].stream(),
+                            DispatchPolicy::LeastWork,
+                        )
+                    } else {
+                        run_cluster(&sys.planaria, n, &traces[i])
+                    };
+                    meets_sla(&result.completions)
                 })
                 .into_iter()
                 .all(|ok| ok)

@@ -32,10 +32,14 @@ use crate::summary::FileSummary;
 use crate::symbols::is_bare_numeric;
 use std::collections::BTreeSet;
 
-/// Event-loop files guarded by L2-FLOW (same scope as L2-TIME).
-const TIME_SCOPE: [&str; 3] = [
+/// Event-loop files guarded by L2-FLOW (same scope as L2-TIME): the two
+/// engines, their cluster dispatch layers, and the whole kernel crate
+/// (which includes the multi-node fabric).
+const TIME_SCOPE: [&str; 5] = [
     "crates/core/src/engine.rs",
+    "crates/core/src/cluster.rs",
     "crates/prema/src/engine.rs",
+    "crates/prema/src/cluster.rs",
     "crates/sim/src/",
 ];
 

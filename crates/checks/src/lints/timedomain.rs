@@ -25,11 +25,14 @@ use crate::lints::find_word;
 use crate::source::SourceFile;
 
 /// Event-loop files where float time arithmetic is banned. Exact files
-/// for the engines (their scheduler/policy siblings legitimately hold
-/// dimensionless f64 scores) plus the whole kernel crate.
-const TIME_SCOPE: [&str; 3] = [
+/// for the engines and the cluster dispatch layers (their scheduler/
+/// policy siblings legitimately hold dimensionless f64 scores) plus the
+/// whole kernel crate — which includes the multi-node fabric.
+const TIME_SCOPE: [&str; 5] = [
     "crates/core/src/engine.rs",
+    "crates/core/src/cluster.rs",
     "crates/prema/src/engine.rs",
+    "crates/prema/src/cluster.rs",
     "crates/sim/src/",
 ];
 

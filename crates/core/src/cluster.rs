@@ -1,20 +1,31 @@
-//! Scaled-out serving: multiple Planaria nodes behind a dispatcher
-//! (the Fig. 16 experiment).
+//! Scaled-out serving: multiple Planaria nodes behind an online
+//! dispatcher (the Fig. 16 experiment).
 //!
 //! Each DNN task is mapped to a single chip (§VI-B1: "each DNN task is
 //! mapped to a single chip instead of being distributed across multiple
-//! nodes"); the dispatcher sends every request to the node with the least
-//! outstanding estimated work.
+//! nodes"). Requests stream through a [`ClusterDispatcher`] into the
+//! multi-node fabric ([`planaria_sim::run_fabric`]): one independent
+//! kernel plus one Algorithm 1 policy per node, advanced in
+//! epoch-synchronized rounds so the nodes fan out across cores while the
+//! result stays byte-identical at any worker count.
+//!
+//! Dispatch accounting lives in the [`Cycles`] domain: the LeastWork
+//! horizon per node is integer cycles on the fabric clock, and the work
+//! estimate is the compiled full-chip cycle count from the timing memo
+//! (`table(total).total_cycles()`), not a float-seconds latency requery.
 
 use crate::engine::PlanariaEngine;
-use planaria_model::units::Picojoules;
-use planaria_workload::{Completion, Request, SimResult};
+use planaria_compiler::CompiledLibrary;
+use planaria_model::units::Cycles;
+use planaria_model::{DnnId, SplitMix64};
+use planaria_sim::{run_fabric, Dispatcher, FabricStats, FabricTuning, NodeLoad, SimClock};
+use planaria_workload::{Request, SimResult};
 
 /// Policy for spreading requests over the cluster's nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DispatchPolicy {
     /// Send each request to the node with the least outstanding estimated
-    /// work (isolated latencies as the estimate).
+    /// work (compiled full-chip cycle counts as the estimate).
     #[default]
     LeastWork,
     /// Cycle through nodes in arrival order.
@@ -22,46 +33,195 @@ pub enum DispatchPolicy {
     /// Pin each network to a fixed node (weight locality: a node serves a
     /// model subset and never reloads foreign weights).
     DnnAffinity,
+    /// Join the node with the fewest requests in flight (live tenants at
+    /// the last barrier plus requests routed since).
+    JoinShortestQueue,
+    /// Sample two nodes uniformly and join the less loaded of the pair —
+    /// the classic O(1) approximation of shortest-queue.
+    PowerOfTwo,
+    /// Deadline-aware routing: requests whose QoS budget is tight
+    /// relative to their compiled work go to the least-loaded node;
+    /// relaxed requests round-robin.
+    QosAware,
 }
 
-/// Splits a trace over `nodes` according to `policy`.
+impl DispatchPolicy {
+    /// Every dispatch policy, for sweeps and determinism tests.
+    pub const ALL: [DispatchPolicy; 6] = [
+        DispatchPolicy::LeastWork,
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::DnnAffinity,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::PowerOfTwo,
+        DispatchPolicy::QosAware,
+    ];
+}
+
+/// Fixed seed for the power-of-two sampler: routing must be a pure
+/// function of the arrival stream, so every run draws the same sequence.
+const POWER_OF_TWO_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A request is QoS-tight when its whole budget is under this many times
+/// its full-chip compiled latency — it cannot afford to queue behind
+/// much, so [`DispatchPolicy::QosAware`] sends it to the emptiest node.
+const QOS_TIGHT_FACTOR: u64 = 8;
+
+/// The online routing state behind every [`DispatchPolicy`], plugged
+/// into the fabric as its [`Dispatcher`].
+///
+/// All state is in the cycle domain or integer counters: LeastWork
+/// horizons are [`Cycles`] on the fabric clock, work estimates come from
+/// the compiled timing tables once at construction, and the
+/// power-of-two sampler is a seeded [`SplitMix64`].
+#[derive(Debug, Clone)]
+pub struct ClusterDispatcher {
+    policy: DispatchPolicy,
+    nodes: usize,
+    nodes_u64: u64,
+    /// Full-chip work per network, indexed by [`DnnId::ALL`] position.
+    work: Vec<Cycles>,
+    /// LeastWork: when each node is estimated to drain, fabric-clock
+    /// cycles.
+    horizons: Vec<Cycles>,
+    rr: usize,
+    rng: SplitMix64,
+}
+
+impl ClusterDispatcher {
+    /// A dispatcher over `nodes` identical nodes compiled in `library`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(library: &CompiledLibrary, nodes: usize, policy: DispatchPolicy) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        let total = library.config().num_subarrays();
+        let work = DnnId::ALL
+            .iter()
+            .map(|&id| library.get(id).table(total).total_cycles())
+            .collect();
+        Self {
+            policy,
+            nodes,
+            // lint: node counts are small; usize always fits u64 here
+            nodes_u64: u64::try_from(nodes).expect("node count fits u64"),
+            work,
+            horizons: vec![Cycles::ZERO; nodes],
+            rr: 0,
+            rng: SplitMix64::new(POWER_OF_TWO_SEED),
+        }
+    }
+
+    fn dnn_index(dnn: DnnId) -> usize {
+        DnnId::ALL.iter().position(|&id| id == dnn).unwrap_or(0)
+    }
+
+    /// In-flight key: live tenants at the last barrier plus requests
+    /// routed since, ties broken by remaining backlog.
+    fn in_flight(load: &NodeLoad) -> (usize, Cycles) {
+        (load.tenants + load.routed, load.backlog)
+    }
+
+    fn least_loaded(loads: &[NodeLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| Self::in_flight(l))
+            .map_or(0, |(i, _)| i)
+    }
+
+    fn next_round_robin(&mut self) -> usize {
+        let t = self.rr;
+        self.rr = (self.rr + 1) % self.nodes;
+        t
+    }
+}
+
+impl Dispatcher for ClusterDispatcher {
+    fn route(&mut self, req: &Request, at: Cycles, clock: &SimClock, loads: &[NodeLoad]) -> usize {
+        match self.policy {
+            DispatchPolicy::LeastWork => {
+                let target = self
+                    .horizons
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, h)| **h)
+                    .map_or(0, |(i, _)| i);
+                let work = self.work[Self::dnn_index(req.dnn)];
+                self.horizons[target] = self.horizons[target].max(at) + work;
+                target
+            }
+            DispatchPolicy::RoundRobin => self.next_round_robin(),
+            DispatchPolicy::DnnAffinity => Self::dnn_index(req.dnn) % self.nodes,
+            DispatchPolicy::JoinShortestQueue => Self::least_loaded(loads),
+            DispatchPolicy::PowerOfTwo => {
+                let a = usize::try_from(self.rng.next_below(self.nodes_u64))
+                    // lint: next_below(n) < n <= usize::MAX
+                    .expect("sample fits usize");
+                let b = usize::try_from(self.rng.next_below(self.nodes_u64))
+                    // lint: next_below(n) < n <= usize::MAX
+                    .expect("sample fits usize");
+                if Self::in_flight(&loads[b]) < Self::in_flight(&loads[a]) {
+                    b
+                } else {
+                    a
+                }
+            }
+            DispatchPolicy::QosAware => {
+                let work = self.work[Self::dnn_index(req.dnn)];
+                let budget = clock.duration_cycles(req.qos);
+                if budget < work.saturating_mul(QOS_TIGHT_FACTOR) {
+                    Self::least_loaded(loads)
+                } else {
+                    self.next_round_robin()
+                }
+            }
+        }
+    }
+
+    /// Only the queue-feedback policies read the barrier load snapshot;
+    /// the open-loop ones are batched by count alone.
+    fn feedback(&self) -> bool {
+        matches!(
+            self.policy,
+            DispatchPolicy::JoinShortestQueue
+                | DispatchPolicy::PowerOfTwo
+                | DispatchPolicy::QosAware
+        )
+    }
+}
+
+/// Splits a trace over `nodes` according to `policy` — the offline
+/// projection of the online dispatcher.
+///
+/// For the open-loop policies (LeastWork, RoundRobin, DnnAffinity) this
+/// is exactly the routing the fabric performs: their decisions depend
+/// only on the arrival stream and dispatcher-local state. The feedback
+/// policies are projected with an empty load snapshot (only the
+/// dispatcher's own routed counts feed back), so the split shows their
+/// no-load balancing behavior.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
 pub fn dispatch(
     engine: &PlanariaEngine,
     nodes: usize,
     trace: &[Request],
     policy: DispatchPolicy,
 ) -> Vec<Vec<Request>> {
-    assert!(nodes > 0, "cluster needs at least one node");
+    let clock = SimClock::new(
+        trace.first().map_or(0.0, |r| r.arrival),
+        engine.library().config().freq_hz,
+    );
+    let mut d = ClusterDispatcher::new(engine.library(), nodes, policy);
+    let mut loads = vec![NodeLoad::default(); nodes];
     let mut per_node: Vec<Vec<Request>> = vec![Vec::new(); nodes];
-    let mut horizons = vec![0.0f64; nodes];
-    let mut rr = 0usize;
     for r in trace {
-        let target = match policy {
-            DispatchPolicy::LeastWork => {
-                horizons
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    // lint: `horizons` has one entry per node and `nodes >= 1`
-                    .expect("at least one node")
-                    .0
-            }
-            DispatchPolicy::RoundRobin => {
-                let t = rr;
-                rr = (rr + 1) % nodes;
-                t
-            }
-            DispatchPolicy::DnnAffinity => {
-                let idx = planaria_model::DnnId::ALL
-                    .iter()
-                    .position(|&id| id == r.dnn)
-                    .unwrap_or(0);
-                idx % nodes
-            }
-        };
+        let at = clock.cycles_from_seconds(r.arrival);
+        let target = d.route(r, at, &clock, &loads);
+        loads[target].routed += 1;
         per_node[target].push(*r);
-        let work = engine.library().isolated_latency(r.dnn);
-        horizons[target] = horizons[target].max(r.arrival) + work;
     }
     per_node
 }
@@ -71,7 +231,7 @@ pub fn dispatch(
 ///
 /// # Panics
 ///
-/// Panics if `nodes` is zero.
+/// Panics if `nodes` is zero or the trace is unsorted.
 pub fn run_cluster(engine: &PlanariaEngine, nodes: usize, trace: &[Request]) -> SimResult {
     run_cluster_with(engine, nodes, trace, DispatchPolicy::LeastWork)
 }
@@ -80,33 +240,52 @@ pub fn run_cluster(engine: &PlanariaEngine, nodes: usize, trace: &[Request]) -> 
 ///
 /// # Panics
 ///
-/// Panics if `nodes` is zero.
+/// Panics if `nodes` is zero or the trace is unsorted.
 pub fn run_cluster_with(
     engine: &PlanariaEngine,
     nodes: usize,
     trace: &[Request],
     policy: DispatchPolicy,
 ) -> SimResult {
-    let per_node = dispatch(engine, nodes, trace, policy);
+    run_cluster_streamed(engine, nodes, trace.iter().copied(), policy)
+}
 
-    let mut completions: Vec<Completion> = Vec::new();
-    let mut total_energy = Picojoules::ZERO;
-    let mut makespan = 0.0f64;
-    for node_trace in per_node {
-        if node_trace.is_empty() {
-            continue;
-        }
-        let r = engine.run(&node_trace);
-        total_energy += r.total_energy;
-        makespan = makespan.max(r.makespan);
-        completions.extend(r.completions);
-    }
-    completions.sort_by_key(|c| c.request.id);
-    SimResult {
-        completions,
-        total_energy,
-        makespan,
-    }
+/// [`run_cluster_with`] over a pull-based request source: the stream is
+/// routed online and never materialized, so a million-request
+/// [`TraceStream`](planaria_workload::TraceStream) serves a cluster with
+/// O(live tenants + one dispatch window) resident requests.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or the source yields arrivals out of order.
+pub fn run_cluster_streamed<I: IntoIterator<Item = Request>>(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    requests: I,
+    policy: DispatchPolicy,
+) -> SimResult {
+    run_cluster_fabric(engine, nodes, requests, policy, &FabricTuning::default()).0
+}
+
+/// The full-control cluster entry point: explicit fabric tuning, and the
+/// fabric's aggregate event/round counters alongside the result.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or the source yields arrivals out of order.
+pub fn run_cluster_fabric<I: IntoIterator<Item = Request>>(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    requests: I,
+    policy: DispatchPolicy,
+    tuning: &FabricTuning,
+) -> (SimResult, FabricStats) {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let cfg = *engine.library().config();
+    let cfgs = vec![cfg; nodes];
+    let policies: Vec<_> = (0..nodes).map(|_| engine.spatial_policy()).collect();
+    let mut d = ClusterDispatcher::new(engine.library(), nodes, policy);
+    run_fabric(&cfgs, policies, requests, &mut d, tuning)
 }
 
 /// The minimum number of nodes achieving the SLA on every probe seed
@@ -133,6 +312,18 @@ mod tests {
     }
 
     #[test]
+    fn every_policy_preserves_all_requests() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 250.0, 40, 11).generate();
+        for policy in DispatchPolicy::ALL {
+            let r = run_cluster_with(&e, 4, &trace, policy);
+            assert_eq!(r.completions.len(), 40, "{policy:?}");
+            let ids: Vec<u64> = r.completions.iter().map(|c| c.request.id).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "{policy:?} sorted");
+        }
+    }
+
+    #[test]
     fn more_nodes_help_under_overload() {
         let e = PlanariaEngine::new(AcceleratorConfig::planaria());
         // Heavy overload of SSD-R requests.
@@ -155,11 +346,7 @@ mod tests {
     fn dispatch_policies_partition_the_trace() {
         let e = PlanariaEngine::new(AcceleratorConfig::planaria());
         let trace = TraceConfig::new(Scenario::C, QosLevel::Soft, 100.0, 45, 4).generate();
-        for policy in [
-            DispatchPolicy::LeastWork,
-            DispatchPolicy::RoundRobin,
-            DispatchPolicy::DnnAffinity,
-        ] {
+        for policy in DispatchPolicy::ALL {
             let split = dispatch(&e, 3, &trace, policy);
             assert_eq!(split.iter().map(Vec::len).sum::<usize>(), 45, "{policy:?}");
         }
@@ -190,12 +377,76 @@ mod tests {
     }
 
     #[test]
+    fn open_loop_dispatch_matches_fabric_routing() {
+        // The offline projection and the online fabric must route
+        // identically for the open-loop policies: per-node completion
+        // counts equal the offline split sizes.
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Medium, 200.0, 36, 6).generate();
+        for policy in [
+            DispatchPolicy::LeastWork,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::DnnAffinity,
+        ] {
+            let split = dispatch(&e, 3, &trace, policy);
+            let fabric = run_cluster_with(&e, 3, &trace, policy);
+            assert_eq!(
+                fabric.completions.len(),
+                split.iter().map(Vec::len).sum::<usize>(),
+                "{policy:?}"
+            );
+            // Every request completes on the node the projection picked:
+            // check via per-node id sets.
+            for (node, sub) in split.iter().enumerate() {
+                for r in sub {
+                    assert!(
+                        fabric.completions.iter().any(|c| c.request.id == r.id),
+                        "{policy:?}: id {} (node {node}) lost",
+                        r.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_node_cluster_equals_engine() {
+        // Exact equality: one fabric node on the same clock origin must
+        // reproduce the engine bit-for-bit — completions, energy and
+        // makespan.
         let e = PlanariaEngine::new(AcceleratorConfig::planaria());
         let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 15, 9).generate();
         let direct = e.run(&trace);
         let cluster = run_cluster(&e, 1, &trace);
-        assert_eq!(direct.completions.len(), cluster.completions.len());
+        assert_eq!(direct.completions, cluster.completions);
+        assert_eq!(direct.total_energy, cluster.total_energy);
+        assert_eq!(direct.makespan.to_bits(), cluster.makespan.to_bits());
         assert!(meets_sla(&direct.completions) == meets_sla(&cluster.completions));
+    }
+
+    #[test]
+    fn streamed_cluster_equals_materialized() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let cfg = TraceConfig::new(Scenario::C, QosLevel::Medium, 300.0, 50, 12);
+        let trace = cfg.generate();
+        for policy in DispatchPolicy::ALL {
+            let mat = run_cluster_with(&e, 3, &trace, policy);
+            let streamed = run_cluster_streamed(&e, 3, cfg.stream(), policy);
+            assert_eq!(mat.completions, streamed.completions, "{policy:?}");
+            assert_eq!(mat.total_energy, streamed.total_energy, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn qos_aware_splits_tight_from_relaxed() {
+        // Hard QoS budgets are tight multiples of the compiled latency,
+        // so QosAware must least-load at least some requests; with a
+        // huge budget everything round-robins.
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::A, QosLevel::Soft, 50.0, 30, 8).generate();
+        let relaxed: Vec<Request> = trace.iter().map(|r| Request { qos: 1e3, ..*r }).collect();
+        let split = dispatch(&e, 3, &relaxed, DispatchPolicy::QosAware);
+        // All relaxed → pure round-robin balance.
+        assert!(split.iter().all(|n| n.len() == 10), "relaxed = round-robin");
     }
 }

@@ -118,7 +118,7 @@ impl PlanariaEngine {
     ///
     /// Panics if the trace is not sorted by arrival.
     pub fn run_with_collector<C: Collector>(&self, trace: &[Request], c: &mut C) -> SimResult {
-        let mut policy = self.policy();
+        let mut policy = self.spatial_policy();
         planaria_sim::run(self.cfg(), trace, &mut policy, c)
     }
 
@@ -145,11 +145,15 @@ impl PlanariaEngine {
         requests: I,
         c: &mut C,
     ) -> SimResult {
-        let mut policy = self.policy();
+        let mut policy = self.spatial_policy();
         planaria_sim::run_streamed(self.cfg(), requests, &mut policy, c)
     }
 
-    fn policy(&self) -> SpatialPolicy<'_> {
+    /// A fresh kernel policy for one simulation run (or one cluster
+    /// node): Algorithm 1 with this engine's mode and its own private
+    /// scheduling state. The cluster fabric holds one per node;
+    /// heterogeneous clusters mix these with PREMA's temporal policy.
+    pub fn spatial_policy(&self) -> SpatialPolicy<'_> {
         SpatialPolicy {
             library: &self.library,
             mode: self.mode,
@@ -169,7 +173,7 @@ impl PlanariaEngine {
 /// map, and the columnar scratch buffers — so a steady-state scheduling
 /// event performs no heap allocation beyond the `Allocation` segments of
 /// tenants whose placement actually changed.
-struct SpatialPolicy<'a> {
+pub struct SpatialPolicy<'a> {
     library: &'a CompiledLibrary,
     mode: SchedulingMode,
     /// Whether to consult the floor memo (the full-rescan oracle sets

@@ -31,11 +31,15 @@ pub mod sched_state;
 pub mod scheduler;
 pub mod trace;
 
-pub use cluster::{dispatch, min_nodes_for_sla, run_cluster, run_cluster_with, DispatchPolicy};
-pub use engine::{PlanariaEngine, SchedulingMode};
+pub use cluster::{
+    dispatch, min_nodes_for_sla, run_cluster, run_cluster_fabric, run_cluster_streamed,
+    run_cluster_with, ClusterDispatcher, DispatchPolicy,
+};
+pub use engine::{PlanariaEngine, SchedulingMode, SpatialPolicy};
 pub use planaria_compiler::CompiledLibrary;
 pub use planaria_model::units::{Bytes, Cycles, Picojoules};
 pub use planaria_model::SplitMix64;
+pub use planaria_sim::{FabricStats, FabricTuning, NodeLoad};
 pub use sched_state::{FloorEntry, SchedState, Seed};
 pub use scheduler::{allocate_spatially_into, schedule_tasks_spatially, AllocScratch, SchedTask};
 pub use trace::{EngineTrace, EventKind, TraceEvent};

@@ -1,0 +1,169 @@
+//! Heterogeneous clusters: Planaria fission nodes and PREMA monolithic
+//! nodes side by side behind one online dispatcher.
+//!
+//! The fabric is policy-generic — each node owns any [`EnginePolicy`] —
+//! so a mixed fleet is just a per-node choice between Planaria's spatial
+//! Algorithm 1 and PREMA's temporal token scheduler. Both chips run the
+//! paper's common budget (same frequency), so they share the fabric
+//! clock; per-node configurations still differ (16 fission subarrays vs
+//! one monolithic array).
+
+use crate::engine::{PremaEngine, TemporalPolicy};
+use planaria_arch::AcceleratorConfig;
+use planaria_compiler::CompiledDnn;
+use planaria_core::{ClusterDispatcher, DispatchPolicy, PlanariaEngine, SpatialPolicy};
+use planaria_sim::{run_fabric, EnginePolicy, FabricStats, FabricTuning, SimState};
+use planaria_telemetry::Collector;
+use planaria_workload::{Request, SimResult};
+use std::sync::Arc;
+
+/// Which engine a heterogeneous cluster node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A Planaria node: dynamic fission, spatial Algorithm 1.
+    Spatial,
+    /// A PREMA node: monolithic chip, temporal token scheduling.
+    Temporal,
+}
+
+/// A per-node policy that is either Planaria's or PREMA's, delegating
+/// every kernel hook to whichever it wraps.
+pub enum MixedPolicy<'a> {
+    /// Planaria spatial scheduling on this node.
+    Spatial(SpatialPolicy<'a>),
+    /// PREMA temporal scheduling on this node.
+    Temporal(TemporalPolicy<'a>),
+}
+
+impl EnginePolicy for MixedPolicy<'_> {
+    fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn> {
+        match self {
+            MixedPolicy::Spatial(p) => p.compiled_for(request),
+            MixedPolicy::Temporal(p) => p.compiled_for(request),
+        }
+    }
+
+    fn admit_subarrays(&self) -> u32 {
+        match self {
+            MixedPolicy::Spatial(p) => p.admit_subarrays(),
+            MixedPolicy::Temporal(p) => p.admit_subarrays(),
+        }
+    }
+
+    fn reschedule<C: Collector>(&mut self, sim: &mut SimState, c: &mut C) {
+        match self {
+            MixedPolicy::Spatial(p) => p.reschedule(sim, c),
+            MixedPolicy::Temporal(p) => p.reschedule(sim, c),
+        }
+    }
+}
+
+/// Runs a heterogeneous cluster laid out by `layout`: node `i` runs
+/// `spatial` or `temporal` according to `layout[i]`, behind the shared
+/// online dispatcher (work estimates come from the Planaria engine's
+/// timing memo).
+///
+/// # Panics
+///
+/// Panics if `layout` is empty, the two engines' clock frequencies
+/// differ, or the source yields arrivals out of order.
+pub fn run_mixed_cluster<I: IntoIterator<Item = Request>>(
+    spatial: &PlanariaEngine,
+    temporal: &PremaEngine,
+    layout: &[NodeKind],
+    requests: I,
+    policy: DispatchPolicy,
+    tuning: &FabricTuning,
+) -> (SimResult, FabricStats) {
+    assert!(!layout.is_empty(), "cluster needs at least one node");
+    let cfgs: Vec<AcceleratorConfig> = layout
+        .iter()
+        .map(|kind| match kind {
+            NodeKind::Spatial => *spatial.library().config(),
+            NodeKind::Temporal => *temporal.library().config(),
+        })
+        .collect();
+    let policies: Vec<MixedPolicy<'_>> = layout
+        .iter()
+        .map(|kind| match kind {
+            NodeKind::Spatial => MixedPolicy::Spatial(spatial.spatial_policy()),
+            NodeKind::Temporal => MixedPolicy::Temporal(temporal.node_policy()),
+        })
+        .collect();
+    let mut d = ClusterDispatcher::new(spatial.library(), layout.len(), policy);
+    run_fabric(&cfgs, policies, requests, &mut d, tuning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use planaria_arch::AcceleratorConfig;
+    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+
+    fn engines() -> (PlanariaEngine, PremaEngine) {
+        (
+            PlanariaEngine::new(AcceleratorConfig::planaria()),
+            PremaEngine::new(AcceleratorConfig::monolithic(), Policy::Prema),
+        )
+    }
+
+    #[test]
+    fn single_temporal_node_equals_prema_engine() {
+        let (planaria, prema) = engines();
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 12, 3).generate();
+        let direct = prema.run(&trace);
+        let (mixed, _) = run_mixed_cluster(
+            &planaria,
+            &prema,
+            &[NodeKind::Temporal],
+            trace.iter().copied(),
+            DispatchPolicy::RoundRobin,
+            &FabricTuning::default(),
+        );
+        assert_eq!(direct.completions, mixed.completions);
+        assert_eq!(direct.total_energy, mixed.total_energy);
+        assert_eq!(direct.makespan.to_bits(), mixed.makespan.to_bits());
+    }
+
+    #[test]
+    fn single_spatial_node_equals_planaria_engine() {
+        let (planaria, prema) = engines();
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 12, 3).generate();
+        let direct = planaria.run(&trace);
+        let (mixed, _) = run_mixed_cluster(
+            &planaria,
+            &prema,
+            &[NodeKind::Spatial],
+            trace.iter().copied(),
+            DispatchPolicy::LeastWork,
+            &FabricTuning::default(),
+        );
+        assert_eq!(direct.completions, mixed.completions);
+        assert_eq!(direct.total_energy, mixed.total_energy);
+    }
+
+    #[test]
+    fn mixed_fleet_completes_everything_under_every_policy() {
+        let (planaria, prema) = engines();
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 250.0, 30, 7).generate();
+        let layout = [
+            NodeKind::Spatial,
+            NodeKind::Temporal,
+            NodeKind::Spatial,
+            NodeKind::Temporal,
+        ];
+        for policy in DispatchPolicy::ALL {
+            let (r, stats) = run_mixed_cluster(
+                &planaria,
+                &prema,
+                &layout,
+                trace.iter().copied(),
+                policy,
+                &FabricTuning::default(),
+            );
+            assert_eq!(r.completions.len(), 30, "{policy:?}");
+            assert!(stats.events > 0, "{policy:?}");
+        }
+    }
+}

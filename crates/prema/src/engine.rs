@@ -119,6 +119,14 @@ impl PremaEngine {
         planaria_sim::run_streamed(&cfg, requests, &mut policy, c)
     }
 
+    /// A fresh kernel policy for one simulation run (or one cluster
+    /// node): token-based temporal multiplexing with this engine's
+    /// threshold and its own private token state. Heterogeneous cluster
+    /// fabrics mix these with Planaria's spatial policy.
+    pub fn node_policy(&self) -> TemporalPolicy<'_> {
+        self.temporal_policy(self.library.config())
+    }
+
     fn temporal_policy(&self, cfg: &AcceleratorConfig) -> TemporalPolicy<'_> {
         let total = cfg.num_subarrays();
         TemporalPolicy {
@@ -140,7 +148,7 @@ impl PremaEngine {
 
 /// The PREMA scheduling policy plugged into the kernel: token-based
 /// temporal multiplexing of the whole chip.
-struct TemporalPolicy<'a> {
+pub struct TemporalPolicy<'a> {
     library: &'a CompiledLibrary,
     policy: Policy,
     /// Starvation bar in token units (priority-weighted cycles).

@@ -23,8 +23,10 @@
 //! assert_eq!(result.completions.len(), 10);
 //! ```
 
+pub mod cluster;
 pub mod engine;
 pub mod policy;
 
-pub use engine::PremaEngine;
+pub use cluster::{run_mixed_cluster, MixedPolicy, NodeKind};
+pub use engine::{PremaEngine, TemporalPolicy};
 pub use policy::{pick_with_threshold, Policy, TokenState, TOKEN_THRESHOLD};

@@ -1,0 +1,480 @@
+//! Multi-node cluster fabric: per-node kernels advanced in
+//! epoch-synchronized rounds behind an online dispatcher.
+//!
+//! One streamed arrival source feeds a serial [`Dispatcher`]; each node
+//! owns an independent [`NodeKernel`] plus its own policy, and every
+//! round the fabric (1) routes a window of arrivals into per-node
+//! inboxes, (2) fans the nodes out via `par_map` to advance each one up
+//! to a shared bound, and (3) refreshes the [`NodeLoad`] snapshot the
+//! dispatcher reads next round.
+//!
+//! # Determinism
+//!
+//! Nodes interact only through dispatched arrivals, and the dispatcher
+//! runs serially between rounds, so the per-node event sequences are
+//! fixed before any node advances — a conservative ("lookahead")
+//! parallelization. `par_map` moves each node to a worker and joins
+//! results in index order; no shared mutable state exists during a
+//! round, so the result is byte-identical at any worker count.
+//!
+//! # Lookahead soundness
+//!
+//! The round bound is `window start + lookahead` (the modeled dispatch
+//! latency): every arrival inside the window is delivered to its inbox
+//! *before* the owning node's clock passes its arrival cycle, so no
+//! arrival is ever delivered late. Load snapshots are at most one
+//! lookahead stale — exactly the information delay a real online
+//! dispatcher has. Dispatchers that report `feedback() == false` route
+//! from dispatcher-local state only, so their routing (and therefore the
+//! whole simulation) is independent of window size; the fabric then
+//! batches by count alone, keeping rounds rare and fan-out cheap.
+
+use crate::clock::SimClock;
+use crate::kernel::{EnginePolicy, NodeKernel};
+use planaria_arch::AcceleratorConfig;
+use planaria_model::units::{Cycles, Picojoules};
+use planaria_parallel::{effective_jobs, par_map};
+use planaria_telemetry::NullCollector;
+use planaria_workload::{Request, SimResult};
+use std::collections::VecDeque;
+
+/// Per-node load snapshot, refreshed at each round barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// Live (running or queued) tenants at the last barrier.
+    pub tenants: usize,
+    /// Work left across those tenants at the last barrier, in cycles.
+    pub backlog: Cycles,
+    /// Requests routed to this node since the last barrier (the
+    /// dispatcher's own in-flight count — fresh, not stale).
+    pub routed: usize,
+}
+
+/// An online routing policy: sees one request at a time, in arrival
+/// order, plus the latest load snapshot, and picks a node.
+pub trait Dispatcher {
+    /// Routes `req` (arriving at cycle `at` on the fabric clock) to a
+    /// node index in `0..loads.len()`.
+    fn route(&mut self, req: &Request, at: Cycles, clock: &SimClock, loads: &[NodeLoad]) -> usize;
+
+    /// Whether routing reads the node load snapshot. Feedback-free
+    /// dispatchers are batched by request count alone (their decisions
+    /// cannot depend on window size), which keeps rounds rare.
+    fn feedback(&self) -> bool {
+        true
+    }
+}
+
+/// Fabric pacing knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricTuning {
+    /// Modeled dispatch latency, seconds: the width of each routing
+    /// window and the staleness bound on load snapshots.
+    pub lookahead_seconds: f64,
+    /// Hard cap on requests routed per round (bounds inbox growth for
+    /// feedback-free dispatchers, whose windows are otherwise unbounded).
+    pub max_batch: usize,
+}
+
+impl Default for FabricTuning {
+    fn default() -> Self {
+        Self {
+            // 100 µs: generous for a datacenter-tier dispatcher yet far
+            // below the millisecond-scale inference latencies being
+            // load-balanced, so snapshot staleness is immaterial.
+            lookahead_seconds: 100e-6,
+            max_batch: 4096,
+        }
+    }
+}
+
+/// Aggregate fabric counters for benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Kernel wake-ups processed across all nodes.
+    pub events: u64,
+    /// Dispatch rounds (barriers) executed.
+    pub rounds: u64,
+}
+
+/// One node's private slice of the fabric: kernel, inbox, policy.
+struct Lane<P> {
+    node: NodeKernel,
+    inbox: VecDeque<Request>,
+    policy: P,
+}
+
+/// Runs a multi-node cluster: `policies[i]` owns node `i` (configured by
+/// `cfgs[i]`), `dispatcher` routes the shared arrival stream online, and
+/// nodes advance in epoch-synchronized rounds fanned out via `par_map`.
+///
+/// All nodes share one clock anchored at the stream's first arrival, so
+/// cross-node event timestamps are directly comparable.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree (`cfgs.len() != policies.len()`, zero
+/// nodes, zero `max_batch`, mixed clock frequencies), if the source
+/// yields arrivals out of order, or if the dispatcher routes out of
+/// range.
+pub fn run_fabric<P, D, I>(
+    cfgs: &[AcceleratorConfig],
+    policies: Vec<P>,
+    requests: I,
+    dispatcher: &mut D,
+    tuning: &FabricTuning,
+) -> (SimResult, FabricStats)
+where
+    P: EnginePolicy + Send,
+    D: Dispatcher + ?Sized,
+    I: IntoIterator<Item = Request>,
+{
+    let n = policies.len();
+    assert!(n > 0, "fabric needs at least one node");
+    assert_eq!(cfgs.len(), n, "one config per node");
+    assert!(tuning.max_batch > 0, "max_batch must be at least 1");
+    assert!(
+        cfgs.iter().all(|c| c.freq_hz == cfgs[0].freq_hz),
+        "fabric nodes must share one clock frequency"
+    );
+
+    let mut source = requests.into_iter();
+    let mut pending: Option<Request> = source.next();
+    let clock = SimClock::new(pending.map_or(0.0, |r| r.arrival), cfgs[0].freq_hz);
+    let lookahead = clock.duration_cycles(tuning.lookahead_seconds);
+
+    let mut lanes: Vec<Lane<P>> = cfgs
+        .iter()
+        .zip(policies)
+        .map(|(cfg, policy)| Lane {
+            node: NodeKernel::new(cfg, clock),
+            inbox: VecDeque::new(),
+            policy,
+        })
+        .collect();
+    let mut loads: Vec<NodeLoad> = lanes.iter().map(|_| NodeLoad::default()).collect();
+    let mut last_arrival = f64::NEG_INFINITY;
+    let mut rounds: u64 = 0;
+
+    while let Some(r0) = pending {
+        // Open a routing window at the next undelivered arrival.
+        let w_start = clock.cycles_from_seconds(r0.arrival);
+        let w_end = if dispatcher.feedback() {
+            // +1 so a zero lookahead still admits the opening arrival.
+            Some(
+                w_start
+                    .saturating_add(lookahead)
+                    .saturating_add(Cycles::new(1)),
+            )
+        } else {
+            None
+        };
+        let mut batched = 0usize;
+        while let Some(r) = pending {
+            assert!(
+                r.arrival >= last_arrival,
+                "trace must be sorted by arrival time"
+            );
+            last_arrival = r.arrival;
+            let at = clock.cycles_from_seconds(r.arrival);
+            if batched == tuning.max_batch || w_end.is_some_and(|e| at >= e) {
+                break;
+            }
+            let target = dispatcher.route(&r, at, &clock, &loads);
+            assert!(target < n, "dispatcher routed to node {target} of {n}");
+            lanes[target].inbox.push_back(r);
+            loads[target].routed += 1;
+            batched += 1;
+            pending = source.next();
+        }
+
+        // Advance every node to the cut: the next undelivered arrival
+        // (nothing may simulate past it — it could route anywhere) or
+        // the window end, whichever is earlier. A dry source means no
+        // future arrival can exist: drain to completion.
+        let bound = pending.map(|next| {
+            let next_at = clock.cycles_from_seconds(next.arrival);
+            w_end.map_or(next_at, |e| e.min(next_at))
+        });
+        lanes = par_map(lanes, effective_jobs(), move |mut lane| {
+            let mut sink = NullCollector;
+            lane.node.advance(
+                bound,
+                &mut || lane.inbox.pop_front(),
+                &mut lane.policy,
+                &mut sink,
+            );
+            lane
+        });
+        rounds += 1;
+        for (load, lane) in loads.iter_mut().zip(&lanes) {
+            load.tenants = lane.node.live_tenants();
+            load.backlog = lane.node.outstanding_cycles();
+            load.routed = 0;
+        }
+    }
+
+    // Merge per-node results: completions re-sorted by request id,
+    // energies summed, makespan = slowest node (each from its own first
+    // arrival, matching the serial cluster's per-node semantics).
+    let mut stats = FabricStats { events: 0, rounds };
+    let mut completions = Vec::new();
+    let mut total_energy = Picojoules::ZERO;
+    let mut makespan = 0.0f64;
+    for lane in lanes {
+        debug_assert!(lane.inbox.is_empty(), "undelivered requests in inbox");
+        stats.events += lane.node.events_processed();
+        let r = lane.node.into_result();
+        completions.extend(r.completions);
+        total_energy += r.total_energy;
+        makespan = makespan.max(r.makespan);
+    }
+    completions.sort_by_key(|c| c.request.id);
+    (
+        SimResult {
+            completions,
+            total_energy,
+            makespan,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{run, SimState};
+    use planaria_compiler::CompiledDnn;
+    use planaria_model::DnnId;
+    use planaria_telemetry::{Collector, NullCollector};
+    use planaria_workload::Completion;
+    use std::sync::Arc;
+
+    /// The kernel test policy, duplicated here: oldest queued tenant
+    /// gets the whole chip.
+    struct WholeChipFifo {
+        library: planaria_compiler::CompiledLibrary,
+    }
+
+    impl EnginePolicy for WholeChipFifo {
+        fn compiled_for(&mut self, request: &Request) -> Arc<CompiledDnn> {
+            self.library.shared(request.dnn)
+        }
+
+        fn reschedule<C: Collector>(&mut self, sim: &mut SimState, _c: &mut C) {
+            let total = sim.total_subarrays();
+            if sim.tenants.iter().any(|t| t.alloc > 0) {
+                return;
+            }
+            let Some(i) = sim
+                .tenants
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.arrival_cycle)
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let t = &mut sim.tenants[i];
+            t.alloc = total;
+            let (wt, en) = {
+                let table = t.compiled.table(total);
+                (table.total_cycles(), table.total_energy())
+            };
+            t.switch_table(wt, en);
+            t.slice_start = sim.now;
+        }
+    }
+
+    fn policy() -> WholeChipFifo {
+        WholeChipFifo {
+            library: planaria_compiler::CompiledLibrary::new(
+                planaria_arch::AcceleratorConfig::planaria(),
+            ),
+        }
+    }
+
+    fn req(id: u64, arrival: f64) -> Request {
+        Request {
+            id,
+            dnn: DnnId::TinyYolo,
+            arrival,
+            priority: 5,
+            qos: 1.0,
+        }
+    }
+
+    /// Round-robin over node index — feedback-free.
+    struct Rr {
+        next: usize,
+    }
+
+    impl Dispatcher for Rr {
+        fn route(&mut self, _r: &Request, _at: Cycles, _c: &SimClock, loads: &[NodeLoad]) -> usize {
+            let t = self.next;
+            self.next = (self.next + 1) % loads.len();
+            t
+        }
+
+        fn feedback(&self) -> bool {
+            false
+        }
+    }
+
+    /// Joins the shortest queue using the barrier snapshot — feedback.
+    struct Jsq;
+
+    impl Dispatcher for Jsq {
+        fn route(&mut self, _r: &Request, _at: Cycles, _c: &SimClock, loads: &[NodeLoad]) -> usize {
+            loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.tenants + l.routed)
+                .map_or(0, |(i, _)| i)
+        }
+    }
+
+    fn fabric_trace(n: usize) -> Vec<Request> {
+        (0..n).map(|i| req(i as u64, 0.002 * i as f64)).collect()
+    }
+
+    #[test]
+    fn single_node_fabric_equals_run() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = fabric_trace(12);
+        let serial = run(&cfg, &trace, &mut policy(), &mut NullCollector);
+        let (fab, stats) = run_fabric(
+            &[cfg],
+            vec![policy()],
+            trace.iter().copied(),
+            &mut Rr { next: 0 },
+            &FabricTuning::default(),
+        );
+        assert_eq!(serial.completions, fab.completions);
+        assert_eq!(serial.total_energy, fab.total_energy);
+        assert_eq!(serial.makespan.to_bits(), fab.makespan.to_bits());
+        assert!(stats.events > 0 && stats.rounds > 0);
+    }
+
+    #[test]
+    fn feedback_free_routing_is_window_size_invariant() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = fabric_trace(24);
+        let mut results: Vec<SimResult> = Vec::new();
+        for tuning in [
+            FabricTuning::default(),
+            FabricTuning {
+                lookahead_seconds: 0.0,
+                max_batch: 1,
+            },
+            FabricTuning {
+                lookahead_seconds: 10.0,
+                max_batch: 7,
+            },
+        ] {
+            let (r, _) = run_fabric(
+                &[cfg, cfg, cfg],
+                vec![policy(), policy(), policy()],
+                trace.iter().copied(),
+                &mut Rr { next: 0 },
+                &tuning,
+            );
+            results.push(r);
+        }
+        assert_eq!(results[0].completions, results[1].completions);
+        assert_eq!(results[0].completions, results[2].completions);
+        assert_eq!(results[0].makespan.to_bits(), results[1].makespan.to_bits());
+    }
+
+    #[test]
+    fn feedback_dispatcher_sees_loads_and_completes_everything() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = fabric_trace(30);
+        let (r, stats) = run_fabric(
+            &[cfg, cfg, cfg],
+            vec![policy(), policy(), policy()],
+            trace.iter().copied(),
+            &mut Jsq,
+            &FabricTuning::default(),
+        );
+        assert_eq!(r.completions.len(), 30);
+        let ids: Vec<u64> = r.completions.iter().map(|c| c.request.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted by id");
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_result() {
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let (r, stats) = run_fabric(
+            &[cfg, cfg],
+            vec![policy(), policy()],
+            std::iter::empty(),
+            &mut Rr { next: 0 },
+            &FabricTuning::default(),
+        );
+        assert!(r.completions.is_empty());
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(stats.events, 0);
+    }
+
+    #[test]
+    fn completions_match_serial_per_node_runs() {
+        // Routing fixed (feedback-free round-robin), the fabric must
+        // reproduce each node's standalone simulation exactly: same
+        // completion set per node, identical finish timestamps.
+        let cfg = planaria_arch::AcceleratorConfig::planaria();
+        let trace = fabric_trace(20);
+        let (fab, _) = run_fabric(
+            &[cfg, cfg],
+            vec![policy(), policy()],
+            trace.iter().copied(),
+            &mut Rr { next: 0 },
+            &FabricTuning::default(),
+        );
+        let mut expected: Vec<Completion> = Vec::new();
+        for node in 0..2 {
+            let sub: Vec<Request> = trace
+                .iter()
+                .copied()
+                .filter(|r| (r.id as usize) % 2 == node)
+                .collect();
+            // Standalone runs anchor their clock at the node's own first
+            // arrival; re-anchor finishes on the shared fabric clock via
+            // the absolute seconds they already carry.
+            let r = run(&cfg, &sub, &mut policy(), &mut NullCollector);
+            expected.extend(r.completions);
+        }
+        expected.sort_by_key(|c| c.request.id);
+        assert_eq!(fab.completions.len(), expected.len());
+        for (f, e) in fab.completions.iter().zip(&expected) {
+            assert_eq!(f.request.id, e.request.id);
+            // Clock origins differ per node (shared fabric origin vs the
+            // node's own first arrival), so finishes may differ by the
+            // sub-cycle rounding of the origin shift: within 2 cycles.
+            let tol = 2.0 / cfg.freq_hz;
+            assert!(
+                (f.finish - e.finish).abs() <= tol,
+                "id {}: fabric {} vs serial {}",
+                f.request.id,
+                f.finish,
+                e.finish
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one clock frequency")]
+    fn mixed_frequencies_rejected() {
+        let a = planaria_arch::AcceleratorConfig::planaria();
+        let mut b = a;
+        b.freq_hz = a.freq_hz * 2.0;
+        let _ = run_fabric(
+            &[a, b],
+            vec![policy(), policy()],
+            std::iter::once(req(0, 0.0)),
+            &mut Rr { next: 0 },
+            &FabricTuning::default(),
+        );
+    }
+}

@@ -73,35 +73,333 @@ impl SimState {
     }
 }
 
-/// Pops the next *valid* event: stale heap entries — superseded
-/// completion estimates (epoch mismatch), estimates for retired tenants,
-/// already-admitted arrivals — are skipped.
+/// A resumable single-node discrete-event kernel.
 ///
-/// Same-cycle coalescing: once a valid event fixes the wake-up cycle,
-/// every remaining heap entry at that cycle is drained in the same pass.
-/// Events are pure wake-ups — admission is driven by the trace cursor and
-/// retirement by the exact `is_done` scan — so when *k* arrivals and
-/// completions land on one `Cycles` timestamp the kernel advances once,
-/// admits/retires them all, and invokes `reschedule` once. The
-/// `(Cycles, EventKind, seq)` heap order is unchanged: the first valid
-/// entry at the cycle still decides the wake-up exactly as before, and
-/// the drained entries carry no payload the loop body would have read.
-fn next_event(queue: &mut EventQueue, sim: &SimState, next_arrival: usize) -> Option<Cycles> {
-    while let Some((at, kind)) = queue.pop() {
-        let valid = match kind {
-            EventKind::Arrival { index } => index == next_arrival,
-            EventKind::Completion { tenant, epoch } => sim
-                .index_of(tenant)
-                .is_some_and(|i| sim.tenants[i].epoch == epoch),
-        };
-        if valid {
-            while queue.next_at() == Some(at) {
-                let _ = queue.pop();
-            }
-            return Some(at);
+/// The loop that [`run_streamed`] used to own inline now lives behind a
+/// struct so a multi-node fabric can hold one kernel per node, feed each
+/// an inbox of dispatched requests, and advance them in bounded rounds
+/// (see [`crate::fabric`]). A `NodeKernel` driven once with no bound is
+/// exactly the old streamed loop — `run_streamed` is a thin wrapper —
+/// and driving it in bounded slices processes the *same* events at the
+/// *same* cycles in the *same* order, because events are pure wake-ups:
+/// a bound only decides how far this call walks the heap, never what is
+/// in it.
+#[derive(Debug)]
+pub struct NodeKernel {
+    sim: SimState,
+    queue: EventQueue,
+    completions: Vec<Completion>,
+    em: EnergyModel,
+    /// The one not-yet-admitted arrival pulled from the source.
+    pending: Option<Request>,
+    last_arrival: f64,
+    next_arrival: usize,
+    /// Whether an arrival event for `pending` is already in the heap
+    /// (avoids re-pushing a duplicate wake-up on every event).
+    arrival_queued: bool,
+    busy: Cycles,
+    /// Cycle of the first admitted arrival: this node's makespan origin.
+    origin: Option<Cycles>,
+    events: u64,
+}
+
+impl NodeKernel {
+    /// A fresh kernel for one node on a (possibly shared) clock.
+    pub fn new(cfg: &AcceleratorConfig, clock: SimClock) -> Self {
+        Self {
+            sim: SimState {
+                cfg: *cfg,
+                clock,
+                now: Cycles::ZERO,
+                tenants: Vec::new(),
+                index: BTreeMap::new(),
+            },
+            queue: EventQueue::new(),
+            completions: Vec::new(),
+            em: EnergyModel::for_config(cfg),
+            pending: None,
+            last_arrival: f64::NEG_INFINITY,
+            next_arrival: 0,
+            arrival_queued: false,
+            busy: Cycles::ZERO,
+            origin: None,
+            events: 0,
         }
     }
-    None
+
+    /// Current simulation time of this node, cycles since the clock
+    /// origin.
+    pub fn now(&self) -> Cycles {
+        self.sim.now
+    }
+
+    /// Live (running or queued) tenants on this node.
+    pub fn live_tenants(&self) -> usize {
+        self.sim.tenants.len()
+    }
+
+    /// Total work left across live tenants, in cycles — the load signal
+    /// feedback dispatchers read at epoch barriers.
+    pub fn outstanding_cycles(&self) -> Cycles {
+        self.sim.tenants.iter().map(TenantState::remaining).sum()
+    }
+
+    /// Whether the node holds no pending arrival and no live tenants.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none() && self.sim.tenants.is_empty()
+    }
+
+    /// Wake-ups processed so far (the fabric's aggregate throughput
+    /// denominator).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Pulls the next request from the source, enforcing arrival order.
+    fn pull<F: FnMut() -> Option<Request>>(&mut self, src: &mut F) {
+        self.pending = src();
+        if let Some(next) = &self.pending {
+            assert!(
+                next.arrival >= self.last_arrival,
+                "trace must be sorted by arrival time"
+            );
+            self.last_arrival = next.arrival;
+        }
+    }
+
+    /// Pops the next *valid* event strictly before `bound`: stale heap
+    /// entries — superseded completion estimates (epoch mismatch),
+    /// estimates for retired tenants, already-admitted arrivals — are
+    /// skipped.
+    ///
+    /// Same-cycle coalescing: once a valid event fixes the wake-up cycle,
+    /// every remaining heap entry at that cycle is drained in the same
+    /// pass. Events are pure wake-ups — admission is driven by the trace
+    /// cursor and retirement by the exact `is_done` scan — so when *k*
+    /// arrivals and completions land on one `Cycles` timestamp the kernel
+    /// advances once, admits/retires them all, and invokes `reschedule`
+    /// once. The `(Cycles, EventKind, seq)` heap order is unchanged: the
+    /// first valid entry at the cycle still decides the wake-up exactly
+    /// as before, and the drained entries carry no payload the loop body
+    /// would have read.
+    ///
+    /// Entries at or after `bound` stay in the heap untouched, so a
+    /// bounded walk followed by another call is indistinguishable from
+    /// one unbounded walk.
+    fn next_event_before(&mut self, bound: Option<Cycles>) -> Option<Cycles> {
+        loop {
+            let head = self.queue.next_at()?;
+            if bound.is_some_and(|b| head >= b) {
+                return None;
+            }
+            let (at, kind) = self.queue.pop()?;
+            let valid = match kind {
+                EventKind::Arrival { index } => index == self.next_arrival,
+                EventKind::Completion { tenant, epoch } => self
+                    .sim
+                    .index_of(tenant)
+                    .is_some_and(|i| self.sim.tenants[i].epoch == epoch),
+            };
+            if valid {
+                while self.queue.next_at() == Some(at) {
+                    let _ = self.queue.pop();
+                }
+                return Some(at);
+            }
+        }
+    }
+
+    /// Advances the node until the event heap is exhausted (or, with a
+    /// bound, until the next event would land at or past `bound`),
+    /// drawing arrivals lazily from `src`.
+    ///
+    /// The loop body is the kernel contract: pop event → advance work →
+    /// admit due arrivals → retire finished tenants → `reschedule` →
+    /// refresh completion estimates.
+    pub fn advance<P: EnginePolicy, C: Collector, F: FnMut() -> Option<Request>>(
+        &mut self,
+        bound: Option<Cycles>,
+        src: &mut F,
+        policy: &mut P,
+        c: &mut C,
+    ) {
+        if self.pending.is_none() {
+            self.pull(src);
+        }
+        if !self.arrival_queued {
+            if let Some(r) = &self.pending {
+                self.queue.push(
+                    self.sim.clock.cycles_from_seconds(r.arrival),
+                    EventKind::Arrival {
+                        index: self.next_arrival,
+                    },
+                );
+                self.arrival_queued = true;
+            }
+        }
+
+        while let Some(t_next) = self.next_event_before(bound) {
+            self.events += 1;
+            // Advance every allocated tenant to the event time. The chip
+            // is busy whenever anyone holds subarrays.
+            let dt = t_next.saturating_sub(self.sim.now);
+            let mut any_allocated = false;
+            for t in &mut self.sim.tenants {
+                if t.alloc > 0 {
+                    any_allocated = true;
+                    t.advance(dt);
+                }
+            }
+            if any_allocated {
+                self.busy += dt;
+            }
+            self.sim.now = t_next;
+
+            // Admit every arrival due now; keep exactly one future
+            // arrival event outstanding.
+            while let Some(req) = self.pending {
+                let at = self.sim.clock.cycles_from_seconds(req.arrival);
+                if at > self.sim.now {
+                    if !self.arrival_queued {
+                        self.queue.push(
+                            at,
+                            EventKind::Arrival {
+                                index: self.next_arrival,
+                            },
+                        );
+                        self.arrival_queued = true;
+                    }
+                    break;
+                }
+                if self.origin.is_none() {
+                    self.origin = Some(at);
+                }
+                if c.is_enabled() {
+                    c.record(
+                        self.sim.now,
+                        Event::Arrival {
+                            tenant: req.id,
+                            dnn: req.dnn,
+                        },
+                    );
+                    c.add(Counter::Arrivals, 1);
+                }
+                let compiled = policy.compiled_for(&req);
+                let deadline = self.sim.clock.cycles_from_seconds(req.deadline());
+                self.sim.index.insert(req.id, self.sim.tenants.len());
+                self.sim.tenants.push(TenantState::new(
+                    req,
+                    compiled,
+                    policy.admit_subarrays(),
+                    at,
+                    deadline,
+                    self.sim.now,
+                ));
+                self.next_arrival += 1;
+                self.arrival_queued = false;
+                self.pull(src);
+            }
+
+            // Retire finished tenants (ascending swap_remove scan,
+            // preserving the admission-order prefix that stable
+            // scheduling relies on).
+            let mut i = 0;
+            while i < self.sim.tenants.len() {
+                if self.sim.tenants[i].is_done() {
+                    let t = self.sim.tenants.swap_remove(i);
+                    self.sim.index.remove(&t.request.id);
+                    if let Some(moved) = self.sim.tenants.get(i) {
+                        self.sim.index.insert(moved.request.id, i);
+                    }
+                    if c.is_enabled() {
+                        if t.alloc > 0 {
+                            c.record(
+                                self.sim.now,
+                                Event::ExecSlice {
+                                    tenant: t.request.id,
+                                    subarrays: t.alloc,
+                                    mask: t.mask,
+                                    start: t.slice_start,
+                                    duration: self.sim.now.saturating_sub(t.slice_start),
+                                },
+                            );
+                        }
+                        c.record(
+                            self.sim.now,
+                            Event::Completion {
+                                tenant: t.request.id,
+                                latency: self.sim.now.saturating_sub(t.arrival_cycle),
+                            },
+                        );
+                        c.add(Counter::Completions, 1);
+                    }
+                    self.completions.push(Completion {
+                        request: t.request,
+                        finish: self.sim.clock.to_seconds(self.sim.now),
+                        energy: t.energy,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+
+            // A scheduling event fired: let the policy reassign the chip.
+            policy.reschedule(&mut self.sim, c);
+
+            // Refresh completion estimates. `now + remaining` is
+            // invariant under plain advancement, so an estimate changes
+            // only when the policy touched the tenant; superseded heap
+            // entries are invalidated by the epoch bump rather than
+            // removed.
+            for t in &mut self.sim.tenants {
+                let target = if t.alloc > 0 {
+                    Some(self.sim.now + t.remaining())
+                } else {
+                    None
+                };
+                if target != t.scheduled_completion {
+                    t.scheduled_completion = target;
+                    t.epoch = t.epoch.wrapping_add(1);
+                    if let Some(at) = target {
+                        self.queue.push(
+                            at,
+                            EventKind::Completion {
+                                tenant: t.request.id,
+                                epoch: t.epoch,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes the node into a [`SimResult`].
+    ///
+    /// Makespan is measured from this node's *own* first admitted
+    /// arrival (on a shared fabric clock a node that starts late is not
+    /// charged for the lead-in), matching the per-node semantics the
+    /// serial cluster had. Static energy accrues while the chip serves
+    /// tenants — idle gaps between requests belong to whatever the node
+    /// does next.
+    pub fn into_result(self) -> SimResult {
+        debug_assert!(self.is_idle(), "node finalized with work outstanding");
+        let mut completions = self.completions;
+        completions.sort_by_key(|c| c.request.id);
+        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
+        let active = self
+            .sim
+            .now
+            .saturating_sub(self.origin.unwrap_or(Cycles::ZERO));
+        SimResult {
+            completions,
+            total_energy: dynamic
+                + self
+                    .em
+                    .static_energy(self.sim.clock.span_seconds(self.busy)),
+            makespan: self.sim.clock.span_seconds(active),
+        }
+    }
 }
 
 /// Runs the discrete-event loop over `trace` with `policy`, streaming
@@ -149,180 +447,20 @@ pub fn run_streamed<P: EnginePolicy, C: Collector, I: IntoIterator<Item = Reques
     c: &mut C,
 ) -> SimResult {
     let mut source = requests.into_iter();
-    let mut pending: Option<Request> = source.next();
-    let mut last_arrival = pending.map_or(0.0, |r| r.arrival);
-    let clock = SimClock::new(last_arrival, cfg.freq_hz);
-    let em = EnergyModel::for_config(cfg);
+    // The first request is pulled eagerly to anchor the clock origin; it
+    // re-enters the kernel through the source closure below.
+    let mut head: Option<Request> = source.next();
+    let clock = SimClock::new(head.map_or(0.0, |r| r.arrival), cfg.freq_hz);
     c.set_meta(clock.meta(cfg.num_subarrays()));
 
-    let mut sim = SimState {
-        cfg: *cfg,
-        clock,
-        now: Cycles::ZERO,
-        tenants: Vec::new(),
-        index: BTreeMap::new(),
-    };
-    let mut queue = EventQueue::new();
-    let mut completions: Vec<Completion> = Vec::new();
-    let mut next_arrival = 0usize;
-    // Whether an arrival event for the current `pending` is already in
-    // the heap (avoids re-pushing a duplicate wake-up on every event).
-    let mut arrival_queued = false;
-    let mut busy = Cycles::ZERO;
-
-    if let Some(first) = pending {
-        queue.push(
-            clock.cycles_from_seconds(first.arrival),
-            EventKind::Arrival { index: 0 },
-        );
-        arrival_queued = true;
-    }
-
-    while let Some(t_next) = next_event(&mut queue, &sim, next_arrival) {
-        // Advance every allocated tenant to the event time. The chip is
-        // busy whenever anyone holds subarrays.
-        let dt = t_next.saturating_sub(sim.now);
-        let mut any_allocated = false;
-        for t in &mut sim.tenants {
-            if t.alloc > 0 {
-                any_allocated = true;
-                t.advance(dt);
-            }
-        }
-        if any_allocated {
-            busy += dt;
-        }
-        sim.now = t_next;
-
-        // Admit every arrival due now; keep exactly one future arrival
-        // event outstanding.
-        while let Some(req) = pending {
-            let at = clock.cycles_from_seconds(req.arrival);
-            if at > sim.now {
-                if !arrival_queued {
-                    queue.push(
-                        at,
-                        EventKind::Arrival {
-                            index: next_arrival,
-                        },
-                    );
-                    arrival_queued = true;
-                }
-                break;
-            }
-            if c.is_enabled() {
-                c.record(
-                    sim.now,
-                    Event::Arrival {
-                        tenant: req.id,
-                        dnn: req.dnn,
-                    },
-                );
-                c.add(Counter::Arrivals, 1);
-            }
-            let compiled = policy.compiled_for(&req);
-            let deadline = clock.cycles_from_seconds(req.deadline());
-            sim.index.insert(req.id, sim.tenants.len());
-            sim.tenants.push(TenantState::new(
-                req,
-                compiled,
-                policy.admit_subarrays(),
-                at,
-                deadline,
-                sim.now,
-            ));
-            next_arrival += 1;
-            pending = source.next();
-            arrival_queued = false;
-            if let Some(next) = &pending {
-                assert!(
-                    next.arrival >= last_arrival,
-                    "trace must be sorted by arrival time"
-                );
-                last_arrival = next.arrival;
-            }
-        }
-
-        // Retire finished tenants (ascending swap_remove scan, preserving
-        // the admission-order prefix that stable scheduling relies on).
-        let mut i = 0;
-        while i < sim.tenants.len() {
-            if sim.tenants[i].is_done() {
-                let t = sim.tenants.swap_remove(i);
-                sim.index.remove(&t.request.id);
-                if let Some(moved) = sim.tenants.get(i) {
-                    sim.index.insert(moved.request.id, i);
-                }
-                if c.is_enabled() {
-                    if t.alloc > 0 {
-                        c.record(
-                            sim.now,
-                            Event::ExecSlice {
-                                tenant: t.request.id,
-                                subarrays: t.alloc,
-                                mask: t.mask,
-                                start: t.slice_start,
-                                duration: sim.now.saturating_sub(t.slice_start),
-                            },
-                        );
-                    }
-                    c.record(
-                        sim.now,
-                        Event::Completion {
-                            tenant: t.request.id,
-                            latency: sim.now.saturating_sub(t.arrival_cycle),
-                        },
-                    );
-                    c.add(Counter::Completions, 1);
-                }
-                completions.push(Completion {
-                    request: t.request,
-                    finish: clock.to_seconds(sim.now),
-                    energy: t.energy,
-                });
-            } else {
-                i += 1;
-            }
-        }
-
-        // A scheduling event fired: let the policy reassign the chip.
-        policy.reschedule(&mut sim, c);
-
-        // Refresh completion estimates. `now + remaining` is invariant
-        // under plain advancement, so an estimate changes only when the
-        // policy touched the tenant; superseded heap entries are
-        // invalidated by the epoch bump rather than removed.
-        for t in &mut sim.tenants {
-            let target = if t.alloc > 0 {
-                Some(sim.now + t.remaining())
-            } else {
-                None
-            };
-            if target != t.scheduled_completion {
-                t.scheduled_completion = target;
-                t.epoch = t.epoch.wrapping_add(1);
-                if let Some(at) = target {
-                    queue.push(
-                        at,
-                        EventKind::Completion {
-                            tenant: t.request.id,
-                            epoch: t.epoch,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    completions.sort_by_key(|c| c.request.id);
-    let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
-    // Static energy accrues while the chip serves tenants (idle gaps
-    // between requests belong to whatever the node does next).
-    SimResult {
-        completions,
-        total_energy: dynamic + em.static_energy(clock.span_seconds(busy)),
-        makespan: clock.span_seconds(sim.now),
-    }
+    let mut node = NodeKernel::new(cfg, clock);
+    node.advance(
+        None,
+        &mut || head.take().or_else(|| source.next()),
+        policy,
+        c,
+    );
+    node.into_result()
 }
 
 #[cfg(test)]

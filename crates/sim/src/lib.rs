@@ -21,6 +21,10 @@
 //!   time-domain lint, which allowlists exactly `clock.rs`).
 //! - [`run`]: the event loop. Engines plug in as [`EnginePolicy`]
 //!   implementations that keep only their scheduling decision logic.
+//! - [`NodeKernel`] + [`run_fabric`]: the loop reified as a resumable
+//!   per-node kernel, and the epoch-synchronized multi-node drive that
+//!   fans a cluster of them out across cores behind an online
+//!   [`Dispatcher`] — bit-deterministic at any worker count.
 //!
 //! Completion detection is exact — a tenant is done when its integer
 //! work counter reaches the table total and its overhead is burned; no
@@ -33,11 +37,13 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod fabric;
 mod kernel;
 mod queue;
 mod tenant;
 
 pub use clock::SimClock;
-pub use kernel::{run, run_streamed, EnginePolicy, SimState};
+pub use fabric::{run_fabric, Dispatcher, FabricStats, FabricTuning, NodeLoad};
+pub use kernel::{run, run_streamed, EnginePolicy, NodeKernel, SimState};
 pub use queue::{EventKind, EventQueue};
 pub use tenant::{full_mask, subarray_mask, TenantState};

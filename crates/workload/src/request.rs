@@ -62,6 +62,42 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Order-sensitive FNV-1a digest over the bit-exact content of the
+    /// result: every completion's id, network, arrival, priority, QoS
+    /// bound, finish time and energy, plus the aggregate energy and
+    /// makespan. Two results digest equal iff they are byte-identical,
+    /// which is how the determinism tests and the cluster bench assert
+    /// that a parallel fabric run reproduces the serial run exactly.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.completions.len() as u64);
+        for c in &self.completions {
+            let dnn = DnnId::ALL
+                .iter()
+                .position(|&d| d == c.request.dnn)
+                // lint: ALL enumerates every DnnId variant by construction
+                .expect("every DnnId appears in DnnId::ALL");
+            mix(c.request.id);
+            mix(dnn as u64);
+            mix(c.request.arrival.to_bits());
+            mix(u64::from(c.request.priority));
+            mix(c.request.qos.to_bits());
+            mix(c.finish.to_bits());
+            mix(c.energy.as_pj().to_bits());
+        }
+        mix(self.total_energy.as_pj().to_bits());
+        mix(self.makespan.to_bits());
+        h
+    }
+
     /// Mean end-to-end latency, seconds.
     pub fn mean_latency(&self) -> f64 {
         if self.completions.is_empty() {
@@ -122,6 +158,30 @@ mod tests {
         assert!((r.percentile_latency(0.5) - 0.050).abs() < 1e-12);
         assert!((r.percentile_latency(1.0) - 0.100).abs() < 1e-12);
         assert!((r.percentile_latency(0.0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_distinguishes_bitwise_differences() {
+        let mk = |finish: f64| Completion {
+            request: req(0.0, 1.0),
+            finish,
+            energy: Picojoules::ZERO,
+        };
+        let base = SimResult {
+            completions: vec![mk(0.010), mk(0.020)],
+            total_energy: Picojoules::new(5.0),
+            makespan: 0.020,
+        };
+        assert_eq!(base.digest(), base.clone().digest());
+        let mut late = base.clone();
+        late.completions[1].finish = 0.020 + f64::EPSILON;
+        assert_ne!(base.digest(), late.digest());
+        let mut reordered = base.clone();
+        reordered.completions.swap(0, 1);
+        assert_ne!(base.digest(), reordered.digest());
+        let mut hotter = base.clone();
+        hotter.total_energy = Picojoules::new(5.0 + f64::EPSILON * 8.0);
+        assert_ne!(base.digest(), hotter.digest());
     }
 
     #[test]
