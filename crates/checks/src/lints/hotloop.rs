@@ -17,10 +17,12 @@
 //!   type is resolved through the item parser's local/field type maps) —
 //!   a deep copy per event; borrow or reuse scratch instead.
 //!
-//! Scope: the kernel event loop, both engine policies, and the scheduler
-//! memo (`crates/core/src/sched_state.rs`). The materializing scheduler
-//! wrappers in `crates/core/src/scheduler.rs` stay out of scope on
-//! purpose — they are the convenience API; the engines call the
+//! Scope: the kernel event loop, the multi-node fabric round loop, both
+//! engine policies, the scheduler memo (`crates/core/src/sched_state.rs`),
+//! and the streaming quantile sketch (`crates/telemetry/src/sketch.rs`,
+//! which records inside the kernel's retire path). The materializing
+//! scheduler wrappers in `crates/core/src/scheduler.rs` stay out of scope
+//! on purpose — they are the convenience API; the engines call the
 //! `*_into` variants.
 
 use crate::diagnostics::{Diagnostic, Lint};
@@ -30,11 +32,13 @@ use crate::source::SourceFile;
 use crate::symbols::{ty_head, FileSymbols};
 
 /// Files forming the per-event path.
-const HOT_SCOPE: [&str; 4] = [
+const HOT_SCOPE: [&str; 6] = [
     "crates/sim/src/kernel.rs",
+    "crates/sim/src/fabric.rs",
     "crates/core/src/engine.rs",
     "crates/prema/src/engine.rs",
     "crates/core/src/sched_state.rs",
+    "crates/telemetry/src/sketch.rs",
 ];
 
 /// Banned whole-word tokens and why.

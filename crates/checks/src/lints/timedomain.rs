@@ -27,13 +27,16 @@ use crate::source::SourceFile;
 /// Event-loop files where float time arithmetic is banned. Exact files
 /// for the engines and the cluster dispatch layers (their scheduler/
 /// policy siblings legitimately hold dimensionless f64 scores) plus the
-/// whole kernel crate — which includes the multi-node fabric.
-const TIME_SCOPE: [&str; 5] = [
+/// whole kernel crate — which includes the multi-node fabric — and the
+/// streaming quantile sketch, whose cycle-valued buckets must stay
+/// integer end-to-end.
+const TIME_SCOPE: [&str; 6] = [
     "crates/core/src/engine.rs",
     "crates/core/src/cluster.rs",
     "crates/prema/src/engine.rs",
     "crates/prema/src/cluster.rs",
     "crates/sim/src/",
+    "crates/telemetry/src/sketch.rs",
 ];
 
 /// Banned whole-word tokens and why.

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
+mod cluster_report;
 mod compile;
 mod explore;
 mod nets;
 mod simulate;
 mod trace;
 
+pub use cluster_report::cluster_report;
 pub use compile::compile;
 pub use explore::explore;
 pub use nets::nets;

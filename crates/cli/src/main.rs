@@ -12,6 +12,10 @@
 //!                    [--trace-out t.json] [--metrics-out m.json]
 //!                    [--occupancy-out o.tsv]
 //! planaria-cli validate-trace <t.json>
+//! planaria-cli cluster-report [--nodes 4] [--policy LeastWork]
+//!                             [--scenario C] [--qos M] [--lambda 200]
+//!                             [--requests 100] [--seed 1]
+//!                             [--json-out r.json] [--trace-out t.json]
 //! ```
 
 mod args;
@@ -40,6 +44,14 @@ USAGE:
                                              run with full telemetry and export
                                              a Perfetto-loadable Chrome trace
   planaria-cli validate-trace <t.json>       structurally check a trace file
+  planaria-cli cluster-report [--nodes N] [--policy NAME] [--scenario C]
+                              [--qos M] [--lambda QPS] [--requests N]
+                              [--seed S] [--json-out r.json]
+                              [--trace-out t.json]
+                                             run an instrumented multi-node
+                                             fabric and report per-node and
+                                             merged metrics with streaming
+                                             percentile sketches
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +74,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&parsed),
         "trace" => commands::trace(&parsed),
         "validate-trace" => commands::validate_trace(&parsed),
+        "cluster-report" => commands::cluster_report(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

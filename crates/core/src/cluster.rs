@@ -16,9 +16,13 @@
 
 use crate::engine::PlanariaEngine;
 use planaria_compiler::CompiledLibrary;
-use planaria_model::units::Cycles;
+use planaria_model::units::{Cycles, Picojoules};
 use planaria_model::{DnnId, SplitMix64};
-use planaria_sim::{run_fabric, Dispatcher, FabricStats, FabricTuning, NodeLoad, SimClock};
+use planaria_sim::{
+    run_fabric, run_fabric_summary, run_fabric_with, Dispatcher, FabricStats, FabricTuning,
+    NodeLoad, SimClock,
+};
+use planaria_telemetry::{ClusterRecording, MetricsReport, RecordingCollector, StatsCollector};
 use planaria_workload::{Request, SimResult};
 
 /// Policy for spreading requests over the cluster's nodes.
@@ -288,6 +292,109 @@ pub fn run_cluster_fabric<I: IntoIterator<Item = Request>>(
     run_fabric(&cfgs, policies, requests, &mut d, tuning)
 }
 
+/// [`run_cluster_fabric`] with full telemetry: the fabric's dispatch
+/// decisions, round barriers and load gauges land in one recorder, each
+/// node's kernel events (arrivals, exec slices, completions, pod energy)
+/// in its own, and the whole thing comes back as a [`ClusterRecording`]
+/// whose node map is keyed by node id — deterministic merge order at any
+/// `PLANARIA_JOBS`.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or the source yields arrivals out of order.
+pub fn run_cluster_recorded<I: IntoIterator<Item = Request>>(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    requests: I,
+    policy: DispatchPolicy,
+    tuning: &FabricTuning,
+) -> (SimResult, FabricStats, ClusterRecording) {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let cfg = *engine.library().config();
+    let cfgs = vec![cfg; nodes];
+    let policies: Vec<_> = (0..nodes).map(|_| engine.spatial_policy()).collect();
+    let mut d = ClusterDispatcher::new(engine.library(), nodes, policy);
+    let mut fabric = RecordingCollector::new();
+    let sinks: Vec<RecordingCollector> = (0..nodes).map(|_| RecordingCollector::new()).collect();
+    let (result, stats, sinks) = run_fabric_with(
+        &cfgs,
+        policies,
+        requests,
+        &mut d,
+        tuning,
+        &mut fabric,
+        sinks,
+    );
+    let mut rec = ClusterRecording::new();
+    rec.fabric = fabric;
+    for (i, sink) in sinks.into_iter().enumerate() {
+        rec.nodes.insert(u32::try_from(i).unwrap_or(u32::MAX), sink);
+    }
+    (result, stats, rec)
+}
+
+/// Aggregate result of the flat-memory cluster path: counts, energy and
+/// percentile sketches without ever materializing a completion vector.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Requests retired across all nodes.
+    pub completed: u64,
+    /// Dynamic plus static energy summed over nodes in node-id order.
+    pub total_energy: Picojoules,
+    /// Slowest node's makespan, seconds.
+    pub makespan: f64,
+    /// Fabric counters merged with every node's counters, histograms and
+    /// quantile sketches (latency percentiles live in
+    /// [`Metric::LatencyCycles`](planaria_telemetry::Metric::LatencyCycles)).
+    pub metrics: MetricsReport,
+}
+
+/// The O(live tenants)-memory cluster: identical scheduling to
+/// [`run_cluster_fabric`], but nodes keep only aggregate tallies plus
+/// streaming sketches, so a 10^6-request run reports p50/p99 latency and
+/// QoS satisfaction without a completion vector.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or the source yields arrivals out of order.
+pub fn run_cluster_stats<I: IntoIterator<Item = Request>>(
+    engine: &PlanariaEngine,
+    nodes: usize,
+    requests: I,
+    policy: DispatchPolicy,
+    tuning: &FabricTuning,
+) -> (ClusterStats, FabricStats) {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let cfg = *engine.library().config();
+    let cfgs = vec![cfg; nodes];
+    let policies: Vec<_> = (0..nodes).map(|_| engine.spatial_policy()).collect();
+    let mut d = ClusterDispatcher::new(engine.library(), nodes, policy);
+    let mut fabric = StatsCollector::new();
+    let sinks: Vec<StatsCollector> = (0..nodes).map(|_| StatsCollector::new()).collect();
+    let (summary, stats, sinks) = run_fabric_summary(
+        &cfgs,
+        policies,
+        requests,
+        &mut d,
+        tuning,
+        &mut fabric,
+        sinks,
+    );
+    let mut metrics = fabric.report();
+    for sink in &sinks {
+        metrics.merge(&sink.report());
+    }
+    (
+        ClusterStats {
+            completed: summary.completed,
+            total_energy: summary.total_energy,
+            makespan: summary.makespan,
+            metrics,
+        },
+        stats,
+    )
+}
+
 /// The minimum number of nodes achieving the SLA on every probe seed
 /// (Fig. 16), up to `max_nodes`; `None` when even `max_nodes` fail.
 pub fn min_nodes_for_sla<F>(run: F, max_nodes: usize) -> Option<usize>
@@ -435,6 +542,84 @@ mod tests {
             assert_eq!(mat.completions, streamed.completions, "{policy:?}");
             assert_eq!(mat.total_energy, streamed.total_energy, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn recorded_cluster_matches_unrecorded_and_captures_per_node_events() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let cfg = TraceConfig::new(Scenario::B, QosLevel::Medium, 200.0, 24, 6);
+        let trace = cfg.generate();
+        let plain = run_cluster_with(&e, 3, &trace, DispatchPolicy::JoinShortestQueue);
+        let (rec_result, stats, rec) = run_cluster_recorded(
+            &e,
+            3,
+            trace.iter().copied(),
+            DispatchPolicy::JoinShortestQueue,
+            &FabricTuning::default(),
+        );
+        // Recording changes nothing about scheduling.
+        assert_eq!(plain.completions, rec_result.completions);
+        assert_eq!(plain.total_energy, rec_result.total_energy);
+        assert_eq!(plain.makespan.to_bits(), rec_result.makespan.to_bits());
+        assert!(stats.rounds > 0);
+        // The fabric recorder saw every dispatch decision; the node
+        // recorders saw every completion between them.
+        assert_eq!(rec.nodes.len(), 3);
+        let merged = rec.merged_report();
+        assert_eq!(
+            merged.counter(planaria_telemetry::Counter::DispatchDecisions),
+            24
+        );
+        let sketch = merged
+            .sketch(planaria_telemetry::Metric::LatencyCycles)
+            .expect("latency sketch recorded");
+        assert_eq!(sketch.count(), 24);
+    }
+
+    #[test]
+    fn stats_cluster_matches_materialized_percentiles() {
+        let e = PlanariaEngine::new(AcceleratorConfig::planaria());
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Soft, 250.0, 40, 9).generate();
+        let mat = run_cluster_with(&e, 2, &trace, DispatchPolicy::LeastWork);
+        let (cs, _) = run_cluster_stats(
+            &e,
+            2,
+            trace.iter().copied(),
+            DispatchPolicy::LeastWork,
+            &FabricTuning::default(),
+        );
+        assert_eq!(cs.completed, 40);
+        assert_eq!(mat.completions.len(), 40);
+        assert!((cs.makespan - mat.makespan).abs() < 1e-12);
+        // Sketch p99 over-reports by at most 1/32 relative to the exact
+        // nearest-rank oracle on the materialized completions.
+        let sketch = cs
+            .metrics
+            .sketch(planaria_telemetry::Metric::LatencyCycles)
+            .expect("latency sketch");
+        assert_eq!(sketch.count(), 40);
+        let clock = SimClock::new(trace[0].arrival, e.library().config().freq_hz);
+        let mut lat: Vec<Cycles> = mat
+            .completions
+            .iter()
+            .map(|c| {
+                clock
+                    .cycles_from_seconds(c.finish)
+                    .saturating_sub(clock.cycles_from_seconds(c.request.arrival))
+            })
+            .collect();
+        lat.sort();
+        let rank = (lat.len() * 99).div_ceil(100).clamp(1, lat.len());
+        let truth = lat[rank - 1].get();
+        let got = sketch.value_at_ratio(99, 100).expect("non-empty sketch");
+        assert!(
+            got >= truth.saturating_sub(2),
+            "p99 {got} below oracle {truth}"
+        );
+        assert!(
+            got <= truth + truth / 32 + 2,
+            "p99 {got} above bound for {truth}"
+        );
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub mod scheduler;
 pub mod trace;
 
 pub use cluster::{
-    dispatch, min_nodes_for_sla, run_cluster, run_cluster_fabric, run_cluster_streamed,
-    run_cluster_with, ClusterDispatcher, DispatchPolicy,
+    dispatch, min_nodes_for_sla, run_cluster, run_cluster_fabric, run_cluster_recorded,
+    run_cluster_stats, run_cluster_streamed, run_cluster_with, ClusterDispatcher, ClusterStats,
+    DispatchPolicy,
 };
 pub use engine::{PlanariaEngine, SchedulingMode, SpatialPolicy};
 pub use planaria_compiler::CompiledLibrary;

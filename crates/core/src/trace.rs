@@ -257,6 +257,10 @@ impl Collector for EngineTrace {
     fn sample(&mut self, metric: Metric, value: f64) {
         self.recording.sample(metric, value);
     }
+
+    fn observe(&mut self, metric: Metric, cycles: u64) {
+        self.recording.observe(metric, cycles);
+    }
 }
 
 #[cfg(test)]

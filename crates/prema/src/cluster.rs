@@ -12,8 +12,10 @@ use crate::engine::{PremaEngine, TemporalPolicy};
 use planaria_arch::AcceleratorConfig;
 use planaria_compiler::CompiledDnn;
 use planaria_core::{ClusterDispatcher, DispatchPolicy, PlanariaEngine, SpatialPolicy};
-use planaria_sim::{run_fabric, EnginePolicy, FabricStats, FabricTuning, SimState};
-use planaria_telemetry::Collector;
+use planaria_sim::{
+    run_fabric, run_fabric_with, EnginePolicy, FabricStats, FabricTuning, SimState,
+};
+use planaria_telemetry::{ClusterRecording, Collector, RecordingCollector};
 use planaria_workload::{Request, SimResult};
 use std::sync::Arc;
 
@@ -94,6 +96,59 @@ pub fn run_mixed_cluster<I: IntoIterator<Item = Request>>(
     run_fabric(&cfgs, policies, requests, &mut d, tuning)
 }
 
+/// [`run_mixed_cluster`] with full telemetry: dispatch decisions and
+/// load gauges in the fabric recorder, each node's kernel events in its
+/// own, merged node-id-deterministically into a [`ClusterRecording`] —
+/// so a heterogeneous fleet's Chrome trace shows Planaria fission nodes
+/// and PREMA monolithic nodes as separate processes.
+///
+/// # Panics
+///
+/// Panics if `layout` is empty, the two engines' clock frequencies
+/// differ, or the source yields arrivals out of order.
+pub fn run_mixed_cluster_recorded<I: IntoIterator<Item = Request>>(
+    spatial: &PlanariaEngine,
+    temporal: &PremaEngine,
+    layout: &[NodeKind],
+    requests: I,
+    policy: DispatchPolicy,
+    tuning: &FabricTuning,
+) -> (SimResult, FabricStats, ClusterRecording) {
+    assert!(!layout.is_empty(), "cluster needs at least one node");
+    let cfgs: Vec<AcceleratorConfig> = layout
+        .iter()
+        .map(|kind| match kind {
+            NodeKind::Spatial => *spatial.library().config(),
+            NodeKind::Temporal => *temporal.library().config(),
+        })
+        .collect();
+    let policies: Vec<MixedPolicy<'_>> = layout
+        .iter()
+        .map(|kind| match kind {
+            NodeKind::Spatial => MixedPolicy::Spatial(spatial.spatial_policy()),
+            NodeKind::Temporal => MixedPolicy::Temporal(temporal.node_policy()),
+        })
+        .collect();
+    let mut d = ClusterDispatcher::new(spatial.library(), layout.len(), policy);
+    let mut fabric = RecordingCollector::new();
+    let sinks: Vec<RecordingCollector> = layout.iter().map(|_| RecordingCollector::new()).collect();
+    let (result, stats, sinks) = run_fabric_with(
+        &cfgs,
+        policies,
+        requests,
+        &mut d,
+        tuning,
+        &mut fabric,
+        sinks,
+    );
+    let mut rec = ClusterRecording::new();
+    rec.fabric = fabric;
+    for (i, sink) in sinks.into_iter().enumerate() {
+        rec.nodes.insert(u32::try_from(i).unwrap_or(u32::MAX), sink);
+    }
+    (result, stats, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +196,35 @@ mod tests {
         );
         assert_eq!(direct.completions, mixed.completions);
         assert_eq!(direct.total_energy, mixed.total_energy);
+    }
+
+    #[test]
+    fn recorded_mixed_fleet_matches_unrecorded_and_traces_validate() {
+        let (planaria, prema) = engines();
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Medium, 200.0, 20, 5).generate();
+        let layout = [NodeKind::Spatial, NodeKind::Temporal];
+        let (plain, _) = run_mixed_cluster(
+            &planaria,
+            &prema,
+            &layout,
+            trace.iter().copied(),
+            DispatchPolicy::JoinShortestQueue,
+            &FabricTuning::default(),
+        );
+        let (rec_result, _, rec) = run_mixed_cluster_recorded(
+            &planaria,
+            &prema,
+            &layout,
+            trace.iter().copied(),
+            DispatchPolicy::JoinShortestQueue,
+            &FabricTuning::default(),
+        );
+        assert_eq!(plain.completions, rec_result.completions);
+        assert_eq!(plain.total_energy, rec_result.total_energy);
+        assert_eq!(rec.nodes.len(), 2);
+        let json = planaria_telemetry::cluster_chrome_trace(&rec);
+        let stats = planaria_telemetry::validate_chrome_trace(&json).expect("trace validates");
+        assert!(stats.events > 0);
     }
 
     #[test]

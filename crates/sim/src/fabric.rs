@@ -30,11 +30,11 @@
 //! batches by count alone, keeping rounds rare and fan-out cheap.
 
 use crate::clock::SimClock;
-use crate::kernel::{EnginePolicy, NodeKernel};
+use crate::kernel::{EnginePolicy, NodeKernel, NodeSummary};
 use planaria_arch::AcceleratorConfig;
 use planaria_model::units::{Cycles, Picojoules};
 use planaria_parallel::{effective_jobs, par_map};
-use planaria_telemetry::NullCollector;
+use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector};
 use planaria_workload::{Request, SimResult};
 use std::collections::VecDeque;
 
@@ -97,11 +97,25 @@ pub struct FabricStats {
     pub rounds: u64,
 }
 
-/// One node's private slice of the fabric: kernel, inbox, policy.
-struct Lane<P> {
+/// Aggregate view of a whole fabric run when completions are not kept
+/// (the flat-memory path of [`run_fabric_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricSummary {
+    /// Requests retired across all nodes.
+    pub completed: u64,
+    /// Dynamic plus static energy summed over nodes in node-id order.
+    pub total_energy: Picojoules,
+    /// Slowest node's makespan (each from its own first arrival).
+    pub makespan: f64,
+}
+
+/// One node's private slice of the fabric: kernel, inbox, policy, and
+/// its own telemetry sink (merged node-id-deterministically afterwards).
+struct Lane<P, N> {
     node: NodeKernel,
     inbox: VecDeque<Request>,
     policy: P,
+    sink: N,
 }
 
 /// Runs a multi-node cluster: `policies[i]` owns node `i` (configured by
@@ -130,8 +144,154 @@ where
     I: IntoIterator<Item = Request>,
 {
     let n = policies.len();
+    let sinks: Vec<NullCollector> = (0..n).map(|_| NullCollector).collect();
+    let (result, stats, _) = run_fabric_with(
+        cfgs,
+        policies,
+        requests,
+        dispatcher,
+        tuning,
+        &mut NullCollector,
+        sinks,
+    );
+    (result, stats)
+}
+
+/// [`run_fabric`] with telemetry threaded through: `fabric_c` records
+/// the dispatcher's decisions, round barriers, and per-node load gauges;
+/// `node_sinks[i]` rides inside node `i`'s lane and receives that
+/// kernel's events (arrivals, slices, completions, pod energy), exactly
+/// as a single-node collector would.
+///
+/// Per-node sinks move to workers with their lanes during `par_map`
+/// rounds and are returned in node-id order, so recording changes
+/// nothing about scheduling and the merge is byte-deterministic at any
+/// `PLANARIA_JOBS` — running with `NullCollector`s is bit-identical to
+/// [`run_fabric`] by construction (it *is* `run_fabric`).
+// lint: telemetry threading adds two sinks to an already-wide entry
+// point; a builder would obscure the run_fabric delegation
+#[allow(clippy::too_many_arguments)]
+pub fn run_fabric_with<P, D, I, C, N>(
+    cfgs: &[AcceleratorConfig],
+    policies: Vec<P>,
+    requests: I,
+    dispatcher: &mut D,
+    tuning: &FabricTuning,
+    fabric_c: &mut C,
+    node_sinks: Vec<N>,
+) -> (SimResult, FabricStats, Vec<N>)
+where
+    P: EnginePolicy + Send,
+    D: Dispatcher + ?Sized,
+    I: IntoIterator<Item = Request>,
+    C: Collector,
+    N: Collector + Send,
+{
+    let (lanes, rounds) = drive_fabric(
+        cfgs, policies, requests, dispatcher, tuning, fabric_c, node_sinks, true,
+    );
+
+    // Merge per-node results: completions re-sorted by request id,
+    // energies summed, makespan = slowest node (each from its own first
+    // arrival, matching the serial cluster's per-node semantics).
+    let mut stats = FabricStats { events: 0, rounds };
+    let mut completions = Vec::new();
+    let mut total_energy = Picojoules::ZERO;
+    let mut makespan = 0.0f64;
+    let mut sinks: Vec<N> = Vec::new();
+    for lane in lanes {
+        debug_assert!(lane.inbox.is_empty(), "undelivered requests in inbox");
+        stats.events += lane.node.events_processed();
+        let r = lane.node.into_result();
+        completions.extend(r.completions);
+        total_energy += r.total_energy;
+        makespan = makespan.max(r.makespan);
+        sinks.push(lane.sink);
+    }
+    completions.sort_by_key(|c| c.request.id);
+    (
+        SimResult {
+            completions,
+            total_energy,
+            makespan,
+        },
+        stats,
+        sinks,
+    )
+}
+
+/// The flat-memory fabric: identical scheduling to [`run_fabric_with`],
+/// but nodes never materialize completion vectors — each retirement only
+/// bumps aggregate tallies, so a 10^6-request run is O(live tenants)
+/// resident while percentiles still come out of the sinks' quantile
+/// sketches. Returns per-node summaries merged in node-id order.
+// lint: mirrors run_fabric_with's signature exactly (same sinks, same
+// dispatcher) so the two paths stay interchangeable
+#[allow(clippy::too_many_arguments)]
+pub fn run_fabric_summary<P, D, I, C, N>(
+    cfgs: &[AcceleratorConfig],
+    policies: Vec<P>,
+    requests: I,
+    dispatcher: &mut D,
+    tuning: &FabricTuning,
+    fabric_c: &mut C,
+    node_sinks: Vec<N>,
+) -> (FabricSummary, FabricStats, Vec<N>)
+where
+    P: EnginePolicy + Send,
+    D: Dispatcher + ?Sized,
+    I: IntoIterator<Item = Request>,
+    C: Collector,
+    N: Collector + Send,
+{
+    let (lanes, rounds) = drive_fabric(
+        cfgs, policies, requests, dispatcher, tuning, fabric_c, node_sinks, false,
+    );
+
+    let mut stats = FabricStats { events: 0, rounds };
+    let mut summary = FabricSummary::default();
+    let mut sinks: Vec<N> = Vec::new();
+    for lane in lanes {
+        debug_assert!(lane.inbox.is_empty(), "undelivered requests in inbox");
+        stats.events += lane.node.events_processed();
+        let s: NodeSummary = lane.node.into_summary();
+        summary.completed += s.completed;
+        summary.total_energy += s.total_energy;
+        summary.makespan = summary.makespan.max(s.makespan);
+        sinks.push(lane.sink);
+    }
+    (summary, stats, sinks)
+}
+
+/// The shared round loop: routes windows, fans nodes out, records
+/// fabric-level telemetry, and returns the drained lanes plus the round
+/// count. Scheduling is a pure function of `(cfgs, policies, requests,
+/// dispatcher, tuning)` — collectors and `keep_completions` only decide
+/// what is *remembered*, never what happens.
+// lint: the shared round loop takes both public signatures' parameters
+// plus the keep_completions switch; internal only
+#[allow(clippy::too_many_arguments)]
+fn drive_fabric<P, D, I, C, N>(
+    cfgs: &[AcceleratorConfig],
+    policies: Vec<P>,
+    requests: I,
+    dispatcher: &mut D,
+    tuning: &FabricTuning,
+    fabric_c: &mut C,
+    node_sinks: Vec<N>,
+    keep_completions: bool,
+) -> (Vec<Lane<P, N>>, u64)
+where
+    P: EnginePolicy + Send,
+    D: Dispatcher + ?Sized,
+    I: IntoIterator<Item = Request>,
+    C: Collector,
+    N: Collector + Send,
+{
+    let n = policies.len();
     assert!(n > 0, "fabric needs at least one node");
     assert_eq!(cfgs.len(), n, "one config per node");
+    assert_eq!(node_sinks.len(), n, "one telemetry sink per node");
     assert!(tuning.max_batch > 0, "max_batch must be at least 1");
     assert!(
         cfgs.iter().all(|c| c.freq_hz == cfgs[0].freq_hz),
@@ -142,14 +302,21 @@ where
     let mut pending: Option<Request> = source.next();
     let clock = SimClock::new(pending.map_or(0.0, |r| r.arrival), cfgs[0].freq_hz);
     let lookahead = clock.duration_cycles(tuning.lookahead_seconds);
+    fabric_c.set_meta(clock.meta(0));
 
-    let mut lanes: Vec<Lane<P>> = cfgs
+    let mut lanes: Vec<Lane<P, N>> = cfgs
         .iter()
-        .zip(policies)
-        .map(|(cfg, policy)| Lane {
-            node: NodeKernel::new(cfg, clock),
-            inbox: VecDeque::new(),
-            policy,
+        .zip(policies.into_iter().zip(node_sinks))
+        .map(|(cfg, (policy, mut sink))| {
+            sink.set_meta(clock.meta(cfg.num_subarrays()));
+            let mut node = NodeKernel::new(cfg, clock);
+            node.set_keep_completions(keep_completions);
+            Lane {
+                node,
+                inbox: VecDeque::new(),
+                policy,
+                sink,
+            }
         })
         .collect();
     let mut loads: Vec<NodeLoad> = lanes.iter().map(|_| NodeLoad::default()).collect();
@@ -185,6 +352,20 @@ where
             lanes[target].inbox.push_back(r);
             loads[target].routed += 1;
             batched += 1;
+            if fabric_c.is_enabled() {
+                fabric_c.record(
+                    at,
+                    Event::Dispatch {
+                        tenant: r.id,
+                        dnn: r.dnn,
+                        node: u32::try_from(target).unwrap_or(u32::MAX),
+                        tenants: u32::try_from(loads[target].tenants).unwrap_or(u32::MAX),
+                        backlog: loads[target].backlog,
+                        routed: u32::try_from(loads[target].routed).unwrap_or(u32::MAX),
+                    },
+                );
+                fabric_c.add(Counter::DispatchDecisions, 1);
+            }
             pending = source.next();
         }
 
@@ -197,12 +378,11 @@ where
             w_end.map_or(next_at, |e| e.min(next_at))
         });
         lanes = par_map(lanes, effective_jobs(), move |mut lane| {
-            let mut sink = NullCollector;
             lane.node.advance(
                 bound,
                 &mut || lane.inbox.pop_front(),
                 &mut lane.policy,
-                &mut sink,
+                &mut lane.sink,
             );
             lane
         });
@@ -212,32 +392,39 @@ where
             load.backlog = lane.node.outstanding_cycles();
             load.routed = 0;
         }
+        if fabric_c.is_enabled() {
+            // The barrier timestamp is the cut every node advanced to;
+            // with a dry source (no bound) nodes drained fully, so the
+            // latest node clock is the cut. Both are monotone across
+            // rounds: every dispatch this window happened at or before
+            // the cut, and the next window opens at or after it.
+            let cut = bound.unwrap_or_else(|| {
+                lanes
+                    .iter()
+                    .map(|l| l.node.now())
+                    .fold(Cycles::ZERO, Cycles::max)
+            });
+            fabric_c.record(cut, Event::RoundBarrier { seq: rounds });
+            fabric_c.add(Counter::FabricRounds, 1);
+            for (i, load) in loads.iter().enumerate() {
+                fabric_c.record(
+                    cut,
+                    Event::NodeGauge {
+                        node: u32::try_from(i).unwrap_or(u32::MAX),
+                        tenants: u32::try_from(load.tenants).unwrap_or(u32::MAX),
+                        backlog: load.backlog,
+                    },
+                );
+                fabric_c.observe(Metric::NodeBacklogCycles, load.backlog.get());
+                fabric_c.observe(
+                    Metric::NodeQueueDepth,
+                    u64::try_from(load.tenants).unwrap_or(u64::MAX),
+                );
+            }
+        }
     }
 
-    // Merge per-node results: completions re-sorted by request id,
-    // energies summed, makespan = slowest node (each from its own first
-    // arrival, matching the serial cluster's per-node semantics).
-    let mut stats = FabricStats { events: 0, rounds };
-    let mut completions = Vec::new();
-    let mut total_energy = Picojoules::ZERO;
-    let mut makespan = 0.0f64;
-    for lane in lanes {
-        debug_assert!(lane.inbox.is_empty(), "undelivered requests in inbox");
-        stats.events += lane.node.events_processed();
-        let r = lane.node.into_result();
-        completions.extend(r.completions);
-        total_energy += r.total_energy;
-        makespan = makespan.max(r.makespan);
-    }
-    completions.sort_by_key(|c| c.request.id);
-    (
-        SimResult {
-            completions,
-            total_energy,
-            makespan,
-        },
-        stats,
-    )
+    (lanes, rounds)
 }
 
 #[cfg(test)]

@@ -8,10 +8,13 @@ use planaria_arch::AcceleratorConfig;
 use planaria_compiler::CompiledDnn;
 use planaria_energy::EnergyModel;
 use planaria_model::units::{Cycles, Picojoules};
-use planaria_telemetry::{Collector, Counter, Event};
+use planaria_telemetry::{Collector, Counter, Event, Metric};
 use planaria_workload::{Completion, Request, SimResult};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Widest placement mask (and thus pod count) a kernel can track.
+const MAX_PODS: usize = 128;
 
 /// A scheduling policy plugged into the kernel.
 ///
@@ -101,6 +104,30 @@ pub struct NodeKernel {
     /// Cycle of the first admitted arrival: this node's makespan origin.
     origin: Option<Cycles>,
     events: u64,
+    /// When false, retirements update the aggregate tallies only and the
+    /// completion vector stays empty — the flat-memory path behind
+    /// [`NodeKernel::into_summary`].
+    keep_completions: bool,
+    completed: u64,
+    summary_energy: Picojoules,
+    /// Cumulative dynamic energy attributed to each subarray pod
+    /// (picojoules), maintained only while the collector is enabled.
+    pod_pj: [f64; MAX_PODS],
+    /// The value last exported per pod, so counter samples are emitted
+    /// only when a pod's total moved.
+    pod_emitted: [f64; MAX_PODS],
+}
+
+/// Aggregate view of a finished node when completions are not kept
+/// (see [`NodeKernel::into_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeSummary {
+    /// Requests retired.
+    pub completed: u64,
+    /// Dynamic plus static energy over the node's busy span.
+    pub total_energy: Picojoules,
+    /// Seconds from the node's first admitted arrival to its last event.
+    pub makespan: f64,
 }
 
 impl NodeKernel {
@@ -124,7 +151,25 @@ impl NodeKernel {
             busy: Cycles::ZERO,
             origin: None,
             events: 0,
+            keep_completions: true,
+            completed: 0,
+            summary_energy: Picojoules::ZERO,
+            pod_pj: [0.0; MAX_PODS],
+            pod_emitted: [0.0; MAX_PODS],
         }
+    }
+
+    /// Chooses whether retirements keep per-request [`Completion`]
+    /// records (the default) or only the aggregate tallies behind
+    /// [`NodeKernel::into_summary`] — the flat-memory mode where a
+    /// million-request node never materializes its completion vector.
+    pub fn set_keep_completions(&mut self, keep: bool) {
+        self.keep_completions = keep;
+    }
+
+    /// Requests retired so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
     }
 
     /// Current simulation time of this node, cycles since the clock
@@ -238,16 +283,35 @@ impl NodeKernel {
             }
         }
 
+        let track_pods = c.is_enabled();
+        let per_pod = self.sim.cfg.subarrays_per_pod.max(1);
         while let Some(t_next) = self.next_event_before(bound) {
             self.events += 1;
             // Advance every allocated tenant to the event time. The chip
-            // is busy whenever anyone holds subarrays.
+            // is busy whenever anyone holds subarrays. With telemetry on,
+            // each tenant's dynamic-energy delta is attributed evenly
+            // across the subarrays it holds, accumulated per pod.
             let dt = t_next.saturating_sub(self.sim.now);
             let mut any_allocated = false;
             for t in &mut self.sim.tenants {
                 if t.alloc > 0 {
                     any_allocated = true;
-                    t.advance(dt);
+                    if track_pods {
+                        let before = t.energy.as_pj();
+                        t.advance(dt);
+                        let delta = t.energy.as_pj() - before;
+                        if delta > 0.0 && t.mask != 0 {
+                            let share = delta / f64::from(t.mask.count_ones());
+                            let mut m = t.mask;
+                            while m != 0 {
+                                let bit = m.trailing_zeros();
+                                m &= m - 1;
+                                self.pod_pj[(bit / per_pod) as usize] += share;
+                            }
+                        }
+                    } else {
+                        t.advance(dt);
+                    }
                 }
             }
             if any_allocated {
@@ -303,6 +367,7 @@ impl NodeKernel {
             // Retire finished tenants (ascending swap_remove scan,
             // preserving the admission-order prefix that stable
             // scheduling relies on).
+            let mut retired_any = false;
             let mut i = 0;
             while i < self.sim.tenants.len() {
                 if self.sim.tenants[i].is_done() {
@@ -311,6 +376,7 @@ impl NodeKernel {
                     if let Some(moved) = self.sim.tenants.get(i) {
                         self.sim.index.insert(moved.request.id, i);
                     }
+                    retired_any = true;
                     if c.is_enabled() {
                         if t.alloc > 0 {
                             c.record(
@@ -324,22 +390,49 @@ impl NodeKernel {
                                 },
                             );
                         }
+                        let latency = self.sim.now.saturating_sub(t.arrival_cycle);
                         c.record(
                             self.sim.now,
                             Event::Completion {
                                 tenant: t.request.id,
-                                latency: self.sim.now.saturating_sub(t.arrival_cycle),
+                                latency,
                             },
                         );
                         c.add(Counter::Completions, 1);
+                        c.observe(Metric::LatencyCycles, latency.get());
+                        if self.sim.now <= t.deadline_cycle {
+                            c.add(Counter::QosMet, 1);
+                        }
                     }
-                    self.completions.push(Completion {
-                        request: t.request,
-                        finish: self.sim.clock.to_seconds(self.sim.now),
-                        energy: t.energy,
-                    });
+                    self.completed += 1;
+                    self.summary_energy += t.energy;
+                    if self.keep_completions {
+                        self.completions.push(Completion {
+                            request: t.request,
+                            finish: self.sim.clock.to_seconds(self.sim.now),
+                            energy: t.energy,
+                        });
+                    }
                 } else {
                     i += 1;
+                }
+            }
+            // Export pod energy counters only when a completion closed
+            // this event and a pod's cumulative total actually moved.
+            if track_pods && retired_any {
+                let pods = self.sim.cfg.num_pods().min(MAX_PODS as u32);
+                for pod in 0..pods {
+                    let cur = self.pod_pj[pod as usize];
+                    if cur != self.pod_emitted[pod as usize] {
+                        self.pod_emitted[pod as usize] = cur;
+                        c.record(
+                            self.sim.now,
+                            Event::PodEnergy {
+                                pod,
+                                energy: Picojoules::new(cur),
+                            },
+                        );
+                    }
                 }
             }
 
@@ -394,6 +487,28 @@ impl NodeKernel {
         SimResult {
             completions,
             total_energy: dynamic
+                + self
+                    .em
+                    .static_energy(self.sim.clock.span_seconds(self.busy)),
+            makespan: self.sim.clock.span_seconds(active),
+        }
+    }
+
+    /// Finalizes the node into aggregate tallies only — the counterpart
+    /// of [`into_result`](NodeKernel::into_result) for runs driven with
+    /// `set_keep_completions(false)`, where no completion vector exists.
+    /// Dynamic energy is summed in retirement order (vs. request-id
+    /// order in `into_result`), so the two paths agree to float
+    /// associativity, not bit-for-bit.
+    pub fn into_summary(self) -> NodeSummary {
+        debug_assert!(self.is_idle(), "node finalized with work outstanding");
+        let active = self
+            .sim
+            .now
+            .saturating_sub(self.origin.unwrap_or(Cycles::ZERO));
+        NodeSummary {
+            completed: self.completed,
+            total_energy: self.summary_energy
                 + self
                     .em
                     .static_energy(self.sim.clock.span_seconds(self.busy)),

@@ -43,7 +43,10 @@ mod queue;
 mod tenant;
 
 pub use clock::SimClock;
-pub use fabric::{run_fabric, Dispatcher, FabricStats, FabricTuning, NodeLoad};
-pub use kernel::{run, run_streamed, EnginePolicy, NodeKernel, SimState};
+pub use fabric::{
+    run_fabric, run_fabric_summary, run_fabric_with, Dispatcher, FabricStats, FabricSummary,
+    FabricTuning, NodeLoad,
+};
+pub use kernel::{run, run_streamed, EnginePolicy, NodeKernel, NodeSummary, SimState};
 pub use queue::{EventKind, EventQueue};
 pub use tenant::{full_mask, subarray_mask, TenantState};

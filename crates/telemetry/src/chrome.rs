@@ -243,6 +243,52 @@ pub fn chrome_trace(rec: &RecordingCollector) -> String {
                 );
                 push(&mut body, ts, line);
             }
+            // Fabric-level events: when a single recording carries them
+            // (the fabric's own collector), they render onto the chip
+            // process's model track. The dedicated multi-process cluster
+            // layout lives in [`crate::cluster::cluster_chrome_trace`].
+            Event::Dispatch {
+                tenant,
+                node,
+                tenants,
+                backlog,
+                routed,
+                ..
+            } => {
+                let line = format!(
+                    "{{\"name\":\"dispatch n{node:02}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{CHIP_PID},\"tid\":{MODEL_TID},\"ts\":{},\"args\":{{\"tenant\":{tenant},\"node\":{node},\"tenants\":{tenants},\"backlog_cycles\":{},\"routed\":{routed}}}}}",
+                    us(ts),
+                    backlog.get()
+                );
+                push(&mut body, ts, line);
+            }
+            Event::RoundBarrier { seq } => {
+                let line = format!(
+                    "{{\"name\":\"round_barrier\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{CHIP_PID},\"tid\":{MODEL_TID},\"ts\":{},\"args\":{{\"seq\":{seq}}}}}",
+                    us(ts)
+                );
+                push(&mut body, ts, line);
+            }
+            Event::NodeGauge {
+                node,
+                tenants,
+                backlog,
+            } => {
+                let line = format!(
+                    "{{\"name\":\"node {node:02} load\",\"ph\":\"C\",\"pid\":{CHIP_PID},\"tid\":{MODEL_TID},\"ts\":{},\"args\":{{\"tenants\":{tenants},\"backlog_cycles\":{}}}}}",
+                    us(ts),
+                    backlog.get()
+                );
+                push(&mut body, ts, line);
+            }
+            Event::PodEnergy { pod, energy } => {
+                let line = format!(
+                    "{{\"name\":\"pod {pod:02} energy_pj\",\"ph\":\"C\",\"pid\":{CHIP_PID},\"tid\":{MODEL_TID},\"ts\":{},\"args\":{{\"pj\":{}}}}}",
+                    us(ts),
+                    crate::metrics::fmt_f64(energy.as_pj())
+                );
+                push(&mut body, ts, line);
+            }
         }
     }
     body.sort_by_key(|(at, seq, _)| (*at, *seq));
@@ -261,7 +307,7 @@ pub fn chrome_trace(rec: &RecordingCollector) -> String {
     out
 }
 
-fn meta_event(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> String {
+pub(crate) fn meta_event(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> String {
     let mut s = format!("{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid}");
     if let Some(tid) = tid {
         let _ = write!(s, ",\"tid\":{tid}");

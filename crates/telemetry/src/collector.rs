@@ -1,7 +1,8 @@
-//! The [`Collector`] trait and its two implementations.
+//! The [`Collector`] trait and its implementations.
 
 use crate::event::{Event, SimMeta, TimedEvent};
 use crate::metrics::{Counter, Histogram, Metric, MetricsReport};
+use crate::sketch::CycleSketch;
 use planaria_model::units::Cycles;
 use std::collections::BTreeMap;
 
@@ -34,6 +35,13 @@ pub trait Collector {
 
     /// Records one histogram sample.
     fn sample(&mut self, metric: Metric, value: f64);
+
+    /// Observes one exact integer cycle sample into the metric's
+    /// streaming quantile sketch ([`CycleSketch`]): O(1) per sample,
+    /// O(buckets) memory, so percentiles survive runs whose completion
+    /// vectors are never materialized. Defaults to a no-op so existing
+    /// collectors outside this crate are unaffected.
+    fn observe(&mut self, _metric: Metric, _cycles: u64) {}
 }
 
 /// The disabled path: every method is an inlined no-op, so an engine
@@ -58,6 +66,9 @@ impl Collector for NullCollector {
 
     #[inline(always)]
     fn sample(&mut self, _metric: Metric, _value: f64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _metric: Metric, _cycles: u64) {}
 }
 
 /// A deterministic in-memory recorder: events in arrival order, counters
@@ -68,6 +79,7 @@ pub struct RecordingCollector {
     events: Vec<TimedEvent>,
     counters: BTreeMap<Counter, u64>,
     histograms: BTreeMap<Metric, Histogram>,
+    sketches: BTreeMap<Metric, CycleSketch>,
 }
 
 impl RecordingCollector {
@@ -97,6 +109,16 @@ impl RecordingCollector {
         &self.histograms
     }
 
+    /// Quantile sketches.
+    pub fn sketches(&self) -> &BTreeMap<Metric, CycleSketch> {
+        &self.sketches
+    }
+
+    /// The sketch for one metric, if any samples were observed.
+    pub fn sketch(&self, m: Metric) -> Option<&CycleSketch> {
+        self.sketches.get(&m)
+    }
+
     /// The value of one counter (0 when never incremented).
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters.get(&c).copied().unwrap_or(0)
@@ -109,14 +131,19 @@ impl RecordingCollector {
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+        self.events.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
-    /// Aggregates counters and histograms into a [`MetricsReport`].
+    /// Aggregates counters, histograms, and sketches into a
+    /// [`MetricsReport`].
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
             counters: self.counters.clone(),
             histograms: self.histograms.clone(),
+            sketches: self.sketches.clone(),
             events: self.events.len() as u64,
         }
     }
@@ -142,6 +169,92 @@ impl Collector for RecordingCollector {
 
     fn sample(&mut self, metric: Metric, value: f64) {
         self.histograms.entry(metric).or_default().record(value);
+    }
+
+    fn observe(&mut self, metric: Metric, cycles: u64) {
+        self.sketches.entry(metric).or_default().record(cycles);
+    }
+}
+
+/// An aggregates-only collector for flat-memory runs: `is_enabled()` is
+/// `true` so engines *do* construct payloads and fire hooks, but
+/// [`record`](Collector::record) only counts the event and drops the
+/// payload — no per-event storage. Counters, histograms, and quantile
+/// sketches accumulate exactly as in [`RecordingCollector`], so a
+/// 10^6-request fabric run can report p50/p99/SLA with O(buckets)
+/// memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsCollector {
+    meta: SimMeta,
+    events: u64,
+    counters: BTreeMap<Counter, u64>,
+    histograms: BTreeMap<Metric, Histogram>,
+    sketches: BTreeMap<Metric, CycleSketch>,
+}
+
+impl StatsCollector {
+    /// An empty aggregates-only collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The announced run metadata.
+    pub fn meta(&self) -> SimMeta {
+        self.meta
+    }
+
+    /// Events seen (and dropped) so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The value of one counter (0 when never incremented).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(&c).copied().unwrap_or(0)
+    }
+
+    /// The sketch for one metric, if any samples were observed.
+    pub fn sketch(&self, m: Metric) -> Option<&CycleSketch> {
+        self.sketches.get(&m)
+    }
+
+    /// Aggregates counters, histograms, and sketches into a
+    /// [`MetricsReport`].
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+            sketches: self.sketches.clone(),
+            events: self.events,
+        }
+    }
+}
+
+impl Collector for StatsCollector {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn set_meta(&mut self, meta: SimMeta) {
+        self.meta = meta;
+    }
+
+    #[inline]
+    fn record(&mut self, _ts: Cycles, _event: Event) {
+        self.events += 1;
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64) {
+        *self.counters.entry(counter).or_insert(0) += delta;
+    }
+
+    fn sample(&mut self, metric: Metric, value: f64) {
+        self.histograms.entry(metric).or_default().record(value);
+    }
+
+    fn observe(&mut self, metric: Metric, cycles: u64) {
+        self.sketches.entry(metric).or_default().record(cycles);
     }
 }
 
@@ -171,6 +284,11 @@ impl<C: Collector> Collector for &mut C {
     #[inline(always)]
     fn sample(&mut self, metric: Metric, value: f64) {
         (**self).sample(metric, value);
+    }
+
+    #[inline(always)]
+    fn observe(&mut self, metric: Metric, cycles: u64) {
+        (**self).observe(metric, cycles);
     }
 }
 
@@ -239,7 +357,52 @@ mod tests {
             let fwd = &mut c;
             assert!(fwd.is_enabled());
             fwd.add(Counter::Completions, 4);
+            fwd.observe(Metric::LatencyCycles, 120);
         }
         assert_eq!(c.counter(Counter::Completions), 4);
+        assert_eq!(
+            c.sketch(Metric::LatencyCycles).map(|s| s.count()),
+            Some(1),
+            "observe must forward through &mut C"
+        );
+    }
+
+    #[test]
+    fn stats_collector_aggregates_without_storing_events() {
+        let mut c = StatsCollector::new();
+        assert!(c.is_enabled());
+        c.set_meta(SimMeta {
+            freq_hz: 700e6,
+            total_subarrays: 16,
+        });
+        for i in 0..1000u64 {
+            c.record(
+                Cycles::new(i),
+                Event::Completion {
+                    tenant: i,
+                    latency: Cycles::new(i),
+                },
+            );
+            c.observe(Metric::LatencyCycles, i);
+        }
+        c.add(Counter::Completions, 1000);
+        c.sample(Metric::QueueDepth, 2.0);
+        assert_eq!(c.events(), 1000, "events are counted, not stored");
+        assert_eq!(c.counter(Counter::Completions), 1000);
+        let r = c.report();
+        assert_eq!(r.events, 1000);
+        let s = r.sketch(Metric::LatencyCycles).expect("latency sketch");
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), Some(999));
+        // Same observations through a RecordingCollector produce the
+        // identical sketch — the aggregates path drops only the events.
+        let mut rec = RecordingCollector::new();
+        for i in 0..1000u64 {
+            rec.observe(Metric::LatencyCycles, i);
+        }
+        assert_eq!(
+            rec.sketch(Metric::LatencyCycles),
+            r.sketch(Metric::LatencyCycles)
+        );
     }
 }

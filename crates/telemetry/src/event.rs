@@ -5,7 +5,7 @@
 //! discipline; conversion to wall-clock units happens once, at render
 //! time, using the [`SimMeta`] clock.
 
-use planaria_model::units::{Bytes, Cycles};
+use planaria_model::units::{Bytes, Cycles, Picojoules};
 use planaria_model::DnnId;
 
 /// Per-run metadata a collector needs to render its recordings:
@@ -142,6 +142,47 @@ pub enum Event {
         /// shape, not per layer).
         distinct_shapes: u32,
     },
+    /// The fabric dispatcher routed a request to a node. Recorded by the
+    /// *fabric* collector (not a node's), with the chosen node's
+    /// `NodeLoad` snapshot at decision time.
+    Dispatch {
+        /// Request id.
+        tenant: u64,
+        /// Its network.
+        dnn: DnnId,
+        /// The node the request was routed to.
+        node: u32,
+        /// In-flight tenants on the chosen node at decision time.
+        tenants: u32,
+        /// Estimated backlog on the chosen node at decision time.
+        backlog: Cycles,
+        /// Requests routed to that node so far, including this one.
+        routed: u32,
+    },
+    /// An epoch-synchronized fabric round closed: every node advanced to
+    /// the round's cut cycle (the event timestamp).
+    RoundBarrier {
+        /// Round sequence number, starting at 1.
+        seq: u64,
+    },
+    /// Per-node load gauge sampled at a round boundary (queue-depth /
+    /// backlog watermark source).
+    NodeGauge {
+        /// The node sampled.
+        node: u32,
+        /// In-flight tenants on the node.
+        tenants: u32,
+        /// Estimated backlog on the node.
+        backlog: Cycles,
+    },
+    /// Cumulative dynamic energy attributed to one subarray pod, sampled
+    /// when the pod's total moved (rendered as a Chrome counter track).
+    PodEnergy {
+        /// Pod index within the node's chip.
+        pod: u32,
+        /// Cumulative dynamic energy of the pod since run start.
+        energy: Picojoules,
+    },
 }
 
 impl Event {
@@ -157,6 +198,10 @@ impl Event {
             Event::Completion { .. } => "completion",
             Event::LayerSlice { .. } => "layer_slice",
             Event::TableCompiled { .. } => "table_compiled",
+            Event::Dispatch { .. } => "dispatch",
+            Event::RoundBarrier { .. } => "round_barrier",
+            Event::NodeGauge { .. } => "node_gauge",
+            Event::PodEnergy { .. } => "pod_energy",
         }
     }
 }
@@ -219,6 +264,24 @@ mod tests {
                 subarrays: 16,
                 layers: 105,
                 distinct_shapes: 36,
+            },
+            Event::Dispatch {
+                tenant: 0,
+                dnn: DnnId::ResNet50,
+                node: 1,
+                tenants: 2,
+                backlog: Cycles::new(100),
+                routed: 3,
+            },
+            Event::RoundBarrier { seq: 1 },
+            Event::NodeGauge {
+                node: 1,
+                tenants: 2,
+                backlog: Cycles::new(100),
+            },
+            Event::PodEnergy {
+                pod: 0,
+                energy: Picojoules::new(1.0),
             },
         ];
         let mut names: Vec<&str> = events.iter().map(Event::name).collect();

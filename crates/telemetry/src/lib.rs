@@ -5,11 +5,22 @@
 //! subarray occupancy, SLA slack. This crate gives every engine in the
 //! workspace one structured way to expose that behaviour:
 //!
-//! * a [`Collector`] trait with two implementations:
+//! * a [`Collector`] trait with three implementations:
 //!   [`NullCollector`], whose methods are all `#[inline]` no-ops so the
 //!   disabled path costs nothing and simulation results stay
-//!   bit-identical, and [`RecordingCollector`], a deterministic
-//!   `BTreeMap`-backed recorder;
+//!   bit-identical; [`RecordingCollector`], a deterministic
+//!   `BTreeMap`-backed recorder; and [`StatsCollector`], which keeps
+//!   only counters, histograms, and quantile sketches so flat-memory
+//!   runs still report percentiles;
+//! * a streaming quantile sketch ([`CycleSketch`]): a fixed
+//!   `[u64; 1920]` log-linear histogram over integer cycles with a
+//!   documented `≤ 1/32` relative over-report bound, merged bucket-wise
+//!   across nodes;
+//! * cluster-level recordings ([`ClusterRecording`]) pairing a fabric
+//!   collector (dispatch decisions, round barriers, load gauges) with
+//!   per-node collectors, merged node-id-deterministically and rendered
+//!   as a multi-process Chrome trace ([`cluster_chrome_trace`], one
+//!   process per node with nested per-pod energy counter tracks);
 //! * an [`Event`] taxonomy covering engine arrivals, queue waits,
 //!   allocation/fission changes, reconfiguration drain/checkpoint
 //!   overheads, PREMA preemptions, per-layer timing-model slices, and
@@ -39,14 +50,18 @@
 //! at all (the engines' `run` methods *are* the `NullCollector` path).
 
 pub mod chrome;
+pub mod cluster;
 pub mod collector;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
 pub mod validate;
 
 pub use chrome::{chrome_trace, occupancy_tsv};
-pub use collector::{Collector, NullCollector, RecordingCollector};
+pub use cluster::{cluster_chrome_trace, ClusterRecording};
+pub use collector::{Collector, NullCollector, RecordingCollector, StatsCollector};
 pub use event::{Event, SimMeta, TimedEvent};
 pub use metrics::{Counter, Histogram, Metric, MetricsReport};
+pub use sketch::{CycleSketch, SKETCH_BUCKETS};
 pub use validate::{validate_chrome_trace, TraceStats};

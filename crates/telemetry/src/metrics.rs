@@ -1,5 +1,7 @@
-//! Counters, histograms, and the aggregated [`MetricsReport`].
+//! Counters, histograms, quantile sketches, and the aggregated
+//! [`MetricsReport`].
 
+use crate::sketch::CycleSketch;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -40,6 +42,13 @@ pub enum Counter {
     DramBoundCycles,
     /// Layer cycles classified as compute-bound.
     ComputeBoundCycles,
+    /// Fabric dispatcher routing decisions.
+    DispatchDecisions,
+    /// Epoch-synchronized fabric rounds executed.
+    FabricRounds,
+    /// Completions that met their deadline in the integer cycle domain
+    /// (`finish_cycle <= deadline_cycle`).
+    QosMet,
 }
 
 impl Counter {
@@ -62,6 +71,9 @@ impl Counter {
             Counter::LayersCompiled => "layers_compiled",
             Counter::DramBoundCycles => "dram_bound_cycles",
             Counter::ComputeBoundCycles => "compute_bound_cycles",
+            Counter::DispatchDecisions => "dispatch_decisions",
+            Counter::FabricRounds => "fabric_rounds",
+            Counter::QosMet => "qos_met",
         }
     }
 }
@@ -82,6 +94,14 @@ pub enum Metric {
     ReconfigCycles,
     /// Per-layer effective MAC utilization (0–1) from the timing model.
     Utilization,
+    /// End-to-end request latency, cycles (sketch-observed).
+    LatencyCycles,
+    /// Per-node backlog estimate at round boundaries, cycles
+    /// (sketch-observed).
+    NodeBacklogCycles,
+    /// Per-node in-flight tenant count at round boundaries
+    /// (sketch-observed).
+    NodeQueueDepth,
 }
 
 impl Metric {
@@ -94,6 +114,9 @@ impl Metric {
             Metric::QueueWaitCycles => "queue_wait_cycles",
             Metric::ReconfigCycles => "reconfig_cycles",
             Metric::Utilization => "utilization",
+            Metric::LatencyCycles => "latency_cycles",
+            Metric::NodeBacklogCycles => "node_backlog_cycles",
+            Metric::NodeQueueDepth => "node_queue_depth",
         }
     }
 }
@@ -158,6 +181,18 @@ impl Histogram {
         bits.min(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// Merges another histogram into this one (bucket-wise sum; used
+    /// when combining per-node reports in the cluster fabric).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
     /// Mean of the samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -181,6 +216,9 @@ pub struct MetricsReport {
     pub counters: BTreeMap<Counter, u64>,
     /// Histograms in deterministic iteration order.
     pub histograms: BTreeMap<Metric, Histogram>,
+    /// Streaming quantile sketches (exact-integer cycle distributions)
+    /// in deterministic iteration order.
+    pub sketches: BTreeMap<Metric, CycleSketch>,
     /// Total events recorded alongside the aggregates.
     pub events: u64,
 }
@@ -194,6 +232,29 @@ impl MetricsReport {
     /// The histogram for one metric, if any samples were recorded.
     pub fn histogram(&self, m: Metric) -> Option<&Histogram> {
         self.histograms.get(&m)
+    }
+
+    /// The quantile sketch for one metric, if any samples were observed.
+    pub fn sketch(&self, m: Metric) -> Option<&CycleSketch> {
+        self.sketches.get(&m)
+    }
+
+    /// Merges another report into this one: counters and event totals
+    /// add, histograms and sketches merge bucket-wise. Deterministic —
+    /// `BTreeMap` iteration and commutative integer sums — so merging
+    /// per-node reports in node-id order yields the same bytes at any
+    /// `PLANARIA_JOBS`.
+    pub fn merge(&mut self, other: &Self) {
+        for (c, v) in &other.counters {
+            *self.counters.entry(*c).or_insert(0) += v;
+        }
+        for (m, h) in &other.histograms {
+            self.histograms.entry(*m).or_default().merge(h);
+        }
+        for (m, s) in &other.sketches {
+            self.sketches.entry(*m).or_default().merge(s);
+        }
+        self.events += other.events;
     }
 
     /// Compiler memo hit-rate in [0, 1] (`None` when the memo was never
@@ -252,6 +313,21 @@ impl MetricsReport {
                 );
             }
         }
+        if !self.sketches.is_empty() {
+            let _ = writeln!(out, "sketches (count / p50 / p99 / min / max, cycles):");
+            for (m, s) in &self.sketches {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {} / {} / {} / {} / {}",
+                    m.name(),
+                    s.count(),
+                    s.value_at_ratio(50, 100).unwrap_or(0),
+                    s.value_at_ratio(99, 100).unwrap_or(0),
+                    s.min().unwrap_or(0),
+                    s.max().unwrap_or(0),
+                );
+            }
+        }
         out
     }
 
@@ -294,6 +370,26 @@ impl MetricsReport {
                 let _ = write!(out, "{b}");
             }
             out.push_str("]}");
+        }
+        out.push('}');
+        out.push_str(",\"sketches\":{");
+        for (i, (m, s)) in self.sketches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Summary only — the 1920 raw buckets stay in-process.
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                m.name(),
+                s.count(),
+                s.sum(),
+                s.min().unwrap_or(0),
+                s.max().unwrap_or(0),
+                s.value_at_ratio(50, 100).unwrap_or(0),
+                s.value_at_ratio(90, 100).unwrap_or(0),
+                s.value_at_ratio(99, 100).unwrap_or(0),
+            );
         }
         out.push_str("}}");
         out
@@ -363,6 +459,52 @@ mod tests {
         // The JSON must parse with the in-crate parser.
         let parsed = crate::json::parse(&json).expect("report JSON parses");
         assert!(parsed.get("counters").is_some());
+    }
+
+    #[test]
+    fn reports_merge_deterministically() {
+        let mut a = MetricsReport::default();
+        a.events = 2;
+        a.counters.insert(Counter::Arrivals, 3);
+        let mut ha = Histogram::new();
+        ha.record(4.0);
+        a.histograms.insert(Metric::QueueDepth, ha);
+        let mut sa = CycleSketch::new();
+        sa.record(100);
+        a.sketches.insert(Metric::LatencyCycles, sa);
+
+        let mut b = MetricsReport::default();
+        b.events = 1;
+        b.counters.insert(Counter::Arrivals, 2);
+        b.counters.insert(Counter::Completions, 5);
+        let mut hb = Histogram::new();
+        hb.record(8.0);
+        b.histograms.insert(Metric::QueueDepth, hb);
+        let mut sb = CycleSketch::new();
+        sb.record(200);
+        b.sketches.insert(Metric::LatencyCycles, sb);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.events, 3);
+        assert_eq!(ab.counter(Counter::Arrivals), 5);
+        assert_eq!(ab.counter(Counter::Completions), 5);
+        // lint: merged above, the histogram and sketch both exist
+        assert_eq!(ab.histogram(Metric::QueueDepth).unwrap().count, 2);
+        let s = ab.sketch(Metric::LatencyCycles).expect("sketch merged");
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), Some(200));
+        // Merge must commute bucket-wise: b.merge(a) gives the same
+        // aggregate state.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Sketch summaries land in both renderings.
+        assert!(ab.render_text().contains("latency_cycles"));
+        let json = ab.render_json();
+        assert!(json.contains("\"latency_cycles\":{\"count\":2"));
+        let parsed = crate::json::parse(&json).expect("merged report JSON parses");
+        assert!(parsed.get("sketches").is_some());
     }
 
     #[test]

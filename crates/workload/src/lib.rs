@@ -32,5 +32,5 @@ pub mod trace;
 
 pub use metrics::{fairness, max_throughput, meets_sla, sla_satisfaction_rate, violation_rate};
 pub use qos::{qos_bound, QosLevel};
-pub use request::{Completion, Request, SimResult};
+pub use request::{Completion, LatencyStats, Request, SimResult};
 pub use trace::{Scenario, TraceConfig, TraceStream};

@@ -1,8 +1,9 @@
 //! Inference requests and engine results — the vocabulary shared by the
 //! Planaria and PREMA simulation engines and the metrics.
 
-use planaria_model::units::Picojoules;
+use planaria_model::units::{Cycles, Picojoules};
 use planaria_model::DnnId;
+use planaria_telemetry::CycleSketch;
 
 /// One dispatched inference request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,20 +112,81 @@ impl SimResult {
     }
 
     /// Latency at percentile `p` ∈ [0, 1] (nearest-rank), seconds — the
-    /// MLPerf server scenario reports p99. Returns 0 for an empty result.
+    /// MLPerf server scenario reports p99. `None` for an empty result:
+    /// a run that completed nothing has no percentile, and silently
+    /// reporting `0.0` (a perfect latency) used to mask exactly that
+    /// failure in sweep tables.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside [0, 1].
-    pub fn percentile_latency(&self, p: f64) -> f64 {
+    pub fn percentile_latency(&self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
         if self.completions.is_empty() {
-            return 0.0;
+            return None;
         }
         let mut lats: Vec<f64> = self.completions.iter().map(Completion::latency).collect();
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let rank = ((p * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
-        lats[rank - 1]
+        Some(lats[rank - 1])
+    }
+
+    /// Exact latency summary of this result (the materialized oracle).
+    pub fn latency_stats(&self) -> Option<LatencyStats> {
+        LatencyStats::from_completions(&self.completions)
+    }
+}
+
+/// A latency summary in seconds, computable two ways: exactly from a
+/// materialized completion vector (the nearest-rank oracle), or from a
+/// streaming [`CycleSketch`] when completions were never kept — in which
+/// case each percentile over-reports by at most `1/32` relative (the
+/// sketch's bucket bound) and the mean is exact up to f64 rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of completions summarized.
+    pub count: u64,
+    /// Mean end-to-end latency, seconds.
+    pub mean: f64,
+    /// Median (nearest-rank p50), seconds.
+    pub p50: f64,
+    /// Tail latency (nearest-rank p99), seconds.
+    pub p99: f64,
+    /// Slowest completion, seconds.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Exact stats from materialized completions; `None` when empty.
+    pub fn from_completions(completions: &[Completion]) -> Option<Self> {
+        if completions.is_empty() {
+            return None;
+        }
+        let mut lats: Vec<f64> = completions.iter().map(Completion::latency).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = lats.len();
+        let rank = |p: f64| lats[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Some(Self {
+            count: n as u64,
+            mean: lats.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: lats[n - 1],
+        })
+    }
+
+    /// Stats from a streaming sketch of integer latency cycles recorded
+    /// at `freq_hz`; `None` when the sketch is empty. Percentiles carry
+    /// the sketch's documented `≤ 1/32` relative over-report bound.
+    pub fn from_sketch(sketch: &CycleSketch, freq_hz: f64) -> Option<Self> {
+        let secs = |v: u64| Cycles::new(v).seconds_at(freq_hz);
+        Some(Self {
+            count: sketch.count(),
+            mean: sketch.mean()? / freq_hz,
+            p50: secs(sketch.value_at_ratio(50, 100)?),
+            p99: secs(sketch.value_at_ratio(99, 100)?),
+            max: secs(sketch.max()?),
+        })
     }
 }
 
@@ -154,10 +216,48 @@ mod tests {
             total_energy: Picojoules::ZERO,
             makespan: 1.0,
         };
-        assert!((r.percentile_latency(0.99) - 0.099).abs() < 1e-12);
-        assert!((r.percentile_latency(0.5) - 0.050).abs() < 1e-12);
-        assert!((r.percentile_latency(1.0) - 0.100).abs() < 1e-12);
-        assert!((r.percentile_latency(0.0) - 0.001).abs() < 1e-12);
+        let p = |p: f64| r.percentile_latency(p).expect("non-empty");
+        assert!((p(0.99) - 0.099).abs() < 1e-12);
+        assert!((p(0.5) - 0.050).abs() < 1e-12);
+        assert!((p(1.0) - 0.100).abs() < 1e-12);
+        assert!((p(0.0) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_has_no_percentile() {
+        let empty = SimResult {
+            completions: Vec::new(),
+            total_energy: Picojoules::ZERO,
+            makespan: 0.0,
+        };
+        assert_eq!(empty.percentile_latency(0.99), None);
+        assert_eq!(empty.latency_stats(), None);
+    }
+
+    #[test]
+    fn latency_stats_from_sketch_tracks_oracle() {
+        let freq = 1e9;
+        let mk = |latency: f64| Completion {
+            request: req(0.0, 1.0),
+            finish: latency,
+            energy: Picojoules::ZERO,
+        };
+        let completions: Vec<Completion> = (1..=200).map(|i| mk(i as f64 * 1e-4)).collect();
+        let exact = LatencyStats::from_completions(&completions).expect("non-empty");
+        let mut sketch = CycleSketch::new();
+        for c in &completions {
+            sketch.record((c.latency() * freq).round() as u64);
+        }
+        let approx = LatencyStats::from_sketch(&sketch, freq).expect("non-empty");
+        assert_eq!(approx.count, exact.count);
+        assert!((approx.mean - exact.mean).abs() / exact.mean < 1e-9);
+        for (a, e) in [(approx.p50, exact.p50), (approx.p99, exact.p99)] {
+            assert!(a >= e - 1e-12, "sketch {a} under oracle {e}");
+            assert!(
+                a <= e * (1.0 + 1.0 / 32.0) + 1e-9,
+                "sketch {a} above bound for {e}"
+            );
+        }
     }
 
     #[test]
