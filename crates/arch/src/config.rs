@@ -72,32 +72,62 @@ impl AcceleratorConfig {
     }
 
     /// A Planaria variant with a different fission granule (the Fig. 18
-    /// design-space exploration sweeps 16, 32, 64).
+    /// design-space exploration sweeps 16, 32, 64). Pods group the
+    /// subarrays into 4 quadrants of the chip and high-radix crossbars
+    /// derate the clock (§III-C) — both rules live in the builder.
     ///
     /// # Panics
     ///
-    /// Panics if `dim` does not evenly divide the array sides.
+    /// Panics if `dim` does not evenly divide the array sides. Fallible
+    /// callers should use [`Self::builder`] instead.
     pub fn with_granularity(dim: u32) -> Self {
-        let base = Self::planaria();
-        assert!(
-            base.pe_rows.is_multiple_of(dim) && base.pe_cols.is_multiple_of(dim),
-            "granularity {dim} must divide the {}x{} array",
-            base.pe_rows,
-            base.pe_cols
-        );
-        // Pods always group the subarrays into 4 quadrants of the chip.
-        let per_pod = ((base.pe_rows / dim) * (base.pe_cols / dim) / 4).max(1);
-        // High-radix pod crossbars land on the critical path (§III-C: they
-        // "can seriously curtail scaling up the compute resources"); a
-        // radix-16 crossbar costs the design its 700 MHz clock even with
-        // pipelining.
-        let derate = if per_pod > 4 { 0.85 } else { 1.0 };
-        Self {
-            subarray_dim: dim,
-            subarrays_per_pod: per_pod,
-            simd_lanes_per_subarray: dim,
-            freq_hz: base.freq_hz * derate,
-            ..base
+        match Self::builder()
+            .subarray_dim(dim)
+            .quadrant_pods()
+            .crossbar_derate()
+            .build()
+        {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A validated geometry builder seeded with the paper configuration.
+    pub fn builder() -> crate::geometry::GeometryBuilder {
+        crate::geometry::GeometryBuilder::new()
+    }
+
+    /// A latency-tuned variant for heterogeneous fleets: the fine 16×16
+    /// granule, but grouped as 16 pods of 4 so the crossbars stay at the
+    /// paper's radix and the chip keeps its 700 MHz clock. Fission can
+    /// carve 64 small logical accelerators — tight-deadline tenants get
+    /// resources immediately instead of queueing.
+    pub fn latency_tuned() -> Self {
+        match Self::builder()
+            .subarray_dim(16)
+            .pods(16)
+            .crossbar_derate()
+            .build()
+        {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A throughput-tuned variant for heterogeneous fleets: the coarse
+    /// 64×64 granule (4 pods of one subarray each) at the full 700 MHz.
+    /// Fewer, bigger granules mean less reconfiguration and better
+    /// systolic utilization for batch traffic, at the cost of allocation
+    /// flexibility for tight deadlines.
+    pub fn throughput_tuned() -> Self {
+        match Self::builder()
+            .subarray_dim(64)
+            .pods(4)
+            .crossbar_derate()
+            .build()
+        {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -183,6 +213,22 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn bad_granularity_panics() {
         let _ = AcceleratorConfig::with_granularity(48);
+    }
+
+    #[test]
+    fn tuned_presets_keep_the_paper_budget_and_clock() {
+        let fine = AcceleratorConfig::latency_tuned();
+        assert_eq!(fine.total_pes(), 16_384);
+        assert_eq!(fine.num_subarrays(), 64);
+        assert_eq!(fine.num_pods(), 16);
+        assert_eq!(fine.subarrays_per_pod, 4);
+        assert_eq!(fine.freq_hz.to_bits(), 700e6f64.to_bits());
+        let coarse = AcceleratorConfig::throughput_tuned();
+        assert_eq!(coarse.total_pes(), 16_384);
+        assert_eq!(coarse.num_subarrays(), 4);
+        assert_eq!(coarse.num_pods(), 4);
+        assert_eq!(coarse.subarrays_per_pod, 1);
+        assert_eq!(coarse.freq_hz.to_bits(), 700e6f64.to_bits());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod chip;
 pub mod config;
 pub mod fission;
 pub mod floorplan;
+pub mod geometry;
 pub mod pe;
 pub mod pod;
 pub mod subarray;
@@ -42,3 +43,6 @@ pub use chip::{Allocation, Chip, SubarrayId};
 pub use config::AcceleratorConfig;
 pub use fission::Arrangement;
 pub use floorplan::{Floorplan, GridPos};
+pub use geometry::{
+    named_sweep, validate_fleet, GeometryBuilder, GeometryError, NamedGeometry, MAX_MASK_SUBARRAYS,
+};

@@ -11,7 +11,7 @@
 
 use planaria_arch::{AcceleratorConfig, Arrangement};
 use planaria_compiler::{compile, compile_uncached, CompiledLibrary};
-use planaria_core::{schedule_tasks_spatially, PlanariaEngine, SchedTask};
+use planaria_core::{min_slack_cycles, schedule_tasks_spatially, PlanariaEngine, SchedTask};
 use planaria_model::{ConvSpec, DnnId, LayerOp};
 use planaria_parallel::{effective_jobs, par_map};
 use planaria_prema::PremaEngine;
@@ -152,7 +152,11 @@ fn bench_scheduler() {
         })
         .collect();
     bench("scheduler/algorithm1_nine_tasks", 2000, || {
-        black_box(schedule_tasks_spatially(black_box(&tasks), 16));
+        black_box(schedule_tasks_spatially(
+            black_box(&tasks),
+            16,
+            min_slack_cycles(cfg.freq_hz),
+        ));
     });
 }
 

@@ -32,10 +32,11 @@ use crate::source::SourceFile;
 use crate::symbols::{ty_head, FileSymbols};
 
 /// Files forming the per-event path.
-const HOT_SCOPE: [&str; 6] = [
+const HOT_SCOPE: [&str; 7] = [
     "crates/sim/src/kernel.rs",
     "crates/sim/src/fabric.rs",
     "crates/core/src/engine.rs",
+    "crates/core/src/fleet.rs",
     "crates/prema/src/engine.rs",
     "crates/core/src/sched_state.rs",
     "crates/telemetry/src/sketch.rs",

@@ -30,9 +30,11 @@ use crate::source::SourceFile;
 /// whole kernel crate — which includes the multi-node fabric — and the
 /// streaming quantile sketch, whose cycle-valued buckets must stay
 /// integer end-to-end.
-const TIME_SCOPE: [&str; 6] = [
+const TIME_SCOPE: [&str; 8] = [
+    "crates/arch/src/geometry.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/cluster.rs",
+    "crates/core/src/fleet.rs",
     "crates/prema/src/engine.rs",
     "crates/prema/src/cluster.rs",
     "crates/sim/src/",

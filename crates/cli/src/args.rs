@@ -25,15 +25,24 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses raw arguments (excluding the program name and subcommand).
+    /// The named flags are boolean switches: they take no value and
+    /// parse as `"1"` when present; every other `--flag` takes a value.
     ///
     /// # Errors
     ///
-    /// Returns an error for a trailing `--flag` with no value.
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+    /// Returns an error for a trailing non-switch `--flag` with no value.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        switches: &[&str],
+    ) -> Result<Args, ArgError> {
         let mut out = Args::default();
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if switches.contains(&key) {
+                    out.flags.insert(key.to_string(), "1".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| ArgError(format!("--{key} expects a value")))?;
@@ -133,7 +142,7 @@ mod tests {
     use planaria_workload::{QosLevel, Scenario};
 
     fn parse(words: &[&str]) -> Args {
-        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+        Args::parse_with_switches(words.iter().map(|s| s.to_string()), &[]).unwrap()
     }
 
     #[test]
@@ -147,7 +156,20 @@ mod tests {
 
     #[test]
     fn dangling_flag_is_an_error() {
-        assert!(Args::parse(["--oops".to_string()]).is_err());
+        assert!(Args::parse_with_switches(["--oops".to_string()], &[]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            ["--sweep", "resnet50"].iter().map(|s| s.to_string()),
+            &["sweep"],
+        )
+        .unwrap();
+        assert_eq!(a.flag("sweep"), Some("1"));
+        assert_eq!(a.positional(0), Some("resnet50"));
+        // A switch at the end of the line is fine; a value flag is not.
+        assert!(Args::parse_with_switches(["--sweep".to_string()], &["sweep"]).is_ok());
     }
 
     #[test]

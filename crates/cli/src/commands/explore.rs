@@ -1,13 +1,58 @@
-//! `planaria-cli explore` — fission design-space sweep for one layer.
+//! `planaria-cli explore` — fission design-space sweeps: per-layer
+//! arrangements, or (`--sweep`) whole-chip geometry points.
 
 use crate::args::{parse_dnn, ArgError, Args};
-use planaria_arch::{AcceleratorConfig, Arrangement};
-use planaria_energy::EnergyModel;
+use planaria_arch::{named_sweep, AcceleratorConfig, Arrangement};
+use planaria_energy::{AreaPowerBreakdown, EnergyModel};
 use planaria_timing::{time_layer, ExecContext};
 
+/// Prints the named geometry sweep: every chip shape the
+/// `ext_geometry` experiment explores, with its static design-space
+/// coordinates (granule, pod structure, clock after the crossbar
+/// derate, DRAM bandwidth) and the Fig. 19 area/power proxies.
+fn geometry_sweep() {
+    println!("named geometry sweep ({} points):", named_sweep().len());
+    println!(
+        "{:>11} {:>8} {:>10} {:>5} {:>8} {:>9} {:>9} {:>7} {:>9} {:>9}",
+        "geometry",
+        "granule",
+        "subarrays",
+        "pods",
+        "per_pod",
+        "freq_mhz",
+        "dram_gbs",
+        "area",
+        "area_ovh%",
+        "pwr_ovh%"
+    );
+    for point in named_sweep() {
+        let cfg = point.cfg;
+        let b = AreaPowerBreakdown::for_config(&cfg);
+        println!(
+            "{:>11} {:>8} {:>10} {:>5} {:>8} {:>9.0} {:>9.1} {:>7.2} {:>9.1} {:>9.1}",
+            point.name,
+            format!("{0}x{0}", cfg.subarray_dim),
+            cfg.num_subarrays(),
+            cfg.num_pods(),
+            cfg.subarrays_per_pod,
+            cfg.freq_hz / 1e6,
+            cfg.total_dram_bw() / 1e9,
+            b.total_area(),
+            b.area_overhead() * 100.0,
+            b.power_overhead() * 100.0,
+        );
+    }
+    println!("(run the full Pareto table with: cargo run --release -p planaria-bench --bin ext_geometry)");
+}
+
 /// Times every arrangement of `--subarrays N` (default: full chip) for the
-/// layer `--layer <name>` of `<net>`.
+/// layer `--layer <name>` of `<net>`, or prints the named whole-chip
+/// geometry sweep with `--sweep`.
 pub fn explore(args: &Args) -> Result<(), ArgError> {
+    if args.flag("sweep").is_some() {
+        geometry_sweep();
+        return Ok(());
+    }
     let id = parse_dnn(
         args.positional(0)
             .ok_or_else(|| ArgError("explore expects a network name".into()))?,

@@ -4,6 +4,7 @@
 //! planaria-cli nets
 //! planaria-cli compile <net> [--subarrays N] [--emit-binary PATH]
 //! planaria-cli explore <net> --layer <name> [--subarrays N]
+//! planaria-cli explore --sweep
 //! planaria-cli simulate [--scenario C] [--qos M] [--lambda 60]
 //!                       [--requests 200] [--seed 1] [--system planaria|prema]
 //!                       [--timeline 1]
@@ -33,6 +34,8 @@ USAGE:
                                              compile and summarize one table
   planaria-cli explore <net> --layer <name> [--subarrays N]
                                              sweep fission arrangements for a layer
+  planaria-cli explore --sweep               print the named whole-chip geometry
+                                             sweep (shape, clock, bandwidth, area)
   planaria-cli simulate [--scenario C] [--qos M] [--lambda QPS]
                         [--requests N] [--seed S]
                         [--system planaria|prema] [--timeline 1]
@@ -60,7 +63,13 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let parsed = match Args::parse(argv) {
+    // `explore --sweep` is a boolean switch; everything else takes values.
+    let switches: &[&str] = if command == "explore" {
+        &["sweep"]
+    } else {
+        &[]
+    };
+    let parsed = match Args::parse_with_switches(argv, switches) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");

@@ -47,17 +47,30 @@ pub enum DispatchPolicy {
     /// relative to their compiled work go to the least-loaded node;
     /// relaxed requests round-robin.
     QosAware,
+    /// Geometry-aware routing for heterogeneous fleets: tight-deadline
+    /// requests join the least-loaded node among those exposing the most
+    /// fission granules (fine-granule chips carve out a logical
+    /// accelerator soonest), relaxed requests the least-loaded among the
+    /// coarsest nodes (big systolic granules serve batch traffic
+    /// cheapest). The class preference is soft: when the preferred class
+    /// runs much deeper than the emptiest node in the fleet the request
+    /// spills to plain shortest-queue, so a skewed tight/relaxed mix
+    /// cannot strand half the fleet idle. On a homogeneous fleet every
+    /// node ties and this is exactly
+    /// [`JoinShortestQueue`](DispatchPolicy::JoinShortestQueue).
+    GeometryAware,
 }
 
 impl DispatchPolicy {
     /// Every dispatch policy, for sweeps and determinism tests.
-    pub const ALL: [DispatchPolicy; 6] = [
+    pub const ALL: [DispatchPolicy; 7] = [
         DispatchPolicy::LeastWork,
         DispatchPolicy::RoundRobin,
         DispatchPolicy::DnnAffinity,
         DispatchPolicy::JoinShortestQueue,
         DispatchPolicy::PowerOfTwo,
         DispatchPolicy::QosAware,
+        DispatchPolicy::GeometryAware,
     ];
 }
 
@@ -69,6 +82,12 @@ const POWER_OF_TWO_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 /// its full-chip compiled latency — it cannot afford to queue behind
 /// much, so [`DispatchPolicy::QosAware`] sends it to the emptiest node.
 const QOS_TIGHT_FACTOR: u64 = 8;
+
+/// Queue-depth slack before [`DispatchPolicy::GeometryAware`] spills a
+/// request out of its preferred granularity class: the preferred node
+/// may run this many requests deeper than the fleet's emptiest node
+/// before shortest-queue takes over.
+const GEOMETRY_SPILL_SLACK: usize = 2;
 
 /// The online routing state behind every [`DispatchPolicy`], plugged
 /// into the fabric as its [`Dispatcher`].
@@ -82,8 +101,16 @@ pub struct ClusterDispatcher {
     policy: DispatchPolicy,
     nodes: usize,
     nodes_u64: u64,
-    /// Full-chip work per network, indexed by [`DnnId::ALL`] position.
-    work: Vec<Cycles>,
+    /// Full-chip work per node per network: `work[node]` is indexed by
+    /// [`DnnId::ALL`] position and holds that node's compiled full-chip
+    /// cycle counts. Uniform fleets carry identical rows, so every
+    /// homogeneous routing decision is unchanged from the
+    /// single-geometry dispatcher.
+    work: Vec<Vec<Cycles>>,
+    /// Per-network best-case work across the fleet (the fastest node's
+    /// full-chip cycles) — the geometry-independent yardstick the
+    /// QoS-tightness tests compare deadlines against.
+    min_work: Vec<Cycles>,
     /// LeastWork: when each node is estimated to drain, fabric-clock
     /// cycles.
     horizons: Vec<Cycles>,
@@ -99,10 +126,34 @@ impl ClusterDispatcher {
     /// Panics if `nodes` is zero.
     pub fn new(library: &CompiledLibrary, nodes: usize, policy: DispatchPolicy) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
-        let total = library.config().num_subarrays();
-        let work = DnnId::ALL
+        let libraries = vec![library; nodes];
+        Self::heterogeneous(&libraries, policy)
+    }
+
+    /// A dispatcher over nodes with per-node geometries: `libraries[i]`
+    /// is node `i`'s compiled library, and every work estimate is looked
+    /// up in the owning node's tables — a coarse-granule node and a
+    /// fine-granule node advertise different full-chip cycle counts for
+    /// the same network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `libraries` is empty.
+    pub fn heterogeneous(libraries: &[&CompiledLibrary], policy: DispatchPolicy) -> Self {
+        let nodes = libraries.len();
+        assert!(nodes > 0, "cluster needs at least one node");
+        let work: Vec<Vec<Cycles>> = libraries
             .iter()
-            .map(|&id| library.get(id).table(total).total_cycles())
+            .map(|lib| {
+                let total = lib.config().num_subarrays();
+                DnnId::ALL
+                    .iter()
+                    .map(|&id| lib.get(id).table(total).total_cycles())
+                    .collect()
+            })
+            .collect();
+        let min_work = (0..DnnId::ALL.len())
+            .map(|d| work.iter().map(|row| row[d]).min().unwrap_or(Cycles::ZERO))
             .collect();
         Self {
             policy,
@@ -110,6 +161,7 @@ impl ClusterDispatcher {
             // lint: node counts are small; usize always fits u64 here
             nodes_u64: u64::try_from(nodes).expect("node count fits u64"),
             work,
+            min_work,
             horizons: vec![Cycles::ZERO; nodes],
             rr: 0,
             rng: SplitMix64::new(POWER_OF_TWO_SEED),
@@ -134,6 +186,25 @@ impl ClusterDispatcher {
             .map_or(0, |(i, _)| i)
     }
 
+    /// Least-loaded node among those whose granule count matches the
+    /// fleet extreme: the finest chips (most subarrays) when `fine`,
+    /// the coarsest otherwise. Homogeneous fleets tie everywhere, so
+    /// this reduces to [`least_loaded`](Self::least_loaded).
+    fn least_loaded_by_granularity(loads: &[NodeLoad], fine: bool) -> usize {
+        let pick = loads.iter().map(|l| l.subarrays);
+        let target = if fine {
+            pick.max().unwrap_or(0)
+        } else {
+            pick.min().unwrap_or(0)
+        };
+        loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.subarrays == target)
+            .min_by_key(|(_, l)| Self::in_flight(l))
+            .map_or(0, |(i, _)| i)
+    }
+
     fn next_round_robin(&mut self) -> usize {
         let t = self.rr;
         self.rr = (self.rr + 1) % self.nodes;
@@ -151,7 +222,9 @@ impl Dispatcher for ClusterDispatcher {
                     .enumerate()
                     .min_by_key(|(_, h)| **h)
                     .map_or(0, |(i, _)| i);
-                let work = self.work[Self::dnn_index(req.dnn)];
+                // The chosen node's own estimate: heterogeneous chips
+                // advertise different full-chip cycle counts.
+                let work = self.work[target][Self::dnn_index(req.dnn)];
                 self.horizons[target] = self.horizons[target].max(at) + work;
                 target
             }
@@ -172,12 +245,25 @@ impl Dispatcher for ClusterDispatcher {
                 }
             }
             DispatchPolicy::QosAware => {
-                let work = self.work[Self::dnn_index(req.dnn)];
+                let work = self.min_work[Self::dnn_index(req.dnn)];
                 let budget = clock.duration_cycles(req.qos);
                 if budget < work.saturating_mul(QOS_TIGHT_FACTOR) {
                     Self::least_loaded(loads)
                 } else {
                     self.next_round_robin()
+                }
+            }
+            DispatchPolicy::GeometryAware => {
+                let work = self.min_work[Self::dnn_index(req.dnn)];
+                let budget = clock.duration_cycles(req.qos);
+                let tight = budget < work.saturating_mul(QOS_TIGHT_FACTOR);
+                let preferred = Self::least_loaded_by_granularity(loads, tight);
+                let fallback = Self::least_loaded(loads);
+                let depth = |i: usize| loads[i].tenants + loads[i].routed;
+                if depth(preferred) > depth(fallback).saturating_add(GEOMETRY_SPILL_SLACK) {
+                    fallback
+                } else {
+                    preferred
                 }
             }
         }
@@ -191,6 +277,7 @@ impl Dispatcher for ClusterDispatcher {
             DispatchPolicy::JoinShortestQueue
                 | DispatchPolicy::PowerOfTwo
                 | DispatchPolicy::QosAware
+                | DispatchPolicy::GeometryAware
         )
     }
 }
@@ -219,7 +306,14 @@ pub fn dispatch(
         engine.library().config().freq_hz,
     );
     let mut d = ClusterDispatcher::new(engine.library(), nodes, policy);
-    let mut loads = vec![NodeLoad::default(); nodes];
+    // The projection is over identical nodes; stamp their (uniform)
+    // capacity so geometry-reading policies see real values.
+    let load0 = NodeLoad {
+        subarrays: engine.library().config().num_subarrays(),
+        pes: engine.library().config().total_pes(),
+        ..NodeLoad::default()
+    };
+    let mut loads = vec![load0; nodes];
     let mut per_node: Vec<Vec<Request>> = vec![Vec::new(); nodes];
     for r in trace {
         let at = clock.cycles_from_seconds(r.arrival);

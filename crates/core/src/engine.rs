@@ -11,7 +11,7 @@
 //! at the [`SimResult`] boundary inside the kernel.
 
 use crate::sched_state::{SchedState, Seed};
-use crate::scheduler::{allocate_spatially_into, AllocScratch, SchedTask};
+use crate::scheduler::{allocate_spatially_into, min_slack_cycles, AllocScratch, SchedTask};
 use crate::trace::EngineTrace;
 use planaria_arch::{AcceleratorConfig, Allocation, Arrangement, Chip};
 use planaria_compiler::{CompiledDnn, CompiledLibrary};
@@ -43,10 +43,13 @@ pub struct PlanariaEngine {
 }
 
 impl PlanariaEngine {
-    /// Compiles the benchmark suite and builds an engine.
+    /// Builds an engine for `cfg`, compiling the benchmark suite at most
+    /// once per distinct geometry (the process-wide
+    /// [`CompiledLibrary::shared_for`] cache) — an N-node fleet with K
+    /// chip shapes pays K compiles, not N.
     pub fn new(cfg: AcceleratorConfig) -> Self {
         Self {
-            library: CompiledLibrary::new(cfg),
+            library: CompiledLibrary::clone(&CompiledLibrary::shared_for(&cfg)),
             mode: SchedulingMode::Spatial,
             incremental: true,
         }
@@ -158,6 +161,9 @@ impl PlanariaEngine {
             library: &self.library,
             mode: self.mode,
             incremental: self.incremental,
+            // Derived once per policy, not per event: the urgency clamp
+            // is 1 µs of this chip's clock.
+            min_slack: min_slack_cycles(self.cfg().freq_hz),
             state: SchedState::new(),
             chip: Chip::new(*self.cfg()),
             s: Scratch::default(),
@@ -179,6 +185,8 @@ pub struct SpatialPolicy<'a> {
     /// Whether to consult the floor memo (the full-rescan oracle sets
     /// `false` and scans every tenant from 1; results are identical).
     incremental: bool,
+    /// Unfit-path urgency clamp: 1 µs of this chip's clock, in cycles.
+    min_slack: i64,
     /// Persistent per-tenant estimate memo, keyed by request id — immune
     /// to the kernel's `swap_remove` retirement reordering.
     state: SchedState,
@@ -273,6 +281,7 @@ impl EnginePolicy for SpatialPolicy<'_> {
                     &s.estimates,
                     &s.fit,
                     total,
+                    self.min_slack,
                     &mut s.alloc,
                     &mut s.sched,
                 );

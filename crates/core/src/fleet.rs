@@ -1,0 +1,236 @@
+//! Heterogeneous-geometry fleets: per-node chip shapes behind one
+//! online dispatcher.
+//!
+//! A [`GeoFleet`] is the big.LITTLE deployment the geometry sweep
+//! explores — e.g. two coarse-granule throughput chips plus two
+//! fine-granule latency chips, all on one clock. Construction validates
+//! every node geometry and the shared-clock invariant up front
+//! ([`planaria_arch::validate_fleet`]), compiles each distinct geometry
+//! exactly once (the [`CompiledLibrary::shared_for`] cache), and the
+//! dispatcher reads per-node capacity and per-node work estimates
+//! instead of assuming uniform chips.
+
+use crate::cluster::{ClusterDispatcher, ClusterStats, DispatchPolicy};
+use crate::engine::PlanariaEngine;
+use planaria_arch::{AcceleratorConfig, GeometryError};
+use planaria_sim::{run_fabric, run_fabric_summary, FabricStats, FabricTuning};
+use planaria_telemetry::StatsCollector;
+use planaria_workload::{Request, SimResult};
+
+/// A fleet of Planaria nodes with per-node chip geometries.
+#[derive(Debug, Clone)]
+pub struct GeoFleet {
+    engines: Vec<PlanariaEngine>,
+}
+
+impl GeoFleet {
+    /// Builds a fleet with one node per configuration, validating each
+    /// geometry and the fleet's shared-clock invariant before anything
+    /// compiles. Identical configurations share one compiled library.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GeometryError`] a node geometry violates, or
+    /// [`GeometryError::MixedClockFrequency`] when clocks disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfgs` is empty.
+    pub fn new(cfgs: &[AcceleratorConfig]) -> Result<Self, GeometryError> {
+        assert!(!cfgs.is_empty(), "fleet needs at least one node");
+        planaria_arch::validate_fleet(cfgs)?;
+        let engines = cfgs.iter().map(|cfg| PlanariaEngine::new(*cfg)).collect();
+        Ok(Self { engines })
+    }
+
+    /// Number of nodes in the fleet.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the fleet has no nodes (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The per-node engines, in node order.
+    pub fn engines(&self) -> &[PlanariaEngine] {
+        &self.engines
+    }
+
+    /// The per-node configurations, in node order.
+    pub fn configs(&self) -> Vec<AcceleratorConfig> {
+        self.engines.iter().map(|e| *e.library().config()).collect()
+    }
+
+    /// Total MAC units across the fleet (the equal-budget yardstick of
+    /// the geometry sweep's fleet comparisons).
+    pub fn total_pes(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.library().config().total_pes())
+            .sum()
+    }
+
+    /// A dispatcher whose work estimates come from each node's own
+    /// compiled tables.
+    fn dispatcher(&self, policy: DispatchPolicy) -> ClusterDispatcher {
+        let libraries: Vec<_> = self.engines.iter().map(PlanariaEngine::library).collect();
+        ClusterDispatcher::heterogeneous(&libraries, policy)
+    }
+
+    /// Runs a request stream through the fleet, materializing every
+    /// completion. Byte-deterministic at any `PLANARIA_JOBS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run<I: IntoIterator<Item = Request>>(
+        &self,
+        requests: I,
+        policy: DispatchPolicy,
+        tuning: &FabricTuning,
+    ) -> (SimResult, FabricStats) {
+        let cfgs = self.configs();
+        let policies: Vec<_> = self
+            .engines
+            .iter()
+            .map(PlanariaEngine::spatial_policy)
+            .collect();
+        let mut d = self.dispatcher(policy);
+        run_fabric(&cfgs, policies, requests, &mut d, tuning)
+    }
+
+    /// The flat-memory fleet run: identical scheduling to
+    /// [`run`](Self::run), but completions are never materialized —
+    /// counts, energy and percentile sketches come out of O(buckets)
+    /// collectors, so million-request sweeps stay O(live tenants)
+    /// resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of order.
+    pub fn run_stats<I: IntoIterator<Item = Request>>(
+        &self,
+        requests: I,
+        policy: DispatchPolicy,
+        tuning: &FabricTuning,
+    ) -> (ClusterStats, FabricStats) {
+        let cfgs = self.configs();
+        let policies: Vec<_> = self
+            .engines
+            .iter()
+            .map(PlanariaEngine::spatial_policy)
+            .collect();
+        let mut d = self.dispatcher(policy);
+        let mut fabric = StatsCollector::new();
+        let sinks: Vec<StatsCollector> =
+            self.engines.iter().map(|_| StatsCollector::new()).collect();
+        let (summary, stats, sinks) = run_fabric_summary(
+            &cfgs,
+            policies,
+            requests,
+            &mut d,
+            tuning,
+            &mut fabric,
+            sinks,
+        );
+        let mut metrics = fabric.report();
+        for sink in &sinks {
+            metrics.merge(&sink.report());
+        }
+        (
+            ClusterStats {
+                completed: summary.completed,
+                total_energy: summary.total_energy,
+                makespan: summary.makespan,
+                metrics,
+            },
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planaria_arch::GeometryError;
+    use planaria_workload::{QosLevel, Scenario, TraceConfig};
+
+    fn mixed_fleet() -> GeoFleet {
+        GeoFleet::new(&[
+            AcceleratorConfig::throughput_tuned(),
+            AcceleratorConfig::planaria(),
+            AcceleratorConfig::latency_tuned(),
+        ])
+        .expect("valid fleet")
+    }
+
+    #[test]
+    fn construction_validates_geometry_and_clock() {
+        let mut bad = AcceleratorConfig::planaria();
+        bad.subarray_dim = 48;
+        assert!(matches!(
+            GeoFleet::new(&[AcceleratorConfig::planaria(), bad]),
+            Err(GeometryError::NonDivisorDim { dim: 48, .. })
+        ));
+        let mut fast = AcceleratorConfig::planaria();
+        fast.freq_hz *= 2.0;
+        assert!(matches!(
+            GeoFleet::new(&[AcceleratorConfig::planaria(), fast]),
+            Err(GeometryError::MixedClockFrequency { node: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn equal_pe_budget_across_shapes() {
+        let fleet = mixed_fleet();
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.total_pes(), 3 * 16_384);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_completes_under_every_policy() {
+        let fleet = mixed_fleet();
+        let trace = TraceConfig::new(Scenario::C, QosLevel::Medium, 250.0, 30, 7).generate();
+        for policy in DispatchPolicy::ALL {
+            let (r, stats) = fleet.run(trace.iter().copied(), policy, &FabricTuning::default());
+            assert_eq!(r.completions.len(), 30, "{policy:?}");
+            assert!(stats.events > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn stats_path_matches_materialized() {
+        let fleet = mixed_fleet();
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Medium, 200.0, 24, 5).generate();
+        let (mat, _) = fleet.run(
+            trace.iter().copied(),
+            DispatchPolicy::GeometryAware,
+            &FabricTuning::default(),
+        );
+        let (cs, _) = fleet.run_stats(
+            trace.iter().copied(),
+            DispatchPolicy::GeometryAware,
+            &FabricTuning::default(),
+        );
+        assert_eq!(cs.completed as usize, mat.completions.len());
+        assert_eq!(cs.total_energy, mat.total_energy);
+        assert_eq!(cs.makespan.to_bits(), mat.makespan.to_bits());
+    }
+
+    #[test]
+    fn single_node_fleet_equals_engine() {
+        let fleet = GeoFleet::new(&[AcceleratorConfig::latency_tuned()]).expect("valid");
+        let trace = TraceConfig::new(Scenario::B, QosLevel::Soft, 100.0, 15, 9).generate();
+        let direct = PlanariaEngine::new(AcceleratorConfig::latency_tuned()).run(&trace);
+        let (fleet_r, _) = fleet.run(
+            trace.iter().copied(),
+            DispatchPolicy::LeastWork,
+            &FabricTuning::default(),
+        );
+        assert_eq!(direct.completions, fleet_r.completions);
+        assert_eq!(direct.total_energy, fleet_r.total_energy);
+        assert_eq!(direct.makespan.to_bits(), fleet_r.makespan.to_bits());
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fleet;
 pub mod sched_state;
 pub mod scheduler;
 pub mod trace;
@@ -37,10 +38,13 @@ pub use cluster::{
     DispatchPolicy,
 };
 pub use engine::{PlanariaEngine, SchedulingMode, SpatialPolicy};
+pub use fleet::GeoFleet;
 pub use planaria_compiler::CompiledLibrary;
 pub use planaria_model::units::{Bytes, Cycles, Picojoules};
 pub use planaria_model::SplitMix64;
 pub use planaria_sim::{FabricStats, FabricTuning, NodeLoad};
 pub use sched_state::{FloorEntry, SchedState, Seed};
-pub use scheduler::{allocate_spatially_into, schedule_tasks_spatially, AllocScratch, SchedTask};
+pub use scheduler::{
+    allocate_spatially_into, min_slack_cycles, schedule_tasks_spatially, AllocScratch, SchedTask,
+};
 pub use trace::{EngineTrace, EventKind, TraceEvent};

@@ -90,17 +90,23 @@ impl SchedTask<'_> {
     }
 }
 
-/// Minimum slack used by the unfit-path urgency score: 1 µs at the
-/// Planaria clock. Past-deadline tasks rank as most urgent without a
-/// division blow-up (same clamp the old seconds-based scheduler applied
-/// at `1e-6 s`).
-const MIN_SLACK_CYCLES: i64 = 700;
+/// Minimum slack used by the unfit-path urgency score: 1 µs expressed in
+/// cycles of the given clock. Past-deadline tasks rank as most urgent
+/// without a division blow-up (same clamp the old seconds-based scheduler
+/// applied at `1e-6 s`). At the paper's 700 MHz this is exactly the 700
+/// cycles the scheduler historically hardcoded; deriving it from the
+/// clock keeps the clamp meaning "one microsecond" on every geometry
+/// (e.g. 595 cycles on a crossbar-derated 595 MHz chip).
+pub fn min_slack_cycles(freq_hz: f64) -> i64 {
+    ((freq_hz / 1e6) as i64).max(1)
+}
 
 /// `SCHEDULETASKSSPATIALLY`: returns the subarray allocation for each task,
 /// aligned with the input slice (0 = stay queued). The allocations always
-/// sum to at most `total`.
-pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32) -> Vec<u32> {
-    schedule_tasks_spatially_hinted(tasks, total, &[]).0
+/// sum to at most `total`. `min_slack` is the urgency-score clamp in
+/// cycles — pass [`min_slack_cycles`] of the chip's clock.
+pub fn schedule_tasks_spatially(tasks: &[SchedTask<'_>], total: u32, min_slack: i64) -> Vec<u32> {
+    schedule_tasks_spatially_hinted(tasks, total, &[], min_slack).0
 }
 
 /// [`schedule_tasks_spatially`] with per-task estimate floors, returning
@@ -116,6 +122,7 @@ pub fn schedule_tasks_spatially_hinted(
     tasks: &[SchedTask<'_>],
     total: u32,
     floors: &[u32],
+    min_slack: i64,
 ) -> (Vec<u32>, Vec<u32>) {
     if tasks.is_empty() {
         return (Vec::new(), Vec::new());
@@ -139,6 +146,7 @@ pub fn schedule_tasks_spatially_hinted(
         &estimates,
         &fit,
         total,
+        min_slack,
         &mut alloc,
         &mut scratch,
     );
@@ -169,13 +177,15 @@ pub struct AllocScratch {
 /// identical to the materializing wrappers above.
 ///
 /// `alloc` is cleared and refilled aligned with the inputs; allocations
-/// always sum to at most `total`.
+/// always sum to at most `total`. `min_slack` is the unfit-path urgency
+/// clamp in cycles ([`min_slack_cycles`] of the chip's clock).
 pub fn allocate_spatially_into(
     priorities: &[u32],
     slacks: &[i64],
     estimates: &[u32],
     fit: &[Cycles],
     total: u32,
+    min_slack: i64,
     alloc: &mut Vec<u32>,
     scratch: &mut AllocScratch,
 ) {
@@ -187,7 +197,9 @@ pub fn allocate_spatially_into(
     if need <= total {
         allocate_fit_into(priorities, estimates, fit, total, alloc, scratch);
     } else {
-        allocate_unfit_into(priorities, slacks, estimates, total, alloc, scratch);
+        allocate_unfit_into(
+            priorities, slacks, estimates, total, min_slack, alloc, scratch,
+        );
     }
 }
 
@@ -247,6 +259,7 @@ fn allocate_unfit_into(
     slacks: &[i64],
     estimates: &[u32],
     total: u32,
+    min_slack: i64,
     alloc: &mut Vec<u32>,
     scratch: &mut AllocScratch,
 ) {
@@ -254,7 +267,7 @@ fn allocate_unfit_into(
     scratch.order.extend(0..estimates.len());
     let score = |i: usize| {
         // Tasks already past their deadline get the most urgent score.
-        let slack = slacks[i].max(MIN_SLACK_CYCLES) as f64;
+        let slack = slacks[i].max(min_slack) as f64;
         f64::from(priorities[i]) / (slack * f64::from(estimates[i]))
     };
     scratch.order.sort_by(|&a, &b| {
@@ -281,8 +294,28 @@ mod tests {
     use planaria_compiler::compile;
     use planaria_model::DnnId;
 
+    /// The urgency clamp at the paper clock, used by every test below.
+    const PAPER_MIN_SLACK: i64 = 700;
+
     fn compiled(id: DnnId) -> planaria_compiler::CompiledDnn {
         compile(&AcceleratorConfig::planaria(), &id.build())
+    }
+
+    #[test]
+    fn min_slack_is_one_microsecond_of_the_clock() {
+        // Exactly the historical hardcoded 700 at the paper's 700 MHz —
+        // the derivation is behavior-preserving by construction.
+        assert_eq!(
+            min_slack_cycles(AcceleratorConfig::planaria().freq_hz),
+            PAPER_MIN_SLACK
+        );
+        // The crossbar-derated fine-granule chip runs at 595 MHz.
+        assert_eq!(
+            min_slack_cycles(AcceleratorConfig::with_granularity(16).freq_hz),
+            595
+        );
+        // Degenerate clocks still clamp above zero.
+        assert_eq!(min_slack_cycles(1.0), 1);
     }
 
     /// Seconds → cycles at the Planaria clock, for readable test slacks.
@@ -331,7 +364,7 @@ mod tests {
             done: 0.0,
             compiled: &c,
         };
-        let alloc = schedule_tasks_spatially(&[t], 16);
+        let alloc = schedule_tasks_spatially(&[t], 16, PAPER_MIN_SLACK);
         assert_eq!(alloc, vec![16]);
     }
 
@@ -357,7 +390,7 @@ mod tests {
                     compiled: c,
                 })
                 .collect();
-            let alloc = schedule_tasks_spatially(&tasks, 16);
+            let alloc = schedule_tasks_spatially(&tasks, 16, PAPER_MIN_SLACK);
             assert!(
                 alloc.iter().sum::<u32>() <= 16,
                 "slack {slack_s}: {alloc:?}"
@@ -375,7 +408,7 @@ mod tests {
             done: 0.0,
             compiled: c,
         };
-        let alloc = schedule_tasks_spatially(&[mk(11, &a), mk(1, &b)], 16);
+        let alloc = schedule_tasks_spatially(&[mk(11, &a), mk(1, &b)], 16, PAPER_MIN_SLACK);
         assert_eq!(alloc.iter().sum::<u32>(), 16);
         assert!(
             alloc[0] > alloc[1],
@@ -397,7 +430,7 @@ mod tests {
         };
         let tight = iso + iso / 50;
         let tasks = [mk(1, tight), mk(11, tight), mk(5, tight)];
-        let alloc = schedule_tasks_spatially(&tasks, 16);
+        let alloc = schedule_tasks_spatially(&tasks, 16, PAPER_MIN_SLACK);
         assert_eq!(alloc[1], 16, "priority 11 should win: {alloc:?}");
         assert_eq!(alloc[0] + alloc[2], 0);
     }
@@ -418,7 +451,7 @@ mod tests {
 
     #[test]
     fn empty_queue_yields_empty_allocation() {
-        assert!(schedule_tasks_spatially(&[], 16).is_empty());
+        assert!(schedule_tasks_spatially(&[], 16, PAPER_MIN_SLACK).is_empty());
     }
 
     #[test]
@@ -438,8 +471,9 @@ mod tests {
                     compiled: c,
                 })
                 .collect();
-            let plain = schedule_tasks_spatially(&tasks, 16);
-            let (hinted, estimates) = schedule_tasks_spatially_hinted(&tasks, 16, &[1, 1, 1]);
+            let plain = schedule_tasks_spatially(&tasks, 16, PAPER_MIN_SLACK);
+            let (hinted, estimates) =
+                schedule_tasks_spatially_hinted(&tasks, 16, &[1, 1, 1], PAPER_MIN_SLACK);
             assert_eq!(plain, hinted, "slack {slack_s}");
             for (t, &e) in tasks.iter().zip(&estimates) {
                 assert_eq!(e, t.estimate_resources(16), "slack {slack_s}");

@@ -60,6 +60,26 @@ impl EnginePolicy for MixedPolicy<'_> {
     }
 }
 
+/// A dispatcher whose work estimates come from each node's own library:
+/// a Planaria node advertises its fission chip's full-chip cycle counts,
+/// a PREMA node its monolithic chip's — so LeastWork horizons and QoS
+/// tightness reflect the hardware actually serving each node.
+fn mixed_dispatcher(
+    spatial: &PlanariaEngine,
+    temporal: &PremaEngine,
+    layout: &[NodeKind],
+    policy: DispatchPolicy,
+) -> ClusterDispatcher {
+    let libraries: Vec<_> = layout
+        .iter()
+        .map(|kind| match kind {
+            NodeKind::Spatial => spatial.library(),
+            NodeKind::Temporal => temporal.library(),
+        })
+        .collect();
+    ClusterDispatcher::heterogeneous(&libraries, policy)
+}
+
 /// Runs a heterogeneous cluster laid out by `layout`: node `i` runs
 /// `spatial` or `temporal` according to `layout[i]`, behind the shared
 /// online dispatcher (work estimates come from the Planaria engine's
@@ -92,7 +112,7 @@ pub fn run_mixed_cluster<I: IntoIterator<Item = Request>>(
             NodeKind::Temporal => MixedPolicy::Temporal(temporal.node_policy()),
         })
         .collect();
-    let mut d = ClusterDispatcher::new(spatial.library(), layout.len(), policy);
+    let mut d = mixed_dispatcher(spatial, temporal, layout, policy);
     run_fabric(&cfgs, policies, requests, &mut d, tuning)
 }
 
@@ -129,7 +149,7 @@ pub fn run_mixed_cluster_recorded<I: IntoIterator<Item = Request>>(
             NodeKind::Temporal => MixedPolicy::Temporal(temporal.node_policy()),
         })
         .collect();
-    let mut d = ClusterDispatcher::new(spatial.library(), layout.len(), policy);
+    let mut d = mixed_dispatcher(spatial, temporal, layout, policy);
     let mut fabric = RecordingCollector::new();
     let sinks: Vec<RecordingCollector> = layout.iter().map(|_| RecordingCollector::new()).collect();
     let (result, stats, sinks) = run_fabric_with(

@@ -38,10 +38,12 @@ impl PremaEngine {
     }
 
     /// Builds the engine with an explicit configuration and policy (FCFS /
-    /// SJF are used by the scheduler ablation).
+    /// SJF are used by the scheduler ablation). Compilation goes through
+    /// the process-wide [`CompiledLibrary::shared_for`] cache, so many
+    /// engines on one geometry share a single compile.
     pub fn new(cfg: AcceleratorConfig, policy: Policy) -> Self {
         Self {
-            library: CompiledLibrary::new(cfg),
+            library: CompiledLibrary::clone(&CompiledLibrary::shared_for(&cfg)),
             policy,
             token_threshold: crate::policy::TOKEN_THRESHOLD,
         }

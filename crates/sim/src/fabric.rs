@@ -39,6 +39,11 @@ use planaria_workload::{Request, SimResult};
 use std::collections::VecDeque;
 
 /// Per-node load snapshot, refreshed at each round barrier.
+///
+/// The capacity fields (`subarrays`, `pes`) describe the node's chip
+/// geometry and are constant for a run: heterogeneous fleets expose
+/// different values per node, and geometry-aware dispatchers read them
+/// instead of assuming uniform chips.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeLoad {
     /// Live (running or queued) tenants at the last barrier.
@@ -48,6 +53,10 @@ pub struct NodeLoad {
     /// Requests routed to this node since the last barrier (the
     /// dispatcher's own in-flight count — fresh, not stale).
     pub routed: usize,
+    /// Fission granules this node's chip exposes (static per run).
+    pub subarrays: u32,
+    /// Total MAC units on this node's chip (static per run).
+    pub pes: u64,
 }
 
 /// An online routing policy: sees one request at a time, in arrival
@@ -293,10 +302,13 @@ where
     assert_eq!(cfgs.len(), n, "one config per node");
     assert_eq!(node_sinks.len(), n, "one telemetry sink per node");
     assert!(tuning.max_batch > 0, "max_batch must be at least 1");
-    assert!(
-        cfgs.iter().all(|c| c.freq_hz == cfgs[0].freq_hz),
-        "fabric nodes must share one clock frequency"
-    );
+    // Every node geometry must be individually valid, and the fleet must
+    // share one clock: the epoch-synchronized rounds run a single cycle
+    // domain (lookahead, window cuts, and barrier timestamps are all
+    // cycles on the shared clock).
+    if let Err(e) = planaria_arch::validate_fleet(cfgs) {
+        panic!("{e}");
+    }
 
     let mut source = requests.into_iter();
     let mut pending: Option<Request> = source.next();
@@ -319,7 +331,14 @@ where
             }
         })
         .collect();
-    let mut loads: Vec<NodeLoad> = lanes.iter().map(|_| NodeLoad::default()).collect();
+    let mut loads: Vec<NodeLoad> = cfgs
+        .iter()
+        .map(|cfg| NodeLoad {
+            subarrays: cfg.num_subarrays(),
+            pes: cfg.total_pes(),
+            ..NodeLoad::default()
+        })
+        .collect();
     let mut last_arrival = f64::NEG_INFINITY;
     let mut rounds: u64 = 0;
 
@@ -474,9 +493,13 @@ mod tests {
     }
 
     fn policy() -> WholeChipFifo {
+        policy_for(planaria_arch::AcceleratorConfig::planaria())
+    }
+
+    fn policy_for(cfg: planaria_arch::AcceleratorConfig) -> WholeChipFifo {
         WholeChipFifo {
-            library: planaria_compiler::CompiledLibrary::new(
-                planaria_arch::AcceleratorConfig::planaria(),
+            library: planaria_compiler::CompiledLibrary::clone(
+                &planaria_compiler::CompiledLibrary::shared_for(&cfg),
             ),
         }
     }
@@ -648,6 +671,56 @@ mod tests {
                 e.finish
             );
         }
+    }
+
+    /// Routes everything to the node exposing the most fission granules
+    /// — only possible if the load snapshot carries per-node capacity.
+    struct FinestChip;
+
+    impl Dispatcher for FinestChip {
+        fn route(&mut self, _r: &Request, _at: Cycles, _c: &SimClock, loads: &[NodeLoad]) -> usize {
+            loads
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.subarrays)
+                .map_or(0, |(i, _)| i)
+        }
+    }
+
+    #[test]
+    fn heterogeneous_geometries_expose_capacity_to_the_dispatcher() {
+        let coarse = planaria_arch::AcceleratorConfig::throughput_tuned();
+        let fine = planaria_arch::AcceleratorConfig::latency_tuned();
+        assert_eq!(coarse.freq_hz.to_bits(), fine.freq_hz.to_bits());
+        let trace = fabric_trace(10);
+        let (r, _) = run_fabric(
+            &[coarse, fine],
+            vec![policy_for(coarse), policy_for(fine)],
+            trace.iter().copied(),
+            &mut FinestChip,
+            &FabricTuning::default(),
+        );
+        assert_eq!(r.completions.len(), 10);
+        // All ten landed on the fine-granule node: rerunning the same
+        // sub-trace on a standalone fine-geometry node must agree on the
+        // completion count (the coarse node never saw a request).
+        let serial = run(&fine, &trace, &mut policy_for(fine), &mut NullCollector);
+        assert_eq!(serial.completions.len(), r.completions.len());
+        assert_eq!(serial.total_energy, r.total_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity 48 must divide")]
+    fn invalid_node_geometry_rejected() {
+        let mut bad = planaria_arch::AcceleratorConfig::planaria();
+        bad.subarray_dim = 48;
+        let _ = run_fabric(
+            &[bad],
+            vec![policy()],
+            std::iter::once(req(0, 0.0)),
+            &mut Rr { next: 0 },
+            &FabricTuning::default(),
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ fn main() {
             compiled: &gnmt,
         },
     ];
-    let alloc = schedule_tasks_spatially(&tasks, cfg.num_subarrays());
+    let alloc = schedule_tasks_spatially(
+        &tasks,
+        cfg.num_subarrays(),
+        planaria::core::min_slack_cycles(cfg.freq_hz),
+    );
     println!(
         "\nAlgorithm 1 splits the chip: kws -> {} subarrays, GNMT -> {}",
         alloc[0], alloc[1]

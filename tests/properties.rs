@@ -6,7 +6,7 @@
 use planaria::arch::subarray::ConfigWord;
 use planaria::arch::{AcceleratorConfig, Arrangement, Chip};
 use planaria::compiler::compile;
-use planaria::core::{schedule_tasks_spatially, SchedTask};
+use planaria::core::{min_slack_cycles, schedule_tasks_spatially, SchedTask};
 use planaria::model::{ConvSpec, DnnBuilder, Domain, GemmShape, LayerOp, MatMulSpec};
 use planaria::timing::{time_layer, ExecContext};
 use planaria::SplitMix64;
@@ -138,14 +138,14 @@ fn scheduler_conserves_resources() {
                 compiled,
             })
             .collect();
-        let alloc = schedule_tasks_spatially(&tasks, 16);
+        let alloc = schedule_tasks_spatially(&tasks, 16, min_slack_cycles(cfg().freq_hz));
         assert_eq!(alloc.len(), tasks.len(), "case {case}");
         assert!(alloc.iter().sum::<u32>() <= 16, "case {case}");
         assert!(
             alloc.iter().any(|&a| a > 0),
             "case {case}: someone must run"
         );
-        let again = schedule_tasks_spatially(&tasks, 16);
+        let again = schedule_tasks_spatially(&tasks, 16, min_slack_cycles(cfg().freq_hz));
         assert_eq!(alloc, again, "case {case}");
     }
 }
