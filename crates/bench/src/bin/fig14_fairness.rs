@@ -2,12 +2,13 @@
 //! normalized to PREMA, both systems observed at the same arrival rate.
 //!
 //! Paper headline: 2.1× / 2.3× / 1.9× improvements on Workload-C.
+//!
+//! Runs on the shared flat work queue: all `cell × system` bisections fan
+//! out together, then all `cell × system × seed` fairness runs overlap
+//! through one pool (see [`planaria_bench::workqueue`]).
 
-use planaria_bench::{
-    export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, probe_rate, trace,
-    ResultTable, Systems,
-};
-use planaria_parallel::{effective_jobs, par_map};
+use planaria_bench::workqueue::{probe_lambdas, sweep_seed_means, SystemId};
+use planaria_bench::{export_trace_if_requested, ResultTable, Systems};
 use planaria_workload::fairness;
 
 fn main() {
@@ -26,33 +27,16 @@ fn main() {
             "normalized",
         ],
     );
-    let cells = par_grid(|scenario, qos| {
-        let lambda = probe_rate(
-            planaria_throughput(&sys, scenario, qos),
-            prema_throughput(&sys, scenario, qos),
-        );
-        let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
-        let fp = mean(par_map(seeds.clone(), effective_jobs(), |s| {
-            fairness(
-                &sys.planaria
-                    .run(&trace(scenario, qos, lambda, s))
-                    .completions,
-                &iso_p,
-            )
-        }));
-        let fr = mean(par_map(seeds.clone(), effective_jobs(), |s| {
-            fairness(
-                &sys.prema.run(&trace(scenario, qos, lambda, s)).completions,
-                &iso_r,
-            )
-        }));
-        (lambda, fp, fr)
+    let cells = probe_lambdas(&sys);
+    let rows = sweep_seed_means(&sys, &cells, &seeds, |id, result| match id {
+        SystemId::Planaria => fairness(&result.completions, &iso_p),
+        SystemId::Prema => fairness(&result.completions, &iso_r),
     });
-    for ((scenario, qos), (lambda, fp, fr)) in cells {
+    for (cell, fp, fr) in rows {
         table.row(vec![
-            scenario.to_string(),
-            qos.to_string(),
-            format!("{lambda:.1}"),
+            cell.scenario.to_string(),
+            cell.qos.to_string(),
+            format!("{:.1}", cell.lambda),
             format!("{fp:.4}"),
             format!("{fr:.4}"),
             format!("{:.2}x", fp / fr.max(1e-9)),

@@ -5,12 +5,13 @@
 //! Workload-A (multi-tenancy trades individual efficiency for throughput),
 //! but wins by 3.3–12.1× on the depthwise-heavy Workloads B/C where the
 //! monolithic baseline burns leakage on underutilized runs.
+//!
+//! Runs on the shared flat work queue: all `cell × system` bisections fan
+//! out together, then all `cell × system × seed` energy runs overlap
+//! through one pool (see [`planaria_bench::workqueue`]).
 
-use planaria_bench::{
-    export_trace_if_requested, par_grid, planaria_throughput, prema_throughput, probe_rate, trace,
-    ResultTable, Systems,
-};
-use planaria_parallel::{effective_jobs, par_map};
+use planaria_bench::workqueue::{probe_lambdas, sweep_seed_means};
+use planaria_bench::{export_trace_if_requested, ResultTable, Systems};
 
 fn main() {
     let sys = Systems::new();
@@ -26,31 +27,15 @@ fn main() {
             "reduction",
         ],
     );
-    let cells = par_grid(|scenario, qos| {
-        let lambda = probe_rate(
-            planaria_throughput(&sys, scenario, qos),
-            prema_throughput(&sys, scenario, qos),
-        );
-        let mean = |vals: Vec<f64>| vals.iter().sum::<f64>() / vals.len() as f64;
-        let ep = mean(par_map(seeds.clone(), effective_jobs(), |s| {
-            sys.planaria
-                .run(&trace(scenario, qos, lambda, s))
-                .total_energy
-                .to_joules()
-        }));
-        let er = mean(par_map(seeds.clone(), effective_jobs(), |s| {
-            sys.prema
-                .run(&trace(scenario, qos, lambda, s))
-                .total_energy
-                .to_joules()
-        }));
-        (lambda, ep, er)
+    let cells = probe_lambdas(&sys);
+    let rows = sweep_seed_means(&sys, &cells, &seeds, |_, result| {
+        result.total_energy.to_joules()
     });
-    for ((scenario, qos), (lambda, ep, er)) in cells {
+    for (cell, ep, er) in rows {
         table.row(vec![
-            scenario.to_string(),
-            qos.to_string(),
-            format!("{lambda:.1}"),
+            cell.scenario.to_string(),
+            cell.qos.to_string(),
+            format!("{:.1}", cell.lambda),
             format!("{ep:.2}"),
             format!("{er:.2}"),
             format!("{:.2}x", er / ep),

@@ -24,6 +24,8 @@
 //! simulator's own kernels (layer timing, compilation, engine event loop,
 //! scheduler decisions).
 
+pub mod workqueue;
+
 use planaria_arch::AcceleratorConfig;
 use planaria_compiler::CompiledLibrary;
 use planaria_core::PlanariaEngine;

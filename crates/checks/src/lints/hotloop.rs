@@ -19,11 +19,18 @@
 //!
 //! Scope: the kernel event loop, the multi-node fabric round loop, both
 //! engine policies, the scheduler memo (`crates/core/src/sched_state.rs`),
-//! and the streaming quantile sketch (`crates/telemetry/src/sketch.rs`,
-//! which records inside the kernel's retire path). The materializing
-//! scheduler wrappers in `crates/core/src/scheduler.rs` stay out of scope
-//! on purpose — they are the convenience API; the engines call the
-//! `*_into` variants.
+//! the streaming quantile sketch (`crates/telemetry/src/sketch.rs`,
+//! which records inside the kernel's retire path), and the hot-path
+//! overhaul's own containers — the tiered event queue
+//! (`crates/sim/src/queue.rs`), the slab tenant index
+//! (`crates/sim/src/slab.rs`) and the completion sinks
+//! (`crates/workload/src/sink.rs`), whose `push`/`probe`/`record` run
+//! once per event or retirement. Their sanctioned allocation points —
+//! queue compaction and the spill sink's run-file flush, both amortized
+//! O(1) per event — are carried in the allowlist, not exempted here.
+//! The materializing scheduler wrappers in `crates/core/src/scheduler.rs`
+//! stay out of scope on purpose — they are the convenience API; the
+//! engines call the `*_into` variants.
 
 use crate::diagnostics::{Diagnostic, Lint};
 use crate::lexer::Token;
@@ -32,14 +39,17 @@ use crate::source::SourceFile;
 use crate::symbols::{ty_head, FileSymbols};
 
 /// Files forming the per-event path.
-const HOT_SCOPE: [&str; 7] = [
+const HOT_SCOPE: [&str; 10] = [
     "crates/sim/src/kernel.rs",
     "crates/sim/src/fabric.rs",
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/slab.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/fleet.rs",
     "crates/prema/src/engine.rs",
     "crates/core/src/sched_state.rs",
     "crates/telemetry/src/sketch.rs",
+    "crates/workload/src/sink.rs",
 ];
 
 /// Banned whole-word tokens and why.
@@ -286,10 +296,26 @@ mod tests {
         for rel in [
             "crates/core/src/scheduler.rs",
             "crates/workload/src/trace.rs",
-            "crates/sim/src/queue.rs",
+            "crates/sim/src/tenant.rs",
         ] {
             let d = run(rel, "fn f() { let v: Vec<u32> = xs.iter().collect(); }\n");
             assert!(d.is_empty(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn overhaul_containers_are_in_scope() {
+        // The tiered queue, the slab index and the completion sinks run
+        // per event/retirement: allocation idioms fire there too, with
+        // the sanctioned setup points carried in the allowlist.
+        for rel in [
+            "crates/sim/src/queue.rs",
+            "crates/sim/src/slab.rs",
+            "crates/workload/src/sink.rs",
+        ] {
+            let d = run(rel, "fn f() { let v: Vec<u32> = xs.iter().collect(); }\n");
+            assert_eq!(d.len(), 1, "{rel}");
+            assert_eq!(d[0].lint.code(), "L2-HOT", "{rel}");
         }
     }
 

@@ -164,6 +164,7 @@ impl PlanariaEngine {
             // Derived once per policy, not per event: the urgency clamp
             // is 1 µs of this chip's clock.
             min_slack: min_slack_cycles(self.cfg().freq_hz),
+            reference: false,
             state: SchedState::new(),
             chip: Chip::new(*self.cfg()),
             s: Scratch::default(),
@@ -187,6 +188,12 @@ pub struct SpatialPolicy<'a> {
     incremental: bool,
     /// Unfit-path urgency clamp: 1 µs of this chip's clock, in cycles.
     min_slack: i64,
+    /// Whether to run the complete pre-overhaul scheduling hot path
+    /// ([`reschedule_reference`](Self::reschedule_reference)) instead of
+    /// the overhauled one. Results are bit-identical either way — only
+    /// the per-event cost differs — so this is a baseline lane for the
+    /// kernel bench, not a behavior knob.
+    reference: bool,
     /// Persistent per-tenant estimate memo, keyed by request id — immune
     /// to the kernel's `swap_remove` retirement reordering.
     state: SchedState,
@@ -212,6 +219,290 @@ struct Scratch {
     sched: AllocScratch,
 }
 
+impl SpatialPolicy<'_> {
+    /// The same policy running the complete pre-overhaul scheduling hot
+    /// path ([`reschedule_reference`](Self::reschedule_reference)): the
+    /// baseline lane of the kernel bench race. Every decision is
+    /// bit-identical to the overhauled path (pinned by the scheduler's
+    /// reference-equivalence property test and the kernel-equivalence
+    /// suite); only the per-event cost differs.
+    #[must_use]
+    pub fn with_reference_hot_path(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// The scheduling hot path exactly as it stood before the kernel
+    /// overhaul, preserved verbatim (the `scheduler::reference`
+    /// philosophy applied to the whole `reschedule` body): eager
+    /// `SchedTask` views (`fraction_done` on every tenant every event),
+    /// a placement sort over the full live list including the queued
+    /// zeros, allocating stable sorts, and comparator-evaluated unfit
+    /// scores via [`reference::allocate_spatially_reference_into`].
+    /// Paired with the oracle kernel's heap/`BTreeMap` containers this
+    /// reconstructs the complete pre-PR per-event path, so the kernel
+    /// bench's baseline lane measures what the overhaul actually
+    /// replaced; the kernel-equivalence suite pins both lanes to
+    /// byte-identical results.
+    ///
+    /// [`reference::allocate_spatially_reference_into`]:
+    /// crate::scheduler::reference::allocate_spatially_reference_into
+    fn reschedule_reference<C: Collector>(&mut self, sim: &mut SimState, c: &mut C) {
+        let total = sim.total_subarrays();
+        let now = sim.now;
+        let cfg = *sim.config();
+        let s = &mut self.s;
+        let state = &mut self.state;
+        let chip = &mut self.chip;
+        s.alloc.clear();
+        match self.mode {
+            SchedulingMode::Spatial => {
+                s.priorities.clear();
+                s.slacks.clear();
+                s.estimates.clear();
+                s.fit.clear();
+                for t in &sim.tenants {
+                    let slack = slack_cycles(t.deadline_cycle, now);
+                    let view = SchedTask {
+                        priority: t.request.priority,
+                        slack,
+                        done: t.fraction_done(),
+                        compiled: &t.compiled,
+                    };
+                    let (est, fit) = if self.incremental {
+                        match state.seed(t.request.id, t.work_done, t.work_total, slack) {
+                            Seed::Exact(floor, fit) => (floor, fit),
+                            Seed::Floor(floor) => {
+                                let (est, fit) = view.estimate_resources_with_fit(floor, total);
+                                state.record(t.request.id, est, t.work_done, t.work_total, fit);
+                                (est, fit)
+                            }
+                        }
+                    } else {
+                        view.estimate_resources_with_fit(1, total)
+                    };
+                    s.priorities.push(t.request.priority);
+                    s.slacks.push(slack);
+                    s.estimates.push(est);
+                    s.fit.push(fit);
+                }
+                if self.incremental {
+                    state.prune(sim.tenants.len(), |id| sim.index_of(id).is_some());
+                }
+                crate::scheduler::reference::allocate_spatially_reference_into(
+                    &s.priorities,
+                    &s.slacks,
+                    &s.estimates,
+                    &s.fit,
+                    total,
+                    self.min_slack,
+                    &mut s.alloc,
+                    &mut s.sched,
+                );
+            }
+            SchedulingMode::ExclusiveFifo => {
+                s.alloc.resize(sim.tenants.len(), 0);
+                let oldest = sim
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| t.arrival_cycle)
+                    .map(|(i, _)| i);
+                if let Some(i) = oldest {
+                    s.alloc[i] = total;
+                }
+            }
+        }
+        let tenants = &mut sim.tenants;
+
+        chip.reset();
+        s.keep.clear();
+        s.keep.resize(tenants.len(), false);
+        for (i, (t, &a)) in tenants.iter().zip(&s.alloc).enumerate() {
+            let kept_count = a == t.alloc || (t.alloc > 0 && a == t.alloc + 1);
+            if kept_count && t.alloc > 0 {
+                if let Some(p) = &t.placement {
+                    if p.len() == t.alloc {
+                        for id in p.subarrays() {
+                            debug_assert!(chip.owner_of(*id).is_none());
+                        }
+                        let claimed = chip.claim(t.request.id, p);
+                        debug_assert!(claimed);
+                        s.keep[i] = true;
+                    }
+                }
+            }
+        }
+        s.placements.clear();
+        s.placements.resize(tenants.len(), None);
+        s.order.clear();
+        s.order.extend((0..tenants.len()).filter(|&i| !s.keep[i]));
+        s.order.sort_by_key(|&i| std::cmp::Reverse(s.alloc[i]));
+        let mut defrag_needed = false;
+        for &i in &s.order {
+            if s.alloc[i] == 0 {
+                continue;
+            }
+            match chip.place(tenants[i].request.id, s.alloc[i]) {
+                Some(p) => s.placements[i] = Some(p),
+                None => {
+                    defrag_needed = true;
+                    break;
+                }
+            }
+        }
+        s.migrated.clear();
+        s.migrated.resize(tenants.len(), false);
+        if defrag_needed {
+            chip.reset();
+            s.order.clear();
+            s.order.extend(0..tenants.len());
+            s.order.sort_by_key(|&i| std::cmp::Reverse(s.alloc[i]));
+            s.placements.fill(None);
+            for &i in &s.order {
+                if s.alloc[i] == 0 {
+                    continue;
+                }
+                let p = chip
+                    .place(tenants[i].request.id, s.alloc[i])
+                    // lint: every tenant was released above and Σalloc ≤ chip
+                    // capacity, so a contiguous placement always exists
+                    .expect("defragmented ring always packs");
+                if s.keep[i] {
+                    if tenants[i]
+                        .placement
+                        .as_ref()
+                        .is_some_and(|old| old.subarrays() != p.subarrays())
+                    {
+                        s.migrated[i] = true;
+                        s.keep[i] = false;
+                        s.placements[i] = Some(p);
+                    }
+                } else {
+                    s.placements[i] = Some(p);
+                }
+            }
+        }
+
+        let telemetry_on = c.is_enabled();
+        for (i, (t, &a)) in tenants.iter_mut().zip(&s.alloc).enumerate() {
+            let old_mask = t.mask;
+            if !s.keep[i] {
+                t.placement = s.placements[i].take();
+            }
+            if telemetry_on {
+                t.mask = subarray_mask(t.placement.as_ref());
+            }
+            if a == t.alloc && !s.migrated[i] {
+                continue;
+            }
+            if t.alloc > 0 && a == t.alloc + 1 && !s.migrated[i] {
+                continue;
+            }
+            if telemetry_on {
+                if t.alloc > 0 {
+                    c.record(
+                        now,
+                        Event::ExecSlice {
+                            tenant: t.request.id,
+                            subarrays: t.alloc,
+                            mask: old_mask,
+                            start: t.slice_start,
+                            duration: now.saturating_sub(t.slice_start),
+                        },
+                    );
+                }
+                c.record(
+                    now,
+                    Event::Allocation {
+                        tenant: t.request.id,
+                        from: t.alloc,
+                        to: a,
+                        mask: t.mask,
+                    },
+                );
+                if t.alloc == 0 && a > 0 {
+                    let wait = now.saturating_sub(t.queued_since);
+                    c.record(
+                        now,
+                        Event::QueueWait {
+                            tenant: t.request.id,
+                            start: t.queued_since,
+                            duration: wait,
+                        },
+                    );
+                    c.sample(Metric::QueueWaitCycles, wait.as_f64());
+                }
+                if a > 0 {
+                    c.sample(Metric::AllocationSize, f64::from(a));
+                }
+            }
+            if a > 0 {
+                t.slice_start = now;
+            } else {
+                t.queued_since = now;
+            }
+            if t.alloc > 0 && !t.work_done.is_zero() && t.work_done < t.work_total {
+                let (boundary, tile_bytes, cost) = {
+                    let old_table = t.compiled.table(t.alloc);
+                    let pos = old_table.position(t.fraction_done());
+                    let old_arr = old_table.layers()[pos.layer].arrangement;
+                    let new_arr = if a > 0 {
+                        Arrangement::monolithic(a)
+                    } else {
+                        old_arr
+                    };
+                    let ctx = ExecContext::for_allocation(&cfg, t.alloc.max(1));
+                    let cost = reconfiguration_cycles(&ctx, old_arr, new_arr, pos.tile_bytes);
+                    (pos.cycles_to_boundary, pos.tile_bytes, cost)
+                };
+                if telemetry_on {
+                    c.record(
+                        now,
+                        Event::Reconfig {
+                            tenant: t.request.id,
+                            boundary,
+                            drain: cost.drain,
+                            checkpoint: cost.checkpoint,
+                            config_swap: cost.config_swap,
+                            refill: cost.refill,
+                            checkpoint_bytes: tile_bytes,
+                        },
+                    );
+                    c.add(Counter::Reconfigurations, 1);
+                    c.add(Counter::DrainCycles, cost.drain.get());
+                    c.add(Counter::CheckpointCycles, cost.checkpoint.get());
+                    c.add(Counter::ConfigSwapCycles, cost.config_swap.get());
+                    c.add(Counter::RefillCycles, cost.refill.get());
+                    c.add(Counter::CheckpointBytes, tile_bytes.get());
+                    c.sample(Metric::ReconfigCycles, cost.total().as_f64());
+                }
+                t.overhead += boundary + cost.total();
+            } else if a > 0 && t.alloc == 0 {
+                t.overhead += CONFIG_LOAD_CYCLES;
+            }
+            t.alloc = a;
+            if a > 0 {
+                let (work_total, table_energy) = {
+                    let table = t.compiled.table(a);
+                    (table.total_cycles(), table.total_energy())
+                };
+                t.switch_table(work_total, table_energy);
+            }
+        }
+        if telemetry_on {
+            c.add(Counter::SchedulingEvents, 1);
+            let queued = tenants.iter().filter(|t| t.alloc == 0).count();
+            let used: u32 = tenants.iter().map(|t| t.alloc).sum();
+            c.sample(Metric::QueueDepth, queued as f64);
+            c.sample(
+                Metric::OccupancyPct,
+                100.0 * f64::from(used) / f64::from(total.max(1)),
+            );
+        }
+    }
+}
+
 /// Signed cycles from `now` to `deadline` (negative when past due).
 fn slack_cycles(deadline: Cycles, now: Cycles) -> i64 {
     deadline.get() as i64 - now.get() as i64
@@ -225,6 +516,9 @@ impl EnginePolicy for SpatialPolicy<'_> {
     fn reschedule<C: Collector>(&mut self, sim: &mut SimState, c: &mut C) {
         if sim.tenants.is_empty() {
             return;
+        }
+        if self.reference {
+            return self.reschedule_reference(sim, c);
         }
         let total = sim.total_subarrays();
         let now = sim.now;
@@ -246,7 +540,10 @@ impl EnginePolicy for SpatialPolicy<'_> {
                 s.fit.clear();
                 for t in &sim.tenants {
                     let slack = slack_cycles(t.deadline_cycle, now);
-                    let view = SchedTask {
+                    // Built lazily: an `Exact` memo hit answers without the
+                    // view, so the queued-majority fastpath skips the
+                    // `fraction_done` division entirely.
+                    let view = || SchedTask {
                         priority: t.request.priority,
                         slack,
                         done: t.fraction_done(),
@@ -259,13 +556,13 @@ impl EnginePolicy for SpatialPolicy<'_> {
                             // would rewrite.
                             Seed::Exact(floor, fit) => (floor, fit),
                             Seed::Floor(floor) => {
-                                let (est, fit) = view.estimate_resources_with_fit(floor, total);
+                                let (est, fit) = view().estimate_resources_with_fit(floor, total);
                                 state.record(t.request.id, est, t.work_done, t.work_total, fit);
                                 (est, fit)
                             }
                         }
                     } else {
-                        view.estimate_resources_with_fit(1, total)
+                        view().estimate_resources_with_fit(1, total)
                     };
                     s.priorities.push(t.request.priority);
                     s.slacks.push(slack);
@@ -331,13 +628,15 @@ impl EnginePolicy for SpatialPolicy<'_> {
         s.placements.clear();
         s.placements.resize(tenants.len(), None);
         s.order.clear();
-        s.order.extend((0..tenants.len()).filter(|&i| !s.keep[i]));
+        // Zero-allocation tenants (the queued backlog — the majority on a
+        // saturated node) never place; dropping them before the sort
+        // leaves the relative order of the placed set untouched (stable
+        // sort) while shrinking it from O(live) to O(chip).
+        s.order
+            .extend((0..tenants.len()).filter(|&i| !s.keep[i] && s.alloc[i] != 0));
         s.order.sort_by_key(|&i| std::cmp::Reverse(s.alloc[i]));
         let mut defrag_needed = false;
         for &i in &s.order {
-            if s.alloc[i] == 0 {
-                continue;
-            }
             match chip.place(tenants[i].request.id, s.alloc[i]) {
                 Some(p) => s.placements[i] = Some(p),
                 None => {

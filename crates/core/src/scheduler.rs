@@ -239,9 +239,16 @@ fn allocate_fit_into(
         .iter()
         .map(|&(i, _)| alloc[i] - estimates[i])
         .sum::<u32>();
-    scratch
-        .fractional
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Same stable-to-unstable translation as the unfit path: the pairs
+    // are pushed in index order, so an index tiebreak reproduces the
+    // stable descending-by-fraction order exactly, without the stable
+    // sort's allocation (fractions are finite: `share` is a ratio of
+    // finite non-NaN terms).
+    scratch.fractional.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
     for &(i, _) in scratch.fractional.iter() {
         if spare == 0 {
             break;
@@ -254,6 +261,19 @@ fn allocate_fit_into(
 /// `ALLOCATEUNFITTASKS`: rank by `priority / (slack × estimate)` and pack
 /// the chip; the last packed task may receive a partial grant, everyone
 /// else waits.
+///
+/// The urgency scores are evaluated once into scratch and the sort
+/// compares the precomputed values. The pre-overhaul code evaluated the
+/// score closure inside the comparator — two fresh divisions per
+/// comparison, roughly `2·n·log n` score evaluations per event where `n`
+/// evaluations suffice. A saturated node takes this path on almost every
+/// event (a deep backlog keeps `Σ estimates > total`), which made the
+/// comparator the hottest arithmetic in the whole per-event path. The
+/// comparator sees bit-identical `f64` values either way and the sort is
+/// stable, so the packing order — and therefore every allocation — is
+/// unchanged; [`reference::allocate_spatially_reference_into`] keeps the
+/// old body alive and the `unfit_path_matches_reference_*` property test
+/// pins the two together.
 fn allocate_unfit_into(
     priorities: &[u32],
     slacks: &[i64],
@@ -263,18 +283,59 @@ fn allocate_unfit_into(
     alloc: &mut Vec<u32>,
     scratch: &mut AllocScratch,
 ) {
-    scratch.order.clear();
-    scratch.order.extend(0..estimates.len());
-    let score = |i: usize| {
+    scratch.scores.clear();
+    scratch.scores.extend((0..estimates.len()).map(|i| {
         // Tasks already past their deadline get the most urgent score.
         let slack = slacks[i].max(min_slack) as f64;
         f64::from(priorities[i]) / (slack * f64::from(estimates[i]))
+    }));
+    // The reference's *stable* descending sort over `0..n` is exactly a
+    // sort by the total key `(score desc, index asc)` — the index
+    // tiebreak encodes stability, and because that key is a *strict*
+    // total order (scores are finite: priority ≥ 1, slack clamped ≥
+    // `min_slack` ≥ 1, estimate ≥ 1; ties fall to the distinct indices),
+    // the sorted permutation is unique no matter what order the sort
+    // starts from. That licenses a warm start: `scratch.order` still
+    // holds the *previous* event's sorted permutation, and urgency ranks
+    // drift slowly between events (all slacks shrink by the same `dt`;
+    // crossings are rare), so after a cheap fix-up for the changed tenant
+    // count it is nearly sorted already. An adaptive insertion sort then
+    // finishes in ~`n` comparisons on the steady state instead of the
+    // ~`n·log n` branch-missing comparisons a from-scratch sort pays —
+    // and this sort runs on essentially every event of a saturated node.
+    //
+    // The fix-up keeps the invariant "`order` is a permutation of
+    // `0..n`": entries `>= n` (tenants retired since the last unfit
+    // event) are dropped, missing high indices (tenants admitted since)
+    // are appended. A `swap_remove` retirement relabels the moved tenant,
+    // which displaces at most one entry per retirement — exactly the
+    // near-sorted case insertion sort absorbs in O(displacement).
+    let n = estimates.len();
+    if scratch.order.len() > n {
+        scratch.order.retain(|&i| i < n);
+    } else {
+        scratch.order.extend(scratch.order.len()..n);
+    }
+    let scores = &scratch.scores;
+    // `a` packs before `b`: strictly greater urgency, or equal urgency
+    // and earlier index (the stability tiebreak). NaN is unreachable
+    // (finite scores), so `partial_cmp`'s `None` falls into the index
+    // arm harmlessly.
+    let before = |a: usize, b: usize| match scores[a].partial_cmp(&scores[b]) {
+        Some(std::cmp::Ordering::Greater) => true,
+        Some(std::cmp::Ordering::Less) => false,
+        _ => a < b,
     };
-    scratch.order.sort_by(|&a, &b| {
-        score(b)
-            .partial_cmp(&score(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let ord = &mut scratch.order;
+    for i in 1..n {
+        let v = ord[i];
+        let mut j = i;
+        while j > 0 && before(v, ord[j - 1]) {
+            ord[j] = ord[j - 1];
+            j -= 1;
+        }
+        ord[j] = v;
+    }
     alloc.resize(estimates.len(), 0);
     let mut remaining = total;
     for &i in scratch.order.iter() {
@@ -284,6 +345,89 @@ fn allocate_unfit_into(
         let grant = estimates[i].min(remaining);
         alloc[i] = grant;
         remaining -= grant;
+    }
+}
+
+/// The pre-overhaul allocation arithmetic, retained verbatim.
+///
+/// `planaria-sim`'s `oracle` module keeps the replaced kernel containers
+/// (plain heap, `BTreeMap` index) alive so the hot-path overhaul stays
+/// testable and measurable against exactly what it replaced; this module
+/// is the allocator leg of the same preservation on the scheduler side.
+/// The *whole* pre-overhaul reschedule body lives on as
+/// `SpatialPolicy::reschedule_reference` in `planaria-core`'s engine
+/// (eager estimate views, unfiltered placement sorts), selected by
+/// `with_reference_hot_path`; that body calls
+/// [`allocate_spatially_reference_into`] here, which carries the
+/// pre-overhaul unfit allocator — scores evaluated inside the sort
+/// comparator over a fresh `0..n` — while the fit path is shared by both
+/// lanes (its sort swap is order-preserving, so sharing only speeds the
+/// baseline up — the conservative direction for the race). The kernel
+/// bench's baseline lane runs through that complete path, so
+/// `BENCH_kernel.json` measures new-hot-path vs pre-PR-hot-path rather
+/// than new-vs-new, and the property tests below pin the two allocator
+/// implementations bit-for-bit.
+pub mod reference {
+    use super::{allocate_fit_into, AllocScratch, Cycles};
+
+    /// Pre-overhaul [`allocate_spatially_into`](super::allocate_spatially_into):
+    /// identical dispatch, comparator-evaluated unfit scores.
+    pub fn allocate_spatially_reference_into(
+        priorities: &[u32],
+        slacks: &[i64],
+        estimates: &[u32],
+        fit: &[Cycles],
+        total: u32,
+        min_slack: i64,
+        alloc: &mut Vec<u32>,
+        scratch: &mut AllocScratch,
+    ) {
+        alloc.clear();
+        if estimates.is_empty() {
+            return;
+        }
+        let need: u32 = estimates.iter().sum();
+        if need <= total {
+            allocate_fit_into(priorities, estimates, fit, total, alloc, scratch);
+        } else {
+            allocate_unfit_reference_into(
+                priorities, slacks, estimates, total, min_slack, alloc, scratch,
+            );
+        }
+    }
+
+    /// The pre-overhaul unfit body: the score closure runs inside the
+    /// comparator, twice per comparison.
+    fn allocate_unfit_reference_into(
+        priorities: &[u32],
+        slacks: &[i64],
+        estimates: &[u32],
+        total: u32,
+        min_slack: i64,
+        alloc: &mut Vec<u32>,
+        scratch: &mut AllocScratch,
+    ) {
+        scratch.order.clear();
+        scratch.order.extend(0..estimates.len());
+        let score = |i: usize| {
+            let slack = slacks[i].max(min_slack) as f64;
+            f64::from(priorities[i]) / (slack * f64::from(estimates[i]))
+        };
+        scratch.order.sort_by(|&a, &b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        alloc.resize(estimates.len(), 0);
+        let mut remaining = total;
+        for &i in scratch.order.iter() {
+            if remaining == 0 {
+                break;
+            }
+            let grant = estimates[i].min(remaining);
+            alloc[i] = grant;
+            remaining -= grant;
+        }
     }
 }
 
@@ -478,6 +622,57 @@ mod tests {
             for (t, &e) in tasks.iter().zip(&estimates) {
                 assert_eq!(e, t.estimate_resources(16), "slack {slack_s}");
             }
+        }
+    }
+
+    #[test]
+    fn unfit_path_matches_reference_arithmetic_over_random_queues() {
+        // The hot allocator precomputes the urgency scores the reference
+        // evaluates inside its comparator; the two must produce the same
+        // allocation vector bit-for-bit on any queue shape — including
+        // score ties (equal priority/slack/estimate triples), which the
+        // stable sort must break identically.
+        let mut rng = planaria_model::SplitMix64::new(0xA110C);
+        for round in 0..500 {
+            let n = 1 + rng.next_below(40) as usize;
+            let mut priorities = Vec::with_capacity(n);
+            let mut slacks = Vec::with_capacity(n);
+            let mut estimates = Vec::with_capacity(n);
+            let mut fit = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Coarse buckets force frequent exact ties.
+                priorities.push(1 + rng.next_below(4) as u32);
+                // Spans negative (past-deadline) through positive slack.
+                slacks.push(rng.next_below(8) as i64 * 1_000 - 2_000);
+                estimates.push(1 + rng.next_below(4) as u32);
+                fit.push(Cycles::new(rng.next_below(10_000)));
+            }
+            let total = 1 + rng.next_below(16) as u32;
+            let mut hot = Vec::new();
+            let mut old = Vec::new();
+            let mut s1 = AllocScratch::default();
+            let mut s2 = AllocScratch::default();
+            allocate_spatially_into(
+                &priorities,
+                &slacks,
+                &estimates,
+                &fit,
+                total,
+                PAPER_MIN_SLACK,
+                &mut hot,
+                &mut s1,
+            );
+            reference::allocate_spatially_reference_into(
+                &priorities,
+                &slacks,
+                &estimates,
+                &fit,
+                total,
+                PAPER_MIN_SLACK,
+                &mut old,
+                &mut s2,
+            );
+            assert_eq!(hot, old, "round {round}: n={n} total={total}");
         }
     }
 

@@ -35,7 +35,7 @@ use planaria_arch::AcceleratorConfig;
 use planaria_model::units::{Cycles, Picojoules};
 use planaria_parallel::{effective_jobs, par_map};
 use planaria_telemetry::{Collector, Counter, Event, Metric, NullCollector};
-use planaria_workload::{Request, SimResult};
+use planaria_workload::{CompletionSink, DiscardSink, Request, SimResult, VecSink};
 use std::collections::VecDeque;
 
 /// Per-node load snapshot, refreshed at each round barrier.
@@ -118,10 +118,11 @@ pub struct FabricSummary {
     pub makespan: f64,
 }
 
-/// One node's private slice of the fabric: kernel, inbox, policy, and
-/// its own telemetry sink (merged node-id-deterministically afterwards).
-struct Lane<P, N> {
-    node: NodeKernel,
+/// One node's private slice of the fabric: kernel (generic over its
+/// completion sink), inbox, policy, and its own telemetry sink (merged
+/// node-id-deterministically afterwards).
+struct Lane<P, N, S: CompletionSink> {
+    node: NodeKernel<S>,
     inbox: VecDeque<Request>,
     policy: P,
     sink: N,
@@ -197,7 +198,14 @@ where
     N: Collector + Send,
 {
     let (lanes, rounds) = drive_fabric(
-        cfgs, policies, requests, dispatcher, tuning, fabric_c, node_sinks, true,
+        cfgs,
+        policies,
+        requests,
+        dispatcher,
+        tuning,
+        fabric_c,
+        node_sinks,
+        VecSink::default,
     );
 
     // Merge per-node results: completions re-sorted by request id,
@@ -254,7 +262,14 @@ where
     N: Collector + Send,
 {
     let (lanes, rounds) = drive_fabric(
-        cfgs, policies, requests, dispatcher, tuning, fabric_c, node_sinks, false,
+        cfgs,
+        policies,
+        requests,
+        dispatcher,
+        tuning,
+        fabric_c,
+        node_sinks,
+        || DiscardSink,
     );
 
     let mut stats = FabricStats { events: 0, rounds };
@@ -275,12 +290,13 @@ where
 /// The shared round loop: routes windows, fans nodes out, records
 /// fabric-level telemetry, and returns the drained lanes plus the round
 /// count. Scheduling is a pure function of `(cfgs, policies, requests,
-/// dispatcher, tuning)` — collectors and `keep_completions` only decide
-/// what is *remembered*, never what happens.
+/// dispatcher, tuning)` — collectors and the per-node completion sinks
+/// built by `mk_sink` only decide what is *remembered*, never what
+/// happens.
 // lint: the shared round loop takes both public signatures' parameters
-// plus the keep_completions switch; internal only
+// plus the sink factory; internal only
 #[allow(clippy::too_many_arguments)]
-fn drive_fabric<P, D, I, C, N>(
+fn drive_fabric<P, D, I, C, N, S, F>(
     cfgs: &[AcceleratorConfig],
     policies: Vec<P>,
     requests: I,
@@ -288,14 +304,16 @@ fn drive_fabric<P, D, I, C, N>(
     tuning: &FabricTuning,
     fabric_c: &mut C,
     node_sinks: Vec<N>,
-    keep_completions: bool,
-) -> (Vec<Lane<P, N>>, u64)
+    mk_sink: F,
+) -> (Vec<Lane<P, N, S>>, u64)
 where
     P: EnginePolicy + Send,
     D: Dispatcher + ?Sized,
     I: IntoIterator<Item = Request>,
     C: Collector,
     N: Collector + Send,
+    S: CompletionSink + Send,
+    F: Fn() -> S,
 {
     let n = policies.len();
     assert!(n > 0, "fabric needs at least one node");
@@ -316,15 +334,13 @@ where
     let lookahead = clock.duration_cycles(tuning.lookahead_seconds);
     fabric_c.set_meta(clock.meta(0));
 
-    let mut lanes: Vec<Lane<P, N>> = cfgs
+    let mut lanes: Vec<Lane<P, N, S>> = cfgs
         .iter()
         .zip(policies.into_iter().zip(node_sinks))
         .map(|(cfg, (policy, mut sink))| {
             sink.set_meta(clock.meta(cfg.num_subarrays()));
-            let mut node = NodeKernel::new(cfg, clock);
-            node.set_keep_completions(keep_completions);
             Lane {
-                node,
+                node: NodeKernel::with_sink(cfg, clock, mk_sink()),
                 inbox: VecDeque::new(),
                 policy,
                 sink,

@@ -3,14 +3,14 @@
 
 use crate::clock::SimClock;
 use crate::queue::{EventKind, EventQueue};
+use crate::slab::TenantSlab;
 use crate::tenant::TenantState;
 use planaria_arch::AcceleratorConfig;
 use planaria_compiler::CompiledDnn;
 use planaria_energy::EnergyModel;
 use planaria_model::units::{Cycles, Picojoules};
 use planaria_telemetry::{Collector, Counter, Event, Metric};
-use planaria_workload::{Completion, Request, SimResult};
-use std::collections::BTreeMap;
+use planaria_workload::{Completion, CompletionSink, Request, SimResult, VecSink};
 use std::sync::Arc;
 
 /// Widest placement mask (and thus pod count) a kernel can track.
@@ -51,10 +51,22 @@ pub struct SimState {
     /// `swap_remove` retirement — policies must not reorder this list
     /// (stable tie-breaks depend on it).
     pub tenants: Vec<TenantState>,
-    index: BTreeMap<u64, usize>,
+    pub(crate) index: TenantSlab,
 }
 
 impl SimState {
+    /// A fresh state for one node (crate-internal: the oracle reference
+    /// kernel in [`crate::oracle`] builds one to drive real policies).
+    pub(crate) fn new_for(cfg: AcceleratorConfig, clock: SimClock) -> Self {
+        Self {
+            cfg,
+            clock,
+            now: Cycles::ZERO,
+            tenants: Vec::new(),
+            index: TenantSlab::new(),
+        }
+    }
+
     /// The accelerator configuration of this run.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.cfg
@@ -70,9 +82,28 @@ impl SimState {
         self.cfg.num_subarrays()
     }
 
-    /// Index of the live tenant serving request `id`, if any.
+    /// Index of the live tenant serving request `id`, if any. One O(1)
+    /// slab probe (hot: runs once per popped completion entry).
     pub fn index_of(&self, id: u64) -> Option<usize> {
-        self.index.get(&id).copied()
+        self.index.get(id)
+    }
+}
+
+/// Whether a popped queue entry is still live: the hoisted stale-epoch
+/// check. This is the *single* validity predicate — the pop path, the
+/// same-cycle coalescing drain, and [`EventQueue::compact`] all consult
+/// it, so a superseded completion can never reach the policy callback
+/// path through any of the three, and compaction removes exactly the
+/// entries the pop path would have skipped.
+///
+/// A free function (not a method) so callers can borrow `sim` while
+/// holding `&mut` on the queue.
+fn event_is_valid(sim: &SimState, next_arrival: usize, kind: &EventKind) -> bool {
+    match kind {
+        EventKind::Arrival { index } => *index == next_arrival,
+        EventKind::Completion { tenant, epoch } => sim
+            .index_of(*tenant)
+            .is_some_and(|i| sim.tenants[i].epoch == *epoch),
     }
 }
 
@@ -88,10 +119,16 @@ impl SimState {
 /// a bound only decides how far this call walks the heap, never what is
 /// in it.
 #[derive(Debug)]
-pub struct NodeKernel {
+pub struct NodeKernel<S: CompletionSink = VecSink> {
     sim: SimState,
     queue: EventQueue,
-    completions: Vec<Completion>,
+    /// Where retirements go: an in-memory vector ([`VecSink`], the
+    /// default behind [`NodeKernel::into_result`]), a quantile sketch, a
+    /// disk spill, or nothing at all
+    /// ([`DiscardSink`](planaria_workload::DiscardSink), the flat-memory
+    /// path behind [`NodeKernel::into_summary`]). A type parameter, so
+    /// the per-retirement call inlines with zero dispatch cost.
+    sink: S,
     em: EnergyModel,
     /// The one not-yet-admitted arrival pulled from the source.
     pending: Option<Request>,
@@ -104,10 +141,6 @@ pub struct NodeKernel {
     /// Cycle of the first admitted arrival: this node's makespan origin.
     origin: Option<Cycles>,
     events: u64,
-    /// When false, retirements update the aggregate tallies only and the
-    /// completion vector stays empty — the flat-memory path behind
-    /// [`NodeKernel::into_summary`].
-    keep_completions: bool,
     completed: u64,
     summary_energy: Picojoules,
     /// Cumulative dynamic energy attributed to each subarray pod
@@ -126,23 +159,59 @@ pub struct NodeSummary {
     pub completed: u64,
     /// Dynamic plus static energy over the node's busy span.
     pub total_energy: Picojoules,
+    /// The static (leakage) component of `total_energy` alone — exposed
+    /// so streamed exactness paths can recombine it with a dynamic sum
+    /// taken in a canonical order (the spill replay digests dynamic
+    /// energy in request-id order, exactly as
+    /// [`into_result`](NodeKernel::into_result) does).
+    pub static_energy: Picojoules,
     /// Seconds from the node's first admitted arrival to its last event.
     pub makespan: f64,
 }
 
-impl NodeKernel {
-    /// A fresh kernel for one node on a (possibly shared) clock.
+impl NodeKernel<VecSink> {
+    /// A fresh kernel for one node on a (possibly shared) clock,
+    /// keeping every completion in memory (the [`VecSink`] default).
     pub fn new(cfg: &AcceleratorConfig, clock: SimClock) -> Self {
+        Self::with_sink(cfg, clock, VecSink::default())
+    }
+
+    /// Finalizes the node into a [`SimResult`].
+    ///
+    /// Makespan is measured from this node's *own* first admitted
+    /// arrival (on a shared fabric clock a node that starts late is not
+    /// charged for the lead-in), matching the per-node semantics the
+    /// serial cluster had. Static energy accrues while the chip serves
+    /// tenants — idle gaps between requests belong to whatever the node
+    /// does next.
+    pub fn into_result(self) -> SimResult {
+        debug_assert!(self.is_idle(), "node finalized with work outstanding");
+        let mut completions = self.sink.completions;
+        completions.sort_by_key(|c| c.request.id);
+        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
+        let active = self
+            .sim
+            .now
+            .saturating_sub(self.origin.unwrap_or(Cycles::ZERO));
+        SimResult {
+            completions,
+            total_energy: dynamic
+                + self
+                    .em
+                    .static_energy(self.sim.clock.span_seconds(self.busy)),
+            makespan: self.sim.clock.span_seconds(active),
+        }
+    }
+}
+
+impl<S: CompletionSink> NodeKernel<S> {
+    /// A fresh kernel retiring into `sink` (see [`CompletionSink`] for
+    /// the menu: vector, sketch, disk spill, discard).
+    pub fn with_sink(cfg: &AcceleratorConfig, clock: SimClock, sink: S) -> Self {
         Self {
-            sim: SimState {
-                cfg: *cfg,
-                clock,
-                now: Cycles::ZERO,
-                tenants: Vec::new(),
-                index: BTreeMap::new(),
-            },
+            sim: SimState::new_for(*cfg, clock),
             queue: EventQueue::new(),
-            completions: Vec::new(),
+            sink,
             em: EnergyModel::for_config(cfg),
             pending: None,
             last_arrival: f64::NEG_INFINITY,
@@ -151,20 +220,11 @@ impl NodeKernel {
             busy: Cycles::ZERO,
             origin: None,
             events: 0,
-            keep_completions: true,
             completed: 0,
             summary_energy: Picojoules::ZERO,
             pod_pj: [0.0; MAX_PODS],
             pod_emitted: [0.0; MAX_PODS],
         }
-    }
-
-    /// Chooses whether retirements keep per-request [`Completion`]
-    /// records (the default) or only the aggregate tallies behind
-    /// [`NodeKernel::into_summary`] — the flat-memory mode where a
-    /// million-request node never materializes its completion vector.
-    pub fn set_keep_completions(&mut self, keep: bool) {
-        self.keep_completions = keep;
     }
 
     /// Requests retired so far.
@@ -231,26 +291,40 @@ impl NodeKernel {
     /// Entries at or after `bound` stay in the heap untouched, so a
     /// bounded walk followed by another call is indistinguishable from
     /// one unbounded walk.
-    fn next_event_before(&mut self, bound: Option<Cycles>) -> Option<Cycles> {
+    ///
+    /// The returned flag reports whether any *valid* completion entry —
+    /// the wake-up itself or a same-cycle coalesced drain — was consumed
+    /// at this cycle. That flag is the retirement gate's evidence: a
+    /// tenant holding subarrays reaches `is_done` exactly when `now`
+    /// hits its `scheduled_completion` (the estimate-refresh invariant
+    /// keeps `scheduled_completion = now + remaining` whenever
+    /// `alloc > 0`, and `advance` burns cycle-for-cycle), and that cycle
+    /// always carries the tenant's current-epoch — hence valid — queue
+    /// entry. So no valid completion at this cycle means no running
+    /// tenant can have finished here.
+    fn next_event_before(&mut self, bound: Option<Cycles>) -> Option<(Cycles, bool)> {
         loop {
             let head = self.queue.next_at()?;
             if bound.is_some_and(|b| head >= b) {
                 return None;
             }
             let (at, kind) = self.queue.pop()?;
-            let valid = match kind {
-                EventKind::Arrival { index } => index == self.next_arrival,
-                EventKind::Completion { tenant, epoch } => self
-                    .sim
-                    .index_of(tenant)
-                    .is_some_and(|i| self.sim.tenants[i].epoch == epoch),
-            };
-            if valid {
+            if event_is_valid(&self.sim, self.next_arrival, &kind) {
+                let mut completion_due = matches!(kind, EventKind::Completion { .. });
                 while self.queue.next_at() == Some(at) {
-                    let _ = self.queue.pop();
+                    if let Some((_, drained)) = self.queue.pop() {
+                        if event_is_valid(&self.sim, self.next_arrival, &drained) {
+                            completion_due |= matches!(drained, EventKind::Completion { .. });
+                        } else {
+                            self.queue.note_stale_consumed();
+                        }
+                    }
                 }
-                return Some(at);
+                return Some((at, completion_due));
             }
+            // A superseded entry left the queue: balance the stale
+            // ledger so `should_compact` tracks the live population.
+            self.queue.note_stale_consumed();
         }
     }
 
@@ -285,42 +359,47 @@ impl NodeKernel {
 
         let track_pods = c.is_enabled();
         let per_pod = self.sim.cfg.subarrays_per_pod.max(1);
-        while let Some(t_next) = self.next_event_before(bound) {
+        while let Some((t_next, completion_due)) = self.next_event_before(bound) {
             self.events += 1;
             // Advance every allocated tenant to the event time. The chip
             // is busy whenever anyone holds subarrays. With telemetry on,
             // each tenant's dynamic-energy delta is attributed evenly
             // across the subarrays it holds, accumulated per pod.
+            // `advance(0)` is a no-op for every tenant (and contributes
+            // no busy span), so a zero-width step skips the scan whole.
             let dt = t_next.saturating_sub(self.sim.now);
-            let mut any_allocated = false;
-            for t in &mut self.sim.tenants {
-                if t.alloc > 0 {
-                    any_allocated = true;
-                    if track_pods {
-                        let before = t.energy.as_pj();
-                        t.advance(dt);
-                        let delta = t.energy.as_pj() - before;
-                        if delta > 0.0 && t.mask != 0 {
-                            let share = delta / f64::from(t.mask.count_ones());
-                            let mut m = t.mask;
-                            while m != 0 {
-                                let bit = m.trailing_zeros();
-                                m &= m - 1;
-                                self.pod_pj[(bit / per_pod) as usize] += share;
+            if !dt.is_zero() {
+                let mut any_allocated = false;
+                for t in &mut self.sim.tenants {
+                    if t.alloc > 0 {
+                        any_allocated = true;
+                        if track_pods {
+                            let before = t.energy.as_pj();
+                            t.advance(dt);
+                            let delta = t.energy.as_pj() - before;
+                            if delta > 0.0 && t.mask != 0 {
+                                let share = delta / f64::from(t.mask.count_ones());
+                                let mut m = t.mask;
+                                while m != 0 {
+                                    let bit = m.trailing_zeros();
+                                    m &= m - 1;
+                                    self.pod_pj[(bit / per_pod) as usize] += share;
+                                }
                             }
+                        } else {
+                            t.advance(dt);
                         }
-                    } else {
-                        t.advance(dt);
                     }
                 }
-            }
-            if any_allocated {
-                self.busy += dt;
+                if any_allocated {
+                    self.busy += dt;
+                }
             }
             self.sim.now = t_next;
 
             // Admit every arrival due now; keep exactly one future
             // arrival event outstanding.
+            let mut maybe_done = completion_due;
             while let Some(req) = self.pending {
                 let at = self.sim.clock.cycles_from_seconds(req.arrival);
                 if at > self.sim.now {
@@ -359,6 +438,10 @@ impl NodeKernel {
                     deadline,
                     self.sim.now,
                 ));
+                // A degenerate zero-work request is done the moment it is
+                // admitted, without ever owning a completion entry — the
+                // one way `is_done` can flip outside a completion cycle.
+                maybe_done |= self.sim.tenants.last().is_some_and(TenantState::is_done);
                 self.next_arrival += 1;
                 self.arrival_queued = false;
                 self.pull(src);
@@ -366,17 +449,34 @@ impl NodeKernel {
 
             // Retire finished tenants (ascending swap_remove scan,
             // preserving the admission-order prefix that stable
-            // scheduling relies on).
+            // scheduling relies on). The scan runs only when this cycle
+            // could have finished someone: a valid completion entry was
+            // consumed (see `next_event_before`) or a zero-work admit
+            // arrived done. On pure-arrival cycles — half of a saturated
+            // node's events — the O(live) sweep is provably a no-op and
+            // is skipped; the oracle kernel runs it unconditionally and
+            // the equivalence suite pins the results byte-for-byte.
             let mut retired_any = false;
             let mut i = 0;
-            while i < self.sim.tenants.len() {
+            while maybe_done && i < self.sim.tenants.len() {
                 if self.sim.tenants[i].is_done() {
                     let t = self.sim.tenants.swap_remove(i);
-                    self.sim.index.remove(&t.request.id);
+                    self.sim.index.remove(t.request.id);
                     if let Some(moved) = self.sim.tenants.get(i) {
                         self.sim.index.insert(moved.request.id, i);
                     }
+                    // A retiring tenant whose current-epoch completion
+                    // entry has not matured yet (estimate strictly in the
+                    // future) leaves that entry permanently dead in the
+                    // queue. With the estimate-refresh invariant this
+                    // cannot happen — a tenant finishes exactly when its
+                    // estimate matures — but the guard keeps the stale
+                    // ledger exact under any policy behavior.
+                    if t.scheduled_completion.is_some_and(|sc| sc > self.sim.now) {
+                        self.queue.note_stale();
+                    }
                     retired_any = true;
+                    let latency = self.sim.now.saturating_sub(t.arrival_cycle);
                     if c.is_enabled() {
                         if t.alloc > 0 {
                             c.record(
@@ -390,7 +490,6 @@ impl NodeKernel {
                                 },
                             );
                         }
-                        let latency = self.sim.now.saturating_sub(t.arrival_cycle);
                         c.record(
                             self.sim.now,
                             Event::Completion {
@@ -406,13 +505,14 @@ impl NodeKernel {
                     }
                     self.completed += 1;
                     self.summary_energy += t.energy;
-                    if self.keep_completions {
-                        self.completions.push(Completion {
+                    self.sink.record(
+                        Completion {
                             request: t.request,
                             finish: self.sim.clock.to_seconds(self.sim.now),
                             energy: t.energy,
-                        });
-                    }
+                        },
+                        latency,
+                    );
                 } else {
                     i += 1;
                 }
@@ -436,6 +536,13 @@ impl NodeKernel {
                 }
             }
 
+            // Not an equality: duplicate request ids are tolerated (the
+            // loop is positional), and duplicates share one index slot.
+            debug_assert!(
+                self.sim.index.len() <= self.sim.tenants.len(),
+                "tenant slab out of sync with the live list"
+            );
+
             // A scheduling event fired: let the policy reassign the chip.
             policy.reschedule(&mut self.sim, c);
 
@@ -451,6 +558,15 @@ impl NodeKernel {
                     None
                 };
                 if target != t.scheduled_completion {
+                    // The epoch bump supersedes the tenant's previous
+                    // entry. It is still physically queued exactly when
+                    // the old estimate lies strictly in the future (an
+                    // estimate at `now` was consumed as this event's
+                    // wake-up or coalesced drain), so only then does the
+                    // stale ledger grow.
+                    if t.scheduled_completion.is_some_and(|sc| sc > self.sim.now) {
+                        self.queue.note_stale();
+                    }
                     t.scheduled_completion = target;
                     t.epoch = t.epoch.wrapping_add(1);
                     if let Some(at) = target {
@@ -464,56 +580,58 @@ impl NodeKernel {
                     }
                 }
             }
-        }
-    }
 
-    /// Finalizes the node into a [`SimResult`].
-    ///
-    /// Makespan is measured from this node's *own* first admitted
-    /// arrival (on a shared fabric clock a node that starts late is not
-    /// charged for the lead-in), matching the per-node semantics the
-    /// serial cluster had. Static energy accrues while the chip serves
-    /// tenants — idle gaps between requests belong to whatever the node
-    /// does next.
-    pub fn into_result(self) -> SimResult {
-        debug_assert!(self.is_idle(), "node finalized with work outstanding");
-        let mut completions = self.completions;
-        completions.sort_by_key(|c| c.request.id);
-        let dynamic: Picojoules = completions.iter().map(|c| c.energy).sum();
-        let active = self
-            .sim
-            .now
-            .saturating_sub(self.origin.unwrap_or(Cycles::ZERO));
-        SimResult {
-            completions,
-            total_energy: dynamic
-                + self
-                    .em
-                    .static_energy(self.sim.clock.span_seconds(self.busy)),
-            makespan: self.sim.clock.span_seconds(active),
+            // Compact once the superseded population dominates the
+            // queue: one sweep drops every dead entry, so resident size
+            // tracks live events instead of every estimate ever pushed.
+            // Removal is invisible to pop order — the predicate is the
+            // same hoisted validity check the pop path applies, and
+            // invalidity is permanent (epochs only grow, retired ids
+            // never return, the arrival cursor only advances).
+            if self.queue.should_compact() {
+                let sim = &self.sim;
+                let next_arrival = self.next_arrival;
+                self.queue
+                    .compact(|kind| event_is_valid(sim, next_arrival, kind));
+            }
         }
     }
 
     /// Finalizes the node into aggregate tallies only — the counterpart
-    /// of [`into_result`](NodeKernel::into_result) for runs driven with
-    /// `set_keep_completions(false)`, where no completion vector exists.
-    /// Dynamic energy is summed in retirement order (vs. request-id
-    /// order in `into_result`), so the two paths agree to float
-    /// associativity, not bit-for-bit.
+    /// of [`into_result`](NodeKernel::into_result) for sink-driven runs
+    /// where no completion vector exists. Dynamic energy is summed in
+    /// retirement order (vs. request-id order in `into_result`), so the
+    /// two paths agree to float associativity, not bit-for-bit; exactness
+    /// paths recombine `static_energy` with their own canonical-order
+    /// dynamic sum instead.
     pub fn into_summary(self) -> NodeSummary {
+        self.into_sink().1
+    }
+
+    /// Finalizes the node, handing back the sink alongside the aggregate
+    /// tallies — how spill and sketch runs recover what they recorded.
+    pub fn into_sink(self) -> (S, NodeSummary) {
         debug_assert!(self.is_idle(), "node finalized with work outstanding");
+        debug_assert!(
+            self.sim.index.is_empty(),
+            "tenant index out of sync with the live list"
+        );
         let active = self
             .sim
             .now
             .saturating_sub(self.origin.unwrap_or(Cycles::ZERO));
-        NodeSummary {
-            completed: self.completed,
-            total_energy: self.summary_energy
-                + self
-                    .em
-                    .static_energy(self.sim.clock.span_seconds(self.busy)),
-            makespan: self.sim.clock.span_seconds(active),
-        }
+        let static_energy = self
+            .em
+            .static_energy(self.sim.clock.span_seconds(self.busy));
+        (
+            self.sink,
+            NodeSummary {
+                completed: self.completed,
+                total_energy: self.summary_energy + static_energy,
+                static_energy,
+                makespan: self.sim.clock.span_seconds(active),
+            },
+        )
     }
 }
 
@@ -576,6 +694,47 @@ pub fn run_streamed<P: EnginePolicy, C: Collector, I: IntoIterator<Item = Reques
         c,
     );
     node.into_result()
+}
+
+/// [`run_streamed`] retiring into an arbitrary [`CompletionSink`]
+/// instead of an in-memory vector: the fully flat-memory exactness path.
+/// With a [`SpillSink`](planaria_workload::SpillSink) a 10⁷-request run
+/// holds O(live tenants + one spill buffer) regardless of trace length,
+/// and the returned sink replays every completion in request-id order;
+/// with a [`SketchSink`](planaria_workload::SketchSink) it yields
+/// fixed-memory latency percentiles. Scheduling is identical to
+/// [`run_streamed`] — the sink only decides what is *remembered* — and
+/// the returned [`NodeSummary`] carries the aggregate tallies plus the
+/// split-out static energy the digest replay needs.
+///
+/// # Panics
+///
+/// Panics if the source yields arrivals out of order.
+pub fn run_streamed_sink<
+    P: EnginePolicy,
+    C: Collector,
+    I: IntoIterator<Item = Request>,
+    S: CompletionSink,
+>(
+    cfg: &AcceleratorConfig,
+    requests: I,
+    policy: &mut P,
+    c: &mut C,
+    sink: S,
+) -> (S, NodeSummary) {
+    let mut source = requests.into_iter();
+    let mut head: Option<Request> = source.next();
+    let clock = SimClock::new(head.map_or(0.0, |r| r.arrival), cfg.freq_hz);
+    c.set_meta(clock.meta(cfg.num_subarrays()));
+
+    let mut node = NodeKernel::with_sink(cfg, clock, sink);
+    node.advance(
+        None,
+        &mut || head.take().or_else(|| source.next()),
+        policy,
+        c,
+    );
+    node.into_sink()
 }
 
 #[cfg(test)]

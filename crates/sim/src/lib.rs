@@ -39,7 +39,9 @@
 mod clock;
 mod fabric;
 mod kernel;
+pub mod oracle;
 mod queue;
+mod slab;
 mod tenant;
 
 pub use clock::SimClock;
@@ -47,6 +49,8 @@ pub use fabric::{
     run_fabric, run_fabric_summary, run_fabric_with, Dispatcher, FabricStats, FabricSummary,
     FabricTuning, NodeLoad,
 };
-pub use kernel::{run, run_streamed, EnginePolicy, NodeKernel, NodeSummary, SimState};
+pub use kernel::{
+    run, run_streamed, run_streamed_sink, EnginePolicy, NodeKernel, NodeSummary, SimState,
+};
 pub use queue::{EventKind, EventQueue};
 pub use tenant::{full_mask, subarray_mask, TenantState};

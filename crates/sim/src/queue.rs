@@ -1,4 +1,58 @@
-//! The kernel's event queue: a binary heap with a totally ordered key.
+//! The kernel's event queue: a tiered (ladder) structure with a totally
+//! ordered key and stale-entry compaction.
+//!
+//! The first kernel used one `BinaryHeap` keyed `(Cycles, EventKind,
+//! seq)`. Correct — the key is a total order, so pop order never depends
+//! on heap layout — but two costs grew with scale. Every push and pop
+//! paid `O(log n)` on a heap whose `n` counted *every completion
+//! estimate ever pushed and not yet popped*, because superseded
+//! estimates are invalidated by epoch bumps rather than removed; under
+//! bursty traffic the stale fraction dominates and the heap is far
+//! larger than the live event set. This module replaces the single heap
+//! with two tiers and makes the stale population a first-class,
+//! compactable quantity:
+//!
+//! * **Near tier** — a ring of [`NUM_BUCKETS`] buckets, each
+//!   [`BUCKET_WIDTH`] cycles wide, covering the window
+//!   `[window_start, window_start + SPAN)`. A push lands in its bucket
+//!   in `O(log bucket)` where buckets are small; pops drain the cursor
+//!   bucket in full-key order.
+//! * **Far tier** — a min-heap for events at or past the window end.
+//!   Entries migrate into the ring exactly once, as the window slides
+//!   over them.
+//!
+//! # Pop-order equivalence
+//!
+//! Pop order is *identical* to the plain heap's, provably: buckets
+//! partition the cycle axis into consecutive ranges drained in range
+//! order, the within-bucket heaps order by the same full
+//! `(Cycles, EventKind, seq)` key, and the far tier only holds events
+//! later than every near event. The one wrinkle — a push whose cycle
+//! precedes the current window (the kernel never does this, but the
+//! structure stays safe) — clamps into the cursor bucket, whose heap
+//! still pops it by full key before everything later. The equivalence is
+//! pinned bit-for-bit by a SplitMix64 property test against a
+//! `BinaryHeap` model under interleaved push/invalidate/pop
+//! (`crates/sim/tests/tiered_queue.rs`).
+//!
+//! # Stale accounting and compaction
+//!
+//! The queue cannot know which completion estimates are superseded — the
+//! kernel owns the epoch — so the kernel *tells* it: [`note_stale`] when
+//! a live in-heap entry becomes superseded, [`note_stale_consumed`] when
+//! an invalid entry is popped or drained. When the stale population
+//! passes half the queue ([`should_compact`]), the kernel calls
+//! [`compact`] with its validity predicate and the queue drops every
+//! dead entry in one sweep, so resident size is `O(live events)` instead
+//! of `O(all estimates ever pushed)`. Compaction is sound because
+//! invalidity is *permanent* (epochs only grow, retired tenants never
+//! return, the arrival cursor only advances): a removed entry is exactly
+//! one the pop path would have skipped.
+//!
+//! [`note_stale`]: EventQueue::note_stale
+//! [`note_stale_consumed`]: EventQueue::note_stale_consumed
+//! [`should_compact`]: EventQueue::should_compact
+//! [`compact`]: EventQueue::compact
 
 use planaria_model::units::Cycles;
 use std::cmp::Reverse;
@@ -21,7 +75,8 @@ pub enum EventKind {
     },
     /// A tenant's completion estimate matured. Valid only while the
     /// tenant is live *and* its epoch still matches — superseded
-    /// estimates are left in the heap and skipped on pop.
+    /// estimates are left in the queue and skipped on pop (or removed
+    /// wholesale by [`EventQueue::compact`]).
     Completion {
         /// Request id of the tenant.
         tenant: u64,
@@ -30,15 +85,80 @@ pub enum EventKind {
     },
 }
 
-/// Min-heap of `(Cycles, EventKind, seq)`.
+/// One queue entry: the totally ordered key. The trailing sequence
+/// number makes the key a total order even for byte-identical duplicate
+/// events (FIFO among exact duplicates), so pop order never depends on
+/// any container's internal layout.
+type Entry = (Cycles, EventKind, u64);
+
+/// log2 of the bucket width: 2^16 = 65 536 cycles (~94 µs at the paper's
+/// 700 MHz clock) per near-tier bucket.
+const BUCKET_SHIFT: u32 = 16;
+
+/// Cycles covered by one near-tier bucket.
+const BUCKET_WIDTH: u64 = 1 << BUCKET_SHIFT;
+
+/// log2 of the near-tier bucket count.
+const BUCKET_BITS: u32 = 8;
+
+/// Number of near-tier buckets (power of two, ring-indexed). The window
+/// spans `NUM_BUCKETS * BUCKET_WIDTH` ≈ 16.8M cycles (~24 ms at
+/// 700 MHz), so millisecond-scale completion estimates land in the near
+/// tier with an O(log bucket) push.
+const NUM_BUCKETS: usize = 1 << BUCKET_BITS;
+
+/// Ring index mask.
+const BUCKET_MASK: usize = NUM_BUCKETS - 1;
+
+/// Cycles covered by the whole near-tier window.
+const SPAN: u64 = BUCKET_WIDTH << BUCKET_BITS;
+
+/// Queues smaller than this never compact: the sweep costs more than
+/// the stale entries do.
+const COMPACT_MIN_LEN: usize = 256;
+
+/// Tiered min-queue of `(Cycles, EventKind, seq)`.
 ///
-/// The trailing sequence number makes the key a total order even for
-/// byte-identical duplicate events (FIFO among exact duplicates), so pop
-/// order never depends on `BinaryHeap`'s internal layout.
-#[derive(Debug, Clone, Default)]
+/// Drop-in replacement for the old binary-heap queue: identical pop
+/// order (see the module docs), plus stale-entry accounting and
+/// compaction so the resident size tracks the *live* event population.
+#[derive(Debug, Clone)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Cycles, EventKind, u64)>>,
+    /// Near-tier ring: bucket `(cursor + k) & BUCKET_MASK` covers cycles
+    /// `[window_start + k*BUCKET_WIDTH, window_start + (k+1)*BUCKET_WIDTH)`.
+    near: Vec<BinaryHeap<Reverse<Entry>>>,
+    /// Entries across all near buckets.
+    near_len: usize,
+    /// Cycle at which the cursor bucket's range begins (aligned to
+    /// `BUCKET_WIDTH`).
+    window_start: u64,
+    /// Ring index of the bucket holding `window_start`.
+    cursor: usize,
+    /// Far tier: events at or past `window_start + SPAN`.
+    far: BinaryHeap<Reverse<Entry>>,
+    /// In-queue entries the kernel has declared superseded.
+    stale: usize,
+    /// Next push sequence number.
     seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        // One-time construction: the bucket ring is allocated once per
+        // queue and reused for the whole run (`resize_with`, not a
+        // per-event idiom).
+        let mut near: Vec<BinaryHeap<Reverse<Entry>>> = Vec::default();
+        near.resize_with(NUM_BUCKETS, BinaryHeap::new);
+        Self {
+            near,
+            near_len: 0,
+            window_start: 0,
+            cursor: 0,
+            far: BinaryHeap::new(),
+            stale: 0,
+            seq: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -51,12 +171,78 @@ impl EventQueue {
     pub fn push(&mut self, at: Cycles, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((at, kind, seq)));
+        let entry = Reverse((at, kind, seq));
+        if self.near_len == 0 && self.far.is_empty() {
+            // Empty queue: re-anchor the window at the pushed entry so
+            // it lands in the ring directly instead of bouncing through
+            // the far tier.
+            self.window_start = at.get() & !(BUCKET_WIDTH - 1);
+            self.cursor = 0;
+        }
+        let offset = at.get().saturating_sub(self.window_start);
+        if offset >= SPAN {
+            self.far.push(entry);
+        } else {
+            let idx = (self.cursor + (offset >> BUCKET_SHIFT) as usize) & BUCKET_MASK;
+            self.near[idx].push(entry);
+            self.near_len += 1;
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket, migrating far
+    /// entries as the window slides, or re-anchors the window at the far
+    /// tier's minimum when the whole ring is empty. After this, either
+    /// the cursor bucket is non-empty or the queue is empty.
+    fn normalize(&mut self) {
+        loop {
+            if self.near_len == 0 {
+                let Some(Reverse((fmin, _, _))) = self.far.peek() else {
+                    return;
+                };
+                // Ring drained: jump the window straight to the far
+                // tier's earliest entry (skipping idle gaps in O(1))
+                // and pull everything inside the new window across.
+                self.window_start = fmin.get() & !(BUCKET_WIDTH - 1);
+                self.cursor = 0;
+                self.migrate_far();
+                continue;
+            }
+            if self.near[self.cursor].is_empty() {
+                // Slide the window one bucket: the vacated bucket now
+                // addresses the range just past the old window end, so
+                // far entries inside the new window migrate in.
+                self.cursor = (self.cursor + 1) & BUCKET_MASK;
+                self.window_start += BUCKET_WIDTH;
+                self.migrate_far();
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Moves every far-tier entry inside the current window into its
+    /// near bucket. Each entry migrates at most once per lifetime.
+    fn migrate_far(&mut self) {
+        let end = self.window_start.saturating_add(SPAN);
+        while let Some(Reverse((at, _, _))) = self.far.peek() {
+            if at.get() >= end {
+                break;
+            }
+            // lint: pop follows a successful peek on the same heap
+            let Reverse(e) = self.far.pop().expect("peeked entry exists");
+            let offset = e.0.get().saturating_sub(self.window_start);
+            let idx = (self.cursor + (offset >> BUCKET_SHIFT) as usize) & BUCKET_MASK;
+            self.near[idx].push(Reverse(e));
+            self.near_len += 1;
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Cycles, EventKind)> {
-        self.heap.pop().map(|Reverse((at, kind, _))| (at, kind))
+        self.normalize();
+        let Reverse((at, kind, _)) = self.near[self.cursor].pop()?;
+        self.near_len -= 1;
+        Some((at, kind))
     }
 
     /// The cycle of the earliest pending event, without removing it.
@@ -64,19 +250,82 @@ impl EventQueue {
     /// Used by the kernel's same-cycle coalescing: once it has decided to
     /// wake at cycle `t`, every remaining event at `t` is drained in the
     /// same pass so the policy resches exactly once per distinct
-    /// timestamp.
-    pub fn next_at(&self) -> Option<Cycles> {
-        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    /// timestamp. (Takes `&mut self` because peeking normalizes the
+    /// window cursor; the queue's contents are untouched.)
+    pub fn next_at(&mut self) -> Option<Cycles> {
+        self.normalize();
+        self.near[self.cursor].peek().map(|Reverse((at, _, _))| *at)
     }
 
     /// Number of pending entries (including stale ones).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near_len + self.far.len()
     }
 
     /// Whether no entries are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of in-queue entries the kernel has declared superseded
+    /// (debug/compaction accessor; see the module docs for the exact
+    /// bookkeeping contract).
+    pub fn stale_len(&self) -> usize {
+        self.stale
+    }
+
+    /// Records that one in-queue entry just became superseded (the
+    /// kernel bumped an epoch, or retired a tenant, while the entry is
+    /// still queued).
+    pub fn note_stale(&mut self) {
+        self.stale += 1;
+        debug_assert!(
+            self.stale <= self.len(),
+            "stale count {} exceeds queue length {}",
+            self.stale,
+            self.len()
+        );
+    }
+
+    /// Records that one superseded entry just left the queue (skipped by
+    /// the pop path or drained by same-cycle coalescing).
+    pub fn note_stale_consumed(&mut self) {
+        debug_assert!(self.stale > 0, "stale count underflow");
+        self.stale = self.stale.saturating_sub(1);
+    }
+
+    /// Whether the stale population justifies a [`compact`] sweep: more
+    /// than half the queue is dead and the queue is big enough for the
+    /// sweep to pay for itself.
+    ///
+    /// [`compact`]: EventQueue::compact
+    pub fn should_compact(&self) -> bool {
+        self.len() >= COMPACT_MIN_LEN && self.stale * 2 > self.len()
+    }
+
+    /// Drops every entry `keep` rejects, in one sweep over both tiers,
+    /// and resets the stale count.
+    ///
+    /// Sound whenever `keep` rejects exactly the entries the pop path
+    /// would skip *and* rejection is permanent (true for the kernel:
+    /// epochs only grow, retired ids never return, the arrival cursor
+    /// only advances) — then removal cannot change the sequence of valid
+    /// pops. The caller's stale accounting must agree with the predicate;
+    /// this is debug-asserted.
+    pub fn compact<F: FnMut(&EventKind) -> bool>(&mut self, mut keep: F) {
+        let before = self.len();
+        for bucket in &mut self.near {
+            bucket.retain(|Reverse((_, kind, _))| keep(kind));
+        }
+        self.near_len = self.near.iter().map(BinaryHeap::len).sum();
+        self.far.retain(|Reverse((_, kind, _))| keep(kind));
+        let removed = before - self.len();
+        debug_assert_eq!(
+            removed, self.stale,
+            "compaction removed {removed} entries but {} were stale-accounted",
+            self.stale
+        );
+        self.stale = 0;
     }
 }
 
@@ -165,5 +414,158 @@ mod tests {
         assert_eq!(q.len(), 2);
         let _ = q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_events_cross_tiers_in_order() {
+        // Entries far beyond the near window must migrate across as the
+        // window slides and still pop in global key order.
+        let mut q = EventQueue::new();
+        let far = SPAN * 3 + 17;
+        let farther = SPAN * 7 + 1;
+        q.push(Cycles::new(farther), EventKind::Arrival { index: 3 });
+        q.push(Cycles::new(far), EventKind::Arrival { index: 2 });
+        q.push(Cycles::new(1), EventKind::Arrival { index: 0 });
+        q.push(Cycles::new(SPAN - 1), EventKind::Arrival { index: 1 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Cycles::new(1), EventKind::Arrival { index: 0 }),
+                (Cycles::new(SPAN - 1), EventKind::Arrival { index: 1 }),
+                (Cycles::new(far), EventKind::Arrival { index: 2 }),
+                (Cycles::new(farther), EventKind::Arrival { index: 3 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn idle_gap_jump_is_constant_time_and_exact() {
+        // A multi-second idle gap (billions of cycles) must re-anchor the
+        // window in one jump, not one bucket at a time.
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), EventKind::Arrival { index: 0 });
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(10), EventKind::Arrival { index: 0 }))
+        );
+        let distant = 3_000_000_000_u64;
+        q.push(Cycles::new(distant), EventKind::Arrival { index: 1 });
+        q.push(
+            Cycles::new(distant + 5),
+            EventKind::Completion {
+                tenant: 1,
+                epoch: 0,
+            },
+        );
+        assert_eq!(q.next_at(), Some(Cycles::new(distant)));
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(distant), EventKind::Arrival { index: 1 }))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((
+                Cycles::new(distant + 5),
+                EventKind::Completion {
+                    tenant: 1,
+                    epoch: 0
+                }
+            ))
+        );
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_accounting_and_compaction() {
+        let mut q = EventQueue::new();
+        // 300 entries for tenants 0..300, epoch 0; then supersede the
+        // first 200 (epoch bumped to 1 elsewhere — here we just account).
+        for t in 0..300u64 {
+            q.push(
+                Cycles::new(1000 + t),
+                EventKind::Completion {
+                    tenant: t,
+                    epoch: 0,
+                },
+            );
+        }
+        for _ in 0..200 {
+            q.note_stale();
+        }
+        assert_eq!(q.len(), 300);
+        assert_eq!(q.stale_len(), 200);
+        assert!(q.should_compact());
+        q.compact(|kind| match kind {
+            EventKind::Completion { tenant, .. } => *tenant >= 200,
+            EventKind::Arrival { .. } => true,
+        });
+        assert_eq!(q.len(), 100);
+        assert_eq!(q.stale_len(), 0);
+        assert!(!q.should_compact());
+        // Survivors still pop in exact key order.
+        let mut prev = None;
+        while let Some((at, kind)) = q.pop() {
+            let EventKind::Completion { tenant, .. } = kind else {
+                panic!("only completions were pushed");
+            };
+            assert!(tenant >= 200);
+            if let Some(p) = prev {
+                assert!(at > p);
+            }
+            prev = Some(at);
+        }
+    }
+
+    #[test]
+    fn small_queues_do_not_compact() {
+        let mut q = EventQueue::new();
+        for t in 0..10u64 {
+            q.push(
+                Cycles::new(t),
+                EventKind::Completion {
+                    tenant: t,
+                    epoch: 0,
+                },
+            );
+            q.note_stale();
+        }
+        // All stale, but far below COMPACT_MIN_LEN: not worth a sweep.
+        assert!(!q.should_compact());
+    }
+
+    #[test]
+    fn push_into_current_bucket_mid_drain_keeps_order() {
+        // The kernel pushes fresh completion estimates after popping an
+        // event; an estimate landing in the partially drained cursor
+        // bucket must still order correctly.
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), EventKind::Arrival { index: 0 });
+        q.push(Cycles::new(300), EventKind::Arrival { index: 1 });
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(100), EventKind::Arrival { index: 0 }))
+        );
+        q.push(
+            Cycles::new(200),
+            EventKind::Completion {
+                tenant: 7,
+                epoch: 0,
+            },
+        );
+        assert_eq!(
+            q.pop(),
+            Some((
+                Cycles::new(200),
+                EventKind::Completion {
+                    tenant: 7,
+                    epoch: 0
+                }
+            ))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Cycles::new(300), EventKind::Arrival { index: 1 }))
+        );
     }
 }

@@ -28,9 +28,13 @@
 pub mod metrics;
 pub mod qos;
 pub mod request;
+pub mod sink;
 pub mod trace;
 
 pub use metrics::{fairness, max_throughput, meets_sla, sla_satisfaction_rate, violation_rate};
 pub use qos::{qos_bound, QosLevel};
-pub use request::{Completion, LatencyStats, Request, SimResult};
+pub use request::{
+    digest_version, Completion, DigestBuilder, LatencyStats, Request, SimResult, DIGEST_VERSION,
+};
+pub use sink::{CompletionSink, DiscardSink, SketchSink, SpillReader, SpillSink, VecSink};
 pub use trace::{Scenario, TraceConfig, TraceStream};

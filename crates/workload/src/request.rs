@@ -62,6 +62,84 @@ pub struct SimResult {
     pub makespan: f64,
 }
 
+/// Version tag of the [`SimResult::digest`] format, carried in the top
+/// byte of every digest value (see [`digest_version`]). Bump it whenever
+/// the digest's *layout* changes — fields added/removed/reordered, the
+/// hash function swapped — so a stored digest from another format can
+/// never collide into a false "results changed" diagnosis.
+///
+/// History: version 1 is the untagged pre-overhaul format (count +
+/// per-completion fields + aggregates, full 64-bit FNV); version 2 mixes
+/// this tag first and reserves the top byte to carry it.
+pub const DIGEST_VERSION: u8 = 2;
+
+/// The format version a digest value was produced under. Compare this
+/// *before* comparing digests: differing versions mean **the digest
+/// format changed** (re-baseline and re-compare), while equal versions
+/// with differing digests mean **the results changed** — the distinction
+/// golden-digest failures should report.
+pub fn digest_version(digest: u64) -> u8 {
+    (digest >> 56) as u8
+}
+
+/// Streaming construction of [`SimResult::digest`]: feed the completion
+/// count, then every completion in ascending request-id order, then the
+/// aggregates. `digest()` itself is implemented on top of this, so a
+/// replayed spill stream (`planaria_workload::sink::SpillReader`)
+/// digests bit-identically to the materialized vector without ever
+/// holding one.
+#[derive(Debug, Clone)]
+pub struct DigestBuilder {
+    h: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl DigestBuilder {
+    /// Starts a digest over a result with `count` completions (the count
+    /// is mixed up front, after the version tag, so truncated streams
+    /// can never digest equal to complete ones).
+    pub fn new(count: u64) -> Self {
+        let mut b = Self { h: FNV_OFFSET };
+        b.mix(u64::from(DIGEST_VERSION));
+        b.mix(count);
+        b
+    }
+
+    fn mix(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.h ^= u64::from(byte);
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mixes one completion. Callers must feed completions in ascending
+    /// request-id order — the digest is order-sensitive by design.
+    pub fn completion(&mut self, c: &Completion) {
+        let dnn = DnnId::ALL
+            .iter()
+            .position(|&d| d == c.request.dnn)
+            // lint: ALL enumerates every DnnId variant by construction
+            .expect("every DnnId appears in DnnId::ALL");
+        self.mix(c.request.id);
+        self.mix(dnn as u64);
+        self.mix(c.request.arrival.to_bits());
+        self.mix(u64::from(c.request.priority));
+        self.mix(c.request.qos.to_bits());
+        self.mix(c.finish.to_bits());
+        self.mix(c.energy.as_pj().to_bits());
+    }
+
+    /// Mixes the aggregates and seals the digest: the top byte carries
+    /// [`DIGEST_VERSION`], the low 56 bits the FNV state.
+    pub fn finish(mut self, total_energy: Picojoules, makespan: f64) -> u64 {
+        self.mix(total_energy.as_pj().to_bits());
+        self.mix(makespan.to_bits());
+        (u64::from(DIGEST_VERSION) << 56) | (self.h & ((1 << 56) - 1))
+    }
+}
+
 impl SimResult {
     /// Order-sensitive FNV-1a digest over the bit-exact content of the
     /// result: every completion's id, network, arrival, priority, QoS
@@ -69,34 +147,17 @@ impl SimResult {
     /// makespan. Two results digest equal iff they are byte-identical,
     /// which is how the determinism tests and the cluster bench assert
     /// that a parallel fabric run reproduces the serial run exactly.
+    ///
+    /// The top byte of the value is the [`DIGEST_VERSION`] format tag:
+    /// on a mismatch against a stored digest, check
+    /// [`digest_version`] first to report "digest format changed"
+    /// rather than "results changed".
     pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        mix(self.completions.len() as u64);
+        let mut b = DigestBuilder::new(self.completions.len() as u64);
         for c in &self.completions {
-            let dnn = DnnId::ALL
-                .iter()
-                .position(|&d| d == c.request.dnn)
-                // lint: ALL enumerates every DnnId variant by construction
-                .expect("every DnnId appears in DnnId::ALL");
-            mix(c.request.id);
-            mix(dnn as u64);
-            mix(c.request.arrival.to_bits());
-            mix(u64::from(c.request.priority));
-            mix(c.request.qos.to_bits());
-            mix(c.finish.to_bits());
-            mix(c.energy.as_pj().to_bits());
+            b.completion(c);
         }
-        mix(self.total_energy.as_pj().to_bits());
-        mix(self.makespan.to_bits());
-        h
+        b.finish(self.total_energy, self.makespan)
     }
 
     /// Mean end-to-end latency, seconds.
@@ -282,6 +343,47 @@ mod tests {
         let mut hotter = base.clone();
         hotter.total_energy = Picojoules::new(5.0 + f64::EPSILON * 8.0);
         assert_ne!(base.digest(), hotter.digest());
+    }
+
+    #[test]
+    fn digest_carries_the_format_version() {
+        let r = SimResult {
+            completions: vec![Completion {
+                request: req(0.0, 1.0),
+                finish: 0.010,
+                energy: Picojoules::ZERO,
+            }],
+            total_energy: Picojoules::new(5.0),
+            makespan: 0.010,
+        };
+        assert_eq!(digest_version(r.digest()), DIGEST_VERSION);
+        // Result differences move the digest but never the version byte.
+        let mut other = r.clone();
+        other.makespan = 0.011;
+        assert_ne!(r.digest(), other.digest());
+        assert_eq!(digest_version(other.digest()), DIGEST_VERSION);
+    }
+
+    #[test]
+    fn streaming_builder_matches_digest() {
+        let mk = |id: u64| Completion {
+            request: Request {
+                id,
+                ..req(0.0, 1.0)
+            },
+            finish: 0.010 * (id + 1) as f64,
+            energy: Picojoules::new(id as f64),
+        };
+        let r = SimResult {
+            completions: (0..5).map(mk).collect(),
+            total_energy: Picojoules::new(17.0),
+            makespan: 0.050,
+        };
+        let mut b = DigestBuilder::new(r.completions.len() as u64);
+        for c in &r.completions {
+            b.completion(c);
+        }
+        assert_eq!(b.finish(r.total_energy, r.makespan), r.digest());
     }
 
     #[test]

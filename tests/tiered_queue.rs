@@ -1,0 +1,185 @@
+//! Property tests pinning the tiered event queue to the legacy binary
+//! heap it replaced.
+//!
+//! The queue's contract is *bit-equal pop order* under the total key
+//! `(Cycles, EventKind, seq)`: arrivals before completions at the same
+//! cycle, FIFO among identical keys, regardless of which tier an entry
+//! lands in or how often the window rotates. A SplitMix64-driven
+//! interleaving of pushes and pops across near-bucket, window-edge and
+//! far-tier horizons is replayed against a plain `BinaryHeap` model; any
+//! divergence is a kernel-ordering bug before it is a performance bug.
+
+use planaria_model::units::Cycles;
+use planaria_model::SplitMix64;
+use planaria_sim::{EventKind, EventQueue};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pre-overhaul queue: one heap over the same total key.
+#[derive(Default)]
+struct ModelQueue {
+    heap: BinaryHeap<Reverse<(Cycles, EventKind, u64)>>,
+    seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, at: Cycles, kind: EventKind) {
+        self.heap.push(Reverse((at, kind, self.seq)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Cycles, EventKind)> {
+        self.heap.pop().map(|Reverse((at, kind, _))| (at, kind))
+    }
+}
+
+/// A random event kind; arrivals and completions mixed so the
+/// `EventKind` ordering leg of the key is exercised.
+fn random_kind(rng: &mut SplitMix64) -> EventKind {
+    if rng.next_below(2) == 0 {
+        EventKind::Arrival {
+            index: rng.next_below(64) as usize,
+        }
+    } else {
+        EventKind::Completion {
+            tenant: rng.next_below(64),
+            epoch: rng.next_below(4),
+        }
+    }
+}
+
+/// A random event time relative to `now`, spread across the interesting
+/// horizons: same-cycle, inside the near window (2^16-cycle buckets,
+/// 256 buckets), straddling the window edge, and deep in the far tier.
+fn random_at(rng: &mut SplitMix64, now: u64) -> Cycles {
+    let offset = match rng.next_below(5) {
+        0 => 0,                                      // coalescing / same-cycle
+        1 => rng.next_below(1 << 16),                // cursor bucket
+        2 => rng.next_below(1 << 24),                // inside the window
+        3 => (1 << 24) - 512 + rng.next_below(1024), // window edge
+        _ => rng.next_below(1 << 34),                // far tier
+    };
+    Cycles::new(now + offset)
+}
+
+#[test]
+fn pop_order_matches_binary_heap_over_splitmix_interleavings() {
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(0xE7E9 ^ seed);
+        let mut tiered = EventQueue::new();
+        let mut model = ModelQueue::default();
+        let mut now = 0u64;
+        for _ in 0..4_000 {
+            match rng.next_below(10) {
+                // Pop-biased mix keeps the queues draining so the window
+                // cursor actually rotates through its ring.
+                0..=3 => {
+                    let got = tiered.pop();
+                    let want = model.pop();
+                    assert_eq!(got, want, "seed {seed}: pop diverged");
+                    if let Some((at, _)) = got {
+                        now = at.get();
+                    }
+                }
+                _ => {
+                    // Monotone-ish times with occasional same-cycle
+                    // duplicates; pushes below `now` are clamped by the
+                    // queue, so generate at/after the last popped time.
+                    let at = random_at(&mut rng, now);
+                    let kind = random_kind(&mut rng);
+                    tiered.push(at, kind);
+                    model.push(at, kind);
+                }
+            }
+        }
+        // Drain both completely: every residual entry must agree too.
+        loop {
+            let got = tiered.pop();
+            let want = model.pop();
+            assert_eq!(got, want, "seed {seed}: drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(
+            tiered.is_empty(),
+            "seed {seed}: queue not empty after drain"
+        );
+    }
+}
+
+#[test]
+fn duplicate_keys_pop_fifo_across_tiers() {
+    // Identical (cycle, kind) pairs must come out in push order even
+    // when one copy starts in the far tier and migrates into the ring.
+    let mut q = EventQueue::new();
+    let far = Cycles::new(1 << 30);
+    for epoch in 0..3 {
+        q.push(
+            far,
+            EventKind::Completion {
+                tenant: 1,
+                epoch, // distinct payloads in push order at one key slot
+            },
+        );
+    }
+    for epoch in 0..3 {
+        assert_eq!(
+            q.pop(),
+            Some((far, EventKind::Completion { tenant: 1, epoch }))
+        );
+    }
+}
+
+#[test]
+fn compaction_trips_only_past_the_threshold_and_drops_exactly_the_stale() {
+    let mut q = EventQueue::new();
+    // 512 completion entries, half of which will be superseded.
+    for tenant in 0..512u64 {
+        q.push(
+            Cycles::new(1_000 + tenant),
+            EventKind::Completion { tenant, epoch: 0 },
+        );
+    }
+    assert_eq!(q.len(), 512);
+    assert_eq!(q.stale_len(), 0);
+    assert!(!q.should_compact(), "nothing stale yet");
+
+    // Mark the odd tenants superseded. The threshold is strictly more
+    // than half the queue, so exactly half must not trip it.
+    for _ in 0..256 {
+        q.note_stale();
+    }
+    assert_eq!(q.stale_len(), 256);
+    assert!(!q.should_compact(), "stale*2 == len is below the trigger");
+    // A superseded arrival joins the stale population: 257 dead of 513
+    // entries, strictly past half.
+    q.push(Cycles::new(9_999), EventKind::Arrival { index: 1 });
+    q.note_stale();
+    assert!(q.should_compact());
+
+    // Compact with "even tenants live, the arrival superseded" (256
+    // completions survive; 257 entries removed == the stale count).
+    q.compact(|kind| match kind {
+        EventKind::Arrival { .. } => false,
+        EventKind::Completion { tenant, .. } => tenant % 2 == 0,
+    });
+    assert_eq!(q.len(), 256);
+    assert_eq!(q.stale_len(), 0);
+    assert!(!q.should_compact());
+
+    // Survivors still pop in key order.
+    let mut last = Cycles::ZERO;
+    let mut popped = 0;
+    while let Some((at, kind)) = q.pop() {
+        assert!(at >= last);
+        last = at;
+        if let EventKind::Completion { tenant, .. } = kind {
+            assert_eq!(tenant % 2, 0, "a stale entry survived compaction");
+        } else {
+            panic!("the superseded arrival survived compaction");
+        }
+        popped += 1;
+    }
+    assert_eq!(popped, 256);
+}
